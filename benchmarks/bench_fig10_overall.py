@@ -1,0 +1,59 @@
+"""Fig. 10 — whole-application speedup at each optimisation level.
+
+Case 1 (48 k particles, 1 CG; paper 1/20/30/32) and case 2 (3 M
+particles, 512 CGs; paper 1/6/8/18).
+"""
+
+import pytest
+
+from repro.analysis.figures import PAPER_FIG10, print_speedup_bars
+from repro.core.engine import run_optimization_ladder
+from repro.md.water import build_water_system
+
+from conftest import emit
+
+
+def _ladder_speedups(n_local, n_cgs, nb):
+    ladder = run_optimization_ladder(
+        lambda n: build_water_system(n, seed=2019),
+        n_local,
+        n_cgs=n_cgs,
+        nonbonded=nb,
+        output_interval=100,
+    )
+    base = ladder["Ori"].total()
+    return {k: base / v.total() for k, v in ladder.items()}
+
+
+def test_fig10_case1(benchmark, nb_paper, case1_particles):
+    speedups = benchmark.pedantic(
+        lambda: _ladder_speedups(case1_particles, 1, nb_paper),
+        rounds=1,
+        iterations=1,
+    )
+    text = print_speedup_bars(
+        speedups, PAPER_FIG10["case1"], "Fig. 10 case 1 — 1 CG"
+    )
+    emit(benchmark, text, **{k: round(v, 1) for k, v in speedups.items()})
+    assert speedups["Cal"] == pytest.approx(20, rel=0.5)
+    assert speedups["List"] == pytest.approx(30, rel=0.5)
+    assert speedups["Other"] == pytest.approx(32, rel=0.5)
+    assert speedups["Cal"] < speedups["List"] < speedups["Other"]
+
+
+def test_fig10_case2(benchmark, nb_paper, case2_local_particles):
+    speedups = benchmark.pedantic(
+        lambda: _ladder_speedups(case2_local_particles, 512, nb_paper),
+        rounds=1,
+        iterations=1,
+    )
+    text = print_speedup_bars(
+        speedups, PAPER_FIG10["case2"], "Fig. 10 case 2 — 512 CGs"
+    )
+    emit(benchmark, text, **{k: round(v, 1) for k, v in speedups.items()})
+    assert speedups["Cal"] == pytest.approx(6, rel=0.5)
+    assert speedups["List"] == pytest.approx(8, rel=0.5)
+    assert speedups["Other"] == pytest.approx(18, rel=0.5)
+    # The case-2 signature: communication optimisation gives the big jump
+    # (paper: 8 -> 18), unlike case 1 (30 -> 32).
+    assert speedups["Other"] / speedups["List"] > 1.5

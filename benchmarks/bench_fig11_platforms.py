@@ -1,0 +1,70 @@
+"""Fig. 11 + Table 4 + Eqs. (3)-(4) — cross-platform TTF comparison.
+
+Evaluates the paper's own TTF equations from the Table 4 constants,
+derives the "fair" chip counts (150 SW26010 vs 1 KNL; 24 vs 1 P100), and
+regenerates the nine Fig. 11 bars from our measured whole-application
+speedup.
+"""
+
+import pytest
+
+from repro.analysis.figures import PAPER_EQ3_TTF_KNL, PAPER_EQ4_TTF_P100
+from repro.core.engine import run_optimization_ladder
+from repro.core.platforms import fair_chip_count, modelled_figure11, ttf_ratio
+from repro.md.water import build_water_system
+from repro.util.tables import format_table
+
+from conftest import emit
+
+
+def test_eq3_eq4_ttf_ratios(benchmark):
+    ratios = benchmark(
+        lambda: (ttf_ratio("SW26010", "KNL"), ttf_ratio("SW26010", "P100"))
+    )
+    knl, p100 = ratios
+    text = format_table(
+        ["comparison", "measured", "paper"],
+        [
+            ("TTF_SW / TTF_KNL (Eq. 3)", knl, PAPER_EQ3_TTF_KNL),
+            ("TTF_SW / TTF_P100 (Eq. 4)", p100, PAPER_EQ4_TTF_P100),
+        ],
+        title="Eqs. (3)-(4) — TTF ratios from Table 4",
+    )
+    emit(benchmark, text, ttf_knl=round(knl, 1), ttf_p100=round(p100, 1))
+    assert knl == pytest.approx(150, rel=0.03)
+    assert p100 == pytest.approx(24, rel=0.03)
+    assert fair_chip_count("KNL") == pytest.approx(150, abs=5)
+    assert fair_chip_count("P100") == pytest.approx(24, abs=2)
+
+
+def test_fig11_bars(benchmark, nb_paper, case2_local_particles):
+    def build():
+        ladder = run_optimization_ladder(
+            lambda n: build_water_system(n, seed=2019),
+            case2_local_particles,
+            n_cgs=512,
+            nonbonded=nb_paper,
+            output_interval=100,
+        )
+        overall = ladder["Ori"].total() / ladder["Other"].total()
+        return overall, modelled_figure11(overall)
+
+    overall, bars = benchmark.pedantic(build, rounds=1, iterations=1)
+    paper_bars = {
+        "150x MPE": 1.0, "KNL": 1.77, "150x CPE": 18.06,
+        "24x MPE": 1.0, "1x P100": 22.77, "24x CPE": 22.92,
+        "48x MPE": 1.0, "2x P100": 17.20, "48x CPE": 21.47,
+    }
+    text = format_table(
+        ["configuration", "measured x", "paper x"],
+        [(b.label, b.speedup, paper_bars[b.label]) for b in bars],
+        title="Fig. 11 — cross-platform whole-application speedups",
+    )
+    emit(benchmark, text, overall_cpe_speedup=round(overall, 1))
+
+    by_label = {b.label: b.speedup for b in bars}
+    # Paper's claims: CPE versions beat both comparators at the fair chip
+    # counts, and 48 CPEs beat 2 P100s (better scalability).
+    assert by_label["150x CPE"] > by_label["KNL"]
+    assert by_label["24x CPE"] > by_label["1x P100"] * 0.9
+    assert by_label["48x CPE"] > by_label["2x P100"]

@@ -1,0 +1,67 @@
+"""Fig. 8 — short-range optimisation ladder speedups.
+
+Runs Ori -> Pkg -> Cache -> Vec -> Mark on the water case at several
+particles-per-CG sizes; asserts the paper's shape (monotone ladder, rough
+factors, size independence).
+"""
+
+import pytest
+
+from repro.analysis.figures import PAPER_FIG8, print_speedup_bars
+from repro.core.strategies import STRATEGY_LADDER, run_ladder
+from repro.md.forces import compute_short_range
+from repro.md.pairlist import build_pair_list
+
+from conftest import cached_water, emit
+
+
+def test_fig8_strategy_ladder(benchmark, nb_paper, fig8_sizes):
+    ladders = {}
+
+    def run_all():
+        out = {}
+        for n in fig8_sizes:
+            system = cached_water(n)
+            out[n] = run_ladder(system, STRATEGY_LADDER, nb_paper)
+        return out
+
+    ladders = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    for n, lad in ladders.items():
+        text = print_speedup_bars(
+            lad.speedups, PAPER_FIG8, f"Fig. 8 — {n} particles per CG"
+        )
+        emit(
+            benchmark,
+            text,
+            **{f"{label}_{n}": round(s, 1) for label, s in lad.speedups.items()},
+        )
+
+    # Shape assertions (paper: 1 / 3 / 23 / 40 / 61).
+    for n, lad in ladders.items():
+        s = lad.speedups
+        assert s["Pkg"] == pytest.approx(3, rel=1.0)
+        assert s["Cache"] == pytest.approx(23, rel=0.5)
+        assert s["Vec"] == pytest.approx(40, rel=0.5)
+        assert s["Mark"] == pytest.approx(61, rel=0.5)
+        assert s["Pkg"] < s["Cache"] < s["Vec"] < s["Mark"]
+
+    # Fig. 8's flatness: Mark speedup roughly size-independent.
+    marks = [lad.speedups["Mark"] for lad in ladders.values()]
+    assert max(marks) / min(marks) < 1.6
+
+
+def test_fig8_functional_fidelity(nb_paper, fig8_sizes):
+    """Every rung's forces equal the float64 reference (no benchmark
+    timer; this is the correctness gate of the figure)."""
+    import numpy as np
+
+    n = fig8_sizes[0]
+    system = cached_water(n)
+    lad = run_ladder(system, STRATEGY_LADDER, nb_paper)
+    plist = build_pair_list(system, nb_paper.r_list)
+    ref = compute_short_range(system, plist, nb_paper)
+    scale = float(np.abs(ref.forces).max())
+    for label, res in lad.results.items():
+        err = float(np.abs(res.forces - ref.forces).max()) / scale
+        assert err < 2e-4, f"{label}: force error {err:.1e}"

@@ -1,0 +1,64 @@
+"""Table 1 — per-kernel time fractions of the unoptimised (level 0) run.
+
+Case 1: 48 k particles on one CG; case 2: 3 M particles on 512 CGs
+(one representative CG run functionally + the communication model).
+"""
+
+from repro.analysis.figures import (
+    PAPER_TABLE1_CASE1,
+    PAPER_TABLE1_CASE2,
+    print_fractions,
+)
+from repro.core.engine import EngineConfig, SWGromacsEngine
+
+from conftest import cached_water, emit
+
+
+def _fractions(n_particles, n_cgs, nb, output_interval):
+    system = cached_water(n_particles).copy()
+    engine = SWGromacsEngine(
+        system,
+        EngineConfig(
+            nonbonded=nb,
+            optimization_level=0,
+            n_cgs=n_cgs,
+            output_interval=output_interval,
+        ),
+    )
+    return engine.model_step().fractions()
+
+
+def test_table1_case1(benchmark, nb_paper, case1_particles):
+    fr = benchmark.pedantic(
+        lambda: _fractions(case1_particles, 1, nb_paper, 100),
+        rounds=1,
+        iterations=1,
+    )
+    text = print_fractions(
+        fr, PAPER_TABLE1_CASE1, "Table 1 case 1 — 48k particles, 1 CG"
+    )
+    emit(benchmark, text, force_fraction=round(fr["Force"], 3))
+    assert fr["Force"] > 0.85  # paper: 95.5 %
+    assert fr["Neighbor search"] < 0.10  # paper: 2.5 %
+
+
+def test_table1_case2(benchmark, nb_paper, case2_local_particles):
+    fr = benchmark.pedantic(
+        lambda: _fractions(case2_local_particles, 512, nb_paper, 100),
+        rounds=1,
+        iterations=1,
+    )
+    text = print_fractions(
+        fr, PAPER_TABLE1_CASE2, "Table 1 case 2 — 3M particles, 512 CGs"
+    )
+    emit(
+        benchmark,
+        text,
+        force_fraction=round(fr["Force"], 3),
+        comm_fraction=round(fr.get("Comm. energies", 0.0), 3),
+    )
+    # Paper: force 74.8 %, comm. energies 18.7 % — force drops below the
+    # single-CG level and the energy reduction becomes the second kernel.
+    assert 0.5 < fr["Force"] < 0.95
+    assert fr.get("Comm. energies", 0.0) > 0.05
+    assert fr.get("Comm. energies", 0.0) > fr.get("Update", 0.0)

@@ -1,0 +1,26 @@
+"""Table 2 — DMA bandwidth vs access block size.
+
+Regenerates the paper's measured curve by pushing a fixed traffic volume
+through the DMA engine at each block size.
+"""
+
+from repro.analysis.figures import PAPER_TABLE2, print_table2
+from repro.hw.dma import bandwidth_table
+
+from conftest import emit
+
+
+def test_table2_dma_bandwidth(benchmark):
+    rows = benchmark(bandwidth_table)
+    text = print_table2(rows)
+    measured = dict(rows)
+    emit(
+        benchmark,
+        text,
+        **{f"bw_{size}B_gbs": round(measured[size], 2) for size in PAPER_TABLE2},
+    )
+    for size, paper in PAPER_TABLE2.items():
+        assert abs(measured[size] - paper) / paper < 0.01, (
+            f"block {size} B: measured {measured[size]:.2f} GB/s vs "
+            f"paper {paper:.2f}"
+        )

@@ -1,0 +1,59 @@
+"""Shared benchmark helpers.
+
+Benchmarks default to scaled-down workloads so the suite completes in
+minutes; set ``REPRO_FULL_SCALE=1`` to run at the paper's sizes (12 k -
+96 k particles per CG, 500 k-step horizons scale to 20 k).  Every bench
+prints its paper-vs-measured table through `repro.analysis.figures` and
+stores the headline numbers in ``benchmark.extra_info``.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+import pytest
+
+from repro.md.nonbonded import NonbondedParams
+from repro.md.water import build_water_system
+
+FULL_SCALE = bool(int(os.environ.get("REPRO_FULL_SCALE", "0")))
+
+
+@lru_cache(maxsize=8)
+def cached_water(n_particles: int, seed: int = 2019):
+    return build_water_system(n_particles, seed=seed)
+
+
+@pytest.fixture(scope="session")
+def nb_paper():
+    """The paper's Table 3 settings (rlist = 1.0, mixed precision)."""
+    return NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+
+
+@pytest.fixture(scope="session")
+def fig8_sizes():
+    """Particles per CG for the Fig. 8 sweep."""
+    if FULL_SCALE:
+        return (12000, 24000, 48000, 96000)
+    return (3000, 6000, 12000)
+
+
+@pytest.fixture(scope="session")
+def case1_particles():
+    """Fig. 10 / Table 1 case 1: 48 k particles on one CG."""
+    return 48000 if FULL_SCALE else 12000
+
+
+@pytest.fixture(scope="session")
+def case2_local_particles():
+    """Fig. 10 / Table 1 case 2: 3,072,000 particles on 512 CGs -> 6 k
+    per CG (runnable functionally at any scale)."""
+    return 6000
+
+
+def emit(benchmark, text: str, **extra) -> None:
+    """Print a paper-style table and attach headline numbers."""
+    print("\n" + text)
+    for key, value in extra.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Strong/weak scalability study (the paper's Fig. 12) plus the MPI-vs-
+RDMA transport comparison that §3.6 motivates.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.analysis.figures import (
+    PAPER_FIG12_STRONG,
+    PAPER_FIG12_WEAK,
+    print_efficiency_curves,
+)
+from repro.analysis.scaling import (
+    ReferenceTimings,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+from repro.core.comm_opt import Transport
+from repro.md.nonbonded import NonbondedParams
+from repro.md.water import build_water_system
+
+
+def main() -> None:
+    nonbonded = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+    print("Measuring reference per-CG kernel times (12k particles)...")
+    ref = ReferenceTimings.measure(
+        lambda n: build_water_system(n, seed=2019), 12000, nonbonded
+    )
+    print(
+        f"  pair work {ref.pair_seconds * 1e3:.2f} ms/step, "
+        f"per-particle work {ref.particle_seconds * 1e3:.2f} ms/step"
+    )
+
+    strong = strong_scaling_curve(ref, 48000, nonbonded=nonbonded)
+    weak = weak_scaling_curve(ref, 10000, nonbonded=nonbonded)
+    print()
+    print(
+        print_efficiency_curves(
+            strong.strong_efficiency(),
+            PAPER_FIG12_STRONG,
+            "Fig. 12 — strong scaling (48k particles total)",
+        )
+    )
+    print()
+    print(
+        print_efficiency_curves(
+            weak.weak_efficiency(),
+            PAPER_FIG12_WEAK,
+            "Fig. 12 — weak scaling (10k particles per CG)",
+        )
+    )
+
+    # §3.6 ablation: how much of the scalability comes from RDMA?
+    strong_mpi = strong_scaling_curve(
+        ref, 48000, nonbonded=nonbonded, transport=Transport.MPI
+    )
+    eff_rdma = strong.strong_efficiency()[512]
+    eff_mpi = strong_mpi.strong_efficiency()[512]
+    print(
+        f"\nStrong efficiency at 512 CGs: RDMA {eff_rdma:.2f} vs "
+        f"stock MPI {eff_mpi:.2f} "
+        f"({eff_rdma / eff_mpi:.1f}x from the §3.6 communication rewrite)"
+    )
+
+
+if __name__ == "__main__":
+    main()

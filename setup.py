@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (``pip install -e .``) cannot build an editable
+wheel.  ``python setup.py develop`` (or the already-provisioned
+``repro-dev.pth`` in site-packages) provides the equivalent offline.
+"""
+
+from setuptools import setup
+
+setup()

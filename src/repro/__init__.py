@@ -1,0 +1,79 @@
+"""repro — a reproduction of *SW_GROMACS: Accelerate GROMACS on Sunway
+TaihuLight* (SC '19).
+
+The package provides four layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.hw` — an SW26010 core-group model (CPEs, LDM, DMA with the
+  paper's measured bandwidth curve, software caches, bit-map marks,
+  256-bit SIMD) with functional semantics plus a calibrated cycle/byte
+  cost model.
+* :mod:`repro.md` — a from-scratch GROMACS-like molecular-dynamics engine
+  (water systems, cluster pair lists, LJ/Coulomb/PME/bonded forces,
+  leapfrog, constraints, thermostats).
+* :mod:`repro.parallel` — athread-style CPE work partitioning, domain
+  decomposition, and MPI/RDMA communication models.
+* :mod:`repro.core` — the paper's contribution: particle packaging, the
+  read cache, deferred update, Bit-Map marks, vectorised kernels, the
+  strategy ladder and baselines, the full SW_GROMACS engine, and the
+  cross-platform TTF model.
+
+Quickstart::
+
+    from repro import build_water_system, SWGromacsEngine
+
+    system = build_water_system(n_particles=3000, temperature=300.0)
+    engine = SWGromacsEngine(system)
+    result = engine.run(n_steps=50)
+    print(result.timing.fractions())
+"""
+
+__version__ = "1.0.0"
+
+# Lazy re-exports (PEP 562): subpackages import freely from each other
+# without the top-level package forcing an import order.
+_EXPORTS = {
+    "build_water_system": ("repro.md.water", "build_water_system"),
+    "build_lj_fluid": ("repro.md.water", "build_lj_fluid"),
+    "ParticleSystem": ("repro.md.system", "ParticleSystem"),
+    "MdLoop": ("repro.md.mdloop", "MdLoop"),
+    "MdConfig": ("repro.md.mdloop", "MdConfig"),
+    "SWGromacsEngine": ("repro.core.engine", "SWGromacsEngine"),
+    "EngineConfig": ("repro.core.engine", "EngineConfig"),
+    "Strategy": ("repro.core.strategies", "Strategy"),
+    "STRATEGY_LADDER": ("repro.core.strategies", "STRATEGY_LADDER"),
+    "BASELINE_STRATEGIES": ("repro.core.strategies", "BASELINE_STRATEGIES"),
+    "run_strategy": ("repro.core.strategies", "run_strategy"),
+    "ChipParams": ("repro.hw.params", "ChipParams"),
+    "DEFAULT_PARAMS": ("repro.hw.params", "DEFAULT_PARAMS"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))
+
+__all__ = [
+    "__version__",
+    "BASELINE_STRATEGIES",
+    "ChipParams",
+    "DEFAULT_PARAMS",
+    "EngineConfig",
+    "MdConfig",
+    "MdLoop",
+    "ParticleSystem",
+    "STRATEGY_LADDER",
+    "SWGromacsEngine",
+    "Strategy",
+    "build_lj_fluid",
+    "build_water_system",
+    "run_strategy",
+]

@@ -1,0 +1,53 @@
+"""Experiment analysis: scalability model (Fig. 12), accuracy experiment
+(Fig. 13), and paper-style figure/table printers."""
+
+from repro.analysis.accuracy import AccuracyResult, run_accuracy_experiment
+from repro.analysis.figures import (
+    PAPER_EQ3_TTF_KNL,
+    PAPER_EQ4_TTF_P100,
+    PAPER_FIG8,
+    PAPER_FIG9,
+    PAPER_FIG10,
+    PAPER_FIG12_STRONG,
+    PAPER_FIG12_WEAK,
+    PAPER_TABLE1_CASE1,
+    PAPER_TABLE1_CASE2,
+    PAPER_TABLE2,
+    print_efficiency_curves,
+    print_fractions,
+    print_speedup_bars,
+    print_table2,
+)
+from repro.analysis.scaling import (
+    ReferenceTimings,
+    ScalingCurve,
+    ScalingPoint,
+    model_step_seconds,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+
+__all__ = [
+    "AccuracyResult",
+    "PAPER_EQ3_TTF_KNL",
+    "PAPER_EQ4_TTF_P100",
+    "PAPER_FIG8",
+    "PAPER_FIG9",
+    "PAPER_FIG10",
+    "PAPER_FIG12_STRONG",
+    "PAPER_FIG12_WEAK",
+    "PAPER_TABLE1_CASE1",
+    "PAPER_TABLE1_CASE2",
+    "PAPER_TABLE2",
+    "ReferenceTimings",
+    "ScalingCurve",
+    "ScalingPoint",
+    "model_step_seconds",
+    "print_efficiency_curves",
+    "print_fractions",
+    "print_speedup_bars",
+    "print_table2",
+    "run_accuracy_experiment",
+    "strong_scaling_curve",
+    "weak_scaling_curve",
+]

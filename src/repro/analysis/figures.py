@@ -1,0 +1,112 @@
+"""Paper-style output: print the exact rows/series each table and figure
+reports, with the paper's own numbers alongside for comparison.
+
+Every benchmark target in ``benchmarks/`` routes its output through one
+of these printers so EXPERIMENTS.md and the bench logs stay consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.util.tables import format_series, format_table
+
+#: Paper-reported values, used for side-by-side printing.
+PAPER_TABLE2 = {8: 0.99, 128: 15.77, 256: 28.88, 512: 28.98, 2048: 30.48}
+PAPER_FIG8 = {"Ori": 1, "Pkg": 3, "Cache": 23, "Vec": 40, "Mark": 61}
+PAPER_FIG9 = {
+    "USTC_GMX": 16.0,
+    "SW_LAMMPS": 16.4,
+    "RMA_GMX": 40.0,
+    "MARK_GMX": 63.0,
+}
+PAPER_FIG10 = {
+    "case1": {"Ori": 1, "Cal": 20, "List": 30, "Other": 32},
+    "case2": {"Ori": 1, "Cal": 6, "List": 8, "Other": 18},
+}
+PAPER_FIG12_STRONG = {
+    4: 1.00, 8: 0.97, 16: 0.94, 32: 0.92, 64: 0.90, 128: 0.78, 256: 0.63,
+    512: 0.47,
+}
+PAPER_FIG12_WEAK = {
+    4: 1.00, 8: 1.00, 16: 0.99, 32: 0.90, 64: 0.90, 128: 0.89, 256: 0.89,
+    512: 0.87,
+}
+PAPER_TABLE1_CASE1 = {
+    "Neighbor search": 0.025,
+    "Force": 0.955,
+    "Update": 0.003,
+    "Constraints": 0.006,
+    "Write traj": 0.005,
+    "NB X/F buffer ops": 0.001,
+}
+PAPER_TABLE1_CASE2 = {
+    "Domain decomp.": 0.007,
+    "Neighbor search": 0.023,
+    "Force": 0.748,
+    "Wait + comm. F": 0.011,
+    "NB X/F buffer ops": 0.002,
+    "Update": 0.002,
+    "Constraints": 0.017,
+    "Comm. energies": 0.187,
+    "Write traj": 0.001,
+}
+PAPER_EQ3_TTF_KNL = 150.0
+PAPER_EQ4_TTF_P100 = 24.0
+
+
+def print_table2(rows: Sequence[tuple[int, float]]) -> str:
+    """Table 2: DMA bandwidth vs block size, measured vs paper."""
+    table = [
+        (size, bw, PAPER_TABLE2.get(size, float("nan")))
+        for size, bw in rows
+    ]
+    return format_table(
+        ["block (B)", "measured GB/s", "paper GB/s"],
+        table,
+        title="Table 2 — DMA bandwidth vs access block size",
+    )
+
+
+def print_speedup_bars(
+    speedups: Mapping[str, float],
+    paper: Mapping[str, float],
+    title: str,
+) -> str:
+    rows = [
+        (label, speedups[label], paper.get(label, float("nan")))
+        for label in speedups
+    ]
+    return format_table(["strategy", "measured x", "paper x"], rows, title=title)
+
+
+def print_fractions(
+    fractions: Mapping[str, float],
+    paper: Mapping[str, float],
+    title: str,
+) -> str:
+    keys = list(fractions) + [k for k in paper if k not in fractions]
+    rows = [
+        (
+            k,
+            f"{100 * fractions.get(k, 0.0):.1f}%",
+            f"{100 * paper.get(k, 0.0):.1f}%" if k in paper else "-",
+        )
+        for k in keys
+    ]
+    return format_table(["kernel", "measured", "paper"], rows, title=title)
+
+
+def print_efficiency_curves(
+    measured: Mapping[int, float],
+    paper: Mapping[int, float],
+    title: str,
+) -> str:
+    rows = [
+        (n, measured[n], paper.get(n, float("nan"))) for n in sorted(measured)
+    ]
+    return format_table(["CGs", "measured eff", "paper eff"], rows, title=title)
+
+
+def print_series(title: str, xs, ys, x_label="x", y_label="y") -> str:
+    return format_series(title, xs, ys, x_label, y_label)

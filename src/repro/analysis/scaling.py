@@ -1,0 +1,211 @@
+"""Strong/weak scalability model (paper §4.6, Fig. 12, Eqs. 5-6).
+
+Methodology (matching how the paper's own analysis works): run ONE
+representative core group functionally at a reference local size to get
+the per-CG kernel times, then scale those times to other CG counts
+analytically —
+
+* short-range/search work scales with local pairs, inflated slightly by
+  the halo import;
+* update/constraints scale with local particle count;
+* communication comes from the `repro.parallel.collectives` model;
+* a load-imbalance wait term grows logarithmically with rank count
+  (the "Wait + comm. F" row of Table 1).
+
+Parallel efficiencies follow the paper's Eqs. (5)-(6) with the 4-CG run
+as the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.comm_opt import Transport, step_comm
+from repro.core.engine import (
+    EngineConfig,
+    SWGromacsEngine,
+)
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.md.box import Box
+from repro.md.constants import WATER_MOLECULES_PER_NM3
+from repro.md.nonbonded import NonbondedParams
+from repro.parallel.decomposition import DomainDecomposition
+
+#: Fraction of the halo shell's pair work the importing rank performs on
+#: top of its own (eighth-shell import with balanced pair splitting keeps
+#: this small).
+HALO_WORK_FRACTION = 0.01
+#: Per-doubling load-imbalance growth of the parallel region (dynamic
+#: load balancing degrades as domains shrink).
+IMBALANCE_PER_DOUBLING = 0.02
+#: Fraction of communication hidden behind compute (double-buffered halo
+#: exchange and PME/PP overlap).
+COMM_OVERLAP = 0.95
+#: Energy/virial reduction interval (GROMACS ``nstcalcenergy``): scaling
+#: runs amortise the global allreduce over this many steps, unlike the
+#: Table 1 profile where energies were communicated every step.
+NSTCALCENERGY = 100
+
+
+@dataclass
+class ScalingPoint:
+    n_cgs: int
+    n_local: float
+    step_seconds: float
+    comm_seconds: float
+    compute_seconds: float
+
+
+@dataclass
+class ScalingCurve:
+    points: list[ScalingPoint]
+    baseline_cgs: int
+
+    def times(self) -> dict[int, float]:
+        return {p.n_cgs: p.step_seconds for p in self.points}
+
+    def strong_efficiency(self) -> dict[int, float]:
+        """Eq. (5): Eff(N) = T_base / ((N / base) * T_N)."""
+        t = self.times()
+        t_base = t[self.baseline_cgs]
+        return {
+            n: t_base / ((n / self.baseline_cgs) * tn) for n, tn in t.items()
+        }
+
+    def weak_efficiency(self) -> dict[int, float]:
+        """Eq. (6): Eff(N) = T_base / T_N (constant work per CG)."""
+        t = self.times()
+        t_base = t[self.baseline_cgs]
+        return {n: t_base / tn for n, tn in t.items()}
+
+    def speedups(self) -> dict[int, float]:
+        """Speedup relative to the baseline CG count (Fig. 12's y-axis)."""
+        t = self.times()
+        t_base = t[self.baseline_cgs]
+        return {n: t_base / t[n] * 1.0 for n in t}
+
+
+@dataclass
+class ReferenceTimings:
+    """Per-CG kernel seconds measured functionally at a reference size."""
+
+    n_local: int
+    pair_seconds: float  # force + neighbour search (scales with pairs)
+    particle_seconds: float  # update/constraints/buffer (scales with N)
+
+    @classmethod
+    def measure(
+        cls,
+        build_system,
+        n_local: int,
+        nonbonded: NonbondedParams,
+        chip: ChipParams = DEFAULT_PARAMS,
+        optimization_level: int = 3,
+    ) -> "ReferenceTimings":
+        system = build_system(n_local)
+        engine = SWGromacsEngine(
+            system,
+            EngineConfig(
+                nonbonded=nonbonded,
+                optimization_level=optimization_level,
+                n_cgs=1,
+                chip=chip,
+            ),
+        )
+        timing = engine.model_step()
+        pair_keys = ("Force", "Neighbor search")
+        pair_s = sum(timing.seconds.get(k, 0.0) for k in pair_keys)
+        particle_s = timing.total() - pair_s
+        return cls(n_local, pair_s, particle_s)
+
+
+def _water_box_edge(n_particles: float) -> float:
+    n_mol = max(n_particles / 3.0, 1.0)
+    return float((n_mol / WATER_MOLECULES_PER_NM3) ** (1.0 / 3.0))
+
+
+def model_step_seconds(
+    ref: ReferenceTimings,
+    n_total: float,
+    n_cgs: int,
+    nonbonded: NonbondedParams,
+    transport: Transport = Transport.RDMA,
+    chip: ChipParams = DEFAULT_PARAMS,
+) -> ScalingPoint:
+    """Per-step time of ``n_total`` particles on ``n_cgs`` core groups."""
+    if n_cgs < 1:
+        raise ValueError(f"n_cgs must be >= 1: {n_cgs}")
+    n_local = n_total / n_cgs
+    box_edge = _water_box_edge(n_total)
+    if n_cgs > 1:
+        dd = DomainDecomposition(Box.cubic(box_edge), n_cgs)
+        halo_frac = dd.halo_fraction(0, nonbonded.r_list)
+    else:
+        halo_frac = 0.0
+    work_factor = (n_local / ref.n_local) * (
+        1.0 + HALO_WORK_FRACTION * halo_frac
+    )
+    imbalance = 1.0 + IMBALANCE_PER_DOUBLING * np.log2(max(n_cgs, 1))
+    compute = (
+        ref.pair_seconds * work_factor
+        + ref.particle_seconds * (n_local / ref.n_local)
+    ) * imbalance
+    breakdown = step_comm(
+        int(n_total),
+        n_cgs,
+        box_edge,
+        nonbonded.r_list,
+        transport=transport,
+        params=chip,
+    )
+    comm = (
+        breakdown.halo_seconds
+        + breakdown.pme_seconds
+        + breakdown.energy_seconds / NSTCALCENERGY
+    )
+    hidden = COMM_OVERLAP * min(compute, comm)
+    return ScalingPoint(
+        n_cgs=n_cgs,
+        n_local=n_local,
+        step_seconds=compute + comm - hidden,
+        comm_seconds=comm,
+        compute_seconds=compute,
+    )
+
+
+def strong_scaling_curve(
+    ref: ReferenceTimings,
+    total_particles: int = 48000,
+    cg_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+    nonbonded: NonbondedParams | None = None,
+    transport: Transport = Transport.RDMA,
+    chip: ChipParams = DEFAULT_PARAMS,
+) -> ScalingCurve:
+    """Fig. 12 strong-scaling series: fixed 48 k particles, 4..512 CGs."""
+    nb = nonbonded or NonbondedParams()
+    points = [
+        model_step_seconds(ref, total_particles, n, nb, transport, chip)
+        for n in cg_counts
+    ]
+    return ScalingCurve(points, baseline_cgs=cg_counts[0])
+
+
+def weak_scaling_curve(
+    ref: ReferenceTimings,
+    particles_per_cg: int = 10000,
+    cg_counts: tuple[int, ...] = (4, 8, 16, 32, 64, 128, 256, 512),
+    nonbonded: NonbondedParams | None = None,
+    transport: Transport = Transport.RDMA,
+    chip: ChipParams = DEFAULT_PARAMS,
+) -> ScalingCurve:
+    """Fig. 12 weak-scaling series: 10 k particles per CG, 4..512 CGs."""
+    nb = nonbonded or NonbondedParams()
+    points = [
+        model_step_seconds(
+            ref, particles_per_cg * n, n, nb, transport, chip
+        )
+        for n in cg_counts
+    ]
+    return ScalingCurve(points, baseline_cgs=cg_counts[0])

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the paper's experiments:
+
+* ``run``      — MD on the simulated SW26010 (quickstart as a command);
+* ``ladder``   — the Fig. 8/9 strategy comparison;
+* ``overall``  — the Fig. 10 optimisation-level ladder;
+* ``scaling``  — the Fig. 12 strong/weak curves;
+* ``table2``   — the DMA bandwidth table;
+* ``ttf``      — the Eq. 3/4 platform ratios.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SW_GROMACS reproduction: GROMACS-like MD on a "
+        "simulated SW26010 core group",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run MD on the simulated chip")
+    run.add_argument("-n", "--particles", type=int, default=3000)
+    run.add_argument("-s", "--steps", type=int, default=100)
+    run.add_argument("--level", type=int, default=3, choices=range(4))
+    run.add_argument("--rcut", type=float, default=0.9)
+    run.add_argument("--seed", type=int, default=2019)
+
+    ladder = sub.add_parser("ladder", help="Fig. 8/9 strategy speedups")
+    ladder.add_argument("-n", "--particles", type=int, default=12000)
+    ladder.add_argument("--baselines", action="store_true")
+
+    overall = sub.add_parser("overall", help="Fig. 10 optimisation levels")
+    overall.add_argument("-n", "--particles", type=int, default=12000)
+    overall.add_argument("--cgs", type=int, default=1)
+
+    scaling = sub.add_parser("scaling", help="Fig. 12 scalability curves")
+    scaling.add_argument("--strong-total", type=int, default=48000)
+    scaling.add_argument("--weak-per-cg", type=int, default=10000)
+
+    sub.add_parser("table2", help="DMA bandwidth vs block size")
+    sub.add_parser("ttf", help="Eq. 3/4 cross-platform TTF ratios")
+    return parser
+
+
+def _cmd_run(args) -> int:
+    from repro.core.engine import EngineConfig, SWGromacsEngine
+    from repro.md.mdloop import MdConfig
+    from repro.md.minimize import minimize
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+
+    nb = NonbondedParams(
+        r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
+    )
+    system = build_water_system(args.particles, seed=args.seed)
+    minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+    system.thermalize(300.0, np.random.default_rng(args.seed + 1))
+    engine = SWGromacsEngine(
+        system,
+        EngineConfig(
+            nonbonded=nb,
+            optimization_level=args.level,
+            report_interval=max(args.steps // 10, 1),
+        ),
+    )
+    result = engine.run(args.steps)
+    print("step   E_total(kJ/mol)     T(K)")
+    for frame in result.reporter.frames:
+        print(f"{frame.step:5d} {frame.total:15.1f} {frame.temperature:8.1f}")
+    total = result.timing.total()
+    print(f"\nmodelled chip time: {total * 1e3:.2f} ms "
+          f"({total / max(args.steps, 1) * 1e6:.1f} us/step)")
+    for kernel, frac in sorted(
+        result.timing.fractions().items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {kernel:18s} {frac:6.1%}")
+    return 0
+
+
+def _cmd_ladder(args) -> int:
+    from repro.analysis.figures import PAPER_FIG8, PAPER_FIG9, print_speedup_bars
+    from repro.core.strategies import (
+        BASELINE_STRATEGIES,
+        STRATEGY_LADDER,
+        run_ladder,
+    )
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+
+    strategies = STRATEGY_LADDER + (
+        BASELINE_STRATEGIES if args.baselines else ()
+    )
+    nb = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+    system = build_water_system(args.particles)
+    lad = run_ladder(system, strategies, nb)
+    print(
+        print_speedup_bars(
+            {s.label: lad.speedups[s.label] for s in STRATEGY_LADDER},
+            PAPER_FIG8,
+            f"Fig. 8 ladder — {args.particles} particles",
+        )
+    )
+    if args.baselines:
+        print()
+        print(
+            print_speedup_bars(
+                {s.label: lad.speedups[s.label] for s in BASELINE_STRATEGIES},
+                PAPER_FIG9,
+                "Fig. 9 strategy comparison",
+            )
+        )
+    return 0
+
+
+def _cmd_overall(args) -> int:
+    from repro.analysis.figures import PAPER_FIG10, print_speedup_bars
+    from repro.core.engine import run_optimization_ladder
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+
+    nb = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+    ladder = run_optimization_ladder(
+        lambda n: build_water_system(n),
+        args.particles,
+        n_cgs=args.cgs,
+        nonbonded=nb,
+        output_interval=100,
+    )
+    base = ladder["Ori"].total()
+    speedups = {k: base / v.total() for k, v in ladder.items()}
+    paper = PAPER_FIG10["case1" if args.cgs == 1 else "case2"]
+    print(
+        print_speedup_bars(
+            speedups, paper, f"Fig. 10 — {args.cgs} CG(s)"
+        )
+    )
+    return 0
+
+
+def _cmd_scaling(args) -> int:
+    from repro.analysis.figures import (
+        PAPER_FIG12_STRONG,
+        PAPER_FIG12_WEAK,
+        print_efficiency_curves,
+    )
+    from repro.analysis.scaling import (
+        ReferenceTimings,
+        strong_scaling_curve,
+        weak_scaling_curve,
+    )
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+
+    nb = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+    ref = ReferenceTimings.measure(
+        lambda n: build_water_system(n), 12000, nb
+    )
+    strong = strong_scaling_curve(ref, args.strong_total, nonbonded=nb)
+    weak = weak_scaling_curve(ref, args.weak_per_cg, nonbonded=nb)
+    print(
+        print_efficiency_curves(
+            strong.strong_efficiency(), PAPER_FIG12_STRONG, "strong scaling"
+        )
+    )
+    print()
+    print(
+        print_efficiency_curves(
+            weak.weak_efficiency(), PAPER_FIG12_WEAK, "weak scaling"
+        )
+    )
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.analysis.figures import print_table2
+    from repro.hw.dma import bandwidth_table
+
+    print(print_table2(bandwidth_table()))
+    return 0
+
+
+def _cmd_ttf(args) -> int:
+    from repro.core.platforms import fair_chip_count, ttf_ratio
+
+    print(f"TTF_SW / TTF_KNL  (Eq. 3): {ttf_ratio('SW26010', 'KNL'):6.1f}  "
+          "(paper ~150)")
+    print(f"TTF_SW / TTF_P100 (Eq. 4): {ttf_ratio('SW26010', 'P100'):6.1f}  "
+          "(paper ~24)")
+    print(f"fair counts: {fair_chip_count('KNL')} SW26010 per KNL, "
+          f"{fair_chip_count('P100')} per P100")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "ladder": _cmd_ladder,
+    "overall": _cmd_overall,
+    "scaling": _cmd_scaling,
+    "table2": _cmd_table2,
+    "ttf": _cmd_ttf,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

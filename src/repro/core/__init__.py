@@ -1,0 +1,126 @@
+"""The paper's contribution: SW_GROMACS optimisation strategies.
+
+Public surface:
+
+* packaging — :class:`PackedParticles`, :class:`Layout` (Figs. 2/6);
+* fetch strategy — :class:`ReadCachedFetcher`, :func:`analyze_read_trace`
+  (Fig. 3);
+* deferred update — :class:`DeferredUpdateCache`,
+  :func:`analyze_write_trace` (Fig. 4, Algorithm 3);
+* Bit-Map reduction — :func:`reduce_copies`, :func:`reduction_cost`,
+  :func:`init_cost` (Fig. 5, Algorithm 4);
+* vectorisation — :func:`transpose_4x3` (Fig. 7);
+* kernels & strategies — :func:`run_kernel`, :data:`STRATEGY_LADDER`,
+  :data:`BASELINE_STRATEGIES` (Figs. 8-9);
+* pair-list generation on CPEs — :func:`generate_parallel`,
+  :func:`cache_study` (§3.5);
+* communication — :class:`Transport`, :func:`message_sweep` (§3.6);
+* fast I/O — :class:`FastFloatFormatter`,
+  :class:`BufferedTrajectoryWriter` (§3.7);
+* whole-app engine — :class:`SWGromacsEngine`, :class:`EngineConfig`,
+  :func:`run_optimization_ladder` (Fig. 10, Table 1);
+* platform TTF model — :func:`ttf_ratio`, :func:`fair_chip_count`
+  (Table 4, Eqs. 3-4, Fig. 11).
+"""
+
+from repro.core.comm_opt import Transport, message_sweep, step_comm
+from repro.core.deferred import DeferredUpdateCache, WriteTraceStats, analyze_write_trace
+from repro.core.engine import (
+    EngineConfig,
+    EngineResult,
+    SWGromacsEngine,
+    run_optimization_ladder,
+)
+from repro.core.fastio import (
+    BufferedTrajectoryWriter,
+    FastFloatFormatter,
+    io_model_seconds,
+)
+from repro.core.fetch import ReadCachedFetcher, ReadTraceStats, analyze_read_trace
+from repro.core.kernels import (
+    ALL_SPECS,
+    KernelResult,
+    KernelSpec,
+    partition_clusters,
+    run_kernel,
+    run_kernel_sequential,
+)
+from repro.core.packing import Layout, PackedParticles
+from repro.core.pairlist_cpe import (
+    CacheStudyResult,
+    adversarial_trace,
+    cache_study,
+    generate_parallel,
+    search_kernel_seconds,
+    search_trace,
+)
+from repro.core.platforms import (
+    Fig11Bar,
+    fair_chip_count,
+    figure11_series,
+    modelled_figure11,
+    ttf_ratio,
+)
+from repro.core.reduction import init_cost, reduce_copies, reduction_cost
+from repro.core.shuffle import transpose_4x3, transpose_4x3_reference
+from repro.core.strategies import (
+    BASELINE_STRATEGIES,
+    STRATEGY_LADDER,
+    LadderResult,
+    Strategy,
+    get_strategy,
+    run_ladder,
+    run_strategy,
+    verify_forces_agree,
+)
+
+__all__ = [
+    "ALL_SPECS",
+    "BASELINE_STRATEGIES",
+    "BufferedTrajectoryWriter",
+    "CacheStudyResult",
+    "DeferredUpdateCache",
+    "EngineConfig",
+    "EngineResult",
+    "FastFloatFormatter",
+    "Fig11Bar",
+    "KernelResult",
+    "KernelSpec",
+    "LadderResult",
+    "Layout",
+    "PackedParticles",
+    "ReadCachedFetcher",
+    "ReadTraceStats",
+    "STRATEGY_LADDER",
+    "SWGromacsEngine",
+    "Strategy",
+    "Transport",
+    "WriteTraceStats",
+    "adversarial_trace",
+    "analyze_read_trace",
+    "analyze_write_trace",
+    "cache_study",
+    "fair_chip_count",
+    "figure11_series",
+    "generate_parallel",
+    "get_strategy",
+    "init_cost",
+    "io_model_seconds",
+    "message_sweep",
+    "modelled_figure11",
+    "partition_clusters",
+    "reduce_copies",
+    "reduction_cost",
+    "run_kernel",
+    "run_kernel_sequential",
+    "run_ladder",
+    "run_optimization_ladder",
+    "run_strategy",
+    "search_kernel_seconds",
+    "search_trace",
+    "step_comm",
+    "transpose_4x3",
+    "transpose_4x3_reference",
+    "ttf_ratio",
+    "verify_forces_agree",
+]

@@ -1,0 +1,74 @@
+"""Communication acceleration (§3.6): swap MPI for RDMA in the step loop.
+
+Thin composition over `repro.parallel`: a transport enum, the per-step
+communication cost under each transport, and the message-size sweep the
+ablation bench prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.parallel.collectives import CommBreakdown, step_comm_seconds
+from repro.parallel.mpi_sim import mpi_message_seconds
+from repro.parallel.rdma import rdma_message_seconds
+
+
+class Transport(str, Enum):
+    MPI = "mpi"
+    RDMA = "rdma"
+
+    @property
+    def message_seconds(self):
+        return (
+            mpi_message_seconds if self is Transport.MPI else rdma_message_seconds
+        )
+
+
+def step_comm(
+    n_particles_total: int,
+    n_ranks: int,
+    box_edge: float,
+    r_halo: float,
+    transport: Transport = Transport.MPI,
+    params: ChipParams = DEFAULT_PARAMS,
+    use_pme: bool = True,
+) -> CommBreakdown:
+    """Per-step communication time under the chosen transport."""
+    return step_comm_seconds(
+        n_particles_total,
+        n_ranks,
+        box_edge,
+        r_halo,
+        message_seconds=transport.message_seconds,
+        params=params,
+        use_pme=use_pme,
+    )
+
+
+@dataclass
+class MessageSweepRow:
+    size_bytes: int
+    mpi_seconds: float
+    rdma_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        return self.mpi_seconds / self.rdma_seconds
+
+
+def message_sweep(
+    sizes: tuple[int, ...] = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576),
+    params: ChipParams = DEFAULT_PARAMS,
+) -> list[MessageSweepRow]:
+    """MPI vs RDMA single-message cost over a size sweep (ablation)."""
+    return [
+        MessageSweepRow(
+            s, mpi_message_seconds(s, params), rdma_message_seconds(s, params)
+        )
+        for s in sizes
+    ]

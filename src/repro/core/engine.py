@@ -1,0 +1,322 @@
+"""SWGromacsEngine: the whole MD workflow on the simulated SW26010.
+
+Runs real dynamics (mixed-precision forces, leapfrog, SHAKE) while
+accounting *modelled* chip time for every kernel of the paper's Table 1
+taxonomy, under four optimisation levels matching Fig. 10:
+
+* level 0 — ``Ori``:   everything on the MPE, MPI transport, slow I/O;
+* level 1 — ``Cal``:   short-range force on CPEs (the MARK kernel);
+* level 2 — ``List``:  + pair-list generation on CPEs (two-way cache);
+* level 3 — ``Other``: + update/constraints on CPEs, RDMA transport,
+  buffered fast I/O (everything in §3.6-3.7).
+
+For multi-CG cases the engine runs ONE representative core group
+functionally (SPMD symmetry: every CG executes the same kernels on
+N/n_cgs local particles) and adds the communication model — the same
+methodology the paper's own scalability analysis uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.comm_opt import Transport, step_comm
+from repro.core.fastio import io_model_seconds
+from repro.core.kernels import ALL_SPECS, KernelResult, run_kernel
+from repro.core.pairlist_cpe import cache_study, search_kernel_seconds, search_trace
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.hw.perf import KernelTiming
+from repro.md.constraints import build_constraint_solver
+from repro.md.forces import compute_short_range
+from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
+from repro.md.mdloop import (
+    KERNEL_COMM,
+    KERNEL_CONSTRAINTS,
+    KERNEL_FORCE,
+    KERNEL_NEIGHBOR,
+    KERNEL_OUTPUT,
+    KERNEL_UPDATE,
+)
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import build_pair_list
+from repro.md.reporter import EnergyReporter
+from repro.md.system import ParticleSystem
+
+KERNEL_DOMAIN_DECOMP = "Domain decomp."
+KERNEL_WAIT_COMM_F = "Wait + comm. F"
+KERNEL_BUFFER_OPS = "NB X/F buffer ops"
+
+#: Workflow-kernel cost constants (MPE cycles), set so the level-0 MPE
+#: run reproduces the paper's Table 1 case-1 fractions (force ~95 %,
+#: neighbour search ~2.5 %, update ~0.3 %, constraints ~0.6 %).
+MPE_NS_CHECK_CYCLES = 4.0
+MPE_UPDATE_CYCLES_PER_PARTICLE = 80.0
+MPE_CONSTRAINT_CYCLES_PER_PARTICLE = 160.0
+MPE_DD_CYCLES_PER_PARTICLE = 60.0
+MPE_BUFFER_CYCLES_PER_PARTICLE = 25.0
+#: Effective CPE-parallel speedup for the §3.7 "other" kernels (update,
+#: constraints, buffer ops): these stream the whole state through the
+#: CPEs once, so they are DMA-bandwidth-bound, not compute-bound — far
+#: below the 64x core ratio.
+CPE_WORKFLOW_SPEEDUP = 2.0
+#: Candidate-to-listed expansion of the neighbour search (§3.5 model).
+NS_EXPANSION = 3.0
+
+LEVEL_NAMES = ("Ori", "Cal", "List", "Other")
+
+
+@dataclass
+class EngineConfig:
+    """Engine configuration: physics + chip + optimisation level."""
+
+    nonbonded: NonbondedParams = field(default_factory=NonbondedParams)
+    integrator: IntegratorConfig = field(default_factory=IntegratorConfig)
+    optimization_level: int = 3
+    n_cgs: int = 1
+    output_interval: int = 0
+    report_interval: int = 100
+    use_pme_comm: bool = True  # PME all-to-all in the comm model
+    chip: ChipParams = DEFAULT_PARAMS
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.optimization_level <= 3:
+            raise ValueError(
+                f"optimization_level must be 0..3: {self.optimization_level}"
+            )
+        if self.n_cgs < 1:
+            raise ValueError(f"n_cgs must be >= 1: {self.n_cgs}")
+
+    @property
+    def level_name(self) -> str:
+        return LEVEL_NAMES[self.optimization_level]
+
+    @property
+    def transport(self) -> Transport:
+        return Transport.RDMA if self.optimization_level >= 3 else Transport.MPI
+
+    @property
+    def force_spec(self):
+        return ALL_SPECS["MARK"] if self.optimization_level >= 1 else ALL_SPECS["ORI"]
+
+
+@dataclass
+class EngineResult:
+    """Functional + modelled outcome of an engine run."""
+
+    system: ParticleSystem
+    reporter: EnergyReporter
+    timing: KernelTiming  # modelled chip seconds per kernel
+    n_steps: int
+    level: str
+    force_result: KernelResult | None = None
+
+    @property
+    def modelled_seconds(self) -> float:
+        return self.timing.total()
+
+    def speedup_over(self, other: "EngineResult") -> float:
+        if self.modelled_seconds <= 0:
+            raise ValueError("non-positive modelled time")
+        return other.modelled_seconds / self.modelled_seconds
+
+
+class SWGromacsEngine:
+    """MD on the simulated chip with per-kernel modelled timing."""
+
+    def __init__(
+        self, system: ParticleSystem, config: EngineConfig | None = None
+    ) -> None:
+        self.system = system
+        self.config = config or EngineConfig()
+        self.shake = build_constraint_solver(system, "auto")
+        self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
+        self.pairlist = None
+        self._cached_force_model: KernelResult | None = None
+        self._cached_ns_seconds: float | None = None
+
+    # ------------------------------------------------------------------
+    # per-kernel modelled costs
+    # ------------------------------------------------------------------
+    def _ns_seconds(self) -> float:
+        """Pair-list generation time at the current level (per rebuild)."""
+        cfg = self.config
+        assert self.pairlist is not None
+        n_checks = self.pairlist.n_cluster_pairs * NS_EXPANSION
+        if cfg.optimization_level < 2:
+            return 16.0 * n_checks * MPE_NS_CHECK_CYCLES * cfg.chip.cycle_s
+        trace = search_trace(self.pairlist, NS_EXPANSION)
+        study = cache_study(trace, cfg.chip)
+        return search_kernel_seconds(
+            self.pairlist, study.two_way_miss_ratio, cfg.chip, NS_EXPANSION
+        )
+
+    def _update_constraint_seconds(self) -> tuple[float, float]:
+        cfg = self.config
+        n = self.system.n_particles
+        upd = n * MPE_UPDATE_CYCLES_PER_PARTICLE * cfg.chip.cycle_s
+        con = (
+            n * MPE_CONSTRAINT_CYCLES_PER_PARTICLE * cfg.chip.cycle_s
+            if self.shake is not None
+            else 0.0
+        )
+        if cfg.optimization_level >= 3:
+            upd /= CPE_WORKFLOW_SPEEDUP
+            con /= CPE_WORKFLOW_SPEEDUP
+        return upd, con
+
+    def _comm_timing(self, timing: KernelTiming) -> None:
+        cfg = self.config
+        if cfg.n_cgs == 1:
+            return
+        total_particles = self.system.n_particles * cfg.n_cgs
+        box_edge = self.system.box.min_edge * cfg.n_cgs ** (1.0 / 3.0)
+        comm = step_comm(
+            total_particles,
+            cfg.n_cgs,
+            box_edge,
+            cfg.nonbonded.r_list,
+            transport=cfg.transport,
+            params=cfg.chip,
+            use_pme=cfg.use_pme_comm,
+        )
+        timing.add(KERNEL_WAIT_COMM_F, comm.halo_seconds + comm.pme_seconds)
+        timing.add(KERNEL_COMM, comm.energy_seconds)
+        n_local = self.system.n_particles
+        timing.add(
+            KERNEL_BUFFER_OPS,
+            n_local
+            * MPE_BUFFER_CYCLES_PER_PARTICLE
+            * cfg.chip.cycle_s
+            / (CPE_WORKFLOW_SPEEDUP if cfg.optimization_level >= 3 else 1.0),
+        )
+
+    def _dd_seconds(self) -> float:
+        if self.config.n_cgs == 1:
+            return 0.0
+        return (
+            self.system.n_particles
+            * MPE_DD_CYCLES_PER_PARTICLE
+            * self.config.chip.cycle_s
+        )
+
+    def _io_seconds(self) -> float:
+        cfg = self.config
+        return io_model_seconds(
+            self.system.n_particles,
+            cfg.chip,
+            fast=cfg.optimization_level >= 3,
+        ).total
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def _rebuild(self, timing: KernelTiming) -> None:
+        self.pairlist = build_pair_list(
+            self.system, self.config.nonbonded.r_list
+        )
+        self._cached_force_model = run_kernel(
+            self.system,
+            self.pairlist,
+            self.config.nonbonded,
+            self.config.force_spec,
+            self.config.chip,
+        )
+        self._cached_ns_seconds = self._ns_seconds()
+        timing.add(KERNEL_NEIGHBOR, self._cached_ns_seconds)
+        timing.add(KERNEL_DOMAIN_DECOMP, self._dd_seconds())
+
+    def run(self, n_steps: int) -> EngineResult:
+        """Run ``n_steps`` of real dynamics, accumulating modelled time."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative: {n_steps}")
+        cfg = self.config
+        timing = KernelTiming()
+        reporter = EnergyReporter(interval=cfg.report_interval)
+
+        for step in range(n_steps):
+            if step % cfg.nonbonded.nstlist == 0:
+                self._rebuild(timing)
+            # Functional force (mixed precision, identical to the modelled
+            # kernel's functional output); modelled time from the cached
+            # kernel analysis.
+            sr = compute_short_range(
+                self.system, self.pairlist, cfg.nonbonded, dtype=np.float32
+            )
+            timing.add(KERNEL_FORCE, self._cached_force_model.elapsed_seconds)
+
+            self.integrator.step(self.system, sr.forces)
+            upd, con = self._update_constraint_seconds()
+            timing.add(KERNEL_UPDATE, upd)
+            if con:
+                timing.add(KERNEL_CONSTRAINTS, con)
+
+            self._comm_timing(timing)
+
+            reporter.maybe_record(
+                step,
+                sr.energy,
+                self.system.kinetic_energy(),
+                self.system.temperature(),
+            )
+            if cfg.output_interval and step % cfg.output_interval == 0:
+                timing.add(KERNEL_OUTPUT, self._io_seconds())
+
+        return EngineResult(
+            system=self.system,
+            reporter=reporter,
+            timing=timing,
+            n_steps=n_steps,
+            level=cfg.level_name,
+            force_result=self._cached_force_model,
+        )
+
+    def model_step(self) -> KernelTiming:
+        """Modelled per-step timing without advancing dynamics (kernel
+        times amortise the nstlist-periodic work)."""
+        timing = KernelTiming()
+        if self.pairlist is None:
+            self._rebuild(KernelTiming())
+        nstlist = self.config.nonbonded.nstlist
+        timing.add(KERNEL_NEIGHBOR, self._cached_ns_seconds / nstlist)
+        timing.add(KERNEL_DOMAIN_DECOMP, self._dd_seconds() / nstlist)
+        timing.add(KERNEL_FORCE, self._cached_force_model.elapsed_seconds)
+        upd, con = self._update_constraint_seconds()
+        timing.add(KERNEL_UPDATE, upd)
+        if con:
+            timing.add(KERNEL_CONSTRAINTS, con)
+        self._comm_timing(timing)
+        if self.config.output_interval:
+            timing.add(
+                KERNEL_OUTPUT, self._io_seconds() / self.config.output_interval
+            )
+        return timing
+
+
+def run_optimization_ladder(
+    system_builder,
+    n_local_particles: int,
+    n_cgs: int = 1,
+    nonbonded: NonbondedParams | None = None,
+    output_interval: int = 0,
+    chip: ChipParams = DEFAULT_PARAMS,
+) -> dict[str, KernelTiming]:
+    """Fig. 10: modelled per-step timing at each optimisation level.
+
+    ``system_builder(n_particles)`` builds the local (per-CG) system once;
+    the four levels share it so differences are purely modelled.
+    """
+    system = system_builder(n_local_particles)
+    out: dict[str, KernelTiming] = {}
+    for level in range(4):
+        cfg = EngineConfig(
+            nonbonded=nonbonded or NonbondedParams(),
+            optimization_level=level,
+            n_cgs=n_cgs,
+            output_interval=output_interval,
+            chip=chip,
+        )
+        engine = SWGromacsEngine(system.copy(), cfg)
+        out[cfg.level_name] = engine.model_step()
+    return out

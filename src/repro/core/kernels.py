@@ -1,0 +1,501 @@
+"""CPE short-range kernels: every optimisation rung and baseline.
+
+Each kernel produces *functionally correct* forces (validated against the
+float64 reference engine) plus a modelled execution time built from the
+same quantities the paper's optimizations act on: DMA transactions and
+block sizes (through the Table 2 bandwidth curve), software-cache miss
+counts (exact, trace-driven), init/reduction traffic, and compute cycles
+(scalar vs. 4-lane SIMD; MPE vs. 64 CPEs).
+
+Strategy rungs (the paper's Fig. 8 ladder):
+
+* ``ORI``   — original GROMACS on the MPE only;
+* ``PKG``   — CPE offload with particle-package aggregation (§3.1, Fig. 2);
+* ``CACHE`` — + read cache (Fig. 3) and deferred-update write cache
+  (Fig. 4), full pipelining;
+* ``VEC``   — + SIMD vectorisation with the Fig. 6 layout and Fig. 7
+  shuffles;
+* ``MARK``  — + Bit-Map update marks (§3.3, Algorithms 3-4).
+
+Comparison baselines (Fig. 9):
+
+* ``RMA``   — the Cell-style redundant-memory approach: identical to
+  ``VEC`` (per-CPE copies with full init + reduction);
+* ``RCA``   — the SW_LAMMPS redundant-compute approach (Algorithm 2):
+  full pair list, each side computes its own half, no write conflicts,
+  2x the arithmetic;
+* ``USTC``  — CPEs compute, the MPE serially collects and applies force
+  updates [29].
+
+The *fast path* computes forces vectorised and derives costs from
+whole-trace analysis; the *fidelity path*
+(`run_kernel_sequential`) walks the pair list cluster-by-cluster through
+the actual cache/bitmap/SIMD objects.  Tests assert both paths agree on
+forces, energies, and every cache counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.deferred import DeferredUpdateCache, analyze_write_trace
+from repro.core.fetch import analyze_read_trace, uncached_read_seconds
+from repro.core.packing import Layout, PackedParticles
+from repro.core.reduction import init_cost, reduce_copies, reduction_cost
+from repro.core.shuffle import transpose_4x3
+from repro.hw.cache import AddressMap
+from repro.hw.dma import transfer_seconds
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.hw.simd import FloatV4, OpCounter
+from repro.md.forces import compute_short_range, tile_indices, tile_validity
+from repro.md.nonbonded import NonbondedParams, pair_force_energy
+from repro.md.pairlist import CLUSTER_SIZE, ClusterPairList
+from repro.md.system import ParticleSystem
+
+FORCE_PACKAGE_BYTES = 48  # 4 particles x 3 float32
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """Feature switches defining one strategy."""
+
+    name: str
+    use_cpes: bool = True  # False: the whole kernel runs on the MPE
+    packaged: bool = True  # False: fine-grained gld/gst per field (naive port)
+    read_cache: bool = False
+    write_cache: bool = False  # deferred update
+    simd: bool = False
+    mark: bool = False  # Bit-Map
+    full_list: bool = False  # RCA redundant compute
+    mpe_collect: bool = False  # USTC
+    rma_copies: bool = True  # per-CPE force copies (init + reduction)
+
+    def __post_init__(self) -> None:
+        if self.mark and not self.write_cache:
+            raise ValueError("mark requires the deferred-update write cache")
+        if self.full_list and self.write_cache:
+            raise ValueError("RCA updates only i-forces; no write cache needed")
+        if self.mpe_collect and self.rma_copies:
+            raise ValueError("USTC streams to the MPE; no per-CPE copies")
+
+    @property
+    def pipelined(self) -> bool:
+        """Full pipelining arrives with the cache version (§3.1: 'fetch
+        eight particle packages in pipeline')."""
+        return self.read_cache
+
+
+ORI = KernelSpec("ORI", use_cpes=False, rma_copies=False)
+#: The naive CPE port nobody ships: Algorithm 1 verbatim with fine-grained
+#: gld/gst per field — the starting point §3.1's packaging fixes.
+GLD = KernelSpec("GLD", packaged=False)
+PKG = KernelSpec("PKG")
+CACHE = KernelSpec("CACHE", read_cache=True, write_cache=True)
+VEC = KernelSpec("VEC", read_cache=True, write_cache=True, simd=True)
+MARK = KernelSpec("MARK", read_cache=True, write_cache=True, simd=True, mark=True)
+RMA = KernelSpec("RMA", read_cache=True, write_cache=True, simd=True)
+RCA = KernelSpec(
+    "RCA", read_cache=True, full_list=True, rma_copies=False
+)
+USTC = KernelSpec(
+    "USTC", read_cache=True, mpe_collect=True, rma_copies=False
+)
+
+ALL_SPECS: dict[str, KernelSpec] = {
+    s.name: s for s in (ORI, GLD, PKG, CACHE, VEC, MARK, RMA, RCA, USTC)
+}
+
+
+@dataclass
+class KernelResult:
+    """One kernel execution: functional output + modelled performance."""
+
+    name: str
+    forces: np.ndarray  # original particle order, float64
+    energy: float
+    elapsed_seconds: float
+    breakdown: dict[str, float] = field(default_factory=dict)
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def speedup_over(self, other: "KernelResult") -> float:
+        if self.elapsed_seconds <= 0:
+            raise ValueError(f"non-positive elapsed time for {self.name}")
+        return other.elapsed_seconds / self.elapsed_seconds
+
+
+def partition_clusters(plist: ClusterPairList, n_cpes: int) -> list[tuple[int, int]]:
+    """Split i-clusters into ``n_cpes`` contiguous ranges with ~equal
+    cluster-pair counts (the paper partitions Algorithm 1's outer loop)."""
+    if n_cpes < 1:
+        raise ValueError(f"n_cpes must be >= 1: {n_cpes}")
+    pair_prefix = plist.i_starts  # pairs before cluster c
+    total = int(pair_prefix[-1])
+    bounds = [0]
+    for c in range(1, n_cpes):
+        target = total * c // n_cpes
+        bounds.append(int(np.searchsorted(pair_prefix, target)))
+    bounds.append(plist.n_clusters)
+    # Monotonicity can break on tiny systems; enforce it.
+    for k in range(1, len(bounds)):
+        bounds[k] = max(bounds[k], bounds[k - 1])
+    return [(bounds[k], bounds[k + 1]) for k in range(n_cpes)]
+
+
+def _write_trace_for_range(
+    plist: ClusterPairList, lo: int, hi: int
+) -> np.ndarray:
+    """Force-update trace for one CPE: per i-cluster, its j packages in
+    pair order followed by the i package itself."""
+    s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
+    js = plist.pair_cj[s:e].astype(np.int64)
+    counts = (plist.i_starts[lo + 1 : hi + 1] - plist.i_starts[lo:hi]).astype(
+        np.int64
+    )
+    insert_at = np.cumsum(counts)
+    i_vals = np.arange(lo, hi, dtype=np.int64)
+    return np.insert(js, insert_at, i_vals)
+
+
+def _compute_cycles(spec: KernelSpec, n_cluster_pairs: int, params: ChipParams) -> float:
+    """CPE cycles to evaluate ``n_cluster_pairs`` 4x4 tiles."""
+    if spec.simd:
+        # 4 SIMD bundles (one per i-lane) per tile.
+        return n_cluster_pairs * 4.0 * params.cpe_simd_pair4_cycles
+    return n_cluster_pairs * 16.0 * params.cpe_scalar_pair_cycles
+
+
+def run_kernel(
+    system: ParticleSystem,
+    plist: ClusterPairList,
+    nb_params: NonbondedParams,
+    spec: KernelSpec,
+    params: ChipParams = DEFAULT_PARAMS,
+    check_ldm: bool = True,
+) -> KernelResult:
+    """Execute one strategy (fast path): vectorised functional forces +
+    trace-driven cost model.
+
+    ``check_ldm`` plans the kernel's LDM layout up front and raises
+    :class:`~repro.hw.ldm.LdmOverflowError` when the configured cache
+    geometry cannot fit the 64 KB scratchpad — the failure a real athread
+    launch would hit.  Disable only for hypothetical-geometry studies.
+    """
+    if check_ldm:
+        from repro.core.ldm_plan import plan_kernel_ldm
+
+        plan_kernel_ldm(spec, system.n_particles, params)
+    work_list = plist.to_full() if spec.full_list else plist
+    packed = PackedParticles.from_pairlist(
+        system, plist, Layout.SOA if spec.simd else Layout.AOS, params
+    )
+
+    sr = compute_short_range(system, work_list, nb_params, dtype=np.float32)
+    m_pairs = work_list.n_cluster_pairs
+    tile_pairs = 16 * m_pairs
+    breakdown: dict[str, float] = {}
+    stats: dict[str, float] = {
+        "cluster_pairs": float(m_pairs),
+        "tile_pairs": float(tile_pairs),
+    }
+
+    if not spec.use_cpes:
+        mpe_seconds = tile_pairs * params.mpe_scalar_pair_cycles * params.cycle_s
+        breakdown["compute"] = mpe_seconds
+        return KernelResult(
+            name=spec.name,
+            forces=sr.forces,
+            energy=sr.energy,
+            elapsed_seconds=mpe_seconds,
+            breakdown=breakdown,
+            stats=stats,
+        )
+
+    # ---- partition across CPEs -------------------------------------------
+    parts = partition_clusters(work_list, params.n_cpes)
+    pair_counts = np.array(
+        [int(work_list.i_starts[hi] - work_list.i_starts[lo]) for lo, hi in parts]
+    )
+    crit_pairs = int(pair_counts.max()) if len(pair_counts) else 0
+    stats["imbalance"] = (
+        float(crit_pairs / pair_counts.mean()) if pair_counts.mean() > 0 else 1.0
+    )
+
+    compute_seconds = _compute_cycles(spec, crit_pairs, params) * params.cycle_s
+    breakdown["compute"] = compute_seconds
+
+    # ---- read path ---------------------------------------------------------
+    n_i_clusters_total = sum(hi - lo for lo, hi in parts)
+    read_seconds = 0.0
+    read_misses = 0
+    read_accesses = 0
+    if spec.read_cache:
+        for lo, hi in parts:
+            s, e = int(work_list.i_starts[lo]), int(work_list.i_starts[hi])
+            trace = work_list.pair_cj[s:e].astype(np.int64)
+            rstats = analyze_read_trace(trace, packed, params)
+            read_seconds += rstats.seconds
+            read_misses += rstats.misses
+            read_accesses += rstats.accesses
+        # i-cluster packages stream sequentially, one line per 8 packages.
+        i_lines = -(-n_i_clusters_total // params.packages_per_line)
+        read_seconds += i_lines * transfer_seconds(packed.data_line_bytes, params)
+        stats["read_miss_ratio"] = read_misses / max(read_accesses, 1)
+    elif not spec.packaged:
+        # Naive port: every field of every j particle is a separate gld
+        # (position x/y/z, type, charge, and the force read-modify-write
+        # pair counted under writes below).  gld stalls cannot be hidden.
+        n_gld = 16 * m_pairs * 5
+        read_seconds += (
+            n_gld / params.n_cpes * params.gld_latency_cycles * params.cycle_s
+        )
+        stats["read_miss_ratio"] = 1.0
+        stats["n_gld"] = float(n_gld)
+    else:
+        # Pkg rung: no LDM cache, so the inner loop re-fetches the j
+        # package for every i-particle row of the 4x4 tile (the redundancy
+        # the Fig. 3 read cache eliminates), plus the i packages.
+        read_seconds += uncached_read_seconds(
+            CLUSTER_SIZE * m_pairs + n_i_clusters_total,
+            params.package_bytes,
+            params,
+        )
+        stats["read_miss_ratio"] = 1.0
+    breakdown["read_dma"] = read_seconds
+
+    # Neighbour-list entries stream in large chunks.
+    nblist_bytes = m_pairs * 4
+    nblist_seconds = nblist_bytes / (params.dma_curve[-1][1] * 1e9)
+    breakdown["nblist_dma"] = nblist_seconds
+
+    # ---- write path ----------------------------------------------------------
+    write_seconds = 0.0
+    touched_lines_per_cpe: list[int] = []
+    write_misses = 0
+    write_accesses = 0
+    if spec.write_cache:
+        for lo, hi in parts:
+            trace = _write_trace_for_range(work_list, lo, hi)
+            wstats = analyze_write_trace(trace, params, use_mark=spec.mark)
+            write_seconds += wstats.seconds(params)
+            write_misses += wstats.misses
+            write_accesses += wstats.accesses
+            amap = AddressMap(params.index_bits, params.offset_bits)
+            touched_lines_per_cpe.append(
+                len(np.unique(trace >> amap.offset_bits))
+            )
+        stats["write_miss_ratio"] = write_misses / max(write_accesses, 1)
+    elif spec.full_list:
+        # RCA: each CPE owns its i-clusters outright; accumulate FA in LDM
+        # and write each i-force package once.  No conflicts, no copies.
+        write_seconds = n_i_clusters_total * transfer_seconds(
+            FORCE_PACKAGE_BYTES, params
+        )
+    elif spec.mpe_collect:
+        # USTC: CPEs push per-tile j contributions to the MPE's queue.
+        write_seconds = m_pairs * transfer_seconds(FORCE_PACKAGE_BYTES, params)
+    elif not spec.packaged:
+        # Naive port: per-pair force update = 3 gld + 3 gst per particle
+        # pair (Algorithm 1 line 9), serialised on the issuing CPE.
+        n_ops = 16 * m_pairs * 3
+        write_seconds = (
+            n_ops
+            / params.n_cpes
+            * (params.gld_latency_cycles + params.gst_latency_cycles)
+            * params.cycle_s
+        )
+        amap = AddressMap(params.index_bits, params.offset_bits)
+        for lo, hi in parts:
+            trace = _write_trace_for_range(work_list, lo, hi)
+            touched_lines_per_cpe.append(
+                len(np.unique(trace >> amap.offset_bits))
+            )
+    else:
+        # Pkg rung: without the deferred-update cache, each i-row of the
+        # tile read-modify-writes the j force package in the CPE's main
+        # memory copy (Algorithm 1 line 9), plus one i-force package per
+        # i-cluster.
+        write_seconds = (
+            2 * CLUSTER_SIZE * m_pairs + n_i_clusters_total
+        ) * transfer_seconds(FORCE_PACKAGE_BYTES, params)
+        amap = AddressMap(params.index_bits, params.offset_bits)
+        for lo, hi in parts:
+            trace = _write_trace_for_range(work_list, lo, hi)
+            touched_lines_per_cpe.append(
+                len(np.unique(trace >> amap.offset_bits))
+            )
+    breakdown["write_dma"] = write_seconds
+
+    # ---- init + reduction -------------------------------------------------
+    init_seconds = 0.0
+    red_seconds = 0.0
+    if spec.rma_copies:
+        n_slots = work_list.n_slots
+        if not spec.mark:
+            init_seconds = init_cost(params.n_cpes, n_slots, params).seconds
+        red = reduction_cost(
+            touched_lines_per_cpe
+            if spec.mark
+            else [0] * params.n_cpes,  # ignored when marked=False
+            n_slots,
+            params,
+            marked=spec.mark,
+        )
+        red_seconds = red.seconds
+    breakdown["init"] = init_seconds
+    breakdown["reduction"] = red_seconds
+
+    # ---- MPE side (USTC) ----------------------------------------------------
+    mpe_seconds = 0.0
+    if spec.mpe_collect:
+        n_updates = 4 * m_pairs + 4 * n_i_clusters_total
+        mpe_seconds = (
+            n_updates * params.mpe_collect_cycles_per_particle * params.cycle_s
+        )
+    breakdown["mpe_collect"] = mpe_seconds
+
+    # ---- combine ------------------------------------------------------------
+    dma_seconds = read_seconds + write_seconds + nblist_seconds
+    if spec.pipelined:
+        hidden = params.pipeline_overlap * min(compute_seconds, dma_seconds)
+        parallel = compute_seconds + dma_seconds - hidden
+    else:
+        parallel = compute_seconds + dma_seconds
+    if spec.mpe_collect:
+        # Producer-consumer pipeline: the slower side dominates.
+        elapsed = max(parallel, mpe_seconds) + init_seconds + red_seconds
+    else:
+        elapsed = parallel + init_seconds + red_seconds
+    stats["dma_seconds"] = dma_seconds
+    return KernelResult(
+        name=spec.name,
+        forces=sr.forces,
+        energy=sr.energy,
+        elapsed_seconds=elapsed,
+        breakdown=breakdown,
+        stats=stats,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fidelity path: sequential execution through the real cache objects.
+# ---------------------------------------------------------------------------
+
+
+def run_kernel_sequential(
+    system: ParticleSystem,
+    plist: ClusterPairList,
+    nb_params: NonbondedParams,
+    spec: KernelSpec,
+    params: ChipParams = DEFAULT_PARAMS,
+    n_cpes: int | None = None,
+) -> KernelResult:
+    """Walk the pair list cluster-by-cluster through the actual
+    DeferredUpdateCache / bitmap / SIMD machinery.
+
+    Slow (Python per cluster pair) — use small systems.  Only the cached
+    strategies (CACHE/VEC/MARK/RMA) are meaningful here; others fall back
+    to `run_kernel`.  Returns the same counters the fast path derives from
+    trace analysis, letting tests pin the two together.
+    """
+    if not (spec.write_cache and spec.use_cpes):
+        return run_kernel(system, plist, nb_params, spec, params)
+    n_cpes = n_cpes or params.n_cpes
+    work_list = plist.to_full() if spec.full_list else plist
+    packed = PackedParticles.from_pairlist(system, plist, Layout.AOS, params)
+    parts = partition_clusters(work_list, n_cpes)
+
+    n_slots = work_list.n_slots
+    ppl = params.particles_per_line
+    padded_slots = -(-n_slots // ppl) * ppl
+    copies = [
+        np.zeros((padded_slots, 3), dtype=np.float32) for _ in range(n_cpes)
+    ]
+    caches = [
+        DeferredUpdateCache(copies[c], params, use_mark=spec.mark)
+        for c in range(n_cpes)
+    ]
+    ops = OpCounter()
+    energy = 0.0
+
+    pos = packed.positions
+    box_arr = work_list.box.array.astype(np.float32)
+    q = packed.charges
+    types = packed.types.astype(np.int64)
+    mols = packed.mols.astype(np.int64)
+    c6_tab = system.topology.c6_table.astype(np.float32)
+    c12_tab = system.topology.c12_table.astype(np.float32)
+
+    for cpe, (lo, hi) in enumerate(parts):
+        cache = caches[cpe]
+        for ci in range(lo, hi):
+            fi_acc = np.zeros((CLUSTER_SIZE, 3), dtype=np.float32)
+            i_sl = slice(ci * CLUSTER_SIZE, (ci + 1) * CLUSTER_SIZE)
+            for cj in work_list.pairs_of_cluster(ci):
+                cj = int(cj)
+                j_sl = slice(cj * CLUSTER_SIZE, (cj + 1) * CLUSTER_SIZE)
+                dr = pos[i_sl][:, None, :] - pos[j_sl][None, :, :]
+                dr = dr - box_arr * np.round(dr / box_arr)
+                r2 = np.sum(dr * dr, axis=-1)
+                valid = (
+                    work_list.real[i_sl][:, None]
+                    & work_list.real[j_sl][None, :]
+                    & (mols[i_sl][:, None] != mols[j_sl][None, :])
+                )
+                if ci == cj:
+                    lane = np.arange(CLUSTER_SIZE)
+                    if work_list.half:
+                        valid &= lane[:, None] < lane[None, :]
+                    else:
+                        valid &= lane[:, None] != lane[None, :]
+                qq = q[i_sl][:, None] * q[j_sl][None, :]
+                c6 = c6_tab[types[i_sl][:, None], types[j_sl][None, :]]
+                c12 = c12_tab[types[i_sl][:, None], types[j_sl][None, :]]
+                f_scalar, e = pair_force_energy(
+                    r2, qq, c6, c12, nb_params, mask=valid
+                )
+                energy += float(e.sum(dtype=np.float64))
+                fvec = f_scalar[..., None] * dr
+                if spec.simd:
+                    # Exercise the Fig. 7 post-treatment on the i-side sums
+                    # (functionally identity; counts the 6 shuffles).
+                    fsum = fvec.sum(axis=1)
+                    fx = FloatV4(fsum[:, 0], ops)
+                    fy = FloatV4(fsum[:, 1], ops)
+                    fz = FloatV4(fsum[:, 2], ops)
+                    o0, o1, o2 = transpose_4x3(fx, fy, fz, ops)
+                    interleaved = np.concatenate([o0.lanes, o1.lanes, o2.lanes])
+                    fi_acc += interleaved.reshape(CLUSTER_SIZE, 3)
+                else:
+                    fi_acc += fvec.sum(axis=1)
+                if work_list.half:
+                    cache.accumulate_package(cj, -fvec.sum(axis=0))
+            cache.accumulate_package(ci, fi_acc)
+        cache.flush()
+
+    marks = [c.mark for c in caches] if spec.mark else None
+    total_sorted = reduce_copies(copies, marks, ppl)[:n_slots]
+    forces = np.zeros((system.n_particles, 3), dtype=np.float64)
+    work_list.scatter_add(forces, total_sorted)
+    if not work_list.half:
+        energy *= 0.5
+
+    read_stats = {
+        "write_misses": float(sum(c.stats.misses for c in caches)),
+        "write_puts": float(sum(c.stats.puts for c in caches)),
+        "write_gets": float(sum(c.stats.gets for c in caches)),
+        "write_first_touches": float(
+            sum(c.stats.first_touches for c in caches)
+        ),
+        "simd_shuffles": float(ops.shuffle),
+    }
+    fast = run_kernel(system, plist, nb_params, spec, params)
+    return KernelResult(
+        name=spec.name + "(seq)",
+        forces=forces,
+        energy=energy,
+        elapsed_seconds=fast.elapsed_seconds,
+        breakdown=fast.breakdown,
+        stats={**fast.stats, **read_stats},
+    )

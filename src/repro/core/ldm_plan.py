@@ -1,0 +1,135 @@
+"""LDM layout planning for the CPE kernels.
+
+The 64 KB LDM budget is the central constraint the paper designs around:
+the read cache, the deferred-update write cache, the Bit-Map marks, the
+neighbour-list window and the SIMD staging buffers all share it.  This
+module turns a (ChipParams, KernelSpec, system size) triple into an
+explicit `repro.hw.ldm.LdmAllocator` layout — raising
+:class:`~repro.hw.ldm.LdmOverflowError` when a configuration cannot fit
+(e.g. an over-long cache line in the geometry ablation), instead of
+silently assuming it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kernels import KernelSpec
+from repro.hw.ldm import LdmAllocator, LdmOverflowError
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+#: Bytes reserved for the kernel's stack/scalars/athread runtime.
+RUNTIME_RESERVE_BYTES = 4 * 1024
+#: Neighbour-list streaming window (double buffered int32 entries).
+NBLIST_WINDOW_BYTES = 2 * 2048
+#: SIMD staging: i-cluster registers spilled + shuffle temporaries.
+SIMD_STAGING_BYTES = 1024
+#: Double-buffer slots for pipelined package fetches.
+PIPELINE_BUFFER_LINES = 2
+
+
+@dataclass
+class LdmPlan:
+    """A concrete LDM layout for one kernel launch."""
+
+    allocator: LdmAllocator
+    spec: KernelSpec
+    params: ChipParams
+
+    @property
+    def used_bytes(self) -> int:
+        return self.allocator.used_bytes()
+
+    @property
+    def free_bytes(self) -> int:
+        return self.allocator.free_bytes()
+
+    def describe(self) -> str:
+        rows = [
+            f"  {blk.name:<18s} {blk.size:6d} B @ {blk.offset}"
+            for blk in self.allocator.layout()
+        ]
+        header = (
+            f"LDM plan for {self.spec.name}: {self.used_bytes} / "
+            f"{self.params.ldm_bytes} B used"
+        )
+        return "\n".join([header] + rows)
+
+
+def plan_kernel_ldm(
+    spec: KernelSpec,
+    n_particles: int,
+    params: ChipParams = DEFAULT_PARAMS,
+) -> LdmPlan:
+    """Plan the LDM layout for one strategy kernel.
+
+    Raises :class:`LdmOverflowError` when the working set cannot fit —
+    the same failure a real kernel launch would hit at athread spawn.
+    """
+    if n_particles < 1:
+        raise ValueError(f"n_particles must be >= 1: {n_particles}")
+    ldm = LdmAllocator(params.ldm_bytes)
+    ldm.alloc("runtime", RUNTIME_RESERVE_BYTES)
+    if not spec.use_cpes:
+        # The MPE-only kernel uses no LDM at all.
+        return LdmPlan(ldm, spec, params)
+
+    line_data = params.packages_per_line * params.package_bytes
+    line_force = (
+        params.particles_per_line * params.force_bytes_per_particle
+    )
+    n_sets = 1 << params.index_bits
+
+    if spec.read_cache:
+        ldm.alloc("read_cache", n_sets * line_data)
+        ldm.alloc("read_tags", 8 * n_sets)
+    else:
+        # Uncached: just the double-buffered fetch slots.
+        ldm.alloc("fetch_buffers", PIPELINE_BUFFER_LINES * params.package_bytes)
+
+    if spec.write_cache:
+        ldm.alloc("write_cache", n_sets * line_force)
+        ldm.alloc("write_tags", 8 * n_sets)
+        if spec.mark:
+            n_lines_global = -(-n_particles // params.particles_per_line)
+            ldm.alloc("mark_bitmap", -(-n_lines_global // 8))
+    elif not spec.full_list and not spec.mpe_collect:
+        # Pkg rung: read-modify-write staging for one force package.
+        ldm.alloc(
+            "force_staging",
+            2 * params.particles_per_package * params.force_bytes_per_particle,
+        )
+
+    ldm.alloc("nblist_window", NBLIST_WINDOW_BYTES)
+    if spec.simd:
+        ldm.alloc("simd_staging", SIMD_STAGING_BYTES)
+    if spec.full_list:
+        # RCA accumulates its i-forces locally before the single put.
+        ldm.alloc(
+            "i_force_accum",
+            params.particles_per_package * params.force_bytes_per_particle,
+        )
+    return LdmPlan(ldm, spec, params)
+
+
+def max_line_length_that_fits(
+    spec: KernelSpec,
+    n_particles: int,
+    params: ChipParams = DEFAULT_PARAMS,
+) -> int:
+    """Largest packages-per-line (power of two) whose plan fits the LDM.
+
+    The geometry ablation uses this to show why the paper stops at 8
+    packages per line.
+    """
+    best = 0
+    for offset_bits in range(1, 8):
+        candidate = params.with_overrides(
+            offset_bits=offset_bits, packages_per_line=1 << offset_bits
+        )
+        try:
+            plan_kernel_ldm(spec, n_particles, candidate)
+        except LdmOverflowError:
+            break
+        best = 1 << offset_bits
+    return best

@@ -1,0 +1,164 @@
+"""Particle packages: the paper's §3.1 data aggregation (Figs. 2 and 6).
+
+GROMACS keeps positions, types, and charges in separate arrays; fetching
+one particle's data therefore needs several fine-grained (4 B) memory
+accesses.  The paper aggregates the data of each 4-particle cluster into
+one *particle package* so a single ~108 B DMA brings everything, raising
+achieved bandwidth from 0.99 to 15.77 GB/s (their Table 2).
+
+Two layouts exist (Fig. 6):
+
+* ``aos`` — per particle: x, y, z, type, charge (the natural Fig. 2 form);
+* ``soa`` — per package: x[4], y[4], z[4], t[4], c[4] — the vectorisation
+  layout, where each element vector is one aligned ``floatv4`` load.
+
+`PackedParticles` carries the packages in slot order (matching the
+cluster pair list) plus the byte-layout metadata the DMA cost model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.md.pairlist import CLUSTER_SIZE, ClusterPairList
+from repro.md.system import ParticleSystem
+
+
+class Layout(str, Enum):
+    """Package memory layout (Fig. 6)."""
+
+    AOS = "aos"
+    SOA = "soa"
+
+
+@dataclass
+class PackedParticles:
+    """All particle packages for one pair list, in slot order.
+
+    Arrays are float32/int32 — the mixed-precision on-chip representation.
+    ``positions`` has shape (n_slots, 3); ``x_soa`` exposes the same data
+    as (n_packages, 3, 4) so a VEC kernel can load one coordinate of all
+    four particles with a single vector load.
+    """
+
+    positions: np.ndarray  # (n_slots, 3) float32
+    charges: np.ndarray  # (n_slots,) float32
+    types: np.ndarray  # (n_slots,) int32
+    mols: np.ndarray  # (n_slots,) int32; padding gets unique negatives
+    real: np.ndarray  # (n_slots,) bool
+    layout: Layout
+    params: ChipParams
+
+    @classmethod
+    def from_pairlist(
+        cls,
+        system: ParticleSystem,
+        plist: ClusterPairList,
+        layout: Layout = Layout.AOS,
+        params: ChipParams = DEFAULT_PARAMS,
+    ) -> "PackedParticles":
+        """Build packages from the system in the pair list's slot order."""
+        positions = plist.current_positions(system).astype(np.float32)
+        charges = plist.gather(system.charges).astype(np.float32)
+        types = plist.gather(system.topology.type_ids, fill=0).astype(np.int32)
+        mols = plist.gather(system.topology.mol_ids, fill=-1).astype(np.int64)
+        # Give each padding slot a unique negative molecule id so the
+        # exclusion test (mol_i == mol_j) can never pair two paddings.
+        pad = ~plist.real
+        mols[pad] = -1 - np.arange(int(pad.sum()))
+        return cls(
+            positions=positions,
+            charges=charges,
+            types=types,
+            mols=mols.astype(np.int32),
+            real=plist.real.copy(),
+            layout=layout,
+            params=params,
+        )
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.positions)
+
+    @property
+    def n_packages(self) -> int:
+        return self.n_slots // CLUSTER_SIZE
+
+    @property
+    def package_bytes(self) -> int:
+        """Bytes one package occupies in main memory (128-bit aligned)."""
+        return self.params.package_bytes
+
+    @property
+    def force_line_bytes(self) -> int:
+        """Bytes of one *force* cache line (packages_per_line packages of
+        3 x f32 per particle)."""
+        return (
+            self.params.packages_per_line
+            * CLUSTER_SIZE
+            * self.params.force_bytes_per_particle
+        )
+
+    @property
+    def data_line_bytes(self) -> int:
+        """Bytes of one read-cache line of particle packages."""
+        return self.params.packages_per_line * self.package_bytes
+
+    def package_view(self, package: int) -> dict[str, np.ndarray]:
+        """One package's fields (by-reference views), for kernel loops."""
+        if not 0 <= package < self.n_packages:
+            raise IndexError(
+                f"package {package} out of range [0, {self.n_packages})"
+            )
+        sl = slice(package * CLUSTER_SIZE, (package + 1) * CLUSTER_SIZE)
+        return {
+            "positions": self.positions[sl],
+            "charges": self.charges[sl],
+            "types": self.types[sl],
+            "mols": self.mols[sl],
+            "real": self.real[sl],
+        }
+
+    def soa_coordinates(self) -> np.ndarray:
+        """Coordinates in SOA package layout, shape (n_packages, 3, 4).
+
+        ``soa[p, d]`` holds coordinate ``d`` of the package's four
+        particles contiguously — one aligned vector load in the Fig. 6
+        scheme.  Raises unless the layout is SOA (an AOS kernel that wants
+        this view must first pay the Fig. 6 transformation).
+        """
+        if self.layout is not Layout.SOA:
+            raise ValueError(
+                "coordinates are stored AOS; convert with to_layout(Layout.SOA)"
+            )
+        return np.ascontiguousarray(
+            self.positions.reshape(self.n_packages, CLUSTER_SIZE, 3).transpose(0, 2, 1)
+        )
+
+    def to_layout(self, layout: Layout) -> "PackedParticles":
+        """Return a copy in the requested layout (data identical)."""
+        if layout is self.layout:
+            return self
+        return PackedParticles(
+            positions=self.positions.copy(),
+            charges=self.charges.copy(),
+            types=self.types.copy(),
+            mols=self.mols.copy(),
+            real=self.real.copy(),
+            layout=layout,
+            params=self.params,
+        )
+
+
+def fine_grained_access_bytes() -> int:
+    """Bytes per access before aggregation (one float: the paper's 4 B)."""
+    return 4
+
+
+def package_access_bytes(params: ChipParams = DEFAULT_PARAMS) -> int:
+    """Bytes per access after aggregation (the paper's ~108 B package)."""
+    return params.package_bytes

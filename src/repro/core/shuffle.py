@@ -1,0 +1,78 @@
+"""The six-shuffle 4x3 transpose of the paper's Fig. 7 (post-treatment).
+
+After the vectorised inner loop, forces live in three ``floatv4``
+registers laid out by coordinate: ``fx = [x1 x2 x3 x4]``, ``fy``, ``fz``.
+The force array in memory is AOS (``x1 y1 z1 x2 y2 z2 ...``), so adding
+the results would need 12 scalar extractions.  The paper instead builds
+the interleaved form with exactly six ``simd_vshulff`` instructions so the
+vectors "could be added to the arrays without decomposition":
+
+    stage 1: t0 = [x1 x3 y1 y3]   t1 = [x2 x4 z1 z3]   t2 = [y2 y4 z2 z4]
+    stage 2: o0 = [x1 y1 z1 x2]   o1 = [y2 z2 x3 y3]   o2 = [z3 x4 y4 z4]
+
+`transpose_4x3` reproduces those stages with the `repro.hw.simd.vshuff`
+primitive; tests assert lane-exactness against a plain numpy transpose
+and that exactly six shuffles are issued.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hw.simd import FloatV4, OpCounter, vshuff
+
+
+def transpose_4x3(
+    fx: FloatV4, fy: FloatV4, fz: FloatV4, ops: OpCounter | None = None
+) -> tuple[FloatV4, FloatV4, FloatV4]:
+    """Interleave coordinate vectors into AOS order with six shuffles.
+
+    Returns three vectors whose concatenated lanes are
+    ``x1 y1 z1 x2 | y2 z2 x3 y3 | z3 x4 y4 z4``.
+    """
+    # Stage 1 (Fig. 7 "First Shuffle").
+    t0 = vshuff(fx, fy, (0, 2), (0, 2), ops)  # x1 x3 y1 y3
+    t1 = vshuff(fx, fz, (1, 3), (0, 2), ops)  # x2 x4 z1 z3
+    t2 = vshuff(fy, fz, (1, 3), (1, 3), ops)  # y2 y4 z2 z4
+    # Stage 2 (Fig. 7 "Second Shuffle").
+    o0 = vshuff(t0, t1, (0, 2), (2, 0), ops)  # x1 y1 z1 x2
+    o1 = vshuff(t2, t0, (0, 2), (1, 3), ops)  # y2 z2 x3 y3
+    o2 = vshuff(t1, t2, (3, 1), (1, 3), ops)  # z3 x4 y4 z4
+    return o0, o1, o2
+
+
+def transpose_4x3_reference(
+    fx: np.ndarray, fy: np.ndarray, fz: np.ndarray
+) -> np.ndarray:
+    """Plain-numpy oracle: the 12 interleaved AOS floats."""
+    stacked = np.stack([fx, fy, fz], axis=1)  # (4, 3): particle-major
+    return stacked.reshape(-1).astype(np.float32)
+
+
+def add_transposed_to_forces(
+    forces_aos: np.ndarray,
+    base_particle: int,
+    fx: FloatV4,
+    fy: FloatV4,
+    fz: FloatV4,
+    ops: OpCounter | None = None,
+) -> None:
+    """Post-treatment: transpose then vector-add into an AOS force buffer.
+
+    ``forces_aos`` is a flat float32 array of x/y/z triples;
+    ``base_particle`` indexes the first of the four particles updated.
+    Three shuffled vector adds replace twelve scalar read-modify-writes.
+    """
+    if ops is None:
+        ops = fx._ops
+    o0, o1, o2 = transpose_4x3(fx, fy, fz, ops)
+    base = 3 * base_particle
+    if base + 12 > len(forces_aos):
+        raise IndexError(
+            f"force update at particle {base_particle} overruns buffer of "
+            f"{len(forces_aos)} floats"
+        )
+    for k, vec in enumerate((o0, o1, o2)):
+        off = base + 4 * k
+        chunk = FloatV4.load(forces_aos, off, ops)
+        (chunk + vec).store(forces_aos, off)

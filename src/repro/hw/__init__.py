@@ -1,0 +1,62 @@
+"""SW26010 hardware model: the substrate the paper's kernels run on.
+
+Public surface:
+
+* :class:`ChipParams` / :data:`DEFAULT_PARAMS` — all architectural and
+  cost-model constants (one calibrated set, see DESIGN.md §4).
+* :class:`CoreGroup`, :class:`Sw26010Chip` — chip composition.
+* :class:`DmaEngine` — Table 2 bandwidth curve + transaction accounting.
+* :class:`DirectMappedReadCache`, :class:`TwoWaySetAssociativeCache`,
+  :class:`AddressMap` — the software caches of Figs. 3-4 and §3.5.
+* :class:`LineMarkBitmap` — the Bit-Map marks of §3.3.
+* :class:`FloatV4` / :func:`vshuff` — the 256-bit SIMD model.
+* :class:`PerfCounters`, :class:`KernelTiming` — event-to-time conversion.
+"""
+
+from repro.hw.bitmap import LineMarkBitmap
+from repro.hw.cache import (
+    AddressMap,
+    CacheStats,
+    DirectMappedReadCache,
+    TwoWaySetAssociativeCache,
+    count_misses_direct_mapped,
+)
+from repro.hw.chip import CoreGroup, Sw26010Chip, chips_for_core_groups
+from repro.hw.cpe import Cpe
+from repro.hw.dma import DmaEngine, bandwidth_table, interpolate_bandwidth_gbs
+from repro.hw.ldm import LdmAllocator, LdmOverflowError
+from repro.hw.mpe import Mpe
+from repro.hw.noc import RegisterMesh
+from repro.hw.params import DEFAULT_PARAMS, ChipParams, PLATFORM_TABLE, PlatformSpec
+from repro.hw.perf import KernelTiming, PerfCounters
+from repro.hw.simd import LANES, FloatV4, OpCounter, vshuff
+
+__all__ = [
+    "AddressMap",
+    "CacheStats",
+    "ChipParams",
+    "CoreGroup",
+    "Cpe",
+    "DEFAULT_PARAMS",
+    "DirectMappedReadCache",
+    "DmaEngine",
+    "FloatV4",
+    "KernelTiming",
+    "LANES",
+    "LdmAllocator",
+    "LdmOverflowError",
+    "LineMarkBitmap",
+    "Mpe",
+    "OpCounter",
+    "PerfCounters",
+    "PLATFORM_TABLE",
+    "PlatformSpec",
+    "RegisterMesh",
+    "Sw26010Chip",
+    "TwoWaySetAssociativeCache",
+    "bandwidth_table",
+    "chips_for_core_groups",
+    "count_misses_direct_mapped",
+    "interpolate_bandwidth_gbs",
+    "vshuff",
+]

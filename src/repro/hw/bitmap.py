@@ -1,0 +1,80 @@
+"""Bit-map update marks (paper §3.3, Fig. 5, Algorithms 3-4).
+
+Each CPE keeps one bit per *global* cache line of the force-copy array:
+bit = 1 once the CPE has ever touched that line.  Untouched lines are
+known-zero, so
+
+* the per-CPE copy needs no initialisation pass (Algorithm 3 lines 14-16
+  zero a line lazily on first touch), and
+* the reduction step skips fetching them entirely (Algorithm 4 line 4).
+
+As in Fig. 5, one byte marks 8 lines = 8 x 8 packages x 4 particles = 256
+particles; the implementation packs the bits into a numpy uint64 word
+array and does everything with bit operations, mirroring the paper's
+integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_WORD_BITS = 64
+
+
+class LineMarkBitmap:
+    """Update-status bits for ``n_lines`` global cache lines."""
+
+    def __init__(self, n_lines: int) -> None:
+        if n_lines <= 0:
+            raise ValueError(f"n_lines must be positive, got {n_lines}")
+        self.n_lines = n_lines
+        n_words = (n_lines + _WORD_BITS - 1) // _WORD_BITS
+        self._words = np.zeros(n_words, dtype=np.uint64)
+
+    def _check(self, line: int) -> None:
+        if not 0 <= line < self.n_lines:
+            raise IndexError(f"line {line} out of range [0, {self.n_lines})")
+
+    def mark(self, line: int) -> None:
+        """Set the line's bit (Algorithm 3 line 16: ``C_M |= 1 << line``)."""
+        self._check(line)
+        self._words[line // _WORD_BITS] |= np.uint64(1) << np.uint64(line % _WORD_BITS)
+
+    def is_marked(self, line: int) -> bool:
+        """Test the line's bit (Algorithm 3 line 11: ``(C_M >> line) & 1``)."""
+        self._check(line)
+        word = self._words[line // _WORD_BITS]
+        return bool((word >> np.uint64(line % _WORD_BITS)) & np.uint64(1))
+
+    def marked_lines(self) -> np.ndarray:
+        """Indices of all marked lines (drives the marked reduction)."""
+        bits = np.unpackbits(
+            self._words.view(np.uint8), bitorder="little"
+        )[: self.n_lines]
+        return np.nonzero(bits)[0].astype(np.int64)
+
+    def count(self) -> int:
+        """Population count over the whole map."""
+        return int(
+            np.unpackbits(self._words.view(np.uint8), bitorder="little")[
+                : self.n_lines
+            ].sum()
+        )
+
+    def density(self) -> float:
+        """Fraction of lines marked — the quantity Bit-Map exploits being
+        small (most particles touch only a few CPEs)."""
+        return self.count() / self.n_lines
+
+    def clear(self) -> None:
+        self._words.fill(0)
+
+    def to_bytes(self) -> bytes:
+        """Raw little-endian bit stream (for LDM footprint accounting)."""
+        return self._words.tobytes()
+
+    @property
+    def ldm_bytes(self) -> int:
+        """LDM bytes this bitmap occupies on a CPE (Fig. 5's selling point:
+        1 byte covers 256 particles)."""
+        return self._words.nbytes

@@ -1,0 +1,99 @@
+"""Core group and chip composition.
+
+A :class:`CoreGroup` is the unit the paper programs: one MPE + 64 CPEs +
+one DMA engine + the register mesh.  One MPI rank maps to one CG.  A
+:class:`Sw26010Chip` bundles four CGs (used by the scalability model to
+convert CG counts to chip counts).
+
+Time model for a parallel kernel launch (``run_elapsed``): the critical
+CPE's compute cycles, DMA time overlapped per the pipeline model, gld/gst
+stalls, then any serial MPE cycles — see `repro.hw.perf.PerfCounters`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.cpe import Cpe
+from repro.hw.dma import DmaEngine
+from repro.hw.mpe import Mpe
+from repro.hw.noc import RegisterMesh
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.hw.perf import PerfCounters
+
+
+class CoreGroup:
+    """One SW26010 core group: 1 MPE + 64 CPEs + shared DMA engine."""
+
+    def __init__(self, params: ChipParams = DEFAULT_PARAMS, cg_id: int = 0) -> None:
+        self.params = params
+        self.cg_id = cg_id
+        self.mpe = Mpe(params)
+        self.cpes = [Cpe(i, params) for i in range(params.n_cpes)]
+        self.dma = DmaEngine(params)
+        self.mesh = RegisterMesh(params)
+
+    def reset(self) -> None:
+        self.mpe.reset()
+        for cpe in self.cpes:
+            cpe.reset()
+        self.dma.reset()
+
+    def critical_cpe_cycles(self) -> float:
+        """Max compute cycles over the 64 CPEs (the load-balance limit)."""
+        return max(cpe.total_cycles() for cpe in self.cpes)
+
+    def imbalance(self) -> float:
+        """Critical / mean CPE cycles; 1.0 = perfectly balanced."""
+        cycles = np.array([cpe.total_cycles() for cpe in self.cpes])
+        mean = cycles.mean()
+        if mean == 0.0:
+            return 1.0
+        return float(cycles.max() / mean)
+
+    def make_counters(self, pipelined: bool = True) -> PerfCounters:
+        """Fresh counters bound to this CG's parameters and DMA engine."""
+        return PerfCounters(params=self.params, pipelined=pipelined, dma=self.dma)
+
+    def elapsed_seconds(self, pipelined: bool = True) -> float:
+        """Modelled time of the most recent kernel, from the CPE accounts
+        plus the shared DMA engine.  Callers must reset() between kernels.
+        """
+        counters = PerfCounters(
+            params=self.params, pipelined=pipelined, dma=self.dma
+        )
+        counters.charge_cpe_cycles(self.critical_cpe_cycles())
+        counters.charge_mpe_cycles(self.mpe.cycles)
+        return counters.elapsed_seconds()
+
+
+@dataclass
+class Sw26010Chip:
+    """One SW26010 chip: four core groups connected by the NoC."""
+
+    params: ChipParams = DEFAULT_PARAMS
+    core_groups: list[CoreGroup] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.core_groups:
+            self.core_groups = [
+                CoreGroup(self.params, cg_id=i)
+                for i in range(self.params.n_core_groups_per_chip)
+            ]
+
+    @property
+    def n_core_groups(self) -> int:
+        return len(self.core_groups)
+
+    def peak_gflops(self) -> float:
+        return self.params.peak_gflops_per_cg * self.n_core_groups
+
+
+def chips_for_core_groups(n_cgs: int, params: ChipParams = DEFAULT_PARAMS) -> int:
+    """Number of physical chips hosting ``n_cgs`` core groups (ceil)."""
+    if n_cgs <= 0:
+        raise ValueError(f"n_cgs must be positive, got {n_cgs}")
+    per_chip = params.n_core_groups_per_chip
+    return (n_cgs + per_chip - 1) // per_chip

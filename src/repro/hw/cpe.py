@@ -1,0 +1,66 @@
+"""Computing Processing Element (CPE) model.
+
+A CPE bundles the resources a kernel sees: an LDM allocator, a SIMD op
+counter, and a local cycle account.  The 64 CPEs of a core group execute
+SPMD kernels; `repro.parallel.athread` partitions work across them and
+`repro.hw.chip.CoreGroup` turns per-CPE cycle totals into a critical-path
+time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.ldm import LdmAllocator
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.hw.simd import OpCounter
+
+
+@dataclass
+class Cpe:
+    """One CPE: id, LDM, SIMD counter, and scalar/vector cycle accounts."""
+
+    cpe_id: int
+    params: ChipParams = DEFAULT_PARAMS
+    ldm: LdmAllocator = field(default_factory=lambda: LdmAllocator())
+    simd_ops: OpCounter = field(default_factory=OpCounter)
+    scalar_cycles: float = 0.0
+    #: Fine-grained global memory operations issued by this CPE.
+    n_gld: int = 0
+    n_gst: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cpe_id < 0:
+            raise ValueError(f"cpe_id must be non-negative: {self.cpe_id}")
+        self.ldm = LdmAllocator(self.params.ldm_bytes)
+
+    def charge_scalar(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative: {cycles}")
+        self.scalar_cycles += cycles
+
+    def charge_gld(self, count: int = 1) -> None:
+        self.n_gld += count
+
+    def charge_gst(self, count: int = 1) -> None:
+        self.n_gst += count
+
+    def total_cycles(self) -> float:
+        """Compute cycles including SIMD issue slots and gld/gst stalls.
+
+        Each vector instruction occupies one issue slot; gld/gst stall the
+        core for their full latency (they cannot be hidden on the CPE).
+        """
+        return (
+            self.scalar_cycles
+            + self.simd_ops.total
+            + self.n_gld * self.params.gld_latency_cycles
+            + self.n_gst * self.params.gst_latency_cycles
+        )
+
+    def reset(self) -> None:
+        self.scalar_cycles = 0.0
+        self.n_gld = 0
+        self.n_gst = 0
+        self.simd_ops = OpCounter()
+        self.ldm.reset()

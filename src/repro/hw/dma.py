@@ -1,0 +1,172 @@
+"""DMA engine model for the SW26010 core group.
+
+CPEs move data between main memory and their 64 KB LDM with DMA
+transactions.  The achieved bandwidth depends strongly on the transaction
+block size (the paper's Table 2: 8 B -> 0.99 GB/s up to 2048 B ->
+30.48 GB/s, aggregate over all 64 CPEs).  Every optimization in §3.1/§3.2
+of the paper exists to turn many tiny transactions into few large ones, so
+this curve *is* the mechanism being optimised; we reproduce it by log-log
+interpolation of the paper's own measurements.
+
+The engine is an event counter, not a timing simulator: kernels call
+:meth:`DmaEngine.get`/:meth:`DmaEngine.put` (optionally in bulk via
+:meth:`get_bulk`), and the engine accumulates bytes and modelled seconds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+
+def interpolate_bandwidth_gbs(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:
+    """Aggregate DMA bandwidth (GB/s) for transactions of ``size_bytes``.
+
+    Log-log linear interpolation between the Table 2 anchor points; flat
+    extrapolation beyond the measured range; linear ramp below the first
+    anchor (a 4 B transaction cannot beat an 8 B one).
+    """
+    if size_bytes <= 0:
+        raise ValueError(f"transaction size must be positive, got {size_bytes}")
+    curve = params.dma_curve
+    sizes = [s for s, _ in curve]
+    bws = [b for _, b in curve]
+    if size_bytes <= sizes[0]:
+        # Sub-anchor transfers still pay the full small-transfer time:
+        # effective bandwidth scales linearly with payload.
+        return bws[0] * (size_bytes / sizes[0])
+    if size_bytes >= sizes[-1]:
+        return bws[-1]
+    for (s0, b0), (s1, b1) in zip(curve, curve[1:]):
+        if s0 <= size_bytes <= s1:
+            t = (math.log(size_bytes) - math.log(s0)) / (math.log(s1) - math.log(s0))
+            return math.exp(math.log(b0) * (1 - t) + math.log(b1) * t)
+    raise AssertionError("unreachable: interpolation anchors exhausted")
+
+
+def transfer_seconds(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:
+    """Modelled wall time for one DMA transaction of ``size_bytes``.
+
+    ``time = size / aggregate_bandwidth(size)``.  The measured Table 2
+    curve already folds per-transaction issue overhead into the achieved
+    bandwidth (that is why small blocks are slow), so no separate issue
+    term is added here.  Because the bandwidths are aggregate (all 64 CPEs
+    streaming), charging each CPE's transaction against the aggregate curve
+    models fair sharing: the sum over all CPEs' transactions equals total
+    traffic / achieved bandwidth.
+    """
+    bw = interpolate_bandwidth_gbs(size_bytes, params) * 1e9
+    return size_bytes / bw
+
+
+@dataclass
+class DmaStats:
+    """Accumulated DMA activity for one engine (typically one CG)."""
+
+    n_get: int = 0
+    n_put: int = 0
+    bytes_get: int = 0
+    bytes_put: int = 0
+    seconds: float = 0.0
+
+    @property
+    def n_transactions(self) -> int:
+        return self.n_get + self.n_put
+
+    @property
+    def bytes_total(self) -> int:
+        return self.bytes_get + self.bytes_put
+
+    def merge(self, other: "DmaStats") -> None:
+        self.n_get += other.n_get
+        self.n_put += other.n_put
+        self.bytes_get += other.bytes_get
+        self.bytes_put += other.bytes_put
+        self.seconds += other.seconds
+
+
+class DmaEngine:
+    """Counts DMA transactions and converts them to modelled time.
+
+    One engine per core group.  All 64 CPEs share it; the aggregate
+    bandwidth curve already encodes their contention (see
+    :func:`transfer_seconds`).
+    """
+
+    def __init__(self, params: ChipParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self.stats = DmaStats()
+
+    def reset(self) -> None:
+        self.stats = DmaStats()
+
+    def get(self, size_bytes: int) -> float:
+        """Record one main-memory -> LDM transfer; return its modelled time."""
+        t = transfer_seconds(size_bytes, self.params)
+        self.stats.n_get += 1
+        self.stats.bytes_get += size_bytes
+        self.stats.seconds += t
+        return t
+
+    def put(self, size_bytes: int) -> float:
+        """Record one LDM -> main-memory transfer; return its modelled time."""
+        t = transfer_seconds(size_bytes, self.params)
+        self.stats.n_put += 1
+        self.stats.bytes_put += size_bytes
+        self.stats.seconds += t
+        return t
+
+    def get_bulk(self, size_bytes: int, count: int) -> float:
+        """Record ``count`` equal-sized reads in one call (vectorised path)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return 0.0
+        t = transfer_seconds(size_bytes, self.params) * count
+        self.stats.n_get += count
+        self.stats.bytes_get += size_bytes * count
+        self.stats.seconds += t
+        return t
+
+    def put_bulk(self, size_bytes: int, count: int) -> float:
+        """Record ``count`` equal-sized writes in one call."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        if count == 0:
+            return 0.0
+        t = transfer_seconds(size_bytes, self.params) * count
+        self.stats.n_put += count
+        self.stats.bytes_put += size_bytes * count
+        self.stats.seconds += t
+        return t
+
+    def effective_bandwidth_gbs(self) -> float:
+        """Achieved GB/s over everything recorded so far."""
+        if self.stats.seconds == 0.0:
+            return 0.0
+        return self.stats.bytes_total / self.stats.seconds / 1e9
+
+
+def bandwidth_table(
+    sizes: tuple[int, ...] = (8, 128, 256, 512, 2048),
+    params: ChipParams = DEFAULT_PARAMS,
+) -> list[tuple[int, float]]:
+    """Regenerate the paper's Table 2: (block size, modelled GB/s) rows.
+
+    Runs each block size through the engine (a fixed 64 MiB of traffic) and
+    reports achieved bandwidth excluding the per-transaction issue cost at
+    the largest sizes being amortised, i.e. the number a microbenchmark
+    would print.
+    """
+    rows = []
+    total = 64 * 1024 * 1024
+    for size in sizes:
+        engine = DmaEngine(params)
+        count = max(1, total // size)
+        engine.get_bulk(size, count)
+        rows.append((size, engine.effective_bandwidth_gbs()))
+    return rows

@@ -1,0 +1,94 @@
+"""Local Device Memory (LDM) allocator for one CPE.
+
+Each CPE has only 64 KB of scratchpad.  The paper's kernels must fit a
+read cache, a deferred-update write cache, the bit-map marks, neighbour
+list windows, and SIMD staging buffers in that budget simultaneously — the
+allocator enforces this so configuration mistakes fail loudly rather than
+silently overflowing (a real CPE kernel would corrupt memory).
+
+Alignment: §3.7 of the paper aligns everything to 128 bits; allocations
+here round up to 16-byte boundaries for the same reason.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+ALIGNMENT_BYTES = 16
+
+
+class LdmOverflowError(MemoryError):
+    """Raised when a kernel's working set exceeds the 64 KB LDM."""
+
+
+@dataclass
+class LdmBlock:
+    """One named allocation inside the LDM."""
+
+    name: str
+    offset: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.size
+
+
+class LdmAllocator:
+    """Bump allocator over one CPE's 64 KB scratchpad.
+
+    Supports named allocations, per-name lookup, and a full reset (kernels
+    re-plan their LDM layout on every launch).
+    """
+
+    def __init__(self, capacity_bytes: int = 64 * 1024) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity = capacity_bytes
+        self._blocks: dict[str, LdmBlock] = {}
+        self._cursor = 0
+
+    @staticmethod
+    def aligned(size: int) -> int:
+        """Round ``size`` up to the 128-bit alignment of §3.7."""
+        return (size + ALIGNMENT_BYTES - 1) // ALIGNMENT_BYTES * ALIGNMENT_BYTES
+
+    def alloc(self, name: str, size_bytes: int) -> LdmBlock:
+        """Allocate ``size_bytes`` (rounded to alignment) under ``name``."""
+        if size_bytes < 0:
+            raise ValueError(f"allocation size must be non-negative: {size_bytes}")
+        if name in self._blocks:
+            raise ValueError(f"LDM block {name!r} already allocated")
+        size = self.aligned(size_bytes)
+        if self._cursor + size > self.capacity:
+            raise LdmOverflowError(
+                f"LDM overflow allocating {name!r}: need {size} B at offset "
+                f"{self._cursor}, capacity {self.capacity} B "
+                f"(existing: {sorted(self._blocks)})"
+            )
+        block = LdmBlock(name, self._cursor, size)
+        self._blocks[name] = block
+        self._cursor += size
+        return block
+
+    def free_bytes(self) -> int:
+        return self.capacity - self._cursor
+
+    def used_bytes(self) -> int:
+        return self._cursor
+
+    def block(self, name: str) -> LdmBlock:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise KeyError(
+                f"no LDM block {name!r}; allocated: {sorted(self._blocks)}"
+            ) from None
+
+    def reset(self) -> None:
+        self._blocks.clear()
+        self._cursor = 0
+
+    def layout(self) -> list[LdmBlock]:
+        """All blocks in allocation order (for debugging / docs)."""
+        return sorted(self._blocks.values(), key=lambda b: b.offset)

@@ -1,0 +1,37 @@
+"""Management Processing Element (MPE) model.
+
+The MPE runs the serial parts of the workflow (domain decomposition, MPI,
+I/O, anything not offloaded) and, in the USTC baseline strategy, collects
+force contributions streamed back by the CPEs.  It is a conventional core
+with real caches, so its memory behaviour is folded into per-operation
+cycle constants rather than modelled transaction by transaction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+
+@dataclass
+class Mpe:
+    """One MPE: a serial cycle account plus named work categories."""
+
+    params: ChipParams = DEFAULT_PARAMS
+    cycles: float = 0.0
+
+    def charge(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative: {cycles}")
+        self.cycles += cycles
+
+    def charge_pairs_scalar(self, n_pairs: int) -> None:
+        """Charge the unported scalar GROMACS pair kernel (the Ori rung)."""
+        self.charge(n_pairs * self.params.mpe_scalar_pair_cycles)
+
+    def seconds(self) -> float:
+        return self.cycles * self.params.cycle_s
+
+    def reset(self) -> None:
+        self.cycles = 0.0

@@ -1,0 +1,91 @@
+"""Register-communication mesh between CPEs (8x8 row/column buses).
+
+CPEs in the same row or column can exchange 256-bit messages over the
+on-chip bus far faster than via main memory.  SW_GROMACS itself reduces
+force copies through main memory, but the row/column mesh is the natural
+substrate for the *ablation* comparing main-memory reduction against an
+on-chip tree reduction, so we model it: functional message passing plus a
+latency/bandwidth cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+#: Cycles for one 256-bit register-bus hop (documented order: ~10 cycles).
+ROW_COL_HOP_CYCLES = 11.0
+MESSAGE_BYTES = 32  # one 256-bit register
+
+
+@dataclass
+class NocStats:
+    messages: int = 0
+    bytes: int = 0
+    cycles: float = 0.0
+
+
+class RegisterMesh:
+    """8x8 CPE mesh with row/column register communication."""
+
+    def __init__(self, params: ChipParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self.rows = params.cpe_mesh_rows
+        self.cols = params.cpe_mesh_cols
+        self.stats = NocStats()
+        # mailbox[dst] holds (src, payload) tuples in arrival order
+        self._mailboxes: dict[int, list[tuple[int, np.ndarray]]] = {
+            i: [] for i in range(self.rows * self.cols)
+        }
+
+    def coords(self, cpe_id: int) -> tuple[int, int]:
+        if not 0 <= cpe_id < self.rows * self.cols:
+            raise IndexError(f"CPE id {cpe_id} out of range")
+        return divmod(cpe_id, self.cols)
+
+    def can_communicate(self, src: int, dst: int) -> bool:
+        """True when src and dst share a row or a column."""
+        (r0, c0), (r1, c1) = self.coords(src), self.coords(dst)
+        return r0 == r1 or c0 == c1
+
+    def send(self, src: int, dst: int, payload: np.ndarray) -> float:
+        """Send one 256-bit message; returns modelled seconds."""
+        if src == dst:
+            raise ValueError("CPE cannot register-send to itself")
+        if not self.can_communicate(src, dst):
+            raise ValueError(
+                f"CPE {src} and {dst} share neither row nor column; "
+                "register communication requires a row/column path"
+            )
+        data = np.asarray(payload, dtype=np.float32)
+        if data.nbytes > MESSAGE_BYTES:
+            raise ValueError(
+                f"register message is {data.nbytes} B; max {MESSAGE_BYTES} B"
+            )
+        self._mailboxes[dst].append((src, data.copy()))
+        self.stats.messages += 1
+        self.stats.bytes += data.nbytes
+        self.stats.cycles += ROW_COL_HOP_CYCLES
+        return ROW_COL_HOP_CYCLES * self.params.cycle_s
+
+    def receive(self, dst: int) -> tuple[int, np.ndarray]:
+        """Pop the oldest pending message for ``dst`` (FIFO order)."""
+        box = self._mailboxes[dst]
+        if not box:
+            raise LookupError(f"CPE {dst} has no pending register messages")
+        return box.pop(0)
+
+    def tree_reduce_time(self, vector_bytes: int) -> float:
+        """Modelled time to sum one ``vector_bytes`` array across all 64
+        CPEs with a row-then-column tree (log2(8)=3 hops each phase).
+
+        Used by the reduction ablation bench as the on-chip alternative to
+        the paper's main-memory reduction.
+        """
+        n_messages = vector_bytes / MESSAGE_BYTES
+        hops = 2 * int(np.ceil(np.log2(self.cols)))
+        cycles = hops * n_messages * ROW_COL_HOP_CYCLES
+        return cycles * self.params.cycle_s

@@ -1,0 +1,184 @@
+"""SW26010 hardware parameters and cost-model calibration constants.
+
+Everything the cost model knows about the chip lives here, in one place,
+so the calibration policy in DESIGN.md §4 is auditable.  Sources:
+
+* the paper's §1 architecture description (1.45 GHz, 64 CPEs per CG,
+  64 KB LDM, 8 GB DDR3 per CG, 256-bit SIMD);
+* the paper's Table 2 (measured DMA bandwidth vs. access block size);
+* published SW26010 microbenchmark literature for the gld/gst latency
+  order of magnitude.
+
+Free constants (per-pair instruction counts, pipeline overlap) are
+calibrated once against the Fig. 8 speedup ladder and never tuned
+per-experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+#: Measured DMA bandwidth curve from the paper's Table 2:
+#: access block size (bytes) -> achieved bandwidth (GB/s), aggregate over a
+#: core group with all 64 CPEs issuing DMA.
+DMA_BANDWIDTH_TABLE_GBS: dict[int, float] = {
+    8: 0.99,
+    128: 15.77,
+    256: 28.88,
+    512: 28.98,
+    2048: 30.48,
+}
+
+
+@dataclass(frozen=True)
+class ChipParams:
+    """Architectural and cost-model parameters for one SW26010 core group.
+
+    Instances are immutable; derive variants with :meth:`with_overrides`
+    (used by ablation benches, e.g. different cache-line geometries).
+    """
+
+    # --- architecture (paper §1) ---
+    clock_hz: float = 1.45e9
+    n_cpes: int = 64
+    cpe_mesh_rows: int = 8
+    cpe_mesh_cols: int = 8
+    ldm_bytes: int = 64 * 1024
+    mpe_l1_bytes: int = 32 * 1024
+    mpe_l2_bytes: int = 256 * 1024
+    main_memory_bytes: int = 8 * 1024**3
+    n_core_groups_per_chip: int = 4
+    simd_width_floats: int = 4  # 256-bit floatv4 in single precision lanes of 64b? 4 lanes
+    peak_gflops_per_cg: float = 765.0  # 3.06 TF chip / 4 CGs
+
+    # --- DMA model ---
+    #: (size_bytes, GB/s) anchor points; log-log interpolated in between,
+    #: flat beyond the last anchor.
+    dma_curve: tuple[tuple[int, float], ...] = tuple(
+        sorted(DMA_BANDWIDTH_TABLE_GBS.items())
+    )
+    #: Fixed per-transaction DMA issue cost, cycles (descriptor setup +
+    #: reply-word wait that cannot be hidden when not pipelined).
+    dma_issue_cycles: float = 25.0
+
+    # --- gld/gst model (fine-grained global load/store from CPEs) ---
+    gld_latency_cycles: float = 177.0
+    gst_latency_cycles: float = 110.0
+
+    # --- compute cost model (cycles) ---
+    #: Scalar CPE cycles for one LJ+Coulomb pair interaction (distance,
+    #: cutoff test, r^-6/r^-12, force accumulate).
+    cpe_scalar_pair_cycles: float = 85.0
+    #: SIMD CPE cycles for one 4-lane pair interaction bundle (i.e. per
+    #: 4 pairs); includes the Fig. 7 shuffle overhead amortised.
+    cpe_simd_pair4_cycles: float = 131.0
+    #: MPE cycles per particle pair for the *original* GROMACS kernel
+    #: running on the MPE alone (the "Ori" rung): SWCC emits scalar code
+    #: for the ported kernels, and the MPE's 256 KB L2 cannot hold the
+    #: particle data of the benchmark cases, so this effective per-pair
+    #: cost folds in its cache misses.
+    mpe_scalar_pair_cycles: float = 45.0
+    #: MPE cycles per particle-force accumulation in the USTC baseline
+    #: (the MPE scalar-loads each incoming index, gathers the force
+    #: triple, adds, and stores — the serial bottleneck of [29]).
+    mpe_collect_cycles_per_particle: float = 12.0
+    #: Cycles to initialise one byte of an LDM/MPE force copy (RMA init).
+    init_cycles_per_byte: float = 0.30
+    #: Cycles per byte for CPE-local buffer bookkeeping (tag compare etc.)
+    cache_bookkeeping_cycles: float = 10.0
+
+    # --- pipeline model ---
+    #: Fraction of DMA time hidden behind compute when the kernel double
+    #: buffers (the paper's "full pipeline acceleration").  0 = no overlap,
+    #: 1 = perfectly hidden.
+    pipeline_overlap: float = 0.85
+
+    # --- software cache geometry (paper §3.1/§3.2: 8 packages per line) ---
+    packages_per_line: int = 8
+    particles_per_package: int = 4
+    n_cache_lines: int = 32  # 5-bit index field in Figs. 3-4
+    offset_bits: int = 3  # 3-bit offset field: 8 packages per line
+    index_bits: int = 5
+    tag_bits: int = 24
+
+    # --- package layout (Fig. 2): per particle x,y,z (f32), type (i32),
+    #     charge (f32) -> 20 B; plus 7 B padding to reach the paper's
+    #     108 B per 4-particle package (4*20=80; paper counts extra force
+    #     slots; we model the paper's figure of 108 B, 128-bit aligned).
+    package_bytes: int = 112  # 108 rounded up to 16-byte alignment (§3.7)
+    force_bytes_per_particle: int = 12  # 3 x f32
+
+    # --- MPI / RDMA model (per message) ---
+    mpi_latency_s: float = 1.0e-5
+    mpi_bandwidth_gbs: float = 5.0
+    mpi_copy_count: int = 4
+    mpi_pack_cycles_per_byte: float = 0.1
+    rdma_latency_s: float = 1.7e-6
+    rdma_bandwidth_gbs: float = 6.5
+    rdma_copy_count: int = 0
+    #: Per-stage cost of software-emulated MPI collectives at scale
+    #: (kernel crossings + system noise on the management network) — the
+    #: reason "Comm. energies" reaches 18.7 % of runtime at 512 CGs in the
+    #: paper's Table 1.
+    mpi_collective_hop_s: float = 6.5e-4
+    #: RDMA-based collectives bypass the kernel; near-hardware latency.
+    rdma_collective_hop_s: float = 1.5e-4
+
+    # --- I/O model (§3.7) ---
+    io_syscall_s: float = 4.0e-6
+    io_disk_bandwidth_gbs: float = 1.2
+    io_fwrite_chunk_bytes: int = 4096
+    io_fast_buffer_bytes: int = 20 * 1024 * 1024
+    io_format_double_cycles: float = 420.0  # C stdlib %f with edge cases
+    io_format_fast_cycles: float = 60.0  # the paper's concise converter
+
+    def with_overrides(self, **kwargs) -> "ChipParams":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # --- derived helpers ---
+    @property
+    def line_bytes(self) -> int:
+        """Bytes in one software-cache line of particle packages."""
+        return self.packages_per_line * self.package_bytes
+
+    @property
+    def particles_per_line(self) -> int:
+        return self.packages_per_line * self.particles_per_package
+
+    @property
+    def cycle_s(self) -> float:
+        return 1.0 / self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.clock_hz
+
+
+#: The default, calibrated parameter set used across tests and benches.
+DEFAULT_PARAMS = ChipParams()
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """One row of the paper's Table 4 (plus derived cache miss ratios).
+
+    Used by the TTF comparison model (`repro.core.platforms`).
+    """
+
+    name: str
+    flops_tf: float
+    bandwidth_gbs: float
+    cache_descr: str
+    total_cache_miss_ratio: float
+
+
+#: Paper Table 4 + the miss ratios quoted in §4.5.  SW26010's total miss
+#: ratio of 4 % is the value that makes the paper's own Eq. (3) evaluate to
+#: ~150 and Eq. (4) to ~24 (KNL total miss = 0.08 %, "about 2.5 % of the
+#: cache miss rate on SW26010"; P100 total = 6 % * 15 % = 0.9 %).
+PLATFORM_TABLE: dict[str, PlatformSpec] = {
+    "KNL": PlatformSpec("Knights Landing", 6.0, 400.0, "32 KB + 1 MB", 0.0008),
+    "SW26010": PlatformSpec("SW26010", 3.0, 132.0, "64 KB LDM", 0.04),
+    "P100": PlatformSpec("P100", 10.0, 720.0, "64 KB + 4 MB", 0.009),
+}

@@ -1,0 +1,141 @@
+"""Performance counters for the simulated core group.
+
+Kernels charge *events* (compute cycles, DMA transactions, gld/gst
+accesses, reduction passes) to a :class:`PerfCounters` instance; the
+counters convert events to modelled seconds under the pipeline model
+described in DESIGN.md §4:
+
+* compute time and DMA time overlap by ``ChipParams.pipeline_overlap``
+  when the kernel declares itself pipelined (the paper's "full pipeline
+  acceleration");
+* gld/gst stalls never overlap (they block the issuing CPE);
+* serial MPE work (reductions collected on the MPE, domain decomposition)
+  adds after the parallel region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.dma import DmaEngine, DmaStats
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+
+@dataclass
+class PerfCounters:
+    """Event counters for one kernel execution on one core group."""
+
+    params: ChipParams = DEFAULT_PARAMS
+    #: Compute cycles on the *critical* CPE (max over CPEs after balancing).
+    cpe_compute_cycles: float = 0.0
+    #: Compute cycles executed serially on the MPE.
+    mpe_compute_cycles: float = 0.0
+    #: Number of fine-grained global loads / stores issued by CPEs.
+    n_gld: int = 0
+    n_gst: int = 0
+    #: Whether DMA overlaps compute (double buffering enabled).
+    pipelined: bool = True
+    #: DMA engine shared by the CPEs of this CG.
+    dma: DmaEngine = field(default_factory=DmaEngine)
+
+    def __post_init__(self) -> None:
+        # Keep the DMA engine on the same parameter set as the counters.
+        self.dma.params = self.params
+
+    # --- charging API -----------------------------------------------------
+    def charge_cpe_cycles(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        self.cpe_compute_cycles += cycles
+
+    def charge_mpe_cycles(self, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        self.mpe_compute_cycles += cycles
+
+    def charge_gld(self, count: int = 1) -> None:
+        self.n_gld += count
+
+    def charge_gst(self, count: int = 1) -> None:
+        self.n_gst += count
+
+    # --- conversion to time ------------------------------------------------
+    @property
+    def cpe_compute_seconds(self) -> float:
+        """Parallel-region compute time (critical CPE)."""
+        return self.cpe_compute_cycles * self.params.cycle_s
+
+    @property
+    def mpe_compute_seconds(self) -> float:
+        return self.mpe_compute_cycles * self.params.cycle_s
+
+    @property
+    def gld_seconds(self) -> float:
+        return (
+            self.n_gld * self.params.gld_latency_cycles
+            + self.n_gst * self.params.gst_latency_cycles
+        ) * self.params.cycle_s
+
+    @property
+    def dma_seconds(self) -> float:
+        return self.dma.stats.seconds
+
+    def elapsed_seconds(self) -> float:
+        """Total modelled time for the kernel under the pipeline model."""
+        compute = self.cpe_compute_seconds
+        dma = self.dma_seconds
+        if self.pipelined:
+            overlap = self.params.pipeline_overlap
+            hidden = overlap * min(compute, dma)
+            parallel = compute + dma - hidden
+        else:
+            parallel = compute + dma
+        return parallel + self.gld_seconds + self.mpe_compute_seconds
+
+    def merge(self, other: "PerfCounters") -> None:
+        """Fold another kernel's events into this one (sequential phases)."""
+        self.cpe_compute_cycles += other.cpe_compute_cycles
+        self.mpe_compute_cycles += other.mpe_compute_cycles
+        self.n_gld += other.n_gld
+        self.n_gst += other.n_gst
+        self.dma.stats.merge(other.dma.stats)
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "cpe_compute_s": self.cpe_compute_seconds,
+            "mpe_compute_s": self.mpe_compute_seconds,
+            "dma_s": self.dma_seconds,
+            "gld_s": self.gld_seconds,
+            "dma_bytes": float(self.dma.stats.bytes_total),
+            "dma_transactions": float(self.dma.stats.n_transactions),
+            "elapsed_s": self.elapsed_seconds(),
+        }
+
+
+@dataclass
+class KernelTiming:
+    """Named modelled durations for one MD step, feeding Table 1 / Fig. 10.
+
+    Mirrors the paper's Table 1 kernel taxonomy.
+    """
+
+    seconds: dict[str, float] = field(default_factory=dict)
+
+    def add(self, kernel: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(f"negative duration for {kernel}: {seconds}")
+        self.seconds[kernel] = self.seconds.get(kernel, 0.0) + seconds
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def fractions(self) -> dict[str, float]:
+        """Kernel -> fraction of total time (the paper's Table 1 rows)."""
+        total = self.total()
+        if total == 0.0:
+            return {k: 0.0 for k in self.seconds}
+        return {k: v / total for k, v in self.seconds.items()}
+
+    def merge(self, other: "KernelTiming") -> None:
+        for k, v in other.seconds.items():
+            self.add(k, v)

@@ -1,0 +1,174 @@
+"""Functional model of the SW26010 CPE 256-bit SIMD unit.
+
+The CPE supports ``floatv4`` — four single-precision lanes per register —
+plus a two-source shuffle (``simd_vshulff`` in the paper) that builds a new
+vector from two float pairs, one pair from each source.  We execute the
+lane arithmetic with numpy float32 so results are testable bit-for-bit
+against scalar code, while an :class:`OpCounter` tallies issued vector
+instructions for the cost model.
+
+The shuffle selector convention follows the paper's description: the new
+vector's first two lanes are chosen from vector ``a`` and the last two from
+vector ``b``; a 4-bit selector picks *which* pair (low/high) of each source.
+That is exactly enough to express the 6-shuffle 4x3 transpose of Fig. 7
+(see `repro.core.shuffle`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+LANES = 4
+
+
+@dataclass
+class OpCounter:
+    """Counts vector instructions issued by a kernel."""
+
+    arith: int = 0  # vadd/vsub/vmul/vdiv/vmadd
+    shuffle: int = 0  # simd_vshuff
+    compare: int = 0  # vector compare / select
+    load_store: int = 0  # LDM vector load/store
+
+    @property
+    def total(self) -> int:
+        return self.arith + self.shuffle + self.compare + self.load_store
+
+    def merge(self, other: "OpCounter") -> None:
+        self.arith += other.arith
+        self.shuffle += other.shuffle
+        self.compare += other.compare
+        self.load_store += other.load_store
+
+
+class FloatV4:
+    """One 256-bit vector register holding four float32 lanes.
+
+    Operations return new registers (SSA style) and charge the shared
+    :class:`OpCounter` when one is attached.  Lane maths uses numpy float32
+    so a VEC-strategy kernel result can be compared exactly to a float32
+    scalar computation.
+    """
+
+    __slots__ = ("lanes", "_ops")
+
+    def __init__(self, lanes, ops: OpCounter | None = None) -> None:
+        arr = np.asarray(lanes, dtype=np.float32)
+        if arr.shape != (LANES,):
+            raise ValueError(f"FloatV4 needs exactly {LANES} lanes, got {arr.shape}")
+        self.lanes = arr
+        self._ops = ops
+
+    # --- construction -------------------------------------------------------
+    @classmethod
+    def splat(cls, value: float, ops: OpCounter | None = None) -> "FloatV4":
+        """Broadcast one scalar to all four lanes (``simd_set_floatv4``)."""
+        if ops is not None:
+            ops.load_store += 1
+        return cls(np.full(LANES, value, dtype=np.float32), ops)
+
+    @classmethod
+    def load(cls, buffer: np.ndarray, offset: int, ops: OpCounter | None = None) -> "FloatV4":
+        """Aligned vector load of 4 contiguous floats from an LDM buffer."""
+        if ops is not None:
+            ops.load_store += 1
+        chunk = np.asarray(buffer[offset : offset + LANES], dtype=np.float32)
+        if chunk.shape != (LANES,):
+            raise IndexError(
+                f"vector load at offset {offset} runs past buffer of "
+                f"length {len(buffer)}"
+            )
+        return cls(chunk, ops)
+
+    def store(self, buffer: np.ndarray, offset: int) -> None:
+        """Aligned vector store of the four lanes into an LDM buffer."""
+        if self._ops is not None:
+            self._ops.load_store += 1
+        buffer[offset : offset + LANES] = self.lanes
+
+    # --- arithmetic ----------------------------------------------------------
+    def _binop(self, other: "FloatV4 | float", fn) -> "FloatV4":
+        if self._ops is not None:
+            self._ops.arith += 1
+        rhs = other.lanes if isinstance(other, FloatV4) else np.float32(other)
+        return FloatV4(fn(self.lanes, rhs), self._ops)
+
+    def __add__(self, other):
+        return self._binop(other, np.add)
+
+    def __sub__(self, other):
+        return self._binop(other, np.subtract)
+
+    def __mul__(self, other):
+        return self._binop(other, np.multiply)
+
+    def __truediv__(self, other):
+        return self._binop(other, np.divide)
+
+    def madd(self, mul: "FloatV4", add: "FloatV4") -> "FloatV4":
+        """Fused multiply-add: ``self * mul + add`` in one instruction."""
+        if self._ops is not None:
+            self._ops.arith += 1
+        return FloatV4(
+            np.float32(self.lanes * mul.lanes + add.lanes), self._ops
+        )
+
+    def rsqrt(self) -> "FloatV4":
+        """Reciprocal square root (one pipelined vector op on the CPE)."""
+        if self._ops is not None:
+            self._ops.arith += 1
+        return FloatV4(np.float32(1.0) / np.sqrt(self.lanes), self._ops)
+
+    def less_than(self, other: "FloatV4 | float") -> np.ndarray:
+        """Vector compare; returns a 4-lane boolean mask."""
+        if self._ops is not None:
+            self._ops.compare += 1
+        rhs = other.lanes if isinstance(other, FloatV4) else np.float32(other)
+        return self.lanes < rhs
+
+    def select(self, mask: np.ndarray, other: "FloatV4") -> "FloatV4":
+        """Lane-wise select: ``mask ? self : other``."""
+        if self._ops is not None:
+            self._ops.compare += 1
+        return FloatV4(np.where(mask, self.lanes, other.lanes), self._ops)
+
+    def hsum(self) -> float:
+        """Horizontal sum of the four lanes (log2(4)=2 vector ops)."""
+        if self._ops is not None:
+            self._ops.arith += 2
+        return float(np.float64(self.lanes).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FloatV4({self.lanes.tolist()})"
+
+
+def vshuff(
+    a: FloatV4,
+    b: FloatV4,
+    sel_a: tuple[int, int],
+    sel_b: tuple[int, int],
+    ops: OpCounter | None = None,
+) -> FloatV4:
+    """``simd_vshulff``: combine two vectors into a new one.
+
+    Per the paper's description, the instruction "chooses two float numbers
+    in the first vector as the first two float numbers of the new vector
+    and the other two float numbers of the new vector are from the second
+    vector".  ``sel_a`` gives the two lane indices taken from ``a`` (result
+    lanes 0-1), ``sel_b`` the two taken from ``b`` (result lanes 2-3).
+    """
+    for sel in (sel_a, sel_b):
+        if len(sel) != 2 or not all(0 <= i < LANES for i in sel):
+            raise ValueError(f"lane selector must be two indices in [0,4): {sel}")
+    counter = ops if ops is not None else a._ops
+    if counter is not None:
+        counter.shuffle += 1
+    return FloatV4(
+        np.array(
+            [a.lanes[sel_a[0]], a.lanes[sel_a[1]], b.lanes[sel_b[0]], b.lanes[sel_b[1]]],
+            dtype=np.float32,
+        ),
+        counter,
+    )

@@ -1,0 +1,148 @@
+"""Bonded interactions: bond stretch (2-body), angle (3-body), dihedral
+(4-body) — the fixed-list interactions of the paper's Fig. 1.
+
+All three are vectorised over the respective index lists.  Forces are
+derived analytically and validated against numerical gradients in the
+test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.system import ParticleSystem
+from repro.md.topology import Angle, Bond, Dihedral
+
+
+@dataclass
+class BondedResult:
+    energy_bonds: float
+    energy_angles: float
+    energy_dihedrals: float
+    forces: np.ndarray
+
+    @property
+    def energy(self) -> float:
+        return self.energy_bonds + self.energy_angles + self.energy_dihedrals
+
+
+def _bond_arrays(bonds: list[Bond]) -> tuple[np.ndarray, ...]:
+    i = np.array([b.i for b in bonds], dtype=np.int64)
+    j = np.array([b.j for b in bonds], dtype=np.int64)
+    r0 = np.array([b.r0 for b in bonds])
+    k = np.array([b.k for b in bonds])
+    return i, j, r0, k
+
+
+def bond_forces(
+    positions: np.ndarray, box: Box, bonds: list[Bond], forces: np.ndarray
+) -> float:
+    """Harmonic bonds: ``V = k/2 (r - r0)^2``.  Accumulates into ``forces``."""
+    if not bonds:
+        return 0.0
+    i, j, r0, k = _bond_arrays(bonds)
+    dr = box.displacement(positions[i], positions[j])
+    r = np.sqrt(np.sum(dr * dr, axis=1))
+    energy = float(np.sum(0.5 * k * (r - r0) ** 2))
+    # F_i = -k (r - r0) * dr/r
+    f = (-k * (r - r0) / r)[:, None] * dr
+    np.add.at(forces, i, f)
+    np.add.at(forces, j, -f)
+    return energy
+
+
+def angle_forces(
+    positions: np.ndarray, box: Box, angles: list[Angle], forces: np.ndarray
+) -> float:
+    """Harmonic angles: ``V = k/2 (theta - theta0)^2`` with j the vertex."""
+    if not angles:
+        return 0.0
+    ai = np.array([a.i for a in angles], dtype=np.int64)
+    aj = np.array([a.j for a in angles], dtype=np.int64)
+    ak = np.array([a.k_index for a in angles], dtype=np.int64)
+    theta0 = np.array([a.theta0 for a in angles])
+    k = np.array([a.k for a in angles])
+
+    rij = box.displacement(positions[ai], positions[aj])
+    rkj = box.displacement(positions[ak], positions[aj])
+    nij = np.sqrt(np.sum(rij * rij, axis=1))
+    nkj = np.sqrt(np.sum(rkj * rkj, axis=1))
+    cos_t = np.sum(rij * rkj, axis=1) / (nij * nkj)
+    cos_t = np.clip(cos_t, -1.0, 1.0)
+    theta = np.arccos(cos_t)
+    energy = float(np.sum(0.5 * k * (theta - theta0) ** 2))
+
+    # F = -dV/dtheta * dtheta/dr with dtheta/dr = -(1/sin) dcos/dr, so the
+    # two minus signs cancel into a positive prefactor.
+    dvdt = k * (theta - theta0)
+    sin_t = np.sqrt(np.maximum(1.0 - cos_t**2, 1e-12))
+    fi = (dvdt / (nij * sin_t))[:, None] * (
+        rkj / nkj[:, None] - (cos_t / nij)[:, None] * rij
+    )
+    fk = (dvdt / (nkj * sin_t))[:, None] * (
+        rij / nij[:, None] - (cos_t / nkj)[:, None] * rkj
+    )
+    np.add.at(forces, ai, fi)
+    np.add.at(forces, ak, fk)
+    np.add.at(forces, aj, -(fi + fk))
+    return energy
+
+
+def dihedral_forces(
+    positions: np.ndarray, box: Box, dihedrals: list[Dihedral], forces: np.ndarray
+) -> float:
+    """Periodic dihedrals: ``V = k (1 + cos(n phi - phi0))``.
+
+    Gradient after Blondel & Karplus (the numerically stable form GROMACS
+    uses).
+    """
+    if not dihedrals:
+        return 0.0
+    di = np.array([d.i for d in dihedrals], dtype=np.int64)
+    dj = np.array([d.j for d in dihedrals], dtype=np.int64)
+    dk = np.array([d.k_index for d in dihedrals], dtype=np.int64)
+    dl = np.array([d.l_index for d in dihedrals], dtype=np.int64)
+    phi0 = np.array([d.phi0 for d in dihedrals])
+    kparam = np.array([d.k for d in dihedrals])
+    mult = np.array([d.multiplicity for d in dihedrals])
+
+    b1 = box.displacement(positions[dj], positions[di])  # i->j
+    b2 = box.displacement(positions[dk], positions[dj])  # j->k
+    b3 = box.displacement(positions[dl], positions[dk])  # k->l
+    n1 = np.cross(b1, b2)
+    n2 = np.cross(b2, b3)
+    nb2 = np.sqrt(np.sum(b2 * b2, axis=1))
+    m1 = np.cross(n1, b2 / nb2[:, None])
+    x = np.sum(n1 * n2, axis=1)
+    y = np.sum(m1 * n2, axis=1)
+    phi = np.arctan2(y, x)
+    energy = float(np.sum(kparam * (1.0 + np.cos(mult * phi - phi0))))
+    dvdphi = -kparam * mult * np.sin(mult * phi - phi0)
+
+    n1_sq = np.sum(n1 * n1, axis=1)
+    n2_sq = np.sum(n2 * n2, axis=1)
+    fi = (-dvdphi * nb2 / n1_sq)[:, None] * n1
+    fl = (dvdphi * nb2 / n2_sq)[:, None] * n2
+    s = (np.sum(b1 * b2, axis=1) / nb2**2)[:, None] * fi - (
+        np.sum(b3 * b2, axis=1) / nb2**2
+    )[:, None] * fl
+    fj = -fi - s
+    fk2 = -fl + s
+    np.add.at(forces, di, fi)
+    np.add.at(forces, dj, fj)
+    np.add.at(forces, dk, fk2)
+    np.add.at(forces, dl, fl)
+    return energy
+
+
+def compute_bonded(system: ParticleSystem) -> BondedResult:
+    """All bonded terms for the system's topology."""
+    forces = np.zeros_like(system.positions)
+    topo = system.topology
+    e_b = bond_forces(system.positions, system.box, topo.bonds, forces)
+    e_a = angle_forces(system.positions, system.box, topo.angles, forces)
+    e_d = dihedral_forces(system.positions, system.box, topo.dihedrals, forces)
+    return BondedResult(e_b, e_a, e_d, forces)

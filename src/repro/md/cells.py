@@ -1,0 +1,96 @@
+"""Cell grid for O(N) neighbour candidate generation.
+
+Points are binned into a periodic grid of cells whose edge is at least the
+search radius, so all neighbours of a point lie in its own or the 26
+adjacent cells.  The grid stores points in CSR form (sorted index array +
+per-cell offsets), which lets the pair-list builder gather whole cells
+with numpy slices instead of per-point Python loops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.box import Box
+
+
+@dataclass
+class CellGrid:
+    """Periodic cell decomposition of a set of points."""
+
+    box: Box
+    n_cells_dim: np.ndarray  # (3,) cells per dimension
+    cell_ids: np.ndarray  # (N,) flat cell id per point
+    order: np.ndarray  # (N,) point indices sorted by cell id
+    cell_starts: np.ndarray  # (n_cells + 1,) CSR offsets into `order`
+
+    @classmethod
+    def build(cls, points: np.ndarray, box: Box, min_cell_edge: float) -> "CellGrid":
+        """Bin ``points`` into cells with edge >= ``min_cell_edge``."""
+        if min_cell_edge <= 0:
+            raise ValueError(f"min_cell_edge must be positive: {min_cell_edge}")
+        pts = box.wrap(np.asarray(points, dtype=np.float64))
+        edges = box.array
+        n_dim = np.maximum(1, np.floor(edges / min_cell_edge).astype(np.int64))
+        cell_edge = edges / n_dim
+        coords = np.floor(pts / cell_edge).astype(np.int64)
+        # Guard against points exactly on the upper boundary after wrap.
+        coords = np.minimum(coords, n_dim - 1)
+        flat = (coords[:, 0] * n_dim[1] + coords[:, 1]) * n_dim[2] + coords[:, 2]
+        order = np.argsort(flat, kind="stable")
+        n_cells = int(n_dim.prod())
+        counts = np.bincount(flat, minlength=n_cells)
+        starts = np.concatenate([[0], np.cumsum(counts)])
+        return cls(box, n_dim, flat, order, starts)
+
+    @property
+    def n_cells(self) -> int:
+        return int(self.n_cells_dim.prod())
+
+    @property
+    def n_points(self) -> int:
+        return len(self.cell_ids)
+
+    def cell_members(self, flat_cell: int) -> np.ndarray:
+        """Point indices in one cell."""
+        if not 0 <= flat_cell < self.n_cells:
+            raise IndexError(f"cell {flat_cell} out of range [0, {self.n_cells})")
+        return self.order[self.cell_starts[flat_cell] : self.cell_starts[flat_cell + 1]]
+
+    def unflatten(self, flat_cell: np.ndarray) -> np.ndarray:
+        """Flat cell ids -> (..., 3) integer coordinates."""
+        nz = self.n_cells_dim[2]
+        ny = self.n_cells_dim[1]
+        z = flat_cell % nz
+        y = (flat_cell // nz) % ny
+        x = flat_cell // (nz * ny)
+        return np.stack([x, y, z], axis=-1)
+
+    def flatten(self, coords: np.ndarray) -> np.ndarray:
+        """(..., 3) integer coordinates (periodically wrapped) -> flat ids."""
+        wrapped = np.mod(coords, self.n_cells_dim)
+        return (
+            wrapped[..., 0] * self.n_cells_dim[1] + wrapped[..., 1]
+        ) * self.n_cells_dim[2] + wrapped[..., 2]
+
+    def neighbor_offsets(self, half: bool) -> np.ndarray:
+        """The 27 (full) or 14 (half, incl. self) relative cell offsets.
+
+        The half set is chosen so each unordered cell pair appears exactly
+        once across the whole grid (lexicographic positive direction).
+        """
+        offs = np.array(
+            [(dx, dy, dz) for dx in (-1, 0, 1) for dy in (-1, 0, 1) for dz in (-1, 0, 1)],
+            dtype=np.int64,
+        )
+        if not half:
+            return offs
+        keep = []
+        for o in offs:
+            if tuple(o) == (0, 0, 0):
+                keep.append(o)
+            elif (o[0], o[1], o[2]) > (0, 0, 0):
+                keep.append(o)
+        return np.array(keep, dtype=np.int64)

@@ -1,0 +1,101 @@
+"""Force-field constants: the SPC water model and an LJ test fluid.
+
+The paper's benchmark is the GROMACS ``water`` case (SPC/E-like 3-site
+water).  We carry the SPC parameter set: an oxygen LJ site plus three
+point charges, rigid geometry enforced by constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AtomType:
+    """One nonbonded atom type: LJ C6/C12 (GROMACS convention) + mass."""
+
+    name: str
+    mass: float  # amu
+    c6: float  # kJ mol^-1 nm^6
+    c12: float  # kJ mol^-1 nm^12
+
+    @classmethod
+    def from_sigma_epsilon(cls, name: str, mass: float, sigma: float, epsilon: float) -> "AtomType":
+        """Build from sigma (nm) / epsilon (kJ/mol): C6=4*eps*sigma^6 etc."""
+        return cls(name, mass, 4.0 * epsilon * sigma**6, 4.0 * epsilon * sigma**12)
+
+
+# --- three-site rigid water models ------------------------------------------
+
+
+@dataclass(frozen=True)
+class WaterModel:
+    """A rigid 3-site water parameter set (GROMACS' spc/spce/tip3p)."""
+
+    name: str
+    sigma: float  # nm, oxygen LJ
+    epsilon: float  # kJ/mol, oxygen LJ
+    q_oxygen: float
+    r_oh: float  # nm
+    angle_deg: float
+
+    @property
+    def q_hydrogen(self) -> float:
+        return -self.q_oxygen / 2.0
+
+    @property
+    def r_hh(self) -> float:
+        return float(2.0 * self.r_oh * np.sin(np.radians(self.angle_deg) / 2.0))
+
+    def oxygen_type(self) -> AtomType:
+        return AtomType.from_sigma_epsilon(
+            "OW", 15.9994, self.sigma, self.epsilon
+        )
+
+    def hydrogen_type(self) -> AtomType:
+        return AtomType("HW", 1.008, 0.0, 0.0)
+
+
+SPC = WaterModel("spc", 0.316557, 0.650194, -0.82, 0.1, 109.47)
+SPCE = WaterModel("spce", 0.316557, 0.650194, -0.8476, 0.1, 109.47)
+TIP3P = WaterModel("tip3p", 0.315061, 0.636386, -0.834, 0.09572, 104.52)
+
+WATER_MODELS = {m.name: m for m in (SPC, SPCE, TIP3P)}
+
+#: SPC oxygen: sigma = 0.316557 nm, epsilon = 0.650194 kJ/mol.
+SPC_OXYGEN = SPC.oxygen_type()
+#: SPC hydrogen has no LJ site.
+SPC_HYDROGEN = SPC.hydrogen_type()
+
+SPC_Q_OXYGEN = SPC.q_oxygen
+SPC_Q_HYDROGEN = SPC.q_hydrogen
+#: O-H bond length (nm) and H-O-H angle (degrees) of rigid SPC.
+SPC_ROH = SPC.r_oh
+SPC_ANGLE_DEG = SPC.angle_deg
+#: H-H distance implied by the rigid geometry (law of cosines).
+SPC_RHH = SPC.r_hh
+
+#: Bulk water molecule density at 300 K, molecules / nm^3.
+WATER_MOLECULES_PER_NM3 = 33.33
+
+# --- generic LJ fluid (argon-like, used by fast unit tests) -----------------
+LJ_FLUID = AtomType.from_sigma_epsilon("AR", 39.948, 0.3405, 0.996)
+#: Reduced density 0.8 for liquid argon, particles / nm^3.
+LJ_FLUID_DENSITY = 0.8 / 0.3405**3
+
+
+@dataclass(frozen=True)
+class WaterGeometry:
+    """Rigid-water site placement relative to the oxygen."""
+
+    r_oh: float = SPC.r_oh
+    angle_deg: float = SPC.angle_deg
+
+    def site_offsets(self) -> np.ndarray:
+        """Offsets of (O, H1, H2) from the oxygen position, shape (3, 3)."""
+        half = np.radians(self.angle_deg) / 2.0
+        h1 = np.array([self.r_oh * np.sin(half), self.r_oh * np.cos(half), 0.0])
+        h2 = np.array([-self.r_oh * np.sin(half), self.r_oh * np.cos(half), 0.0])
+        return np.stack([np.zeros(3), h1, h2])

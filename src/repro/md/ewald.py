@@ -1,0 +1,130 @@
+"""Exact (direct-sum) Ewald electrostatics — the oracle PME is tested
+against.
+
+Smooth PME approximates the reciprocal-space sum with B-spline
+interpolation on an FFT grid; this module evaluates the same sum exactly
+(O(N * K^3), usable only for small systems), plus the identical self and
+exclusion corrections, so `tests/md/test_pme.py` can pin PME's error to
+the interpolation order instead of trusting two approximations to agree.
+
+Conventions follow Essmann et al. (1995):
+
+    E_rec = f / (2 pi V) * sum_{m != 0} exp(-pi^2 m^2 / beta^2) / m^2
+            * |S(m)|^2,           S(m) = sum_i q_i exp(2 pi i m . r_i)
+
+with m ranging over reciprocal lattice vectors (integer triples divided
+by the box lengths).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erf
+
+from repro.md.box import Box
+from repro.md.system import ParticleSystem
+from repro.util.units import COULOMB_CONSTANT
+
+
+@dataclass(frozen=True)
+class EwaldParams:
+    """Direct Ewald configuration: splitting beta and reciprocal cutoff."""
+
+    beta: float = 3.12341
+    kmax: int = 12  # reciprocal vectors per dimension: |m_i| <= kmax
+
+    def __post_init__(self) -> None:
+        if self.beta <= 0:
+            raise ValueError(f"beta must be positive: {self.beta}")
+        if self.kmax < 1:
+            raise ValueError(f"kmax must be >= 1: {self.kmax}")
+
+
+@dataclass
+class EwaldResult:
+    energy_reciprocal: float
+    energy_self: float
+    energy_exclusion: float
+    forces: np.ndarray
+
+    @property
+    def energy(self) -> float:
+        return self.energy_reciprocal + self.energy_self + self.energy_exclusion
+
+
+class DirectEwaldSolver:
+    """Exact reciprocal-space Ewald for orthorhombic boxes.
+
+    Vectorised over all (m, particle) pairs; memory is O(N * K^3), so
+    keep systems small (the test oracle role).
+    """
+
+    def __init__(self, box: Box, params: EwaldParams | None = None) -> None:
+        self.box = box
+        self.params = params or EwaldParams()
+        k = self.params.kmax
+        grid = np.arange(-k, k + 1)
+        mx, my, mz = np.meshgrid(grid, grid, grid, indexing="ij")
+        m_int = np.stack([mx.ravel(), my.ravel(), mz.ravel()], axis=1)
+        m_int = m_int[np.any(m_int != 0, axis=1)]  # drop m = 0
+        self._m = m_int / box.array[None, :]  # reciprocal vectors (1/nm)
+        m2 = np.sum(self._m * self._m, axis=1)
+        self._weight = (
+            np.exp(-np.pi**2 * m2 / self.params.beta**2)
+            / m2
+            / (2.0 * np.pi * box.volume)
+        )
+
+    def reciprocal(
+        self, positions: np.ndarray, charges: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Exact reciprocal energy and forces."""
+        pos = self.box.wrap(np.asarray(positions, dtype=np.float64))
+        q = np.asarray(charges, dtype=np.float64)
+        phase = 2.0 * np.pi * (pos @ self._m.T)  # (N, M)
+        cos_p = np.cos(phase)
+        sin_p = np.sin(phase)
+        s_re = q @ cos_p  # (M,)
+        s_im = q @ sin_p
+        energy = float(
+            COULOMB_CONSTANT * np.sum(self._weight * (s_re**2 + s_im**2))
+        )
+        # F_i = -dE/dr_i: the structure-factor derivative gives, per mode,
+        # 4 pi f w q_i m (sin_i * S_re - cos_i * S_im).
+        coeff = 4.0 * np.pi * COULOMB_CONSTANT * self._weight  # (M,)
+        lever = sin_p * (coeff * s_re)[None, :] - cos_p * (coeff * s_im)[None, :]
+        forces = (q[:, None] * lever) @ self._m
+        return energy, forces
+
+    def self_energy(self, charges: np.ndarray) -> float:
+        return float(
+            -COULOMB_CONSTANT
+            * self.params.beta
+            / np.sqrt(np.pi)
+            * np.sum(np.asarray(charges) ** 2)
+        )
+
+    def exclusion_correction(
+        self, system: ParticleSystem
+    ) -> tuple[float, np.ndarray]:
+        """Identical to PME's: remove erf(beta r)/r for intra-molecular
+        pairs (delegates to the PME implementation to guarantee parity)."""
+        from repro.md.pme import PmeParams, PmeSolver
+
+        pme = PmeSolver(
+            self.box, PmeParams(beta=self.params.beta)
+        )
+        return pme.exclusion_correction(system)
+
+    def compute(self, system: ParticleSystem) -> EwaldResult:
+        e_rec, f_rec = self.reciprocal(system.positions, system.charges)
+        e_self = self.self_energy(system.charges)
+        e_excl, f_excl = self.exclusion_correction(system)
+        return EwaldResult(
+            energy_reciprocal=e_rec,
+            energy_self=e_self,
+            energy_exclusion=e_excl,
+            forces=f_rec + f_excl,
+        )

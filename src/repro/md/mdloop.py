@@ -1,0 +1,177 @@
+"""The MD workflow of the paper's Fig. 1, reference (x86-like) edition.
+
+``MdLoop`` runs initialise -> [neighbour search -> forces -> update ->
+constraints -> output]* with per-kernel wall-time instrumentation using
+the paper's Table 1 kernel taxonomy.  It is the double-precision ground
+truth the SW26010 engine (`repro.core.engine.SWGromacsEngine`) is
+validated against, and the "x86 / knl" curve of the Fig. 13 accuracy
+experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.perf import KernelTiming
+from repro.md.bonded import compute_bonded
+from repro.md.constraints import build_constraint_solver
+from repro.md.forces import compute_short_range
+from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import ClusterPairList, build_pair_list
+from repro.md.pme import PmeParams, PmeSolver
+from repro.md.reporter import EnergyReporter
+from repro.md.system import ParticleSystem
+
+#: Kernel names following the paper's Table 1.
+KERNEL_NEIGHBOR = "Neighbor search"
+KERNEL_FORCE = "Force"
+KERNEL_PME = "PME mesh"
+KERNEL_BONDED = "Bonded"
+KERNEL_UPDATE = "Update"
+KERNEL_CONSTRAINTS = "Constraints"
+KERNEL_COMM = "Comm. energies"
+KERNEL_OUTPUT = "Write traj"
+
+
+@dataclass
+class MdConfig:
+    """Everything an MD run needs besides the system itself."""
+
+    nonbonded: NonbondedParams = field(default_factory=NonbondedParams)
+    integrator: IntegratorConfig = field(default_factory=IntegratorConfig)
+    use_pme: bool = False
+    pme: PmeParams = field(default_factory=PmeParams)
+    precision: type = np.float64
+    constraint_algorithm: str = "auto"  # auto | shake | lincs | settle
+    output_interval: int = 0  # 0 = no trajectory output
+    report_interval: int = 100
+
+    def __post_init__(self) -> None:
+        if self.use_pme and self.nonbonded.coulomb_mode != "ewald":
+            raise ValueError(
+                "use_pme requires coulomb_mode='ewald' for the real-space part"
+            )
+        if self.use_pme and abs(self.pme.beta - self.nonbonded.ewald_beta) > 1e-9:
+            raise ValueError(
+                f"PME beta {self.pme.beta} != real-space beta "
+                f"{self.nonbonded.ewald_beta}"
+            )
+
+
+@dataclass
+class MdResult:
+    """Run outcome: final state, energy series, per-kernel timings."""
+
+    system: ParticleSystem
+    reporter: EnergyReporter
+    timing: KernelTiming
+    n_steps: int
+    n_pairlist_rebuilds: int
+    trajectory_frames: list[np.ndarray] = field(default_factory=list)
+
+
+class MdLoop:
+    """Reference MD driver."""
+
+    def __init__(self, system: ParticleSystem, config: MdConfig | None = None) -> None:
+        self.system = system
+        self.config = config or MdConfig()
+        self.shake = build_constraint_solver(
+            system, self.config.constraint_algorithm
+        )
+        self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
+        self.pme = (
+            PmeSolver(system.box, self.config.pme) if self.config.use_pme else None
+        )
+        self.pairlist: ClusterPairList | None = None
+        self._forces = np.zeros_like(system.positions)
+        self._potential = 0.0
+
+    def compute_forces(self, timing: KernelTiming | None = None) -> tuple[np.ndarray, float]:
+        """All forces and the total potential at the current positions."""
+        timing = timing if timing is not None else KernelTiming()
+        assert self.pairlist is not None, "neighbour list not built"
+        t0 = time.perf_counter()
+        sr = compute_short_range(
+            self.system, self.pairlist, self.config.nonbonded,
+            dtype=self.config.precision,
+        )
+        timing.add(KERNEL_FORCE, time.perf_counter() - t0)
+        forces = sr.forces
+        potential = sr.energy
+
+        if self.pme is not None:
+            t0 = time.perf_counter()
+            pme_res = self.pme.compute(self.system)
+            timing.add(KERNEL_PME, time.perf_counter() - t0)
+            forces = forces + pme_res.forces
+            potential += pme_res.energy
+
+        topo = self.system.topology
+        if topo.bonds or topo.angles or topo.dihedrals:
+            t0 = time.perf_counter()
+            bonded = compute_bonded(self.system)
+            timing.add(KERNEL_BONDED, time.perf_counter() - t0)
+            forces = forces + bonded.forces
+            potential += bonded.energy
+        return forces, potential
+
+    def _rebuild_pairlist(self, timing: KernelTiming) -> None:
+        t0 = time.perf_counter()
+        self.pairlist = build_pair_list(self.system, self.config.nonbonded.r_list)
+        timing.add(KERNEL_NEIGHBOR, time.perf_counter() - t0)
+
+    def run(self, n_steps: int) -> MdResult:
+        """Run ``n_steps`` of MD, recording energies and kernel timings."""
+        if n_steps < 0:
+            raise ValueError(f"n_steps must be non-negative: {n_steps}")
+        cfg = self.config
+        timing = KernelTiming()
+        reporter = EnergyReporter(interval=cfg.report_interval)
+        trajectory: list[np.ndarray] = []
+        rebuilds = 0
+
+        for step in range(n_steps):
+            if step % cfg.nonbonded.nstlist == 0:
+                self._rebuild_pairlist(timing)
+                rebuilds += 1
+
+            forces, potential = self.compute_forces(timing)
+
+            t0 = time.perf_counter()
+            self.integrator.step(self.system, forces)
+            dt_update = time.perf_counter() - t0
+            # SHAKE runs inside the integrator; attribute its share to the
+            # Constraints kernel proportionally to constraint count.
+            if self.shake is not None and self.shake.n_constraints:
+                timing.add(KERNEL_UPDATE, dt_update * 0.4)
+                timing.add(KERNEL_CONSTRAINTS, dt_update * 0.6)
+            else:
+                timing.add(KERNEL_UPDATE, dt_update)
+
+            t0 = time.perf_counter()
+            reporter.maybe_record(
+                step,
+                potential,
+                self.system.kinetic_energy(),
+                self.system.temperature(),
+            )
+            timing.add(KERNEL_COMM, time.perf_counter() - t0)
+
+            if cfg.output_interval and step % cfg.output_interval == 0:
+                t0 = time.perf_counter()
+                trajectory.append(self.system.positions.copy())
+                timing.add(KERNEL_OUTPUT, time.perf_counter() - t0)
+
+        return MdResult(
+            system=self.system,
+            reporter=reporter,
+            timing=timing,
+            n_steps=n_steps,
+            n_pairlist_rebuilds=rebuilds,
+            trajectory_frames=trajectory,
+        )

@@ -1,0 +1,152 @@
+"""Nonbonded interaction model: LJ + short-range Coulomb pair math.
+
+One function, :func:`pair_force_energy`, is the single source of truth for
+the per-pair physics.  The float64 reference engine, the float32
+mixed-precision path, and every strategy kernel in `repro.core.kernels`
+call it, so functional-equivalence tests between strategies are tests of
+bookkeeping, never of divergent physics.
+
+Coulomb variants (paper Table 3 uses PME; its real-space part is the
+``ewald`` mode here):
+
+* ``rf``    — reaction field with eps_rf = infinity,
+* ``ewald`` — erfc-attenuated real space (PME's short-range half),
+* ``cut``   — plain truncated 1/r,
+* ``none``  — LJ only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import erfc
+
+from repro.util.units import COULOMB_CONSTANT
+
+COULOMB_MODES = ("rf", "ewald", "cut", "none")
+
+
+@dataclass(frozen=True)
+class NonbondedParams:
+    """Cutoffs and Coulomb configuration (paper Table 3 equivalents)."""
+
+    r_cut: float = 1.0
+    r_list: float = 1.1
+    nstlist: int = 10
+    coulomb_mode: str = "rf"
+    #: Ewald splitting parameter beta (1/nm); GROMACS-like default for
+    #: rcut = 1.0 nm and rtol = 1e-5.
+    ewald_beta: float = 3.12341
+    #: Shift the LJ potential so V(r_cut) = 0 (GROMACS verlet scheme).
+    shift_lj: bool = True
+
+    def __post_init__(self) -> None:
+        if self.r_cut <= 0:
+            raise ValueError(f"r_cut must be positive: {self.r_cut}")
+        if self.r_list < self.r_cut:
+            raise ValueError(
+                f"r_list ({self.r_list}) must be >= r_cut ({self.r_cut})"
+            )
+        if self.nstlist < 1:
+            raise ValueError(f"nstlist must be >= 1: {self.nstlist}")
+        if self.coulomb_mode not in COULOMB_MODES:
+            raise ValueError(
+                f"coulomb_mode {self.coulomb_mode!r} not in {COULOMB_MODES}"
+            )
+
+    @property
+    def krf(self) -> float:
+        """Reaction-field quadratic coefficient (eps_rf = infinity)."""
+        return 1.0 / (2.0 * self.r_cut**3)
+
+    @property
+    def crf(self) -> float:
+        """Reaction-field constant shift making V(r_cut) = 0."""
+        return 3.0 / (2.0 * self.r_cut)
+
+
+def lj_shift_energy(c6: np.ndarray, c12: np.ndarray, r_cut: float) -> np.ndarray:
+    """Potential-shift constant: V_LJ(r_cut) per pair."""
+    inv6 = (1.0 / r_cut) ** 6
+    return c12 * inv6 * inv6 - c6 * inv6
+
+
+def pair_force_energy(
+    r2: np.ndarray,
+    qq: np.ndarray,
+    c6: np.ndarray,
+    c12: np.ndarray,
+    params: NonbondedParams,
+    mask: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Force scalar and energy for particle pairs.
+
+    Arguments are broadcastable arrays: squared distances ``r2``, charge
+    products pre-multiplied by the electric factor is NOT applied (``qq``
+    is q_i * q_j; the Coulomb constant is applied here), and LJ ``c6`` /
+    ``c12``.  Returns ``(f_scalar, energy)`` where the force on i is
+    ``f_scalar * (r_i - r_j)`` — i.e. f_scalar = -(dV/dr)/r.
+
+    ``mask`` marks pairs that interact; masked-out entries contribute
+    exactly zero and are guarded against r2 = 0 (padding particles overlap
+    in space, so the guard is mandatory, mirroring GROMACS' own masked
+    SIMD kernels).
+
+    Everything is computed in the dtype of ``r2`` — float32 in the
+    mixed-precision kernels, float64 in the reference engine.
+    """
+    r2 = np.asarray(r2)
+    dtype = r2.dtype
+    if mask is None:
+        mask = np.ones(r2.shape, dtype=bool)
+    cutoff_mask = mask & (r2 < dtype.type(params.r_cut) ** 2) & (r2 > 0)
+    safe_r2 = np.where(cutoff_mask, r2, dtype.type(1.0))
+    inv_r2 = dtype.type(1.0) / safe_r2
+    inv_r6 = inv_r2 * inv_r2 * inv_r2
+
+    c6 = np.asarray(c6, dtype=dtype)
+    c12 = np.asarray(c12, dtype=dtype)
+    qq = np.asarray(qq, dtype=dtype)
+
+    # Lennard-Jones (Eq. 1-2 of the paper).
+    e_lj = c12 * inv_r6 * inv_r6 - c6 * inv_r6
+    f_lj = (
+        dtype.type(12.0) * c12 * inv_r6 * inv_r6 - dtype.type(6.0) * c6 * inv_r6
+    ) * inv_r2
+    if params.shift_lj:
+        e_lj = e_lj - lj_shift_energy(c6, c12, params.r_cut).astype(dtype)
+
+    # Coulomb.
+    felec = dtype.type(COULOMB_CONSTANT)
+    if params.coulomb_mode == "none":
+        e_coul = np.zeros_like(e_lj)
+        f_coul = np.zeros_like(f_lj)
+    else:
+        inv_r = np.sqrt(inv_r2)
+        if params.coulomb_mode == "cut":
+            e_coul = felec * qq * inv_r
+            f_coul = felec * qq * inv_r * inv_r2
+        elif params.coulomb_mode == "rf":
+            krf = dtype.type(params.krf)
+            crf = dtype.type(params.crf)
+            e_coul = felec * qq * (inv_r + krf * safe_r2 - crf)
+            f_coul = felec * qq * (inv_r * inv_r2 - dtype.type(2.0) * krf)
+        else:  # ewald real space
+            beta = dtype.type(params.ewald_beta)
+            r = np.sqrt(safe_r2)
+            erfc_br = erfc(beta * r).astype(dtype)
+            gauss = np.exp(-((beta * r) ** 2)).astype(dtype)
+            two_beta_over_sqrt_pi = dtype.type(2.0 * params.ewald_beta / np.sqrt(np.pi))
+            e_coul = felec * qq * erfc_br * inv_r
+            f_coul = (
+                felec
+                * qq
+                * (erfc_br * inv_r + two_beta_over_sqrt_pi * gauss)
+                * inv_r2
+            )
+
+    zero = dtype.type(0.0)
+    f_scalar = np.where(cutoff_mask, f_lj + f_coul, zero)
+    energy = np.where(cutoff_mask, e_lj + e_coul, zero)
+    return f_scalar, energy

@@ -1,0 +1,55 @@
+"""Pressure from the virial theorem.
+
+``P = (2 E_kin + W) / (3 V)`` with W the pair virial (sum of F.r over
+unordered pairs).  Units: kJ/(mol nm^3), convertible to bar with
+:data:`PRESSURE_UNIT_TO_BAR` (GROMACS' ``PRESFAC``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.forces import ShortRangeResult
+from repro.md.system import ParticleSystem
+
+#: kJ/(mol nm^3) -> bar (GROMACS PRESFAC = 16.6054).
+PRESSURE_UNIT_TO_BAR: float = 16.6054
+
+
+@dataclass
+class PressureResult:
+    kinetic_term: float  # 2 Ekin / (3V), kJ/(mol nm^3)
+    virial_term: float  # W / (3V)
+    pressure: float  # kJ/(mol nm^3)
+
+    @property
+    def bar(self) -> float:
+        return self.pressure * PRESSURE_UNIT_TO_BAR
+
+
+def compute_pressure(
+    system: ParticleSystem, short_range: ShortRangeResult
+) -> PressureResult:
+    """Instantaneous pressure from kinetic energy + short-range virial.
+
+    The constraint virial of rigid molecules is not computed separately;
+    for equilibrated rigid water it is absorbed by the kinetic term's
+    constrained degrees of freedom (GROMACS reports the same quantity
+    through its constraint-virial path).
+    """
+    volume = system.box.volume
+    ekin = system.kinetic_energy()
+    kinetic_term = 2.0 * ekin / (3.0 * volume)
+    virial_term = short_range.virial / (3.0 * volume)
+    return PressureResult(
+        kinetic_term=kinetic_term,
+        virial_term=virial_term,
+        pressure=kinetic_term + virial_term,
+    )
+
+
+def ideal_gas_pressure(system: ParticleSystem) -> float:
+    """2 E_kin / (3 V): the zero-interaction (virial-free) pressure."""
+    return 2.0 * system.kinetic_energy() / (3.0 * system.box.volume)

@@ -1,0 +1,72 @@
+"""Energy/temperature reporting — the observables of the paper's Fig. 13.
+
+The accuracy experiment records total energy and temperature every 100
+steps of a long run and compares the SW26010 mixed-precision trajectory
+against the x86 double-precision reference; :class:`EnergyReporter`
+collects exactly those series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class EnergyFrame:
+    """One report row."""
+
+    step: int
+    potential: float
+    kinetic: float
+    temperature: float
+
+    @property
+    def total(self) -> float:
+        return self.potential + self.kinetic
+
+
+@dataclass
+class EnergyReporter:
+    """Collects frames every ``interval`` steps."""
+
+    interval: int = 100
+    frames: list[EnergyFrame] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.interval < 1:
+            raise ValueError(f"interval must be >= 1: {self.interval}")
+
+    def maybe_record(
+        self, step: int, potential: float, kinetic: float, temperature: float
+    ) -> bool:
+        """Record when ``step`` falls on the interval; returns True if kept."""
+        if step % self.interval != 0:
+            return False
+        self.frames.append(EnergyFrame(step, potential, kinetic, temperature))
+        return True
+
+    # -- series accessors (paper Fig. 13 axes) --------------------------------
+    def steps(self) -> np.ndarray:
+        return np.array([f.step for f in self.frames])
+
+    def total_energy(self) -> np.ndarray:
+        return np.array([f.total for f in self.frames])
+
+    def temperature(self) -> np.ndarray:
+        return np.array([f.temperature for f in self.frames])
+
+    def drift_per_step(self) -> float:
+        """Linear drift of total energy (kJ/mol/step) over the run."""
+        if len(self.frames) < 2:
+            return 0.0
+        steps = self.steps().astype(np.float64)
+        slope = np.polyfit(steps, self.total_energy(), 1)[0]
+        return float(slope)
+
+    def energy_std(self) -> float:
+        """Standard deviation of total energy about its mean."""
+        if len(self.frames) < 2:
+            return 0.0
+        return float(np.std(self.total_energy()))

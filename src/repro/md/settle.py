@@ -1,0 +1,258 @@
+"""SETTLE: analytical rigid-water constraint reset (Miyamoto & Kollman
+1992) — what GROMACS actually uses for water (the paper's benchmark is
+pure water, so its "Constraints" kernel is SETTLE).
+
+Unlike SHAKE/LINCS, SETTLE solves the three coupled constraints of a
+rigid three-site water *exactly* in closed form: it constructs a frame
+from the pre-step triangle, finds the rotation (phi, psi, theta) that
+restores the canonical geometry while conserving momentum, and applies
+it.  The implementation below is fully vectorised over all molecules.
+
+Validated in `tests/md/test_settle.py`: exact constraint satisfaction
+(~1e-10 relative), linear-momentum conservation, agreement with SHAKE in
+the small-displacement limit, and NVE stability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.constraints import ConstraintError
+
+
+def _normalize(v: np.ndarray) -> np.ndarray:
+    return v / np.linalg.norm(v, axis=-1, keepdims=True)
+
+
+@dataclass
+class SettleParameters:
+    """Canonical rigid geometry derived from (d_OH, d_HH, m_O, m_H)."""
+
+    ra: float  # COM -> O distance along the symmetry axis
+    rb: float  # COM -> HH-midpoint distance (opposite side)
+    rc: float  # half the H-H distance
+    m_o: float
+    m_h: float
+
+    @classmethod
+    def from_geometry(cls, d_oh: float, d_hh: float, m_o: float, m_h: float) -> "SettleParameters":
+        if not 0 < d_hh < 2 * d_oh:
+            raise ValueError(
+                f"impossible rigid water: d_OH={d_oh}, d_HH={d_hh}"
+            )
+        rc = d_hh / 2.0
+        t = np.sqrt(d_oh**2 - rc**2)  # O -> HH-midpoint altitude
+        total = m_o + 2.0 * m_h
+        ra = t * 2.0 * m_h / total
+        rb = t - ra
+        return cls(ra=ra, rb=rb, rc=rc, m_o=m_o, m_h=m_h)
+
+
+class SettleSolver:
+    """Vectorised SETTLE over a set of (O, H, H) index triples."""
+
+    def __init__(
+        self,
+        oxygen: np.ndarray,
+        hydrogen1: np.ndarray,
+        hydrogen2: np.ndarray,
+        params: SettleParameters,
+    ) -> None:
+        self.o = np.asarray(oxygen, dtype=np.int64)
+        self.h1 = np.asarray(hydrogen1, dtype=np.int64)
+        self.h2 = np.asarray(hydrogen2, dtype=np.int64)
+        if not (len(self.o) == len(self.h1) == len(self.h2)):
+            raise ValueError("site index arrays must have equal length")
+        self.params = params
+
+    @classmethod
+    def from_water_topology(cls, system) -> "SettleSolver":
+        """Build from a `ParticleSystem` whose molecules are 3-site waters
+        in (O, H, H) order with O-H / H-H constraints."""
+        topo = system.topology
+        mol = topo.mol_ids
+        order = np.argsort(mol, kind="stable")
+        n = len(order)
+        if n % 3:
+            raise ValueError("not a pure 3-site water system")
+        trip = order.reshape(-1, 3)
+        o, h1, h2 = trip[:, 0], trip[:, 1], trip[:, 2]
+        masses = system.masses
+        if not (np.all(masses[o] > masses[h1]) and np.all(masses[h1] == masses[h2])):
+            raise ValueError("molecules are not (heavy, light, light) triples")
+        # Pull the rigid distances from the constraint list.
+        d_oh = d_hh = None
+        o_set = set(int(x) for x in o)
+        for c in topo.constraints:
+            if (c.i in o_set) != (c.j in o_set):
+                d_oh = c.distance
+            elif c.i not in o_set and c.j not in o_set:
+                d_hh = c.distance
+        if d_oh is None or d_hh is None:
+            raise ValueError("constraint list lacks O-H or H-H distances")
+        params = SettleParameters.from_geometry(
+            d_oh, d_hh, float(masses[o[0]]), float(masses[h1[0]])
+        )
+        return cls(o, h1, h2, params)
+
+    @property
+    def n_constraints(self) -> int:
+        return 3 * len(self.o)
+
+    def apply_positions(
+        self, positions: np.ndarray, reference: np.ndarray, box: Box
+    ) -> int:
+        """Analytically reset every water (in place).  Returns 0 (no
+        iteration).  ``reference`` holds the pre-step (rigid) positions."""
+        if len(self.o) == 0:
+            return 0
+        p = self.params
+        ma, mb = p.m_o, p.m_h
+        total = ma + 2.0 * mb
+
+        # Work in molecule-local, minimum-image-consistent coordinates:
+        # unwrap each site relative to the reference oxygen.
+        ref_a = reference[self.o]
+        a0 = np.zeros_like(ref_a)
+        b0 = box.minimum_image(reference[self.h1] - ref_a)
+        c0 = box.minimum_image(reference[self.h2] - ref_a)
+        a1 = box.minimum_image(positions[self.o] - ref_a)
+        b1 = box.minimum_image(positions[self.h1] - ref_a)
+        c1 = box.minimum_image(positions[self.h2] - ref_a)
+
+        com = (ma * a1 + mb * b1 + mb * c1) / total
+        xa1 = a1 - com
+        xb1 = b1 - com
+        xc1 = c1 - com
+        xb0 = b0 - a0
+        xc0 = c0 - a0
+
+        # Orthonormal frame: z from the reference plane, x toward the
+        # displaced oxygen, y completing.
+        zaxis = _normalize(np.cross(xb0, xc0))
+        xaxis = _normalize(np.cross(xa1, zaxis))
+        yaxis = _normalize(np.cross(zaxis, xaxis))
+        # Rows of the rotation matrix (world -> primed).
+        rot = np.stack([xaxis, yaxis, zaxis], axis=1)  # (M, 3, 3)
+
+        def to_prime(v):
+            return np.einsum("mij,mj->mi", rot, v)
+
+        b0p = to_prime(xb0)
+        c0p = to_prime(xc0)
+        a1p = to_prime(xa1)
+        b1p = to_prime(xb1)
+        c1p = to_prime(xc1)
+
+        sinphi = np.clip(a1p[:, 2] / p.ra, -1.0, 1.0)
+        cosphi = np.sqrt(np.maximum(1.0 - sinphi**2, 1e-16))
+        sinpsi = np.clip(
+            (b1p[:, 2] - c1p[:, 2]) / (2.0 * p.rc * cosphi), -1.0, 1.0
+        )
+        cospsi = np.sqrt(1.0 - sinpsi**2)
+
+        ya2 = p.ra * cosphi
+        xb2 = -p.rc * cospsi
+        yb2 = -p.rb * cosphi - p.rc * sinpsi * sinphi
+        yc2 = -p.rb * cosphi + p.rc * sinpsi * sinphi
+
+        alpha = xb2 * (b0p[:, 0] - c0p[:, 0]) + b0p[:, 1] * yb2 + c0p[:, 1] * yc2
+        beta = xb2 * (c0p[:, 1] - b0p[:, 1]) + b0p[:, 0] * yb2 + c0p[:, 0] * yc2
+        gamma = (
+            b0p[:, 0] * b1p[:, 1]
+            - b1p[:, 0] * b0p[:, 1]
+            + c0p[:, 0] * c1p[:, 1]
+            - c1p[:, 0] * c0p[:, 1]
+        )
+        a2b2 = alpha**2 + beta**2
+        under = a2b2 - gamma**2
+        if np.any(under < -1e-12 * a2b2):
+            raise ConstraintError(
+                "SETTLE determinant negative: geometry too distorted"
+            )
+        sintheta = (alpha * gamma - beta * np.sqrt(np.maximum(under, 0.0))) / a2b2
+        sintheta = np.clip(sintheta, -1.0, 1.0)
+        costheta = np.sqrt(1.0 - sintheta**2)
+
+        za2 = p.ra * sinphi
+        zb2 = -p.rb * sinphi + p.rc * sinpsi * cosphi
+        zc2 = -p.rb * sinphi - p.rc * sinpsi * cosphi
+
+        xa3 = -ya2 * sintheta
+        ya3 = ya2 * costheta
+        za3 = za2
+        xb3 = xb2 * costheta - yb2 * sintheta
+        yb3 = xb2 * sintheta + yb2 * costheta
+        zb3 = zb2
+        xc3 = -xb2 * costheta - yc2 * sintheta
+        yc3 = -xb2 * sintheta + yc2 * costheta
+        zc3 = zc2
+
+        a3p = np.stack([xa3, ya3, za3], axis=1)
+        b3p = np.stack([xb3, yb3, zb3], axis=1)
+        c3p = np.stack([xc3, yc3, zc3], axis=1)
+
+        def from_prime(v):
+            return np.einsum("mji,mj->mi", rot, v)
+
+        positions[self.o] = ref_a + from_prime(a3p) + com
+        positions[self.h1] = ref_a + from_prime(b3p) + com
+        positions[self.h2] = ref_a + from_prime(c3p) + com
+        return 0
+
+    def apply_velocities(
+        self, velocities: np.ndarray, positions: np.ndarray, box: Box
+    ) -> int:
+        """Exact velocity constraint (Miyamoto-Kollman part 2): solve the
+        3x3 linear system for the bond-direction impulses per molecule."""
+        if len(self.o) == 0:
+            return 0
+        p = self.params
+        e_ab = _normalize(box.minimum_image(positions[self.h1] - positions[self.o]))
+        e_bc = _normalize(box.minimum_image(positions[self.h2] - positions[self.h1]))
+        e_ca = _normalize(box.minimum_image(positions[self.o] - positions[self.h2]))
+        v_ab = np.sum((velocities[self.h1] - velocities[self.o]) * e_ab, axis=1)
+        v_bc = np.sum((velocities[self.h2] - velocities[self.h1]) * e_bc, axis=1)
+        v_ca = np.sum((velocities[self.o] - velocities[self.h2]) * e_ca, axis=1)
+
+        ma, mb = p.m_o, p.m_h
+        cos_a = np.sum(-e_ab * e_ca, axis=1)
+        cos_b = np.sum(-e_bc * e_ab, axis=1)
+        cos_c = np.sum(-e_ca * e_bc, axis=1)
+
+        m = len(self.o)
+        mat = np.empty((m, 3, 3))
+        mat[:, 0, 0] = 1.0 / ma + 1.0 / mb
+        mat[:, 0, 1] = (1.0 / mb) * cos_b
+        mat[:, 0, 2] = (1.0 / ma) * cos_a
+        mat[:, 1, 0] = (1.0 / mb) * cos_b
+        mat[:, 1, 1] = 2.0 / mb
+        mat[:, 1, 2] = (1.0 / mb) * cos_c
+        mat[:, 2, 0] = (1.0 / ma) * cos_a
+        mat[:, 2, 1] = (1.0 / mb) * cos_c
+        mat[:, 2, 2] = 1.0 / ma + 1.0 / mb
+        rhs = np.stack([v_ab, v_bc, v_ca], axis=1)
+        tau = np.linalg.solve(mat, rhs[..., None])[..., 0]
+
+        velocities[self.o] += (tau[:, 0:1] * e_ab - tau[:, 2:3] * e_ca) / ma
+        velocities[self.h1] += (tau[:, 1:2] * e_bc - tau[:, 0:1] * e_ab) / mb
+        velocities[self.h2] += (tau[:, 2:3] * e_ca - tau[:, 1:2] * e_bc) / mb
+        return 0
+
+    def max_violation(self, positions: np.ndarray, box: Box) -> float:
+        p = self.params
+        t = p.ra + p.rb
+        d_oh = np.sqrt(t**2 + p.rc**2)
+        d_hh = 2.0 * p.rc
+        worst = 0.0
+        for pair, target in (
+            ((self.o, self.h1), d_oh),
+            ((self.o, self.h2), d_oh),
+            ((self.h1, self.h2), d_hh),
+        ):
+            d = box.distance(positions[pair[0]], positions[pair[1]])
+            worst = max(worst, float(np.abs(d**2 - target**2).max() / target**2))
+        return worst

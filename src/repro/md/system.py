@@ -1,0 +1,102 @@
+"""ParticleSystem: the complete simulation state.
+
+Positions/velocities/forces live in float64 "master" arrays (the reference
+precision); kernels that model the paper's mixed-precision path down-cast
+on entry.  The system owns the box and topology and offers derived
+quantities (kinetic energy, temperature, degrees of freedom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.md.box import Box
+from repro.md.topology import Topology
+from repro.util.units import KB_KJ_PER_MOL_K
+
+
+class ParticleSystem:
+    """State container for one MD system."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        box: Box,
+        topology: Topology,
+        velocities: np.ndarray | None = None,
+    ) -> None:
+        pos = np.asarray(positions, dtype=np.float64)
+        if pos.ndim != 2 or pos.shape[1] != 3:
+            raise ValueError(f"positions must be (N, 3), got {pos.shape}")
+        if topology.n_particles != len(pos):
+            raise ValueError(
+                f"topology has {topology.n_particles} particles, "
+                f"positions have {len(pos)}"
+            )
+        topology.validate()
+        self.positions = box.wrap(pos)
+        self.box = box
+        self.topology = topology
+        if velocities is None:
+            self.velocities = np.zeros_like(self.positions)
+        else:
+            vel = np.asarray(velocities, dtype=np.float64)
+            if vel.shape != self.positions.shape:
+                raise ValueError(f"velocities shape {vel.shape} != positions")
+            self.velocities = vel.copy()
+        self.forces = np.zeros_like(self.positions)
+
+    @property
+    def n_particles(self) -> int:
+        return len(self.positions)
+
+    @property
+    def masses(self) -> np.ndarray:
+        return self.topology.masses
+
+    @property
+    def charges(self) -> np.ndarray:
+        return self.topology.charges
+
+    def n_dof(self) -> int:
+        """Translational degrees of freedom: 3N - constraints - 3 (COM)."""
+        return 3 * self.n_particles - self.topology.n_constrained_dof() - 3
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy in kJ/mol."""
+        v2 = np.sum(self.velocities * self.velocities, axis=1)
+        return float(0.5 * np.dot(self.masses, v2))
+
+    def temperature(self) -> float:
+        """Instantaneous temperature in K."""
+        return 2.0 * self.kinetic_energy() / (self.n_dof() * KB_KJ_PER_MOL_K)
+
+    def thermalize(self, temperature: float, rng: np.random.Generator) -> None:
+        """Draw Maxwell-Boltzmann velocities and remove COM drift."""
+        if temperature < 0:
+            raise ValueError(f"temperature must be non-negative: {temperature}")
+        sigma = np.sqrt(KB_KJ_PER_MOL_K * temperature / self.masses)
+        self.velocities = rng.normal(size=self.positions.shape) * sigma[:, None]
+        self.remove_com_motion()
+        # Rescale to hit the target temperature exactly.
+        current = self.temperature()
+        if current > 0:
+            self.velocities *= np.sqrt(temperature / current)
+
+    def remove_com_motion(self) -> None:
+        """Zero the centre-of-mass velocity."""
+        m = self.masses
+        com_v = (m[:, None] * self.velocities).sum(axis=0) / m.sum()
+        self.velocities -= com_v
+
+    def copy(self) -> "ParticleSystem":
+        """Deep copy of the dynamic state (topology/box are shared)."""
+        dup = ParticleSystem.__new__(ParticleSystem)
+        dup.positions = self.positions.copy()
+        dup.velocities = self.velocities.copy()
+        dup.forces = self.forces.copy()
+        dup.box = self.box
+        dup.topology = self.topology
+        return dup

@@ -1,0 +1,39 @@
+"""Simulated parallel runtime: athread-style CPE spawning, spatial domain
+decomposition over core groups, and MPI/RDMA communication models."""
+
+from repro.parallel.athread import SpawnReport, block_partition, spawn, weighted_partition
+from repro.parallel.collectives import CommBreakdown, ENERGY_RECORD_BYTES, step_comm_seconds
+from repro.parallel.decomposition import (
+    DomainDecomposition,
+    Subdomain,
+    factor_ranks,
+    halo_bytes_per_step,
+)
+from repro.parallel.mpi_sim import (
+    SimComm,
+    allreduce_seconds,
+    alltoall_seconds,
+    mpi_message_seconds,
+)
+from repro.parallel.rdma import crossover_size_bytes, rdma_message_seconds, rdma_speedup
+
+__all__ = [
+    "CommBreakdown",
+    "DomainDecomposition",
+    "ENERGY_RECORD_BYTES",
+    "SimComm",
+    "SpawnReport",
+    "Subdomain",
+    "allreduce_seconds",
+    "alltoall_seconds",
+    "block_partition",
+    "crossover_size_bytes",
+    "factor_ranks",
+    "halo_bytes_per_step",
+    "mpi_message_seconds",
+    "rdma_message_seconds",
+    "rdma_speedup",
+    "spawn",
+    "step_comm_seconds",
+    "weighted_partition",
+]

@@ -1,0 +1,101 @@
+"""athread-style CPE work partitioning.
+
+The Sunway ``athread`` library spawns one SPMD kernel across the 64 CPEs
+of a core group.  This module provides the same programming model for the
+simulator: :func:`spawn` calls a kernel function once per CPE with its
+``cpe_id`` and its slice of the iteration space, collecting per-CPE
+results; :class:`SpawnReport` exposes the load-balance statistics the
+cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+T = TypeVar("T")
+
+
+@dataclass
+class SpawnReport:
+    """Outcome of one athread spawn/join."""
+
+    results: list
+    work_per_cpe: np.ndarray
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean work ratio (1.0 = perfect balance)."""
+        mean = self.work_per_cpe.mean()
+        if mean == 0:
+            return 1.0
+        return float(self.work_per_cpe.max() / mean)
+
+    @property
+    def critical_work(self) -> float:
+        return float(self.work_per_cpe.max())
+
+
+def block_partition(n_items: int, n_workers: int) -> list[tuple[int, int]]:
+    """Contiguous near-equal ranges (athread's static partitioning)."""
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1: {n_workers}")
+    if n_items < 0:
+        raise ValueError(f"n_items must be >= 0: {n_items}")
+    base, extra = divmod(n_items, n_workers)
+    ranges = []
+    start = 0
+    for w in range(n_workers):
+        size = base + (1 if w < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def weighted_partition(
+    weights: Sequence[float], n_workers: int
+) -> list[tuple[int, int]]:
+    """Contiguous ranges balancing total weight (pair-count balancing)."""
+    w = np.asarray(weights, dtype=np.float64)
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
+    prefix = np.concatenate([[0.0], np.cumsum(w)])
+    total = prefix[-1]
+    bounds = [0]
+    for k in range(1, n_workers):
+        bounds.append(int(np.searchsorted(prefix, total * k / n_workers)))
+    bounds.append(len(w))
+    for k in range(1, len(bounds)):
+        bounds[k] = max(bounds[k], bounds[k - 1])
+    return [(bounds[k], bounds[k + 1]) for k in range(n_workers)]
+
+
+def spawn(
+    kernel: Callable[[int, int, int], T],
+    n_items: int,
+    params: ChipParams = DEFAULT_PARAMS,
+    weights: Sequence[float] | None = None,
+) -> SpawnReport:
+    """Run ``kernel(cpe_id, lo, hi)`` across all CPEs (simulated serially).
+
+    ``weights`` switches from block to weighted partitioning.  The kernel's
+    return value per CPE is collected; work per CPE is the assigned weight
+    (or item count).
+    """
+    if weights is not None and len(weights) != n_items:
+        raise ValueError(
+            f"weights has {len(weights)} entries for {n_items} items"
+        )
+    if weights is None:
+        parts = block_partition(n_items, params.n_cpes)
+        work = np.array([hi - lo for lo, hi in parts], dtype=np.float64)
+    else:
+        parts = weighted_partition(weights, params.n_cpes)
+        w = np.asarray(weights, dtype=np.float64)
+        work = np.array([w[lo:hi].sum() for lo, hi in parts])
+    results = [kernel(cpe_id, lo, hi) for cpe_id, (lo, hi) in enumerate(parts)]
+    return SpawnReport(results=results, work_per_cpe=work)

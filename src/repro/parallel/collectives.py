@@ -1,0 +1,87 @@
+"""Per-step communication cost aggregation for multi-CG runs.
+
+Combines the message cost models into the three communication patterns
+one GROMACS step performs (the "Wait + comm. F", "Comm. energies" and PME
+rows of the paper's Table 1):
+
+* halo exchange with the (up to 26) spatial neighbours;
+* the PME 3-D FFT all-to-all within the PME rank set;
+* the global energy allreduce.
+
+The transport is pluggable: `mpi_message_seconds` or
+`rdma_message_seconds` — swapping them is the §3.6 optimisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.parallel.decomposition import DomainDecomposition, halo_bytes_per_step
+from repro.parallel.mpi_sim import allreduce_seconds, alltoall_seconds, mpi_message_seconds
+
+#: Energy record exchanged each step (energies, virial, T-coupling data).
+ENERGY_RECORD_BYTES = 1024
+#: GROMACS exchanges halos dimension-wise (one pulse per decomposed
+#: dimension, send+receive), not with all 26 neighbours individually.
+HALO_MESSAGES_PER_STEP = 6
+#: PME runs on a dedicated rank subset (GROMACS -npme, typically ~1/4 of
+#: the ranks); the FFT all-to-all happens inside that group only.
+PME_RANK_FRACTION = 0.25
+
+
+@dataclass
+class CommBreakdown:
+    halo_seconds: float
+    pme_seconds: float
+    energy_seconds: float
+
+    @property
+    def total(self) -> float:
+        return self.halo_seconds + self.pme_seconds + self.energy_seconds
+
+
+def step_comm_seconds(
+    n_particles_total: int,
+    n_ranks: int,
+    box_edge: float,
+    r_halo: float,
+    message_seconds=mpi_message_seconds,
+    params: ChipParams = DEFAULT_PARAMS,
+    use_pme: bool = True,
+    pme_grid_spacing: float = 0.12,
+) -> CommBreakdown:
+    """Modelled communication time of one MD step on ``n_ranks`` CGs."""
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
+    if n_ranks == 1:
+        return CommBreakdown(0.0, 0.0, 0.0)
+    from repro.md.box import Box
+
+    box = Box.cubic(box_edge)
+    dd = DomainDecomposition(box, n_ranks)
+    n_local = n_particles_total / n_ranks
+    halo_frac = dd.halo_fraction(0, r_halo)
+    # Dimension-wise halo exchange: the total halo payload moves in
+    # HALO_MESSAGES_PER_STEP pulses per phase (gather + scatter).
+    n_msgs = min(HALO_MESSAGES_PER_STEP, 2 * (n_ranks - 1))
+    total_halo_bytes = halo_bytes_per_step(n_local, halo_frac)
+    per_msg = total_halo_bytes / max(n_msgs, 1) / 2.0
+    halo = 2.0 * n_msgs * message_seconds(per_msg, params)
+
+    pme = 0.0
+    if use_pme:
+        # FFT grid transpose inside the dedicated PME rank group, twice
+        # (forward + inverse).
+        pme_ranks = max(2, int(n_ranks * PME_RANK_FRACTION)) if n_ranks > 2 else n_ranks
+        grid_points = (box_edge / pme_grid_spacing) ** 3
+        grid_bytes = grid_points * 4.0  # float32 grid
+        per_pair = grid_bytes / (pme_ranks * pme_ranks)
+        pme = 2.0 * alltoall_seconds(per_pair, pme_ranks, message_seconds, params)
+
+    energy = allreduce_seconds(
+        ENERGY_RECORD_BYTES, n_ranks, message_seconds, params
+    )
+    return CommBreakdown(halo, pme, energy)

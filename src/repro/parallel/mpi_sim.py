@@ -1,0 +1,160 @@
+"""MPI message cost model and a functional sequential-MPI for testing.
+
+§3.6 of the paper describes why its MPI was slow: each message is copied
+four times (user -> kernel -> NIC on the sender; mirrored on the
+receiver) and pays kernel pack/unpack CPU time.  The cost model encodes
+exactly those terms so the RDMA replacement (`repro.parallel.rdma`) can
+delete them:
+
+    t(message) = latency + size / bandwidth
+               + copies * size / copy_bandwidth
+               + 2 * pack_cycles_per_byte * size / clock
+
+`SimComm` also implements *functional* point-to-point and collective
+operations over an in-process rank set, used to validate the domain
+decomposition's halo exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+#: Memory-copy bandwidth for the kernel/user copies (GB/s per copy).
+COPY_BANDWIDTH_GBS = 24.0
+
+
+@dataclass
+class MessageStats:
+    n_messages: int = 0
+    bytes: int = 0
+    seconds: float = 0.0
+
+
+def mpi_message_seconds(
+    size_bytes: float, params: ChipParams = DEFAULT_PARAMS
+) -> float:
+    """Modelled time for one MPI point-to-point message of ``size_bytes``."""
+    if size_bytes < 0:
+        raise ValueError(f"message size must be non-negative: {size_bytes}")
+    transfer = size_bytes / (params.mpi_bandwidth_gbs * 1e9)
+    copies = params.mpi_copy_count * size_bytes / (COPY_BANDWIDTH_GBS * 1e9)
+    pack = 2.0 * params.mpi_pack_cycles_per_byte * size_bytes * params.cycle_s
+    return params.mpi_latency_s + transfer + copies + pack
+
+
+def allreduce_seconds(
+    size_bytes: float,
+    n_ranks: int,
+    message_seconds=mpi_message_seconds,
+    params: ChipParams = DEFAULT_PARAMS,
+    collective_hop_s: float | None = None,
+) -> float:
+    """Ring/tree allreduce: 2 log2(P) stages of ``size_bytes`` each.
+
+    This is the "Comm. energies" kernel of the paper's Table 1.  Each
+    stage pays the transport's *collective hop* cost — for the stock MPI
+    this includes kernel crossings and system noise (software-emulated
+    collectives), which is what makes the kernel reach 18.7 % of runtime
+    at 512 CGs; the RDMA reimplementation collapses it.
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
+    if n_ranks == 1:
+        return 0.0
+    if collective_hop_s is None:
+        collective_hop_s = (
+            params.mpi_collective_hop_s
+            if message_seconds is mpi_message_seconds
+            else params.rdma_collective_hop_s
+        )
+    steps = 2.0 * np.ceil(np.log2(n_ranks))
+    return float(steps * (collective_hop_s + message_seconds(size_bytes, params)))
+
+
+def alltoall_seconds(
+    size_bytes_per_pair: float,
+    n_ranks: int,
+    message_seconds=mpi_message_seconds,
+    params: ChipParams = DEFAULT_PARAMS,
+) -> float:
+    """All-to-all (the PME FFT transpose): best of the two standard
+    algorithms, as real MPI implementations switch between them.
+
+    * pairwise exchange — P-1 rounds of one message each (bandwidth
+      optimal, latency-heavy for small payloads);
+    * Bruck — log2(P) rounds, each moving half the total payload
+      (latency optimal, 2x the bytes).
+    """
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
+    if n_ranks == 1:
+        return 0.0
+    pairwise = (n_ranks - 1) * message_seconds(size_bytes_per_pair, params)
+    bruck_rounds = float(np.ceil(np.log2(n_ranks)))
+    bruck = bruck_rounds * message_seconds(
+        size_bytes_per_pair * n_ranks / 2.0, params
+    )
+    return float(min(pairwise, bruck))
+
+
+class SimComm:
+    """Functional in-process communicator over ``n_ranks`` rank slots.
+
+    Sequential-deterministic: ranks run one after another, messages are
+    buffered per (src, dst, tag).  Accumulates modelled time via the MPI
+    (or a caller-supplied) cost function.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        params: ChipParams = DEFAULT_PARAMS,
+        message_seconds=mpi_message_seconds,
+    ) -> None:
+        if n_ranks < 1:
+            raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
+        self.n_ranks = n_ranks
+        self.params = params
+        self.message_seconds = message_seconds
+        self.stats = MessageStats()
+        self._boxes: dict[tuple[int, int, int], list[np.ndarray]] = {}
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def send(self, src: int, dst: int, data: np.ndarray, tag: int = 0) -> None:
+        self._check_rank(src)
+        self._check_rank(dst)
+        arr = np.asarray(data)
+        self._boxes.setdefault((src, dst, tag), []).append(arr.copy())
+        self.stats.n_messages += 1
+        self.stats.bytes += arr.nbytes
+        self.stats.seconds += self.message_seconds(arr.nbytes, self.params)
+
+    def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
+        self._check_rank(src)
+        self._check_rank(dst)
+        box = self._boxes.get((src, dst, tag), [])
+        if not box:
+            raise LookupError(
+                f"no pending message src={src} dst={dst} tag={tag}"
+            )
+        return box.pop(0)
+
+    def allreduce_sum(self, contributions: list[np.ndarray]) -> np.ndarray:
+        """Functional allreduce over per-rank arrays + modelled time."""
+        if len(contributions) != self.n_ranks:
+            raise ValueError(
+                f"{len(contributions)} contributions for {self.n_ranks} ranks"
+            )
+        total = np.sum(np.stack([np.asarray(c) for c in contributions]), axis=0)
+        nbytes = np.asarray(contributions[0]).nbytes
+        self.stats.seconds += allreduce_seconds(
+            nbytes, self.n_ranks, self.message_seconds, self.params
+        )
+        return total

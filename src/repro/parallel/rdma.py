@@ -1,0 +1,62 @@
+"""RDMA transport model: the paper's §3.6 communication acceleration.
+
+An RDMA transfer moves user memory to user memory with no intermediate
+copies, no kernel crossing, and no pack/unpack CPU time — the NIC reads
+the source buffer and writes the destination buffer directly.  Deleting
+those terms from the MPI model of `repro.parallel.mpi_sim` gives:
+
+    t(message) = rdma_latency + size / rdma_bandwidth
+
+For the small, frequent messages of GROMACS' halo/energy exchanges this
+is mostly a latency win (6 us -> 1.7 us) plus the removed per-byte copy
+and pack costs.
+"""
+
+from __future__ import annotations
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.parallel.mpi_sim import mpi_message_seconds
+
+
+def rdma_message_seconds(
+    size_bytes: float, params: ChipParams = DEFAULT_PARAMS
+) -> float:
+    """Modelled time for one RDMA transfer of ``size_bytes``."""
+    if size_bytes < 0:
+        raise ValueError(f"message size must be non-negative: {size_bytes}")
+    assert params.rdma_copy_count == 0, "RDMA is zero-copy by definition"
+    return params.rdma_latency_s + size_bytes / (params.rdma_bandwidth_gbs * 1e9)
+
+
+def rdma_speedup(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:
+    """MPI/RDMA time ratio for one message size (>1 everywhere)."""
+    return mpi_message_seconds(size_bytes, params) / rdma_message_seconds(
+        size_bytes, params
+    )
+
+
+def crossover_size_bytes(
+    target_speedup: float = 1.5,
+    params: ChipParams = DEFAULT_PARAMS,
+    lo: float = 1.0,
+    hi: float = 1e9,
+) -> float:
+    """Message size where the RDMA advantage falls to ``target_speedup``.
+
+    Small messages gain the most (latency-dominated); as size grows the
+    ratio approaches the bandwidth+copy-cost ratio.  Bisection over a
+    monotone-decreasing function.
+    """
+    if not rdma_speedup(lo, params) >= target_speedup:
+        raise ValueError(
+            f"RDMA speedup at {lo} B is already below {target_speedup}"
+        )
+    if rdma_speedup(hi, params) >= target_speedup:
+        return hi  # advantage never decays to the target in range
+    for _ in range(200):
+        mid = (lo + hi) / 2.0
+        if rdma_speedup(mid, params) >= target_speedup:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0

@@ -1,0 +1,24 @@
+"""Shared utilities: configuration, unit constants, table formatting.
+
+These helpers are deliberately dependency-free (numpy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.tables import format_table, format_series
+from repro.util.units import (
+    KB_KJ_PER_MOL_K,
+    COULOMB_CONSTANT,
+    AMU,
+    NM,
+    PS,
+)
+
+__all__ = [
+    "format_table",
+    "format_series",
+    "KB_KJ_PER_MOL_K",
+    "COULOMB_CONSTANT",
+    "AMU",
+    "NM",
+    "PS",
+]

@@ -1,0 +1,75 @@
+"""Plain-text table/series formatting for benchmark harness output.
+
+The benchmark harness prints the same rows/series the paper reports; these
+helpers keep that output consistent and diff-able (fixed column widths, no
+locale-dependent formatting).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def _cell(value: object, width: int) -> str:
+    if isinstance(value, float):
+        text = f"{value:.4g}"
+    else:
+        text = str(value)
+    return text.rjust(width)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as a fixed-width ASCII table."""
+    rows = [list(r) for r in rows]
+    for r in rows:
+        if len(r) != len(headers):
+            raise ValueError(
+                f"row has {len(r)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    rendered_rows = []
+    for r in rows:
+        rendered = []
+        for j, v in enumerate(r):
+            text = f"{v:.4g}" if isinstance(v, float) else str(v)
+            widths[j] = max(widths[j], len(text))
+            rendered.append(text)
+        rendered_rows.append(rendered)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in rendered_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[object],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one figure series as ``name: (x, y)`` pairs, one per line."""
+    if len(xs) != len(ys):
+        raise ValueError(f"series {name!r}: {len(xs)} xs vs {len(ys)} ys")
+    lines = [f"series {name} [{x_label} -> {y_label}]"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x}: {y:.4g}")
+    return "\n".join(lines)
+
+
+def format_ratio(measured: float, paper: float) -> str:
+    """One-line 'measured vs paper' comparison used by EXPERIMENTS.md dumps."""
+    if paper == 0:
+        return f"measured={measured:.4g} paper=0"
+    return (
+        f"measured={measured:.4g} paper={paper:.4g} "
+        f"ratio={measured / paper:.2f}x"
+    )

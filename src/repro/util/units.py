@@ -1,0 +1,51 @@
+"""Physical unit constants in the GROMACS unit system.
+
+GROMACS (and therefore this reproduction) works in:
+
+* length      — nanometres (nm)
+* time        — picoseconds (ps)
+* mass        — atomic mass units (amu)
+* energy      — kJ/mol
+* charge      — elementary charges (e)
+* temperature — kelvin (K)
+
+With these base units, velocity is nm/ps, force is kJ/(mol nm), and the
+equations of motion need no extra conversion factors.
+"""
+
+from __future__ import annotations
+
+#: Boltzmann constant in kJ/(mol K) — GROMACS' ``BOLTZ``.
+KB_KJ_PER_MOL_K: float = 0.008_314_462_618
+
+#: Electric conversion factor f = 1/(4 pi eps0) in kJ nm / (mol e^2) —
+#: GROMACS' ``ONE_4PI_EPS0``.  The Coulomb energy between two unit charges
+#: one nanometre apart is exactly this many kJ/mol.
+COULOMB_CONSTANT: float = 138.935_458
+
+#: One atomic mass unit expressed in the internal mass unit (identity; kept
+#: symbolic so call sites read naturally).
+AMU: float = 1.0
+
+#: One nanometre in internal length units (identity).
+NM: float = 1.0
+
+#: One picosecond in internal time units (identity).
+PS: float = 1.0
+
+#: Avogadro's number, 1/mol (used only by I/O formatting helpers).
+AVOGADRO: float = 6.022_140_76e23
+
+#: Degrees-of-freedom removed per SHAKE/SETTLE-constrained bond.
+DOF_PER_CONSTRAINT: int = 1
+
+
+def kinetic_temperature(kinetic_energy: float, ndof: int) -> float:
+    """Convert kinetic energy (kJ/mol) to an instantaneous temperature (K).
+
+    ``T = 2 Ekin / (ndof * kB)``.  ``ndof`` must already account for removed
+    centre-of-mass motion and constraints.
+    """
+    if ndof <= 0:
+        raise ValueError(f"ndof must be positive, got {ndof}")
+    return 2.0 * kinetic_energy / (ndof * KB_KJ_PER_MOL_K)

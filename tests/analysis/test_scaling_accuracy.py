@@ -1,0 +1,128 @@
+"""Scalability model (Fig. 12), accuracy experiment (Fig. 13), printers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import run_accuracy_experiment
+from repro.analysis.figures import (
+    PAPER_FIG12_STRONG,
+    PAPER_FIG12_WEAK,
+    print_efficiency_curves,
+    print_fractions,
+    print_speedup_bars,
+    print_table2,
+)
+from repro.analysis.scaling import (
+    ReferenceTimings,
+    model_step_seconds,
+    strong_scaling_curve,
+    weak_scaling_curve,
+)
+from repro.md.nonbonded import NonbondedParams
+from repro.md.water import build_water_system
+
+
+@pytest.fixture(scope="module")
+def ref_timings():
+    nb = NonbondedParams(r_cut=0.8, r_list=0.9, coulomb_mode="rf")
+    return (
+        ReferenceTimings.measure(
+            lambda n: build_water_system(n, seed=31), 3000, nb
+        ),
+        nb,
+    )
+
+
+class TestScalingModel:
+    def test_reference_measurement(self, ref_timings):
+        ref, _ = ref_timings
+        assert ref.pair_seconds > 0
+        assert ref.particle_seconds > 0
+
+    def test_strong_efficiency_decreasing(self, ref_timings):
+        ref, nb = ref_timings
+        curve = strong_scaling_curve(ref, 48000, nonbonded=nb)
+        eff = curve.strong_efficiency()
+        values = [eff[n] for n in sorted(eff)]
+        assert values[0] == pytest.approx(1.0)
+        assert all(b <= a + 1e-9 for a, b in zip(values, values[1:]))
+        # Paper shape: still around ~0.3-0.6 at 512 CGs, not collapsed.
+        assert 0.15 < eff[512] < 0.7
+
+    def test_weak_efficiency_tracks_paper(self, ref_timings):
+        ref, nb = ref_timings
+        curve = weak_scaling_curve(ref, 10000, nonbonded=nb)
+        eff = curve.weak_efficiency()
+        for n, paper in PAPER_FIG12_WEAK.items():
+            assert eff[n] == pytest.approx(paper, abs=0.12)
+
+    def test_strong_efficiency_tracks_paper_shape(self, ref_timings):
+        ref, nb = ref_timings
+        eff = strong_scaling_curve(ref, 48000, nonbonded=nb).strong_efficiency()
+        for n in (4, 8, 16, 32, 64):
+            assert eff[n] == pytest.approx(PAPER_FIG12_STRONG[n], abs=0.15)
+
+    def test_speedups_relative_to_baseline(self, ref_timings):
+        ref, nb = ref_timings
+        curve = strong_scaling_curve(ref, 48000, nonbonded=nb)
+        sp = curve.speedups()
+        assert sp[4] == pytest.approx(1.0)
+        assert sp[512] > sp[4]
+
+    def test_model_step_validation(self, ref_timings):
+        ref, nb = ref_timings
+        with pytest.raises(ValueError):
+            model_step_seconds(ref, 48000, 0, nb)
+
+    def test_compute_shrinks_comm_persists(self, ref_timings):
+        ref, nb = ref_timings
+        p64 = model_step_seconds(ref, 48000, 64, nb)
+        p512 = model_step_seconds(ref, 48000, 512, nb)
+        assert p512.compute_seconds < p64.compute_seconds
+        # Communication does not shrink with the domain: it ends up
+        # dominating the 512-CG step (the strong-scaling limiter).
+        assert p512.comm_seconds > p512.compute_seconds
+
+
+class TestAccuracyExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_accuracy_experiment(
+            n_particles=300, n_steps=300, report_interval=50,
+            minimize_steps=40,
+        )
+
+    def test_deviation_bounded(self, result):
+        """Fig. 13's claim: mixed precision stays within the thermal
+        fluctuation band of the reference."""
+        assert result.energy_deviation() < 6.0
+        assert result.mean_energy_gap_relative() < 0.05
+
+    def test_temperature_gap_small(self, result):
+        assert result.temperature_gap() < 30.0
+
+    def test_both_runs_recorded(self, result):
+        assert len(result.reference.frames) == len(result.mixed.frames) == 6
+
+    def test_drifts_comparable(self, result):
+        d_ref, d_mix = result.drifts()
+        # Mixed precision must not drift grossly faster than the reference.
+        assert abs(d_mix) < 10 * max(abs(d_ref), 1e-3)
+
+
+class TestPrinters:
+    def test_table2_output(self):
+        out = print_table2([(8, 0.99), (128, 15.77)])
+        assert "Table 2" in out and "0.99" in out
+
+    def test_speedup_bars(self):
+        out = print_speedup_bars({"Mark": 55.0}, {"Mark": 61.0}, "Fig 8")
+        assert "Mark" in out and "61" in out
+
+    def test_fractions(self):
+        out = print_fractions({"Force": 0.9}, {"Force": 0.955}, "Table 1")
+        assert "90.0%" in out and "95.5%" in out
+
+    def test_efficiency_curves(self):
+        out = print_efficiency_curves({4: 1.0, 8: 0.9}, {4: 1.0, 8: 0.97}, "Fig 12")
+        assert "0.97" in out

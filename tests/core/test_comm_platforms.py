@@ -1,0 +1,114 @@
+"""§3.6 transport swap + §4.5 platform TTF model (Table 4, Eqs. 3-4)."""
+
+import pytest
+
+from repro.core.comm_opt import Transport, message_sweep, step_comm
+from repro.core.platforms import (
+    fair_chip_count,
+    figure11_series,
+    modelled_figure11,
+    ttf_ratio,
+)
+from repro.parallel.mpi_sim import mpi_message_seconds
+from repro.parallel.rdma import crossover_size_bytes, rdma_message_seconds, rdma_speedup
+
+
+class TestTransportModels:
+    def test_rdma_always_faster(self):
+        for size in (64, 1024, 65536, 10**6):
+            assert rdma_message_seconds(size) < mpi_message_seconds(size)
+
+    def test_small_messages_gain_most(self):
+        assert rdma_speedup(64) > rdma_speedup(10**6)
+
+    def test_latency_floor(self):
+        from repro.hw.params import DEFAULT_PARAMS
+
+        assert rdma_message_seconds(0) == pytest.approx(
+            DEFAULT_PARAMS.rdma_latency_s
+        )
+        assert mpi_message_seconds(0) == pytest.approx(
+            DEFAULT_PARAMS.mpi_latency_s
+        )
+
+    def test_crossover_monotone(self):
+        size = crossover_size_bytes(4.0)
+        assert rdma_speedup(size / 10) > 4.0 > rdma_speedup(size * 10)
+
+    def test_crossover_rejects_unreachable_target(self):
+        with pytest.raises(ValueError):
+            crossover_size_bytes(100.0)
+
+    def test_message_sweep_rows(self):
+        rows = message_sweep()
+        assert all(r.speedup > 1.0 for r in rows)
+        assert rows[0].speedup > rows[-1].speedup
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            mpi_message_seconds(-1)
+        with pytest.raises(ValueError):
+            rdma_message_seconds(-1)
+
+
+class TestStepComm:
+    def test_single_rank_free(self):
+        comm = step_comm(48000, 1, 7.8, 1.0)
+        assert comm.total == 0.0
+
+    def test_rdma_beats_mpi(self):
+        mpi = step_comm(48000, 64, 7.8, 1.0, Transport.MPI)
+        rdma = step_comm(48000, 64, 7.8, 1.0, Transport.RDMA)
+        assert rdma.total < mpi.total
+        assert rdma.energy_seconds < mpi.energy_seconds
+
+    def test_components_positive(self):
+        comm = step_comm(48000, 64, 7.8, 1.0)
+        assert comm.halo_seconds > 0
+        assert comm.pme_seconds > 0
+        assert comm.energy_seconds > 0
+
+    def test_no_pme_option(self):
+        comm = step_comm(48000, 64, 7.8, 1.0, use_pme=False)
+        assert comm.pme_seconds == 0.0
+
+
+class TestTtfModel:
+    def test_eq3_knl_ratio(self):
+        """Paper Eq. (3): TTF_SW / TTF_KNL ~ 150."""
+        assert ttf_ratio("SW26010", "KNL") == pytest.approx(150, rel=0.03)
+
+    def test_eq4_p100_ratio(self):
+        """Paper Eq. (4): TTF_SW / TTF_P100 ~ 24."""
+        assert ttf_ratio("SW26010", "P100") == pytest.approx(24, rel=0.03)
+
+    def test_fair_chip_counts(self):
+        assert fair_chip_count("KNL") == pytest.approx(150, abs=5)
+        assert fair_chip_count("P100") == pytest.approx(24, abs=2)
+
+    def test_ratio_antisymmetric(self):
+        assert ttf_ratio("KNL", "SW26010") == pytest.approx(
+            1.0 / ttf_ratio("SW26010", "KNL")
+        )
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            ttf_ratio("SW26010", "A100")
+
+
+class TestFigure11:
+    def test_paper_series_shape(self):
+        bars = figure11_series()
+        by_label = {b.label: b.speedup for b in bars}
+        # CPE versions beat their MPE baselines everywhere.
+        assert by_label["150x CPE"] > by_label["KNL"] > by_label["150x MPE"]
+        assert by_label["24x CPE"] > by_label["24x MPE"]
+        # Scalability claim: 48 CPEs beat 2 P100s.
+        assert by_label["48x CPE"] > by_label["2x P100"]
+
+    def test_modelled_series_consistency(self):
+        bars = modelled_figure11(overall_cpe_speedup=18.0)
+        by_label = {b.label: b.speedup for b in bars}
+        assert by_label["150x CPE"] == pytest.approx(18.0, rel=0.05)
+        assert by_label["150x MPE"] == 1.0
+        assert by_label["48x CPE"] > by_label["2x P100"]

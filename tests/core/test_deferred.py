@@ -1,0 +1,150 @@
+"""Deferred-update write cache: functional correctness (no force lost),
+counter identities, sequential-vs-vectorised equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deferred import DeferredUpdateCache, analyze_write_trace
+from repro.hw.params import DEFAULT_PARAMS
+
+PPL = DEFAULT_PARAMS.particles_per_line  # 32
+
+
+def make_cache(n_lines_global=16, use_mark=True):
+    copy = np.zeros((n_lines_global * PPL, 3), dtype=np.float32)
+    return DeferredUpdateCache(copy, use_mark=use_mark), copy
+
+
+class TestFunctionalAccumulation:
+    def test_single_particle_roundtrip(self):
+        cache, copy = make_cache()
+        cache.accumulate(5, [1.0, 2.0, 3.0])
+        cache.accumulate(5, [1.0, 0.0, -1.0])
+        cache.flush()
+        np.testing.assert_allclose(copy[5], [2.0, 2.0, 2.0])
+        assert np.count_nonzero(copy.sum(axis=1)) == 1
+
+    def test_package_accumulate(self):
+        cache, copy = make_cache()
+        forces4 = np.arange(12, dtype=np.float32).reshape(4, 3)
+        cache.accumulate_package(3, forces4)
+        cache.flush()
+        np.testing.assert_allclose(copy[12:16], forces4)
+
+    def test_eviction_preserves_totals(self):
+        """Conflicting lines ping-pong; the final copy holds exact sums."""
+        cache, copy = make_cache(n_lines_global=128)
+        n_sets = cache.amap.n_lines
+        conflict_stride = n_sets * PPL  # same set, different tag
+        rng = np.random.default_rng(0)
+        expected = np.zeros_like(copy, dtype=np.float64)
+        for _ in range(300):
+            slot = int(rng.integers(0, 2)) * conflict_stride + int(
+                rng.integers(0, PPL)
+            )
+            f = rng.normal(size=3)
+            cache.accumulate(slot, f)
+            expected[slot] += f
+        cache.flush()
+        np.testing.assert_allclose(copy, expected.astype(np.float32), atol=1e-4)
+
+    @pytest.mark.parametrize("use_mark", [True, False])
+    def test_random_traffic_totals(self, use_mark, rng):
+        cache, copy = make_cache(n_lines_global=64, use_mark=use_mark)
+        expected = np.zeros_like(copy, dtype=np.float64)
+        slots = rng.integers(0, 64 * PPL, 1000)
+        vals = rng.normal(size=(1000, 3))
+        for slot, f in zip(slots, vals):
+            cache.accumulate(int(slot), f)
+            expected[slot] += f
+        cache.flush()
+        np.testing.assert_allclose(copy, expected, atol=1e-3)
+
+    def test_flush_idempotent(self):
+        cache, copy = make_cache()
+        cache.accumulate(0, [1, 1, 1])
+        cache.flush()
+        snapshot = copy.copy()
+        cache.flush()
+        np.testing.assert_array_equal(copy, snapshot)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DeferredUpdateCache(np.zeros((10, 2), dtype=np.float32))
+        with pytest.raises(ValueError):
+            DeferredUpdateCache(np.zeros((33, 3), dtype=np.float32))
+
+
+class TestMarkSemantics:
+    def test_first_touch_skips_fetch(self):
+        cache, _ = make_cache(use_mark=True)
+        cache.accumulate_package(0, np.ones((4, 3)))
+        assert cache.stats.first_touches == 1
+        assert cache.stats.gets == 0
+
+    def test_refetch_after_eviction(self):
+        cache, _ = make_cache(n_lines_global=128, use_mark=True)
+        stride_pkgs = cache.amap.n_lines << 0  # packages: one per line set...
+        n_sets = cache.amap.n_lines
+        pkgs_per_line = cache.params.packages_per_line
+        conflict = n_sets * pkgs_per_line  # package index one cache apart
+        cache.accumulate_package(0, np.ones((4, 3)))
+        cache.accumulate_package(conflict, np.ones((4, 3)))  # evicts line 0
+        cache.accumulate_package(0, np.ones((4, 3)))  # marked -> fetch
+        assert cache.stats.first_touches == 2
+        assert cache.stats.gets == 1
+        assert cache.stats.misses == 3
+
+    def test_rma_mode_always_fetches(self):
+        cache, _ = make_cache(use_mark=False)
+        cache.accumulate_package(0, np.ones((4, 3)))
+        assert cache.stats.gets == 1
+        assert cache.stats.first_touches == 0
+
+    def test_mark_bitmap_tracks_touched_lines(self):
+        cache, _ = make_cache(n_lines_global=16, use_mark=True)
+        cache.accumulate(0, [1, 0, 0])  # line 0
+        cache.accumulate(PPL * 3 + 5, [1, 0, 0])  # line 3
+        np.testing.assert_array_equal(cache.mark.marked_lines(), [0, 3])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    trace=st.lists(st.integers(0, 255), min_size=1, max_size=300),
+    use_mark=st.booleans(),
+)
+def test_sequential_counters_match_vectorised(trace, use_mark):
+    """analyze_write_trace's closed-form identities equal the real cache."""
+    n_lines_global = 256 // DEFAULT_PARAMS.packages_per_line
+    copy = np.zeros((256 * 4, 3), dtype=np.float32)
+    cache = DeferredUpdateCache(copy, use_mark=use_mark)
+    for pkg in trace:
+        cache.accumulate_package(pkg, np.zeros((4, 3)))
+    cache.flush()
+    fast = analyze_write_trace(np.array(trace), use_mark=use_mark)
+    assert cache.stats.misses == fast.misses
+    assert cache.stats.puts == fast.puts
+    assert cache.stats.gets == fast.gets
+    assert cache.stats.first_touches == fast.first_touches
+    assert cache.stats.accesses == fast.accesses
+
+
+class TestAnalyzeWriteTrace:
+    def test_empty_trace(self):
+        stats = analyze_write_trace(np.empty(0, dtype=np.int64))
+        assert stats.misses == 0 and stats.puts == 0
+
+    def test_seconds_positive(self):
+        stats = analyze_write_trace(np.arange(100))
+        assert stats.seconds() > 0
+        assert stats.bytes_moved == (stats.puts + stats.gets) * stats.line_bytes
+
+    def test_mark_reduces_gets(self):
+        trace = np.arange(1000) % 600  # revisits lines
+        marked = analyze_write_trace(trace, use_mark=True)
+        unmarked = analyze_write_trace(trace, use_mark=False)
+        assert marked.gets < unmarked.gets
+        assert marked.misses == unmarked.misses
+        assert marked.puts == unmarked.puts

@@ -1,0 +1,151 @@
+"""SWGromacsEngine: workflow timing, optimisation levels, dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import (
+    EngineConfig,
+    LEVEL_NAMES,
+    SWGromacsEngine,
+    run_optimization_ladder,
+)
+from repro.md.integrator import IntegratorConfig
+from repro.md.nonbonded import NonbondedParams
+from repro.md.water import build_water_system
+
+
+@pytest.fixture(scope="module")
+def nb():
+    return NonbondedParams(r_cut=0.75, r_list=0.85, coulomb_mode="rf")
+
+
+@pytest.fixture(scope="module")
+def system():
+    return build_water_system(900, seed=17)
+
+
+class TestEngineConfig:
+    def test_level_names(self):
+        assert LEVEL_NAMES == ("Ori", "Cal", "List", "Other")
+        assert EngineConfig(optimization_level=0).level_name == "Ori"
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            EngineConfig(optimization_level=4)
+        with pytest.raises(ValueError):
+            EngineConfig(n_cgs=0)
+
+    def test_transport_by_level(self):
+        from repro.core.comm_opt import Transport
+
+        assert EngineConfig(optimization_level=2).transport is Transport.MPI
+        assert EngineConfig(optimization_level=3).transport is Transport.RDMA
+
+    def test_force_spec_by_level(self):
+        assert EngineConfig(optimization_level=0).force_spec.name == "ORI"
+        assert EngineConfig(optimization_level=1).force_spec.name == "MARK"
+
+
+class TestModelStep:
+    def test_levels_monotone(self, system, nb):
+        times = {}
+        for level in range(4):
+            engine = SWGromacsEngine(
+                system.copy(),
+                EngineConfig(nonbonded=nb, optimization_level=level,
+                             output_interval=100),
+            )
+            times[level] = engine.model_step().total()
+        assert times[0] > times[1] > times[2] > times[3]
+
+    def test_table1_case1_shape(self, system, nb):
+        """Level-0 single-CG fractions: Force dominates (paper: 95.5 %)."""
+        engine = SWGromacsEngine(
+            system.copy(), EngineConfig(nonbonded=nb, optimization_level=0)
+        )
+        fr = engine.model_step().fractions()
+        assert fr["Force"] > 0.85
+        assert 0.0 < fr["Neighbor search"] < 0.10
+
+    def test_multi_cg_adds_comm(self, system, nb):
+        single = SWGromacsEngine(
+            system.copy(), EngineConfig(nonbonded=nb, n_cgs=1)
+        ).model_step()
+        multi = SWGromacsEngine(
+            system.copy(), EngineConfig(nonbonded=nb, n_cgs=64)
+        ).model_step()
+        assert "Comm. energies" in multi.seconds
+        assert "Wait + comm. F" in multi.seconds
+        assert "Comm. energies" not in single.seconds
+
+    def test_output_interval_adds_io(self, system, nb):
+        with_io = SWGromacsEngine(
+            system.copy(),
+            EngineConfig(nonbonded=nb, output_interval=10),
+        ).model_step()
+        assert "Write traj" in with_io.seconds
+
+
+class TestRun:
+    def test_dynamics_and_timing(self, system, nb):
+        engine = SWGromacsEngine(
+            system.copy(),
+            EngineConfig(
+                nonbonded=nb,
+                integrator=IntegratorConfig(
+                    dt=0.001, thermostat="berendsen", target_temperature=300.0
+                ),
+                report_interval=5,
+            ),
+        )
+        res = engine.run(12)
+        assert res.n_steps == 12
+        assert len(res.reporter.frames) == 3
+        assert res.timing.seconds["Force"] > 0
+        assert res.force_result is not None
+        assert res.level == "Other"
+
+    def test_speedup_over(self, system, nb):
+        slow = SWGromacsEngine(
+            system.copy(), EngineConfig(nonbonded=nb, optimization_level=0)
+        ).run(3)
+        fast = SWGromacsEngine(
+            system.copy(), EngineConfig(nonbonded=nb, optimization_level=3)
+        ).run(3)
+        assert fast.speedup_over(slow) > 5.0
+
+    def test_negative_steps(self, system, nb):
+        engine = SWGromacsEngine(system.copy(), EngineConfig(nonbonded=nb))
+        with pytest.raises(ValueError):
+            engine.run(-1)
+
+
+class TestOptimizationLadder:
+    def test_fig10_case1_shape(self, nb):
+        """Single-CG ladder: big jump at Cal, diminishing after."""
+        ladder = run_optimization_ladder(
+            lambda n: build_water_system(n, seed=23),
+            900,
+            n_cgs=1,
+            nonbonded=nb,
+            output_interval=100,
+        )
+        base = ladder["Ori"].total()
+        speedups = {k: base / v.total() for k, v in ladder.items()}
+        assert speedups["Cal"] > 8
+        assert speedups["Cal"] < speedups["List"] < speedups["Other"]
+
+    def test_fig10_case2_comm_matters(self, nb):
+        """Multi-CG ladder: the Other level (RDMA) gains relatively more
+        than in the single-CG case (paper: 30->32 vs 8->18)."""
+        lad1 = run_optimization_ladder(
+            lambda n: build_water_system(n, seed=23), 900, n_cgs=1,
+            nonbonded=nb, output_interval=100,
+        )
+        lad2 = run_optimization_ladder(
+            lambda n: build_water_system(n, seed=23), 900, n_cgs=512,
+            nonbonded=nb, output_interval=100,
+        )
+        gain1 = lad1["List"].total() / lad1["Other"].total()
+        gain2 = lad2["List"].total() / lad2["Other"].total()
+        assert gain2 > gain1

@@ -1,0 +1,115 @@
+"""§3.7 fast I/O: formatter correctness, buffering, cost model."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fastio import (
+    BufferedTrajectoryWriter,
+    FastFloatFormatter,
+    io_model_seconds,
+)
+
+
+class TestFastFormatter:
+    def test_basic_values(self):
+        fmt = FastFloatFormatter(3)
+        assert fmt.format(1.2345) == "1.234" or fmt.format(1.2345) == "1.235"
+        assert fmt.format(0.0) == "0.000"
+        assert fmt.format(-2.5) == "-2.500"
+        assert fmt.format(10.0) == "10.000"
+
+    def test_zero_decimals(self):
+        fmt = FastFloatFormatter(0)
+        assert fmt.format(3.6) == "4"
+        assert fmt.format(-0.4) == "0"
+
+    def test_rejects_non_finite(self):
+        fmt = FastFloatFormatter()
+        with pytest.raises(ValueError):
+            fmt.format(float("nan"))
+        with pytest.raises(ValueError):
+            fmt.format(float("inf"))
+
+    def test_rejects_bad_decimals(self):
+        with pytest.raises(ValueError):
+            FastFloatFormatter(10)
+
+    @settings(max_examples=100, deadline=None)
+    @given(value=st.floats(-1e6, 1e6, allow_nan=False))
+    def test_accuracy_within_half_ulp_of_precision(self, value):
+        """The 'little accuracy sacrifice': parsed output differs from the
+        input by at most half the last printed digit."""
+        fmt = FastFloatFormatter(3)
+        parsed = float(fmt.format(value))
+        assert abs(parsed - value) <= 0.5 * 1e-3 + 1e-9 * abs(value)
+
+    @settings(max_examples=30, deadline=None)
+    @given(values=st.lists(st.floats(-1e4, 1e4, allow_nan=False), min_size=1, max_size=60))
+    def test_array_path_matches_scalar(self, values):
+        fmt = FastFloatFormatter(3)
+        array_out = fmt.format_array(np.array(values))
+        scalar_out = [fmt.format(v) for v in values]
+        assert array_out == scalar_out
+
+
+class TestBufferedWriter:
+    def test_writes_parse_back(self):
+        sink = io.BytesIO()
+        writer = BufferedTrajectoryWriter(sink, buffer_bytes=10**6)
+        pos = np.array([[1.25, -0.5, 3.0], [0.0, 2.0, -1.125]])
+        writer.write_frame(7, pos)
+        writer.flush()
+        lines = sink.getvalue().decode().splitlines()
+        assert lines[0] == "frame 7 2"
+        parsed = np.array([[float(x) for x in line.split()] for line in lines[1:]])
+        np.testing.assert_allclose(parsed, pos, atol=5.1e-4)
+
+    def test_buffering_batches_syscalls(self):
+        sink = io.BytesIO()
+        writer = BufferedTrajectoryWriter(sink, buffer_bytes=10**7)
+        for step in range(20):
+            writer.write_frame(step, np.zeros((50, 3)))
+        assert writer.n_syscalls == 0  # everything still buffered
+        writer.flush()
+        assert writer.n_syscalls == 1
+
+    def test_small_buffer_flushes_automatically(self):
+        sink = io.BytesIO()
+        writer = BufferedTrajectoryWriter(sink, buffer_bytes=64)
+        writer.write_frame(0, np.zeros((10, 3)))
+        assert writer.n_syscalls >= 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BufferedTrajectoryWriter(io.BytesIO(), buffer_bytes=0)
+        writer = BufferedTrajectoryWriter(io.BytesIO())
+        with pytest.raises(ValueError):
+            writer.write_frame(0, np.zeros((3, 2)))
+
+
+class TestIoModel:
+    def test_fast_beats_slow(self):
+        slow = io_model_seconds(3_000_000, fast=False)
+        fast = io_model_seconds(3_000_000, fast=True)
+        assert fast.total < slow.total / 3
+
+    def test_slow_dominated_by_formatting(self):
+        slow = io_model_seconds(1_000_000, fast=False)
+        assert slow.format_seconds > slow.syscall_seconds
+
+    def test_fast_syscall_count_collapses(self):
+        slow = io_model_seconds(3_000_000, fast=False)
+        fast = io_model_seconds(3_000_000, fast=True)
+        assert fast.syscall_seconds < slow.syscall_seconds / 100
+
+    def test_zero_particles(self):
+        cost = io_model_seconds(0)
+        assert cost.total == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            io_model_seconds(-1)

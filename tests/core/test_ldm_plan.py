@@ -1,0 +1,76 @@
+"""LDM layout planning: budget enforcement and the paper's design point."""
+
+import pytest
+
+from repro.core.kernels import ALL_SPECS
+from repro.core.ldm_plan import max_line_length_that_fits, plan_kernel_ldm
+from repro.hw.ldm import LdmOverflowError
+from repro.hw.params import DEFAULT_PARAMS
+
+
+class TestKernelPlans:
+    @pytest.mark.parametrize("name", list(ALL_SPECS))
+    def test_every_strategy_fits_default_geometry(self, name):
+        plan = plan_kernel_ldm(ALL_SPECS[name], 48000)
+        assert plan.used_bytes <= DEFAULT_PARAMS.ldm_bytes
+        assert plan.free_bytes >= 0
+
+    def test_mark_is_largest_cached_plan(self):
+        mark = plan_kernel_ldm(ALL_SPECS["MARK"], 48000)
+        cache = plan_kernel_ldm(ALL_SPECS["CACHE"], 48000)
+        ori = plan_kernel_ldm(ALL_SPECS["ORI"], 48000)
+        assert mark.used_bytes > cache.used_bytes > ori.used_bytes
+
+    def test_mark_bitmap_footprint_scales_with_system(self):
+        small = plan_kernel_ldm(ALL_SPECS["MARK"], 4800)
+        large = plan_kernel_ldm(ALL_SPECS["MARK"], 480000)
+        blk_small = small.allocator.block("mark_bitmap")
+        blk_large = large.allocator.block("mark_bitmap")
+        assert blk_large.size > blk_small.size
+        # Fig. 5's selling point: 1 byte marks 256 particles.
+        assert blk_large.size <= -(-480000 // 256) + 16
+
+    def test_paper_line_length_is_the_maximum(self):
+        """8 packages/line is exactly the largest power of two whose MARK
+        working set still fits the 64 KB LDM — the paper's design point."""
+        assert max_line_length_that_fits(ALL_SPECS["MARK"], 48000) == 8
+
+    def test_overlong_lines_rejected(self):
+        params = DEFAULT_PARAMS.with_overrides(
+            offset_bits=5, packages_per_line=32
+        )
+        with pytest.raises(LdmOverflowError):
+            plan_kernel_ldm(ALL_SPECS["MARK"], 48000, params)
+
+    def test_describe_readable(self):
+        text = plan_kernel_ldm(ALL_SPECS["MARK"], 48000).describe()
+        assert "read_cache" in text and "mark_bitmap" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_kernel_ldm(ALL_SPECS["MARK"], 0)
+
+
+class TestRunKernelLdmEnforcement:
+    def test_run_kernel_rejects_oversized_geometry(self, water_small, nb_water_small):
+        from repro.md.pairlist import build_pair_list
+        from repro.core.kernels import ALL_SPECS, run_kernel
+
+        plist = build_pair_list(water_small, nb_water_small.r_list)
+        params = DEFAULT_PARAMS.with_overrides(
+            offset_bits=5, packages_per_line=32
+        )
+        with pytest.raises(LdmOverflowError):
+            run_kernel(
+                water_small, plist, nb_water_small, ALL_SPECS["MARK"], params
+            )
+        # check_ldm=False measures the hypothetical anyway.
+        res = run_kernel(
+            water_small,
+            plist,
+            nb_water_small,
+            ALL_SPECS["MARK"],
+            params,
+            check_ldm=False,
+        )
+        assert res.elapsed_seconds > 0

@@ -1,0 +1,69 @@
+"""§3.5: CPE-parallel pair-list generation and the cache-organisation study."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairlist_cpe import (
+    adversarial_trace,
+    cache_study,
+    generate_parallel,
+    search_kernel_seconds,
+    search_trace,
+)
+
+
+class TestParallelGeneration:
+    @pytest.mark.parametrize("n_cpes", [1, 8, 64])
+    def test_reproduces_serial_csr(self, plist_water_small, n_cpes):
+        gathered = generate_parallel(plist_water_small, n_cpes)
+        np.testing.assert_array_equal(gathered.pair_ci, plist_water_small.pair_ci)
+        np.testing.assert_array_equal(gathered.pair_cj, plist_water_small.pair_cj)
+        np.testing.assert_array_equal(gathered.i_starts, plist_water_small.i_starts)
+
+    def test_scratch_accounting(self, plist_water_small):
+        gathered = generate_parallel(plist_water_small, 16)
+        assert gathered.scratch_bytes_per_cpe.sum() == 8 * plist_water_small.n_cluster_pairs
+        assert len(gathered.scratch_bytes_per_cpe) == 16
+
+
+class TestCacheStudy:
+    def test_adversarial_trace_reproduces_paper(self):
+        """§3.5: direct-mapped >85 % misses; two-way ~an order less."""
+        trace = adversarial_trace(20000)
+        study = cache_study(trace)
+        assert study.direct_miss_ratio > 0.85
+        assert study.two_way_miss_ratio < 0.15
+        assert study.two_way_miss_ratio < study.direct_miss_ratio / 5
+
+    def test_search_trace_interleaves(self, plist_water_small):
+        trace = search_trace(plist_water_small, expansion=1.0)
+        assert len(trace) == 2 * plist_water_small.n_cluster_pairs
+        np.testing.assert_array_equal(
+            trace[0::2], plist_water_small.pair_ci.astype(np.int64)
+        )
+
+    def test_search_trace_two_way_never_worse(self, plist_water_small):
+        study = cache_study(search_trace(plist_water_small))
+        assert study.two_way_miss_ratio <= study.direct_miss_ratio + 0.02
+
+    def test_expansion_validation(self, plist_water_small):
+        with pytest.raises(ValueError):
+            search_trace(plist_water_small, expansion=0.5)
+
+
+class TestSearchKernelModel:
+    def test_lower_miss_ratio_faster(self, plist_water_small):
+        fast = search_kernel_seconds(plist_water_small, 0.05)
+        slow = search_kernel_seconds(plist_water_small, 0.90)
+        assert fast < slow
+
+    def test_miss_ratio_validated(self, plist_water_small):
+        with pytest.raises(ValueError):
+            search_kernel_seconds(plist_water_small, 1.5)
+
+    def test_two_way_fix_speeds_search(self, plist_water_small):
+        """The §3.5 change (85 % -> 10 % misses) must translate into a
+        several-fold modelled kernel speedup."""
+        t_thrash = search_kernel_seconds(plist_water_small, 0.87)
+        t_fixed = search_kernel_seconds(plist_water_small, 0.10)
+        assert t_thrash / t_fixed > 2.0

@@ -1,0 +1,78 @@
+"""Fig. 7 shuffle transpose: lane exactness, six-op budget."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.shuffle import (
+    add_transposed_to_forces,
+    transpose_4x3,
+    transpose_4x3_reference,
+)
+from repro.hw.simd import FloatV4, OpCounter
+
+lane_vals = st.lists(
+    st.floats(-1e5, 1e5, allow_nan=False, width=32), min_size=4, max_size=4
+)
+
+
+class TestTranspose:
+    def test_matches_paper_figure(self):
+        fx = FloatV4([1, 2, 3, 4])  # X1..X4
+        fy = FloatV4([5, 6, 7, 8])  # Y1..Y4
+        fz = FloatV4([9, 10, 11, 12])  # Z1..Z4
+        o0, o1, o2 = transpose_4x3(fx, fy, fz)
+        np.testing.assert_array_equal(o0.lanes, np.float32([1, 5, 9, 2]))
+        np.testing.assert_array_equal(o1.lanes, np.float32([6, 10, 3, 7]))
+        np.testing.assert_array_equal(o2.lanes, np.float32([11, 4, 8, 12]))
+
+    def test_exactly_six_shuffles(self):
+        ops = OpCounter()
+        transpose_4x3(FloatV4([0] * 4), FloatV4([0] * 4), FloatV4([0] * 4), ops)
+        assert ops.shuffle == 6
+        assert ops.arith == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(fx=lane_vals, fy=lane_vals, fz=lane_vals)
+    def test_equals_numpy_reference_property(self, fx, fy, fz):
+        o0, o1, o2 = transpose_4x3(FloatV4(fx), FloatV4(fy), FloatV4(fz))
+        got = np.concatenate([o0.lanes, o1.lanes, o2.lanes])
+        expect = transpose_4x3_reference(
+            np.float32(fx), np.float32(fy), np.float32(fz)
+        )
+        np.testing.assert_array_equal(got, expect)
+
+
+class TestPostTreatment:
+    def test_adds_into_aos_buffer(self):
+        forces = np.zeros(24, dtype=np.float32)
+        forces[:] = np.arange(24)
+        before = forces.copy()
+        fx, fy, fz = FloatV4([1] * 4), FloatV4([2] * 4), FloatV4([3] * 4)
+        add_transposed_to_forces(forces, 2, fx, fy, fz)
+        expect = before.copy()
+        expect[6:18] += np.tile(np.float32([1, 2, 3]), 4)
+        np.testing.assert_array_equal(forces, expect)
+        # Untouched region intact.
+        np.testing.assert_array_equal(forces[:6], before[:6])
+
+    def test_bounds_checked(self):
+        with pytest.raises(IndexError):
+            add_transposed_to_forces(
+                np.zeros(12, dtype=np.float32),
+                1,
+                FloatV4([0] * 4),
+                FloatV4([0] * 4),
+                FloatV4([0] * 4),
+            )
+
+    def test_counts_vector_ops(self):
+        ops = OpCounter()
+        forces = np.zeros(12, dtype=np.float32)
+        add_transposed_to_forces(
+            forces, 0, FloatV4([1] * 4, ops), FloatV4([2] * 4, ops), FloatV4([3] * 4, ops)
+        )
+        assert ops.shuffle == 6
+        assert ops.load_store == 6  # 3 loads + 3 stores
+        assert ops.arith == 3  # 3 vector adds

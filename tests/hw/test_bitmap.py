@@ -1,0 +1,85 @@
+"""LineMarkBitmap: bit semantics, density, LDM footprint."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.bitmap import LineMarkBitmap
+
+
+class TestBitmapBasics:
+    def test_starts_clear(self):
+        bm = LineMarkBitmap(100)
+        assert bm.count() == 0
+        assert not any(bm.is_marked(i) for i in range(100))
+
+    def test_mark_and_query(self):
+        bm = LineMarkBitmap(100)
+        bm.mark(0)
+        bm.mark(63)
+        bm.mark(64)  # crosses the word boundary
+        bm.mark(99)
+        for line in (0, 63, 64, 99):
+            assert bm.is_marked(line)
+        assert not bm.is_marked(1)
+        assert bm.count() == 4
+
+    def test_mark_idempotent(self):
+        bm = LineMarkBitmap(10)
+        bm.mark(5)
+        bm.mark(5)
+        assert bm.count() == 1
+
+    def test_marked_lines_sorted(self):
+        bm = LineMarkBitmap(200)
+        for line in (199, 3, 77):
+            bm.mark(line)
+        np.testing.assert_array_equal(bm.marked_lines(), [3, 77, 199])
+
+    def test_out_of_range(self):
+        bm = LineMarkBitmap(10)
+        with pytest.raises(IndexError):
+            bm.mark(10)
+        with pytest.raises(IndexError):
+            bm.is_marked(-1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            LineMarkBitmap(0)
+
+    def test_clear(self):
+        bm = LineMarkBitmap(10)
+        bm.mark(3)
+        bm.clear()
+        assert bm.count() == 0
+
+    def test_density(self):
+        bm = LineMarkBitmap(8)
+        bm.mark(0)
+        bm.mark(1)
+        assert bm.density() == pytest.approx(0.25)
+
+    def test_ldm_footprint_matches_paper_figure5(self):
+        """Fig. 5: 1 byte of marks covers 8 lines = 256 particles, so the
+        marks for 2048 particles (64 lines) fit in 8 bytes."""
+        bm = LineMarkBitmap(64)
+        assert bm.ldm_bytes == 8
+        assert len(bm.to_bytes()) == 8
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    lines=st.lists(st.integers(min_value=0, max_value=999), max_size=200),
+    n=st.just(1000),
+)
+def test_bitmap_equals_set_semantics(lines, n):
+    """The bitmap is exactly a set of line indices."""
+    bm = LineMarkBitmap(n)
+    for line in lines:
+        bm.mark(line)
+    expected = sorted(set(lines))
+    np.testing.assert_array_equal(bm.marked_lines(), expected)
+    assert bm.count() == len(expected)
+    for probe in range(0, n, 37):
+        assert bm.is_marked(probe) == (probe in set(lines))

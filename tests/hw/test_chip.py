@@ -1,0 +1,167 @@
+"""Chip composition, CPE/MPE accounting, perf counters, NoC."""
+
+import numpy as np
+import pytest
+
+from repro.hw.chip import CoreGroup, Sw26010Chip, chips_for_core_groups
+from repro.hw.cpe import Cpe
+from repro.hw.mpe import Mpe
+from repro.hw.noc import MESSAGE_BYTES, RegisterMesh
+from repro.hw.params import DEFAULT_PARAMS
+from repro.hw.perf import KernelTiming, PerfCounters
+
+
+class TestCpe:
+    def test_cycle_accounting(self):
+        cpe = Cpe(0)
+        cpe.charge_scalar(100)
+        cpe.simd_ops.arith += 10
+        cpe.charge_gld(2)
+        expected = 100 + 10 + 2 * DEFAULT_PARAMS.gld_latency_cycles
+        assert cpe.total_cycles() == pytest.approx(expected)
+
+    def test_reset(self):
+        cpe = Cpe(1)
+        cpe.charge_scalar(50)
+        cpe.reset()
+        assert cpe.total_cycles() == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Cpe(-1)
+        with pytest.raises(ValueError):
+            Cpe(0).charge_scalar(-1)
+
+
+class TestMpe:
+    def test_pair_charge(self):
+        mpe = Mpe()
+        mpe.charge_pairs_scalar(1000)
+        assert mpe.cycles == 1000 * DEFAULT_PARAMS.mpe_scalar_pair_cycles
+        assert mpe.seconds() == pytest.approx(mpe.cycles / 1.45e9)
+
+
+class TestCoreGroup:
+    def test_composition(self):
+        cg = CoreGroup()
+        assert len(cg.cpes) == 64
+        assert cg.mpe is not None
+
+    def test_critical_path_and_imbalance(self):
+        cg = CoreGroup()
+        for i, cpe in enumerate(cg.cpes):
+            cpe.charge_scalar(100 + i)
+        assert cg.critical_cpe_cycles() == 163
+        assert cg.imbalance() == pytest.approx(163 / np.mean(np.arange(100, 164)))
+
+    def test_elapsed_combines_cpe_and_mpe(self):
+        cg = CoreGroup()
+        cg.cpes[0].charge_scalar(1.45e9)  # one second of compute
+        cg.mpe.charge(1.45e9 / 2)
+        assert cg.elapsed_seconds() == pytest.approx(1.5)
+
+
+class TestChip:
+    def test_four_core_groups(self):
+        chip = Sw26010Chip()
+        assert chip.n_core_groups == 4
+        assert chip.peak_gflops() == pytest.approx(4 * 765.0)
+
+    @pytest.mark.parametrize("cgs,chips", [(1, 1), (4, 1), (5, 2), (512, 128)])
+    def test_chips_for_core_groups(self, cgs, chips):
+        assert chips_for_core_groups(cgs) == chips
+
+    def test_rejects_zero_cgs(self):
+        with pytest.raises(ValueError):
+            chips_for_core_groups(0)
+
+
+class TestPerfCounters:
+    def test_pipelined_overlap(self):
+        pc = PerfCounters(pipelined=True)
+        pc.charge_cpe_cycles(1.45e9)  # 1 s compute
+        pc.dma.get_bulk(2048, 10000)  # some DMA
+        dma_s = pc.dma_seconds
+        expected = 1.0 + dma_s - DEFAULT_PARAMS.pipeline_overlap * min(1.0, dma_s)
+        assert pc.elapsed_seconds() == pytest.approx(expected)
+
+    def test_unpipelined_additive(self):
+        pc = PerfCounters(pipelined=False)
+        pc.charge_cpe_cycles(1.45e9)
+        pc.dma.get_bulk(2048, 1000)
+        assert pc.elapsed_seconds() == pytest.approx(1.0 + pc.dma_seconds)
+
+    def test_gld_never_hidden(self):
+        pc = PerfCounters(pipelined=True)
+        pc.charge_gld(1000)
+        assert pc.elapsed_seconds() == pytest.approx(
+            1000 * DEFAULT_PARAMS.gld_latency_cycles / 1.45e9
+        )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PerfCounters().charge_cpe_cycles(-1)
+
+
+class TestKernelTiming:
+    def test_fractions_sum_to_one(self):
+        t = KernelTiming()
+        t.add("Force", 3.0)
+        t.add("Update", 1.0)
+        fr = t.fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+        assert fr["Force"] == pytest.approx(0.75)
+
+    def test_accumulates(self):
+        t = KernelTiming()
+        t.add("Force", 1.0)
+        t.add("Force", 2.0)
+        assert t.seconds["Force"] == 3.0
+
+    def test_merge(self):
+        a, b = KernelTiming(), KernelTiming()
+        a.add("Force", 1.0)
+        b.add("Force", 1.0)
+        b.add("Update", 0.5)
+        a.merge(b)
+        assert a.total() == pytest.approx(2.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            KernelTiming().add("x", -0.1)
+
+
+class TestRegisterMesh:
+    def test_row_column_connectivity(self):
+        mesh = RegisterMesh()
+        assert mesh.can_communicate(0, 7)  # same row
+        assert mesh.can_communicate(0, 56)  # same column
+        assert not mesh.can_communicate(0, 9)  # diagonal
+
+    def test_send_receive_fifo(self):
+        mesh = RegisterMesh()
+        mesh.send(0, 1, np.float32([1, 2, 3, 4]))
+        mesh.send(2, 1, np.float32([5, 6, 7, 8]))
+        src, data = mesh.receive(1)
+        assert src == 0
+        np.testing.assert_array_equal(data, np.float32([1, 2, 3, 4]))
+
+    def test_rejects_diagonal_and_self(self):
+        mesh = RegisterMesh()
+        with pytest.raises(ValueError):
+            mesh.send(0, 9, np.float32([0]))
+        with pytest.raises(ValueError):
+            mesh.send(3, 3, np.float32([0]))
+
+    def test_rejects_oversized(self):
+        mesh = RegisterMesh()
+        with pytest.raises(ValueError):
+            mesh.send(0, 1, np.zeros(MESSAGE_BYTES // 4 + 1, dtype=np.float32))
+
+    def test_empty_mailbox(self):
+        with pytest.raises(LookupError):
+            RegisterMesh().receive(5)
+
+    def test_tree_reduce_time_scales(self):
+        mesh = RegisterMesh()
+        assert mesh.tree_reduce_time(1024) > mesh.tree_reduce_time(128) > 0

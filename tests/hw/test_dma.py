@@ -1,0 +1,109 @@
+"""DMA engine: Table 2 reproduction, interpolation, accounting."""
+
+import numpy as np
+import pytest
+
+from repro.hw.dma import (
+    DmaEngine,
+    bandwidth_table,
+    interpolate_bandwidth_gbs,
+    transfer_seconds,
+)
+from repro.hw.params import DEFAULT_PARAMS, DMA_BANDWIDTH_TABLE_GBS
+
+
+class TestBandwidthCurve:
+    @pytest.mark.parametrize("size,expected", sorted(DMA_BANDWIDTH_TABLE_GBS.items()))
+    def test_anchor_points_exact(self, size, expected):
+        assert interpolate_bandwidth_gbs(size) == pytest.approx(expected)
+
+    def test_monotone_up_to_plateau(self):
+        sizes = np.unique(np.geomspace(8, 2048, 60).astype(int))
+        bws = [interpolate_bandwidth_gbs(int(s)) for s in sizes]
+        assert all(b2 >= b1 - 1e-9 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_flat_beyond_last_anchor(self):
+        assert interpolate_bandwidth_gbs(2048) == interpolate_bandwidth_gbs(1 << 20)
+
+    def test_sub_anchor_scales_linearly(self):
+        # A 4 B transfer takes as long as an 8 B one: half the bandwidth.
+        assert interpolate_bandwidth_gbs(4) == pytest.approx(0.99 / 2)
+
+    def test_interpolated_between_anchors(self):
+        bw = interpolate_bandwidth_gbs(180)
+        assert DMA_BANDWIDTH_TABLE_GBS[128] < bw < DMA_BANDWIDTH_TABLE_GBS[256]
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            interpolate_bandwidth_gbs(0)
+
+    def test_table2_reproduced(self):
+        rows = dict(bandwidth_table())
+        for size, bw in DMA_BANDWIDTH_TABLE_GBS.items():
+            assert rows[size] == pytest.approx(bw, rel=1e-6)
+
+
+class TestTransferTime:
+    def test_small_transfers_slower_per_byte(self):
+        per_byte_small = transfer_seconds(8) / 8
+        per_byte_large = transfer_seconds(2048) / 2048
+        assert per_byte_small > 10 * per_byte_large
+
+    def test_time_positive_and_monotone_in_size(self):
+        t_prev = 0.0
+        for size in (8, 64, 128, 512, 2048, 8192):
+            t = transfer_seconds(size)
+            assert t > t_prev
+            t_prev = t
+
+
+class TestDmaEngine:
+    def test_accounting(self):
+        eng = DmaEngine()
+        t1 = eng.get(128)
+        t2 = eng.put(256)
+        assert eng.stats.n_get == 1 and eng.stats.n_put == 1
+        assert eng.stats.bytes_total == 384
+        assert eng.stats.seconds == pytest.approx(t1 + t2)
+
+    def test_bulk_equals_loop(self):
+        a, b = DmaEngine(), DmaEngine()
+        a.get_bulk(112, 50)
+        for _ in range(50):
+            b.get(112)
+        assert a.stats.seconds == pytest.approx(b.stats.seconds)
+        assert a.stats.bytes_get == b.stats.bytes_get
+        assert a.stats.n_get == b.stats.n_get
+
+    def test_bulk_zero_count_noop(self):
+        eng = DmaEngine()
+        assert eng.get_bulk(128, 0) == 0.0
+        assert eng.stats.n_transactions == 0
+
+    def test_bulk_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DmaEngine().get_bulk(128, -1)
+        with pytest.raises(ValueError):
+            DmaEngine().put_bulk(128, -1)
+
+    def test_effective_bandwidth_matches_curve(self):
+        eng = DmaEngine()
+        eng.get_bulk(512, 1000)
+        assert eng.effective_bandwidth_gbs() == pytest.approx(
+            DMA_BANDWIDTH_TABLE_GBS[512], rel=1e-6
+        )
+
+    def test_reset(self):
+        eng = DmaEngine()
+        eng.get(128)
+        eng.reset()
+        assert eng.stats.n_transactions == 0
+        assert eng.effective_bandwidth_gbs() == 0.0
+
+    def test_stats_merge(self):
+        a, b = DmaEngine(), DmaEngine()
+        a.get(128)
+        b.put(256)
+        a.stats.merge(b.stats)
+        assert a.stats.n_get == 1 and a.stats.n_put == 1
+        assert a.stats.bytes_total == 384

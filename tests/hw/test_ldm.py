@@ -1,0 +1,78 @@
+"""LDM allocator: capacity enforcement, alignment, layout."""
+
+import pytest
+
+from repro.hw.ldm import ALIGNMENT_BYTES, LdmAllocator, LdmOverflowError
+
+
+class TestLdmAllocator:
+    def test_alignment_rounding(self):
+        assert LdmAllocator.aligned(1) == ALIGNMENT_BYTES
+        assert LdmAllocator.aligned(16) == 16
+        assert LdmAllocator.aligned(17) == 32
+        assert LdmAllocator.aligned(0) == 0
+
+    def test_alloc_and_lookup(self):
+        ldm = LdmAllocator(1024)
+        blk = ldm.alloc("read_cache", 100)
+        assert blk.offset == 0
+        assert blk.size == 112  # rounded to 16
+        assert ldm.block("read_cache") is blk
+        assert ldm.used_bytes() == 112
+        assert ldm.free_bytes() == 1024 - 112
+
+    def test_sequential_offsets_aligned(self):
+        ldm = LdmAllocator(4096)
+        a = ldm.alloc("a", 33)
+        b = ldm.alloc("b", 1)
+        assert a.end == b.offset
+        assert b.offset % ALIGNMENT_BYTES == 0
+
+    def test_overflow_raises_with_context(self):
+        ldm = LdmAllocator(64)
+        ldm.alloc("a", 48)
+        with pytest.raises(LdmOverflowError, match="LDM overflow"):
+            ldm.alloc("b", 32)
+
+    def test_duplicate_name_rejected(self):
+        ldm = LdmAllocator(1024)
+        ldm.alloc("x", 16)
+        with pytest.raises(ValueError, match="already allocated"):
+            ldm.alloc("x", 16)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            LdmAllocator(64).block("nope")
+
+    def test_reset(self):
+        ldm = LdmAllocator(1024)
+        ldm.alloc("a", 100)
+        ldm.reset()
+        assert ldm.used_bytes() == 0
+        ldm.alloc("a", 100)  # name reusable after reset
+
+    def test_layout_order(self):
+        ldm = LdmAllocator(1024)
+        ldm.alloc("z", 16)
+        ldm.alloc("a", 16)
+        names = [b.name for b in ldm.layout()]
+        assert names == ["z", "a"]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            LdmAllocator(0)
+        with pytest.raises(ValueError):
+            LdmAllocator(64).alloc("a", -1)
+
+    def test_paper_kernel_working_set_fits_64kb(self):
+        """The MARK kernel's LDM plan (read cache + write cache + marks +
+        staging) must fit the 64 KB budget — the constraint the paper
+        designs around."""
+        ldm = LdmAllocator(64 * 1024)
+        ldm.alloc("read_cache", 32 * 8 * 112)  # 32 lines x 8 pkgs x 112 B
+        ldm.alloc("write_cache", 32 * 8 * 48)  # force lines
+        ldm.alloc("tags", 2 * 32 * 8)
+        ldm.alloc("marks", 4096 // 8)  # marks for 4096 lines
+        ldm.alloc("nblist_window", 2048)
+        ldm.alloc("simd_staging", 1024)
+        assert ldm.free_bytes() >= 0

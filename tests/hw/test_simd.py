@@ -1,0 +1,123 @@
+"""FloatV4 SIMD model: lane semantics, op counting, vshuff."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.simd import LANES, FloatV4, OpCounter, vshuff
+
+finite_f32 = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, width=32
+)
+lane_vals = st.lists(finite_f32, min_size=4, max_size=4)
+
+
+class TestFloatV4:
+    def test_requires_four_lanes(self):
+        with pytest.raises(ValueError):
+            FloatV4([1.0, 2.0, 3.0])
+
+    def test_arithmetic_matches_numpy_float32(self):
+        ops = OpCounter()
+        a = FloatV4([1, 2, 3, 4], ops)
+        b = FloatV4([5, 6, 7, 8], ops)
+        np.testing.assert_array_equal((a + b).lanes, np.float32([6, 8, 10, 12]))
+        np.testing.assert_array_equal((a - b).lanes, np.float32([-4, -4, -4, -4]))
+        np.testing.assert_array_equal((a * b).lanes, np.float32([5, 12, 21, 32]))
+        np.testing.assert_array_equal(
+            (b / a).lanes, np.float32([5, 3, 7 / 3, 2])
+        )
+        assert ops.arith == 4
+
+    def test_madd_single_op(self):
+        ops = OpCounter()
+        a = FloatV4([1, 2, 3, 4], ops)
+        out = a.madd(FloatV4([2, 2, 2, 2]), FloatV4([1, 1, 1, 1]))
+        np.testing.assert_array_equal(out.lanes, np.float32([3, 5, 7, 9]))
+        assert ops.arith == 1
+
+    def test_rsqrt(self):
+        a = FloatV4([1.0, 4.0, 16.0, 64.0])
+        np.testing.assert_allclose(
+            a.rsqrt().lanes, [1.0, 0.5, 0.25, 0.125], rtol=1e-6
+        )
+
+    def test_splat_and_scalar_ops(self):
+        s = FloatV4.splat(2.5)
+        np.testing.assert_array_equal(s.lanes, np.float32([2.5] * 4))
+        np.testing.assert_array_equal((s * 2.0).lanes, np.float32([5.0] * 4))
+
+    def test_compare_select(self):
+        a = FloatV4([1, 5, 3, 7])
+        b = FloatV4([4, 4, 4, 4])
+        mask = a.less_than(b)
+        np.testing.assert_array_equal(mask, [True, False, True, False])
+        sel = a.select(mask, b)
+        np.testing.assert_array_equal(sel.lanes, np.float32([1, 4, 3, 4]))
+
+    def test_hsum(self):
+        assert FloatV4([1, 2, 3, 4]).hsum() == pytest.approx(10.0)
+
+    def test_load_store_roundtrip(self):
+        buf = np.zeros(8, dtype=np.float32)
+        v = FloatV4([1, 2, 3, 4])
+        v.store(buf, 4)
+        out = FloatV4.load(buf, 4)
+        np.testing.assert_array_equal(out.lanes, v.lanes)
+
+    def test_load_out_of_range(self):
+        with pytest.raises(IndexError):
+            FloatV4.load(np.zeros(5, dtype=np.float32), 3)
+
+    @settings(max_examples=50, deadline=None)
+    @given(a=lane_vals, b=lane_vals)
+    def test_float32_semantics_property(self, a, b):
+        """Vector math == numpy float32 math, lane for lane."""
+        va, vb = FloatV4(a), FloatV4(b)
+        np.testing.assert_array_equal(
+            (va * vb + va).lanes,
+            np.float32(np.float32(a) * np.float32(b) + np.float32(a)),
+        )
+
+
+class TestVshuff:
+    def test_basic_selection(self):
+        a = FloatV4([10, 11, 12, 13])
+        b = FloatV4([20, 21, 22, 23])
+        out = vshuff(a, b, (0, 2), (1, 3))
+        np.testing.assert_array_equal(out.lanes, np.float32([10, 12, 21, 23]))
+
+    def test_counts_one_shuffle(self):
+        ops = OpCounter()
+        vshuff(FloatV4([0, 1, 2, 3]), FloatV4([4, 5, 6, 7]), (0, 1), (0, 1), ops)
+        assert ops.shuffle == 1
+        assert ops.total == 1
+
+    def test_rejects_bad_selector(self):
+        a, b = FloatV4([0, 1, 2, 3]), FloatV4([4, 5, 6, 7])
+        with pytest.raises(ValueError):
+            vshuff(a, b, (0, 4), (0, 1))
+        with pytest.raises(ValueError):
+            vshuff(a, b, (0,), (0, 1))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a=lane_vals,
+        b=lane_vals,
+        sa=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+        sb=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+    )
+    def test_shuffle_lane_semantics(self, a, b, sa, sb):
+        out = vshuff(FloatV4(a), FloatV4(b), sa, sb)
+        expect = np.float32([a[sa[0]], a[sa[1]], b[sb[0]], b[sb[1]]])
+        np.testing.assert_array_equal(out.lanes, expect)
+
+
+class TestOpCounter:
+    def test_merge(self):
+        a = OpCounter(arith=2, shuffle=1)
+        b = OpCounter(arith=3, compare=4, load_store=5)
+        a.merge(b)
+        assert (a.arith, a.shuffle, a.compare, a.load_store) == (5, 1, 4, 5)
+        assert a.total == 15

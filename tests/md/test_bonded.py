@@ -1,0 +1,153 @@
+"""Bonded forces: analytic gradients vs numerical differentiation."""
+
+import numpy as np
+import pytest
+
+from repro.md.bonded import angle_forces, bond_forces, compute_bonded, dihedral_forces
+from repro.md.box import Box
+from repro.md.constants import LJ_FLUID
+from repro.md.system import ParticleSystem
+from repro.md.topology import Angle, Bond, Dihedral, Topology
+
+BOX = Box.cubic(5.0)
+
+
+def numeric_forces(positions, energy_fn, h=1e-6):
+    f = np.zeros_like(positions)
+    for p in range(len(positions)):
+        for d in range(3):
+            plus = positions.copy()
+            minus = positions.copy()
+            plus[p, d] += h
+            minus[p, d] -= h
+            f[p, d] = -(energy_fn(plus) - energy_fn(minus)) / (2 * h)
+    return f
+
+
+class TestBonds:
+    def test_equilibrium_zero_force(self):
+        pos = np.array([[1.0, 1.0, 1.0], [1.1, 1.0, 1.0]])
+        forces = np.zeros_like(pos)
+        e = bond_forces(pos, BOX, [Bond(0, 1, 0.1, 1000.0)], forces)
+        assert e == pytest.approx(0.0)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-12)
+
+    def test_stretched_energy_and_restoring_force(self):
+        bonds = [Bond(0, 1, 0.1, 1000.0)]
+        pos = np.array([[1.0, 1.0, 1.0], [1.15, 1.0, 1.0]])
+        forces = np.zeros_like(pos)
+        e = bond_forces(pos, BOX, bonds, forces)
+        assert e == pytest.approx(0.5 * 1000.0 * 0.05**2)
+        assert forces[0, 0] > 0 and forces[1, 0] < 0  # pulls together
+
+    def test_gradient_numeric(self, rng):
+        bonds = [Bond(0, 1, 0.12, 800.0), Bond(1, 2, 0.1, 1200.0)]
+        pos = np.array([[1, 1, 1], [1.13, 1.05, 0.98], [1.2, 1.18, 1.02]], dtype=float)
+
+        def energy(p):
+            return bond_forces(p, BOX, bonds, np.zeros_like(p))
+
+        forces = np.zeros_like(pos)
+        bond_forces(pos, BOX, bonds, forces)
+        np.testing.assert_allclose(forces, numeric_forces(pos, energy), atol=1e-4)
+
+    def test_periodic_bond_across_boundary(self):
+        pos = np.array([[0.02, 1, 1], [4.95, 1, 1]])  # 0.07 apart via PBC
+        forces = np.zeros_like(pos)
+        e = bond_forces(pos, BOX, [Bond(0, 1, 0.1, 1000.0)], forces)
+        assert e == pytest.approx(0.5 * 1000 * 0.03**2)
+
+
+class TestAngles:
+    def test_equilibrium_zero(self):
+        theta0 = np.radians(104.5)
+        pos = np.array(
+            [
+                [1 + 0.1 * np.sin(theta0 / 2), 1 + 0.1 * np.cos(theta0 / 2), 1],
+                [1.0, 1.0, 1.0],
+                [1 - 0.1 * np.sin(theta0 / 2), 1 + 0.1 * np.cos(theta0 / 2), 1],
+            ]
+        )
+        angles = [Angle(0, 1, 2, theta0, 400.0)]
+        forces = np.zeros_like(pos)
+        e = angle_forces(pos, BOX, angles, forces)
+        assert e == pytest.approx(0.0, abs=1e-10)
+        np.testing.assert_allclose(forces, 0.0, atol=1e-6)
+
+    def test_gradient_numeric(self):
+        angles = [Angle(0, 1, 2, np.radians(109.47), 383.0)]
+        pos = np.array([[1.08, 1.02, 1.0], [1, 1, 1], [0.95, 1.07, 1.03]])
+
+        def energy(p):
+            return angle_forces(p, BOX, angles, np.zeros_like(p))
+
+        forces = np.zeros_like(pos)
+        angle_forces(pos, BOX, angles, forces)
+        np.testing.assert_allclose(forces, numeric_forces(pos, energy), atol=1e-4)
+
+    def test_net_force_and_torque_free(self):
+        angles = [Angle(0, 1, 2, np.radians(100.0), 500.0)]
+        pos = np.array([[1.1, 1.0, 1.0], [1, 1, 1], [1.0, 1.12, 1.0]])
+        forces = np.zeros_like(pos)
+        angle_forces(pos, BOX, angles, forces)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-10)
+        torque = np.cross(pos - pos.mean(axis=0), forces).sum(axis=0)
+        np.testing.assert_allclose(torque, 0.0, atol=1e-9)
+
+
+class TestDihedrals:
+    def test_gradient_numeric(self):
+        dihedrals = [Dihedral(0, 1, 2, 3, np.radians(60.0), 5.0, 3)]
+        pos = np.array(
+            [[1.0, 1.0, 1.0], [1.15, 1.0, 1.0], [1.2, 1.14, 1.0], [1.3, 1.2, 1.13]]
+        )
+
+        def energy(p):
+            return dihedral_forces(p, BOX, dihedrals, np.zeros_like(p))
+
+        forces = np.zeros_like(pos)
+        dihedral_forces(pos, BOX, dihedrals, forces)
+        np.testing.assert_allclose(forces, numeric_forces(pos, energy), atol=1e-4)
+
+    def test_energy_range(self):
+        """V = k(1 + cos(n phi - phi0)) lies in [0, 2k]."""
+        rng = np.random.default_rng(4)
+        dihedrals = [Dihedral(0, 1, 2, 3, 0.3, 7.0, 2)]
+        for _ in range(20):
+            pos = np.array([1.0, 1.0, 1.0]) + rng.uniform(0, 0.3, (4, 3))
+            e = dihedral_forces(pos, BOX, dihedrals, np.zeros((4, 3)))
+            assert -1e-9 <= e <= 14.0 + 1e-9
+
+    def test_net_force_zero(self):
+        dihedrals = [Dihedral(0, 1, 2, 3, 0.0, 3.0, 1)]
+        pos = np.array(
+            [[1.0, 1.0, 1.0], [1.15, 1.0, 1.0], [1.2, 1.14, 1.0], [1.3, 1.2, 1.13]]
+        )
+        forces = np.zeros_like(pos)
+        dihedral_forces(pos, BOX, dihedrals, forces)
+        np.testing.assert_allclose(forces.sum(axis=0), 0.0, atol=1e-10)
+
+
+class TestComputeBonded:
+    def test_combined_terms(self):
+        topo = Topology([LJ_FLUID])
+        for m in range(4):
+            topo.add_particles(["AR"], [0.0], 0)
+        topo.bonds.append(Bond(0, 1, 0.15, 500.0))
+        topo.angles.append(Angle(0, 1, 2, np.radians(110), 300.0))
+        topo.dihedrals.append(Dihedral(0, 1, 2, 3, 0.0, 2.0, 1))
+        pos = np.array(
+            [[1.0, 1.0, 1.0], [1.16, 1.0, 1.0], [1.2, 1.15, 1.0], [1.3, 1.2, 1.1]]
+        )
+        system = ParticleSystem(pos, BOX, topo)
+        res = compute_bonded(system)
+        assert res.energy == pytest.approx(
+            res.energy_bonds + res.energy_angles + res.energy_dihedrals
+        )
+        assert res.energy_bonds > 0
+        np.testing.assert_allclose(res.forces.sum(axis=0), 0.0, atol=1e-9)
+
+    def test_empty_lists_zero(self, lj_small):
+        res = compute_bonded(lj_small)
+        assert res.energy == 0.0
+        np.testing.assert_array_equal(res.forces, 0.0)

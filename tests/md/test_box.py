@@ -1,0 +1,72 @@
+"""Periodic box: wrapping, minimum image, cutoff validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.box import Box
+
+coords = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestBox:
+    def test_cubic(self):
+        box = Box.cubic(3.0)
+        assert box.lengths == (3.0, 3.0, 3.0)
+        assert box.volume == pytest.approx(27.0)
+        assert box.min_edge == 3.0
+
+    def test_rejects_bad_lengths(self):
+        with pytest.raises(ValueError):
+            Box((1.0, -1.0, 1.0))
+        with pytest.raises(ValueError):
+            Box((1.0, 1.0))
+
+    def test_wrap_into_range(self):
+        box = Box.cubic(2.0)
+        wrapped = box.wrap(np.array([[2.5, -0.5, 4.0]]))
+        np.testing.assert_allclose(wrapped, [[0.5, 1.5, 0.0]])
+
+    def test_minimum_image_halves(self):
+        box = Box.cubic(2.0)
+        d = box.minimum_image(np.array([1.5, -1.5, 0.4]))
+        np.testing.assert_allclose(d, [-0.5, 0.5, 0.4])
+
+    def test_distance_symmetric_across_boundary(self):
+        box = Box.cubic(2.0)
+        a = np.array([0.1, 0.0, 0.0])
+        b = np.array([1.9, 0.0, 0.0])
+        assert box.distance(a, b) == pytest.approx(0.2)
+
+    def test_check_cutoff(self):
+        box = Box.cubic(2.0)
+        box.check_cutoff(0.99)
+        with pytest.raises(ValueError):
+            box.check_cutoff(1.01)
+        with pytest.raises(ValueError):
+            box.check_cutoff(-1.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=coords, y=coords, z=coords)
+    def test_minimum_image_bounds_property(self, x, y, z):
+        box = Box((2.0, 3.0, 4.0))
+        d = box.minimum_image(np.array([x, y, z]))
+        assert np.all(np.abs(d) <= box.array / 2 + 1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(x=coords, y=coords, z=coords, sx=st.integers(-3, 3))
+    def test_distance_invariant_under_lattice_shift(self, x, y, z, sx):
+        box = Box.cubic(2.5)
+        a = np.array([x, y, z])
+        b = a + np.array([sx * 2.5, 0.0, 0.0])
+        assert box.distance(a, np.zeros(3)) == pytest.approx(
+            box.distance(b, np.zeros(3)), abs=1e-8
+        )
+
+    def test_wrap_is_idempotent(self):
+        box = Box.cubic(1.7)
+        pts = np.random.default_rng(0).uniform(-10, 10, (50, 3))
+        once = box.wrap(pts)
+        np.testing.assert_allclose(box.wrap(once), once)
+        assert np.all(once >= 0) and np.all(once < 1.7)

@@ -1,0 +1,119 @@
+"""Direct-sum Ewald oracle and PME cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.md.box import Box
+from repro.md.constants import AtomType
+from repro.md.ewald import DirectEwaldSolver, EwaldParams
+from repro.md.pme import PmeParams, PmeSolver
+from repro.md.system import ParticleSystem
+from repro.md.topology import Topology
+
+ION = AtomType("ION", 20.0, 0.0, 0.0)
+
+
+@pytest.fixture(scope="module")
+def charged_system():
+    rng = np.random.default_rng(7)
+    n, edge = 12, 2.4
+    q = rng.uniform(-1, 1, n)
+    q -= q.mean()
+    topo = Topology([ION])
+    for m in range(n):
+        topo.add_particles(["ION"], [q[m]], mol_id=m)
+    return ParticleSystem(rng.uniform(0, edge, (n, 3)), Box.cubic(edge), topo)
+
+
+class TestDirectEwald:
+    def test_params_validation(self):
+        with pytest.raises(ValueError):
+            EwaldParams(beta=0.0)
+        with pytest.raises(ValueError):
+            EwaldParams(kmax=0)
+
+    def test_reciprocal_forces_match_numerical_gradient(self, charged_system):
+        beta = 3.2
+        solver = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=beta, kmax=10)
+        )
+        q = charged_system.charges
+        e0, f0 = solver.reciprocal(charged_system.positions, q)
+        h = 1e-6
+        for p in (0, 5):
+            for d in range(3):
+                s1 = charged_system.positions.copy()
+                s2 = charged_system.positions.copy()
+                s1[p, d] += h
+                s2[p, d] -= h
+                e1, _ = solver.reciprocal(s1, q)
+                e2, _ = solver.reciprocal(s2, q)
+                assert f0[p, d] == pytest.approx(
+                    -(e1 - e2) / (2 * h), rel=1e-5, abs=1e-6
+                )
+
+    def test_kmax_convergence(self, charged_system):
+        solver_lo = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=3.2, kmax=6)
+        )
+        solver_hi = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=3.2, kmax=14)
+        )
+        q = charged_system.charges
+        e_lo, _ = solver_lo.reciprocal(charged_system.positions, q)
+        e_hi, _ = solver_hi.reciprocal(charged_system.positions, q)
+        assert e_lo == pytest.approx(e_hi, rel=1e-4)
+
+    def test_translational_invariance(self, charged_system):
+        """Exact Ewald is exactly invariant under rigid translation —
+        unlike interpolated PME."""
+        solver = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=3.2, kmax=10)
+        )
+        q = charged_system.charges
+        e0, _ = solver.reciprocal(charged_system.positions, q)
+        shifted = charged_system.positions + np.array([0.137, -0.211, 0.05])
+        e1, _ = solver.reciprocal(shifted, q)
+        assert e1 == pytest.approx(e0, rel=1e-12)
+
+
+class TestPmeVsOracle:
+    @pytest.mark.parametrize("order,spacing,tol", [(4, 0.1, 1e-3), (6, 0.05, 1e-6)])
+    def test_pme_energy_converges_to_oracle(
+        self, charged_system, order, spacing, tol
+    ):
+        beta = 3.2
+        oracle = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=beta, kmax=14)
+        )
+        pme = PmeSolver(
+            charged_system.box,
+            PmeParams(order=order, grid_spacing=spacing, beta=beta),
+        )
+        q = charged_system.charges
+        e_exact, f_exact = oracle.reciprocal(charged_system.positions, q)
+        e_pme, f_pme = pme.reciprocal(charged_system)
+        assert e_pme == pytest.approx(e_exact, rel=tol)
+        scale = np.abs(f_exact).max()
+        assert np.abs(f_pme - f_exact).max() / scale < 100 * tol
+
+    def test_self_energy_identical(self, charged_system):
+        beta = 3.2
+        oracle = DirectEwaldSolver(charged_system.box, EwaldParams(beta=beta))
+        pme = PmeSolver(charged_system.box, PmeParams(beta=beta))
+        assert oracle.self_energy(charged_system.charges) == pytest.approx(
+            pme.self_energy(charged_system.charges)
+        )
+
+    def test_full_compute_agrees(self, charged_system):
+        beta = 3.2
+        oracle = DirectEwaldSolver(
+            charged_system.box, EwaldParams(beta=beta, kmax=14)
+        )
+        pme = PmeSolver(
+            charged_system.box,
+            PmeParams(order=6, grid_spacing=0.05, beta=beta),
+        )
+        res_o = oracle.compute(charged_system)
+        res_p = pme.compute(charged_system)
+        assert res_p.energy == pytest.approx(res_o.energy, rel=1e-5)

@@ -1,0 +1,171 @@
+"""Short-range forces: pair math, reference engine vs brute force,
+precision modes, Newton's third law."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.md.forces import (
+    brute_force_short_range,
+    compute_short_range,
+    tile_indices,
+)
+from repro.md.nonbonded import NonbondedParams, lj_shift_energy, pair_force_energy
+from repro.md.pairlist import build_pair_list
+from repro.util.units import COULOMB_CONSTANT
+
+
+class TestPairMath:
+    def test_lj_minimum_location(self):
+        """dV/dr = 0 at r = (2 C12 / C6)^(1/6)."""
+        c6, c12 = 1e-3, 1e-6
+        params = NonbondedParams(r_cut=2.0, r_list=2.0, coulomb_mode="none", shift_lj=False)
+        r_min = (2 * c12 / c6) ** (1 / 6)
+        f, _ = pair_force_energy(
+            np.array([r_min**2]), np.array([0.0]), np.array([c6]), np.array([c12]), params
+        )
+        assert f[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_lj_energy_at_sigma_zero(self):
+        sigma = 0.3
+        c6, c12 = 4 * sigma**6, 4 * sigma**12
+        params = NonbondedParams(r_cut=2.0, r_list=2.0, coulomb_mode="none", shift_lj=False)
+        _, e = pair_force_energy(
+            np.array([sigma**2]), np.array([0.0]), np.array([c6]), np.array([c12]), params
+        )
+        assert e[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_shift_zeroes_energy_at_cutoff(self):
+        params = NonbondedParams(r_cut=1.0, r_list=1.1, coulomb_mode="none", shift_lj=True)
+        r2 = np.array([0.9999999**2])
+        _, e = pair_force_energy(r2, np.zeros(1), np.array([1e-3]), np.array([1e-6]), params)
+        assert e[0] == pytest.approx(0.0, abs=1e-8)
+
+    def test_beyond_cutoff_exact_zero(self):
+        params = NonbondedParams(r_cut=1.0, r_list=1.1)
+        f, e = pair_force_energy(
+            np.array([1.21]), np.array([1.0]), np.array([1e-3]), np.array([1e-6]), params
+        )
+        assert f[0] == 0.0 and e[0] == 0.0
+
+    def test_mask_guards_zero_distance(self):
+        params = NonbondedParams(r_cut=1.0, r_list=1.1)
+        f, e = pair_force_energy(
+            np.array([0.0]), np.array([1.0]), np.array([1e-3]), np.array([1e-6]),
+            params, mask=np.array([False]),
+        )
+        assert np.isfinite(f[0]) and f[0] == 0.0 and e[0] == 0.0
+
+    def test_rf_energy_zero_at_cutoff(self):
+        params = NonbondedParams(r_cut=1.0, r_list=1.1, coulomb_mode="rf")
+        _, e = pair_force_energy(
+            np.array([0.999999**2]), np.array([1.0]), np.zeros(1), np.zeros(1), params
+        )
+        assert e[0] == pytest.approx(0.0, abs=1e-4)
+
+    def test_coulomb_cut_matches_analytic(self):
+        params = NonbondedParams(r_cut=2.0, r_list=2.0, coulomb_mode="cut")
+        r = 0.5
+        f, e = pair_force_energy(
+            np.array([r * r]), np.array([1.0]), np.zeros(1), np.zeros(1), params
+        )
+        assert e[0] == pytest.approx(COULOMB_CONSTANT / r)
+        assert f[0] == pytest.approx(COULOMB_CONSTANT / r**3)
+
+    @settings(max_examples=40, deadline=None)
+    @given(r=st.floats(0.2, 0.95), qq=st.floats(-1.0, 1.0))
+    def test_force_is_minus_gradient_property(self, r, qq):
+        """f_scalar * r == -dV/dr by central differences, all modes."""
+        for mode in ("none", "cut", "rf", "ewald"):
+            params = NonbondedParams(r_cut=1.0, r_list=1.1, coulomb_mode=mode, shift_lj=False)
+            c6, c12 = np.array([1e-3]), np.array([1e-6])
+            h = 1e-6
+            f, _ = pair_force_energy(np.array([r * r]), np.array([qq]), c6, c12, params)
+            _, e1 = pair_force_energy(np.array([(r + h) ** 2]), np.array([qq]), c6, c12, params)
+            _, e2 = pair_force_energy(np.array([(r - h) ** 2]), np.array([qq]), c6, c12, params)
+            dvdr = (e1[0] - e2[0]) / (2 * h)
+            assert f[0] * r == pytest.approx(-dvdr, rel=1e-4, abs=1e-3)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            NonbondedParams(r_cut=0.0)
+        with pytest.raises(ValueError):
+            NonbondedParams(r_cut=1.0, r_list=0.9)
+        with pytest.raises(ValueError):
+            NonbondedParams(coulomb_mode="magic")
+        with pytest.raises(ValueError):
+            NonbondedParams(nstlist=0)
+
+
+class TestTileIndices:
+    def test_shapes_and_values(self):
+        si, sj = tile_indices(np.array([0, 2]), np.array([1, 2]))
+        assert si.shape == (2, 4, 4)
+        assert si[0, 1, 3] == 1  # particle 1 of cluster 0
+        assert sj[0, 1, 3] == 7  # particle 3 of cluster 1
+        assert si[1, 0, 0] == 8 and sj[1, 0, 0] == 8
+
+
+class TestReferenceEngine:
+    def test_matches_brute_force_lj(self, lj_small, nb_lj, plist_lj):
+        res = compute_short_range(lj_small, plist_lj, nb_lj)
+        ref = brute_force_short_range(lj_small, nb_lj)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-12)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-9)
+
+    def test_matches_brute_force_water_rf(self, water_small, nb_water_small, plist_water_small):
+        res = compute_short_range(water_small, plist_water_small, nb_water_small)
+        ref = brute_force_short_range(water_small, nb_water_small)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+        np.testing.assert_allclose(res.forces, ref.forces, atol=1e-8)
+
+    def test_matches_brute_force_ewald(self, water_small):
+        nb = NonbondedParams(r_cut=0.8, r_list=0.9, coulomb_mode="ewald")
+        plist = build_pair_list(water_small, nb.r_list)
+        res = compute_short_range(water_small, plist, nb)
+        ref = brute_force_short_range(water_small, nb)
+        assert res.energy == pytest.approx(ref.energy, rel=1e-10)
+
+    def test_full_list_equals_half(self, water_small, nb_water_small, plist_water_small):
+        half = compute_short_range(water_small, plist_water_small, nb_water_small)
+        full = compute_short_range(
+            water_small, plist_water_small.to_full(), nb_water_small
+        )
+        assert full.energy == pytest.approx(half.energy, rel=1e-10)
+        np.testing.assert_allclose(full.forces, half.forces, atol=1e-8)
+
+    def test_newtons_third_law(self, water_small, nb_water_small, plist_water_small):
+        res = compute_short_range(water_small, plist_water_small, nb_water_small)
+        np.testing.assert_allclose(res.forces.sum(axis=0), 0.0, atol=1e-8)
+
+    def test_float32_close_to_float64(self, water_small, nb_water_small, plist_water_small):
+        r64 = compute_short_range(water_small, plist_water_small, nb_water_small)
+        r32 = compute_short_range(
+            water_small, plist_water_small, nb_water_small, dtype=np.float32
+        )
+        scale = np.abs(r64.forces).max()
+        assert np.abs(r32.forces - r64.forces).max() / scale < 1e-4
+        assert r32.energy == pytest.approx(r64.energy, rel=1e-4)
+
+    def test_chunking_invariant(self, water_small, nb_water_small, plist_water_small):
+        a = compute_short_range(
+            water_small, plist_water_small, nb_water_small, chunk_pairs=64
+        )
+        b = compute_short_range(
+            water_small, plist_water_small, nb_water_small, chunk_pairs=10**6
+        )
+        assert a.energy == pytest.approx(b.energy, rel=1e-13)
+        np.testing.assert_allclose(a.forces, b.forces, atol=1e-10)
+
+    def test_exclusions_respected(self, water_small, nb_water_small, plist_water_small):
+        """Intra-molecular pairs contribute nothing: an isolated molecule
+        has zero short-range force."""
+        from repro.md.water import build_water_system
+
+        one = build_water_system(3, seed=1, density=0.05)
+        nb = NonbondedParams(r_cut=0.8, r_list=0.9, coulomb_mode="rf")
+        plist = build_pair_list(one, nb.r_list)
+        res = compute_short_range(one, plist, nb)
+        np.testing.assert_allclose(res.forces, 0.0, atol=1e-12)
+        assert res.energy == 0.0

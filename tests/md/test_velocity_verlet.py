@@ -1,0 +1,129 @@
+"""Velocity-Verlet: NVE conservation, equivalence with leapfrog, and
+constrained dynamics."""
+
+import numpy as np
+import pytest
+
+from repro.md.constraints import build_constraint_solver
+from repro.md.forces import compute_short_range
+from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
+from repro.md.mdloop import MdConfig
+from repro.md.minimize import minimize
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import build_pair_list
+from repro.md.velocity_verlet import VelocityVerletIntegrator
+from repro.md.water import build_lj_fluid, build_water_system
+
+
+def make_force_fn(nonbonded):
+    state = {}
+
+    def force_fn(system):
+        if "plist" not in state or state["age"] >= nonbonded.nstlist:
+            state["plist"] = build_pair_list(system, nonbonded.r_list)
+            state["age"] = 0
+        state["age"] += 1
+        return compute_short_range(
+            system, state["plist"], nonbonded
+        ).forces
+
+    return force_fn
+
+
+class TestVelocityVerlet:
+    def test_free_particle_linear(self, lj_small):
+        sys2 = lj_small.copy()
+        sys2.velocities[:] = np.array([0.05, 0.0, 0.0])
+        integ = VelocityVerletIntegrator(
+            IntegratorConfig(dt=0.002, remove_com_interval=0)
+        )
+        x0 = sys2.positions.copy()
+        zero = np.zeros_like(sys2.positions)
+        for _ in range(10):
+            integ.step(sys2, zero, lambda s: zero)
+        drift = sys2.box.minimum_image(sys2.positions - x0)
+        np.testing.assert_allclose(drift[:, 0], 0.05 * 0.002 * 10, atol=1e-12)
+
+    def test_nve_conservation_lj(self):
+        system = build_lj_fluid(150, temperature=100.0, seed=5)
+        nb = NonbondedParams(r_cut=0.85, r_list=0.95, coulomb_mode="none")
+        minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+        system.thermalize(100.0, np.random.default_rng(6))
+        force_fn = make_force_fn(nb)
+        integ = VelocityVerletIntegrator(
+            IntegratorConfig(dt=0.002, thermostat="none")
+        )
+        forces = force_fn(system)
+        energies = []
+        for step in range(100):
+            forces = integ.step(system, forces, force_fn)
+            if step % 10 == 0:
+                plist = build_pair_list(system, nb.r_list)
+                pot = compute_short_range(system, plist, nb).energy
+                energies.append(pot + system.kinetic_energy())
+        e = np.array(energies)
+        assert np.abs(e - e.mean()).max() < 0.05 * system.kinetic_energy()
+
+    def test_nve_conservation_constrained_water(self):
+        system = build_water_system(450, seed=5)
+        nb = NonbondedParams(r_cut=0.65, r_list=0.75, coulomb_mode="rf")
+        minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+        system.thermalize(300.0, np.random.default_rng(7))
+        solver = build_constraint_solver(system, "settle")
+        force_fn = make_force_fn(nb)
+        integ = VelocityVerletIntegrator(
+            IntegratorConfig(dt=0.001, thermostat="none"), solver
+        )
+        forces = force_fn(system)
+        energies = []
+        for step in range(80):
+            forces = integ.step(system, forces, force_fn)
+            if step % 10 == 0:
+                plist = build_pair_list(system, nb.r_list)
+                pot = compute_short_range(system, plist, nb).energy
+                energies.append(pot + system.kinetic_energy())
+        e = np.array(energies)
+        assert np.abs(e - e.mean()).max() < 0.06 * system.kinetic_energy()
+        assert solver.max_violation(system.positions, system.box) < 1e-10
+
+    def test_matches_leapfrog_short_horizon(self):
+        """Both integrators are O(dt^2); over a few steps from identical
+        states the trajectories agree to O(dt^2) per step."""
+        nb = NonbondedParams(r_cut=0.7, r_list=0.8, coulomb_mode="none")
+        base = build_lj_fluid(100, temperature=50.0, seed=9)
+        minimize(base, MdConfig(nonbonded=nb), n_steps=40)
+        base.thermalize(50.0, np.random.default_rng(10))
+
+        lf_sys = base.copy()
+        vv_sys = base.copy()
+        force_fn = make_force_fn(nb)
+        cfg = IntegratorConfig(dt=0.0005, thermostat="none", remove_com_interval=0)
+
+        lf = LeapfrogIntegrator(cfg)
+        # Leapfrog needs v at t - dt/2: back-kick by half a step.
+        f0 = force_fn(lf_sys)
+        lf_sys.velocities -= 0.5 * cfg.dt * f0 / lf_sys.masses[:, None]
+        for _ in range(20):
+            lf.step(lf_sys, force_fn(lf_sys))
+
+        vv = VelocityVerletIntegrator(cfg)
+        forces = force_fn(vv_sys)
+        for _ in range(20):
+            forces = vv.step(vv_sys, forces, force_fn)
+
+        drift = vv_sys.box.minimum_image(vv_sys.positions - lf_sys.positions)
+        assert np.abs(drift).max() < 5e-5
+
+    def test_thermostat_regulates(self, lj_small, rng):
+        sys2 = lj_small.copy()
+        sys2.thermalize(300.0, rng)
+        integ = VelocityVerletIntegrator(
+            IntegratorConfig(
+                dt=0.002, thermostat="berendsen", target_temperature=120.0,
+                tau_t=0.05,
+            )
+        )
+        zero = np.zeros_like(sys2.positions)
+        for _ in range(200):
+            integ.step(sys2, zero, lambda s: zero)
+        assert sys2.temperature() == pytest.approx(120.0, rel=0.3)

@@ -1,0 +1,134 @@
+"""Water model variants and Verlet-buffer estimation."""
+
+import numpy as np
+import pytest
+
+from repro.md.constants import SPC, SPCE, TIP3P, WATER_MODELS
+from repro.md.forces import brute_force_short_range
+from repro.md.integrator import IntegratorConfig
+from repro.md.mdloop import MdConfig, MdLoop
+from repro.md.nonbonded import NonbondedParams
+from repro.md.verlet_buffer import (
+    check_buffer_sufficient,
+    estimate_buffer,
+    max_pair_displacement,
+    recommend_rlist,
+)
+from repro.md.water import build_water_system
+
+
+class TestWaterModels:
+    def test_registry(self):
+        assert set(WATER_MODELS) == {"spc", "spce", "tip3p"}
+        assert WATER_MODELS["spce"] is SPCE
+
+    def test_charge_neutrality_all_models(self):
+        for model in (SPC, SPCE, TIP3P):
+            assert model.q_oxygen + 2 * model.q_hydrogen == pytest.approx(0.0)
+
+    def test_tip3p_geometry_differs(self):
+        assert TIP3P.r_oh != SPC.r_oh
+        assert TIP3P.r_hh < SPC.r_hh  # smaller angle and bond
+
+    @pytest.mark.parametrize("name", ["spc", "spce", "tip3p"])
+    def test_builder_accepts_model(self, name):
+        system = build_water_system(150, model=name)
+        model = WATER_MODELS[name]
+        assert system.charges[0] == pytest.approx(model.q_oxygen)
+        c = system.topology.constraints[0]
+        assert c.distance == pytest.approx(model.r_oh)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown water model"):
+            build_water_system(150, model="tip42p")
+
+    def test_spce_binds_stronger_than_spc(self):
+        """SPC/E's larger charges deepen the electrostatic well (compare
+        relaxed configurations, not the artificial starting lattice)."""
+        from repro.md.minimize import minimize
+
+        nb = NonbondedParams(r_cut=0.6, r_list=0.7, coulomb_mode="rf")
+        e = {}
+        for name in ("spc", "spce"):
+            system = build_water_system(300, model=name, seed=6)
+            result = minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+            e[name] = result.final_energy
+        assert e["spce"] < e["spc"]
+
+
+class TestVerletBuffer:
+    def test_estimate_scales_physically(self, water_small):
+        base = estimate_buffer(water_small, 300.0, 0.002, 10)
+        assert estimate_buffer(water_small, 600.0, 0.002, 10) == pytest.approx(
+            base * np.sqrt(2.0)
+        )
+        assert estimate_buffer(water_small, 300.0, 0.002, 20) == pytest.approx(
+            base * 2.0
+        )
+
+    def test_validation(self, water_small):
+        with pytest.raises(ValueError):
+            estimate_buffer(water_small, -1.0, 0.002, 10)
+        with pytest.raises(ValueError):
+            estimate_buffer(water_small, 300.0, 0.002, 10, coverage_z=0.0)
+
+    def test_recommend_rlist_clamps(self, water_small):
+        r = recommend_rlist(water_small, 0.7, 300.0, 0.001, 10)
+        assert r > 0.7
+        with pytest.raises(ValueError, match="minimum-image"):
+            recommend_rlist(water_small, 0.9, 300.0, 0.004, 50)
+
+    def test_buffer_covers_real_dynamics(self):
+        """The default estimate covers the displacements an actual nstlist
+        window of water dynamics produces."""
+        system = build_water_system(450, seed=12)
+        nb = NonbondedParams(r_cut=0.6, r_list=0.75, coulomb_mode="rf")
+        cfg = MdConfig(
+            nonbonded=nb,
+            integrator=IntegratorConfig(
+                dt=0.001, thermostat="berendsen", target_temperature=300.0
+            ),
+            report_interval=100,
+        )
+        from repro.md.minimize import minimize
+
+        minimize(system, cfg, n_steps=40)
+        system.thermalize(300.0, np.random.default_rng(3))
+        buffer = estimate_buffer(system, 320.0, 0.001, nb.nstlist)
+        before = system.positions.copy()
+        MdLoop(system, cfg).run(nb.nstlist)
+        moved = max_pair_displacement(before, system.positions, system.box)
+        assert moved <= buffer
+        assert check_buffer_sufficient(
+            before, system.positions, system.box, 0.6, 0.6 + buffer
+        )
+
+    def test_check_buffer_detects_violation(self, water_small):
+        before = water_small.positions.copy()
+        after = before.copy()
+        after[0] += 0.2
+        assert not check_buffer_sufficient(
+            before, after, water_small.box, 0.8, 0.9
+        )
+
+
+class TestGldAblation:
+    def test_naive_port_barely_helps(self):
+        """The fine-grained gld/gst port uses 64 CPEs yet gains only ~1.5x
+        over the MPE — the paper's premise that memory granularity, not
+        core count, is the problem."""
+        from repro.core.kernels import ALL_SPECS, run_kernel
+        from repro.md.pairlist import build_pair_list
+
+        system = build_water_system(3000, seed=7)
+        nb = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
+        plist = build_pair_list(system, nb.r_list)
+        ori = run_kernel(system, plist, nb, ALL_SPECS["ORI"])
+        gld = run_kernel(system, plist, nb, ALL_SPECS["GLD"])
+        pkg = run_kernel(system, plist, nb, ALL_SPECS["PKG"])
+        s_gld = ori.elapsed_seconds / gld.elapsed_seconds
+        s_pkg = ori.elapsed_seconds / pkg.elapsed_seconds
+        assert 1.0 < s_gld < 3.0
+        assert s_pkg > 1.5 * s_gld
+        # Functional forces still correct.
+        np.testing.assert_allclose(gld.forces, ori.forces, atol=1e-6)

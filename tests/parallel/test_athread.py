@@ -1,0 +1,86 @@
+"""athread work partitioning: coverage, balance, spawn semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.athread import block_partition, spawn, weighted_partition
+
+
+class TestBlockPartition:
+    def test_covers_exactly(self):
+        parts = block_partition(100, 7)
+        assert parts[0][0] == 0 and parts[-1][1] == 100
+        sizes = [hi - lo for lo, hi in parts]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_items(self):
+        parts = block_partition(3, 8)
+        sizes = [hi - lo for lo, hi in parts]
+        assert sum(sizes) == 3
+        assert all(s in (0, 1) for s in sizes)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+        with pytest.raises(ValueError):
+            block_partition(-1, 4)
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(0, 500), w=st.integers(1, 64))
+    def test_partition_properties(self, n, w):
+        parts = block_partition(n, w)
+        assert len(parts) == w
+        covered = []
+        for lo, hi in parts:
+            assert lo <= hi
+            covered.extend(range(lo, hi))
+        assert covered == list(range(n))
+
+
+class TestWeightedPartition:
+    def test_balances_skewed_weights(self):
+        weights = [100] + [1] * 99
+        parts = weighted_partition(weights, 4)
+        w = np.asarray(weights, dtype=float)
+        loads = [w[lo:hi].sum() for lo, hi in parts]
+        # The heavy item dominates; no worker should hold more than it + slack.
+        assert max(loads) <= 100 + 30
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            weighted_partition([1, -1], 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        weights=st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=200),
+        w=st.integers(1, 16),
+    )
+    def test_contiguous_cover_property(self, weights, w):
+        parts = weighted_partition(weights, w)
+        assert parts[0][0] == 0 and parts[-1][1] == len(weights)
+        for (a, b), (c, d) in zip(parts, parts[1:]):
+            assert b == c
+
+
+class TestSpawn:
+    def test_kernel_sees_disjoint_ranges(self):
+        seen = []
+        report = spawn(lambda cpe, lo, hi: seen.append((cpe, lo, hi)), 640)
+        assert len(report.results) == 64
+        total = sum(hi - lo for _, lo, hi in seen)
+        assert total == 640
+        assert report.imbalance == pytest.approx(1.0)
+
+    def test_weighted_spawn(self):
+        weights = np.ones(128)
+        weights[:4] = 100.0
+        report = spawn(lambda c, lo, hi: hi - lo, 128, weights=weights)
+        assert report.critical_work <= 130
+        assert report.imbalance < 64
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            spawn(lambda c, lo, hi: None, 10, weights=[1.0] * 9)

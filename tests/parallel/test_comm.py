@@ -1,0 +1,126 @@
+"""MPI/RDMA cost models, SimComm functional semantics, collectives."""
+
+import numpy as np
+import pytest
+
+from repro.hw.params import DEFAULT_PARAMS
+from repro.parallel.collectives import step_comm_seconds
+from repro.parallel.mpi_sim import (
+    SimComm,
+    allreduce_seconds,
+    alltoall_seconds,
+    mpi_message_seconds,
+)
+from repro.parallel.rdma import rdma_message_seconds
+
+
+class TestMessageModel:
+    def test_latency_plus_bandwidth(self):
+        t0 = mpi_message_seconds(0)
+        t1 = mpi_message_seconds(10**6)
+        assert t1 > t0 == DEFAULT_PARAMS.mpi_latency_s
+
+    def test_monotone_in_size(self):
+        sizes = [0, 64, 4096, 10**6]
+        times = [mpi_message_seconds(s) for s in sizes]
+        assert times == sorted(times)
+
+
+class TestAllreduce:
+    def test_log_scaling(self):
+        t64 = allreduce_seconds(1024, 64)
+        t128 = allreduce_seconds(1024, 128)
+        assert t128 > t64
+        assert t128 / t64 == pytest.approx(np.log2(128) / np.log2(64), rel=0.01)
+
+    def test_single_rank_free(self):
+        assert allreduce_seconds(1024, 1) == 0.0
+
+    def test_rdma_collectives_cheaper(self):
+        mpi = allreduce_seconds(1024, 512, mpi_message_seconds)
+        rdma = allreduce_seconds(1024, 512, rdma_message_seconds)
+        assert rdma < mpi / 3
+
+    def test_explicit_hop_override(self):
+        base = allreduce_seconds(1024, 64, collective_hop_s=0.0)
+        with_hop = allreduce_seconds(1024, 64, collective_hop_s=1e-3)
+        steps = 2 * np.ceil(np.log2(64))
+        assert with_hop - base == pytest.approx(steps * 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allreduce_seconds(1024, 0)
+
+
+class TestAlltoall:
+    def test_picks_cheaper_algorithm(self):
+        # Tiny payload: Bruck (log rounds) must beat pairwise (P-1 rounds).
+        small = alltoall_seconds(8, 256)
+        pairwise_small = 255 * mpi_message_seconds(8)
+        assert small < pairwise_small
+        # Huge payload: pairwise (bandwidth optimal) must beat Bruck.
+        big = alltoall_seconds(10**7, 8)
+        bruck_big = 3 * mpi_message_seconds(10**7 * 4)
+        assert big < bruck_big
+
+    def test_single_rank_free(self):
+        assert alltoall_seconds(100, 1) == 0.0
+
+
+class TestSimComm:
+    def test_send_recv_roundtrip(self):
+        comm = SimComm(4)
+        data = np.arange(10.0)
+        comm.send(0, 2, data, tag=7)
+        out = comm.recv(0, 2, tag=7)
+        np.testing.assert_array_equal(out, data)
+        assert comm.stats.n_messages == 1
+        assert comm.stats.bytes == data.nbytes
+
+    def test_message_isolation_by_tag(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]), tag=0)
+        with pytest.raises(LookupError):
+            comm.recv(0, 1, tag=5)
+
+    def test_fifo_order(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.array([1.0]))
+        comm.send(0, 1, np.array([2.0]))
+        assert comm.recv(0, 1)[0] == 1.0
+        assert comm.recv(0, 1)[0] == 2.0
+
+    def test_send_copies_payload(self):
+        comm = SimComm(2)
+        data = np.array([1.0, 2.0])
+        comm.send(0, 1, data)
+        data[0] = 99.0
+        assert comm.recv(0, 1)[0] == 1.0
+
+    def test_allreduce_sum_functional(self):
+        comm = SimComm(3)
+        parts = [np.full(4, r, dtype=float) for r in range(3)]
+        total = comm.allreduce_sum(parts)
+        np.testing.assert_array_equal(total, np.full(4, 3.0))
+        assert comm.stats.seconds > 0
+
+    def test_rank_validation(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError):
+            comm.send(0, 5, np.array([1.0]))
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+
+class TestStepComm:
+    def test_scaling_with_ranks(self):
+        c64 = step_comm_seconds(48000, 64, 7.8, 1.0)
+        c512 = step_comm_seconds(48000, 512, 7.8, 1.0)
+        assert c512.energy_seconds > c64.energy_seconds
+
+    def test_components_nonnegative(self):
+        c = step_comm_seconds(10000, 16, 5.0, 1.0)
+        assert c.halo_seconds >= 0 and c.pme_seconds >= 0
+        assert c.total == pytest.approx(
+            c.halo_seconds + c.pme_seconds + c.energy_seconds
+        )

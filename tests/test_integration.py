@@ -1,0 +1,132 @@
+"""End-to-end integration tests across subsystems.
+
+Each test exercises a realistic multi-module path: mdp-file-driven runs,
+gro round trips through dynamics, the full engine with PME, and the CLI.
+"""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.cli import main as cli_main
+from repro.core.engine import EngineConfig, SWGromacsEngine
+from repro.md.gromacs_files import (
+    PAPER_TABLE3_MDP,
+    mdp_to_configs,
+    read_gro,
+    system_from_gro,
+    write_gro,
+)
+from repro.md.integrator import IntegratorConfig
+from repro.md.mdloop import MdConfig, MdLoop
+from repro.md.minimize import minimize
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pme import PmeParams
+from repro.md.water import build_water_system
+
+
+class TestMdpDrivenRun:
+    def test_paper_deck_drives_engine(self):
+        """Parse the paper's Table 3 deck and run the simulated chip with
+        it — scaled cutoffs for the small test box."""
+        nb, integ, algorithm = mdp_to_configs(PAPER_TABLE3_MDP)
+        # Scale the cutoffs to a test-sized box; keep everything else.
+        nb_scaled = NonbondedParams(
+            r_cut=0.8,
+            r_list=0.9,
+            nstlist=nb.nstlist,
+            coulomb_mode="rf",  # RF stands in for PME short-range here
+        )
+        system = build_water_system(900, seed=42)
+        minimize(system, MdConfig(nonbonded=nb_scaled), n_steps=40)
+        system.thermalize(integ.target_temperature, np.random.default_rng(1))
+        engine = SWGromacsEngine(
+            system,
+            EngineConfig(
+                nonbonded=nb_scaled, integrator=integ, report_interval=5
+            ),
+        )
+        result = engine.run(15)
+        temps = [f.temperature for f in result.reporter.frames]
+        assert all(np.isfinite(temps))
+        assert result.timing.seconds["Force"] > 0
+
+
+class TestGroRoundTripThroughDynamics:
+    def test_checkpoint_restart_equivalence(self):
+        """Write a .gro mid-run, restart from it, and verify the restarted
+        system produces finite, constrained dynamics."""
+        nb = NonbondedParams(r_cut=0.7, r_list=0.8, coulomb_mode="rf")
+        cfg = MdConfig(
+            nonbonded=nb,
+            integrator=IntegratorConfig(dt=0.001, thermostat="berendsen"),
+            report_interval=5,
+        )
+        system = build_water_system(450, seed=10)
+        minimize(system, cfg, n_steps=40)
+        system.thermalize(300.0, np.random.default_rng(2))
+        MdLoop(system, cfg).run(10)
+
+        buf = io.StringIO()
+        write_gro(system, buf, title="checkpoint")
+        buf.seek(0)
+        restarted = system_from_gro(read_gro(buf))
+
+        loop = MdLoop(restarted, cfg)
+        result = loop.run(10)
+        assert loop.shake.max_violation(restarted.positions, restarted.box) < 1e-4
+        assert np.isfinite(result.reporter.total_energy()).all()
+
+
+class TestFullPmeMd:
+    def test_pme_md_runs_stably(self):
+        """Full PME electrostatics inside the MD loop (the paper's actual
+        coulombtype) for a short constrained water run."""
+        nb = NonbondedParams(
+            r_cut=0.7, r_list=0.8, coulomb_mode="ewald", ewald_beta=4.0
+        )
+        cfg = MdConfig(
+            nonbonded=nb,
+            integrator=IntegratorConfig(dt=0.001, thermostat="none"),
+            use_pme=True,
+            pme=PmeParams(order=4, grid_spacing=0.12, beta=4.0),
+            report_interval=5,
+        )
+        system = build_water_system(450, seed=3)
+        minimize(system, cfg, n_steps=40)
+        system.thermalize(300.0, np.random.default_rng(4))
+        result = MdLoop(system, cfg).run(20)
+        e = result.reporter.total_energy()
+        assert np.isfinite(e).all()
+        # Conservation within a loose band over this short horizon.
+        assert np.abs(e - e.mean()).max() < 0.1 * abs(e.mean())
+        assert "PME mesh" in result.timing.seconds
+
+
+class TestCli:
+    def test_table2(self, capsys):
+        assert cli_main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "30.48" in out
+
+    def test_ttf(self, capsys):
+        assert cli_main(["ttf"]) == 0
+        out = capsys.readouterr().out
+        assert "150" in out or "151" in out
+
+    def test_ladder_small(self, capsys):
+        assert cli_main(["ladder", "-n", "1200"]) == 0
+        out = capsys.readouterr().out
+        assert "Mark" in out
+
+    def test_run_small(self, capsys):
+        assert (
+            cli_main(["run", "-n", "450", "-s", "6", "--rcut", "0.7"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "modelled chip time" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["frobnicate"])

@@ -1,0 +1,61 @@
+"""Utility layer: table formatting and unit constants."""
+
+import pytest
+
+from repro.util.tables import format_ratio, format_series, format_table
+from repro.util.units import (
+    COULOMB_CONSTANT,
+    KB_KJ_PER_MOL_K,
+    kinetic_temperature,
+)
+
+
+class TestTables:
+    def test_basic_table(self):
+        out = format_table(
+            ["a", "b"], [(1, 2.5), ("xy", 3.14159)], title="demo"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "3.142" in out  # 4 significant digits
+        assert "xy" in out
+
+    def test_column_count_enforced(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_alignment_consistent(self):
+        out = format_table(["col"], [(1,), (1000000,)])
+        rows = out.splitlines()[2:]
+        assert len(rows[0]) == len(rows[1])
+
+    def test_series(self):
+        out = format_series("s", [1, 2], [0.5, 0.25], "x", "y")
+        assert "series s" in out
+        assert "1: 0.5" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1], [1.0, 2.0])
+
+    def test_ratio(self):
+        assert "2.00x" in format_ratio(2.0, 1.0)
+        assert "paper=0" in format_ratio(1.0, 0.0)
+
+
+class TestUnits:
+    def test_boltzmann_value(self):
+        assert KB_KJ_PER_MOL_K == pytest.approx(0.008314462618)
+
+    def test_coulomb_constant_value(self):
+        # Two unit charges 1 nm apart: 138.935 kJ/mol.
+        assert COULOMB_CONSTANT == pytest.approx(138.935458)
+
+    def test_kinetic_temperature(self):
+        # 1 DOF at Ekin = kB*T/2 gives exactly T.
+        t = 250.0
+        assert kinetic_temperature(0.5 * KB_KJ_PER_MOL_K * t, 1) == pytest.approx(t)
+
+    def test_kinetic_temperature_rejects_bad_dof(self):
+        with pytest.raises(ValueError):
+            kinetic_temperature(1.0, 0)
