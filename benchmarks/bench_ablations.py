@@ -9,7 +9,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.core.comm_opt import message_sweep
 from repro.core.fastio import io_model_seconds

@@ -11,7 +11,6 @@ Run:  python examples/water_strategy_ladder.py [n_particles]
 
 import sys
 
-import numpy as np
 
 from repro.analysis.figures import PAPER_FIG8, PAPER_FIG9, print_speedup_bars
 from repro.core.strategies import (

@@ -45,6 +45,9 @@ _EXPORTS = {
     "run_strategy": ("repro.core.strategies", "run_strategy"),
     "ChipParams": ("repro.hw.params", "ChipParams"),
     "DEFAULT_PARAMS": ("repro.hw.params", "DEFAULT_PARAMS"),
+    "Tracer": ("repro.trace.events", "Tracer"),
+    "NullTracer": ("repro.trace.events", "NullTracer"),
+    "write_chrome_trace": ("repro.trace.export", "write_chrome_trace"),
 }
 
 
@@ -69,11 +72,14 @@ __all__ = [
     "EngineConfig",
     "MdConfig",
     "MdLoop",
+    "NullTracer",
     "ParticleSystem",
     "STRATEGY_LADDER",
     "SWGromacsEngine",
     "Strategy",
+    "Tracer",
     "build_lj_fluid",
     "build_water_system",
     "run_strategy",
+    "write_chrome_trace",
 ]

@@ -20,7 +20,6 @@ from repro.md.mdloop import MdConfig, MdLoop
 from repro.md.minimize import minimize
 from repro.md.nonbonded import NonbondedParams
 from repro.md.reporter import EnergyReporter
-from repro.md.system import ParticleSystem
 from repro.md.water import build_water_system
 
 

@@ -3,6 +3,8 @@
 Commands mirror the paper's experiments:
 
 * ``run``      — MD on the simulated SW26010 (quickstart as a command);
+* ``trace``    — record a per-CPE event timeline of an MD run and export
+  Chrome-trace JSON (load in chrome://tracing or ui.perfetto.dev);
 * ``ladder``   — the Fig. 8/9 strategy comparison;
 * ``overall``  — the Fig. 10 optimisation-level ladder;
 * ``scaling``  — the Fig. 12 strong/weak curves;
@@ -32,6 +34,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--level", type=int, default=3, choices=range(4))
     run.add_argument("--rcut", type=float, default=0.9)
     run.add_argument("--seed", type=int, default=2019)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record a per-CPE event timeline and export Chrome-trace JSON",
+    )
+    trace.add_argument("-n", "--particles", type=int, default=3000)
+    trace.add_argument("-s", "--steps", type=int, default=5)
+    trace.add_argument("--level", type=int, default=3, choices=range(4))
+    trace.add_argument("--rcut", type=float, default=0.9)
+    trace.add_argument("--seed", type=int, default=2019)
+    trace.add_argument(
+        "--out", default="trace.json", help="output path for the trace JSON"
+    )
 
     ladder = sub.add_parser("ladder", help="Fig. 8/9 strategy speedups")
     ladder.add_argument("-n", "--particles", type=int, default=12000)
@@ -82,6 +97,34 @@ def _cmd_run(args) -> int:
         result.timing.fractions().items(), key=lambda kv: -kv[1]
     ):
         print(f"  {kernel:18s} {frac:6.1%}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.engine import EngineConfig, SWGromacsEngine
+    from repro.md.mdloop import MdConfig
+    from repro.md.minimize import minimize
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+    from repro.trace import Tracer, summarize, write_chrome_trace
+
+    nb = NonbondedParams(
+        r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
+    )
+    system = build_water_system(args.particles, seed=args.seed)
+    minimize(system, MdConfig(nonbonded=nb), n_steps=30)
+    system.thermalize(300.0, np.random.default_rng(args.seed + 1))
+    config = EngineConfig(nonbonded=nb, optimization_level=args.level)
+    tracer = Tracer(config.chip)
+    engine = SWGromacsEngine(system, config, tracer=tracer)
+    engine.run(args.steps)
+    doc = write_chrome_trace(tracer, args.out)
+    print(
+        f"wrote {len(doc['traceEvents'])} events "
+        f"({len(tracer)} spans, {len(tracer.tracks())} tracks) to {args.out}"
+    )
+    print("load it in chrome://tracing or https://ui.perfetto.dev\n")
+    print(summarize(tracer))
     return 0
 
 
@@ -201,6 +244,7 @@ def _cmd_ttf(args) -> int:
 
 _COMMANDS = {
     "run": _cmd_run,
+    "trace": _cmd_trace,
     "ladder": _cmd_ladder,
     "overall": _cmd_overall,
     "scaling": _cmd_scaling,

@@ -10,7 +10,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-import numpy as np
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.parallel.collectives import CommBreakdown, step_comm_seconds

@@ -43,6 +43,7 @@ from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
 from repro.md.reporter import EnergyReporter
 from repro.md.system import ParticleSystem
+from repro.trace.events import CAT_STEP, MPE_TRACK, NULL_TRACER, NullTracer
 
 KERNEL_DOMAIN_DECOMP = "Domain decomp."
 KERNEL_WAIT_COMM_F = "Wait + comm. F"
@@ -126,15 +127,29 @@ class SWGromacsEngine:
     """MD on the simulated chip with per-kernel modelled timing."""
 
     def __init__(
-        self, system: ParticleSystem, config: EngineConfig | None = None
+        self,
+        system: ParticleSystem,
+        config: EngineConfig | None = None,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.system = system
         self.config = config or EngineConfig()
+        #: Timeline tracer.  Step phases land on the MPE track with their
+        #: *modelled* durations; the force kernel additionally lays out
+        #: its per-CPE compute and DMA phases whenever the pair list is
+        #: rebuilt (see `repro.core.kernels.run_kernel`).
+        self.tracer = tracer
         self.shake = build_constraint_solver(system, "auto")
         self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
         self.pairlist = None
         self._cached_force_model: KernelResult | None = None
         self._cached_ns_seconds: float | None = None
+
+    def _add(self, timing: KernelTiming, kernel: str, seconds: float) -> None:
+        """Record one modelled step-phase duration (timing + trace)."""
+        timing.add(kernel, seconds)
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(kernel, CAT_STEP, MPE_TRACK, seconds)
 
     # ------------------------------------------------------------------
     # per-kernel modelled costs
@@ -181,10 +196,11 @@ class SWGromacsEngine:
             params=cfg.chip,
             use_pme=cfg.use_pme_comm,
         )
-        timing.add(KERNEL_WAIT_COMM_F, comm.halo_seconds + comm.pme_seconds)
-        timing.add(KERNEL_COMM, comm.energy_seconds)
+        self._add(timing, KERNEL_WAIT_COMM_F, comm.halo_seconds + comm.pme_seconds)
+        self._add(timing, KERNEL_COMM, comm.energy_seconds)
         n_local = self.system.n_particles
-        timing.add(
+        self._add(
+            timing,
             KERNEL_BUFFER_OPS,
             n_local
             * MPE_BUFFER_CYCLES_PER_PARTICLE
@@ -222,10 +238,11 @@ class SWGromacsEngine:
             self.config.nonbonded,
             self.config.force_spec,
             self.config.chip,
+            tracer=self.tracer,
         )
         self._cached_ns_seconds = self._ns_seconds()
-        timing.add(KERNEL_NEIGHBOR, self._cached_ns_seconds)
-        timing.add(KERNEL_DOMAIN_DECOMP, self._dd_seconds())
+        self._add(timing, KERNEL_NEIGHBOR, self._cached_ns_seconds)
+        self._add(timing, KERNEL_DOMAIN_DECOMP, self._dd_seconds())
 
     def run(self, n_steps: int) -> EngineResult:
         """Run ``n_steps`` of real dynamics, accumulating modelled time."""
@@ -244,13 +261,13 @@ class SWGromacsEngine:
             sr = compute_short_range(
                 self.system, self.pairlist, cfg.nonbonded, dtype=np.float32
             )
-            timing.add(KERNEL_FORCE, self._cached_force_model.elapsed_seconds)
+            self._add(timing, KERNEL_FORCE, self._cached_force_model.elapsed_seconds)
 
             self.integrator.step(self.system, sr.forces)
             upd, con = self._update_constraint_seconds()
-            timing.add(KERNEL_UPDATE, upd)
+            self._add(timing, KERNEL_UPDATE, upd)
             if con:
-                timing.add(KERNEL_CONSTRAINTS, con)
+                self._add(timing, KERNEL_CONSTRAINTS, con)
 
             self._comm_timing(timing)
 
@@ -261,7 +278,7 @@ class SWGromacsEngine:
                 self.system.temperature(),
             )
             if cfg.output_interval and step % cfg.output_interval == 0:
-                timing.add(KERNEL_OUTPUT, self._io_seconds())
+                self._add(timing, KERNEL_OUTPUT, self._io_seconds())
 
         return EngineResult(
             system=self.system,

@@ -49,12 +49,25 @@ from repro.hw.cache import AddressMap
 from repro.hw.dma import transfer_seconds
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.hw.simd import FloatV4, OpCounter
-from repro.md.forces import compute_short_range, tile_indices, tile_validity
+from repro.md.forces import compute_short_range
 from repro.md.nonbonded import NonbondedParams, pair_force_energy
 from repro.md.pairlist import CLUSTER_SIZE, ClusterPairList
 from repro.md.system import ParticleSystem
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    CAT_KERNEL,
+    DMA_TRACK,
+    MPE_TRACK,
+    NULL_TRACER,
+    NullTracer,
+)
 
 FORCE_PACKAGE_BYTES = 48  # 4 particles x 3 float32
+#: Rough FLOPs of one LJ+RF particle-pair interaction (distance, cutoff,
+#: r^-6/r^-12, force scalar, 3-component FMA accumulate) — only used to
+#: annotate compute trace events for roofline analysis, never for timing.
+FLOPS_PER_PAIR = 30.0
 
 
 @dataclass(frozen=True)
@@ -173,6 +186,7 @@ def run_kernel(
     spec: KernelSpec,
     params: ChipParams = DEFAULT_PARAMS,
     check_ldm: bool = True,
+    tracer: NullTracer = NULL_TRACER,
 ) -> KernelResult:
     """Execute one strategy (fast path): vectorised functional forces +
     trace-driven cost model.
@@ -181,6 +195,13 @@ def run_kernel(
     :class:`~repro.hw.ldm.LdmOverflowError` when the configured cache
     geometry cannot fit the 64 KB scratchpad — the failure a real athread
     launch would hit.  Disable only for hypothetical-geometry studies.
+
+    With a recording ``tracer``, the kernel lays its modelled phases out
+    on the timeline: per-CPE compute spans, the read/nblist/write DMA
+    phases positioned per the pipeline-overlap model, init/reduction
+    passes after the parallel region, and a whole-kernel span on the MPE
+    track — so `repro.trace.analyze.measure_overlap` can recover the
+    overlap fraction the scalar model assumed.
     """
     if check_ldm:
         from repro.core.ldm_plan import plan_kernel_ldm
@@ -203,6 +224,17 @@ def run_kernel(
     if not spec.use_cpes:
         mpe_seconds = tile_pairs * params.mpe_scalar_pair_cycles * params.cycle_s
         breakdown["compute"] = mpe_seconds
+        if tracer.enabled:
+            base = tracer.end_cycle()
+            cycles = tile_pairs * params.mpe_scalar_pair_cycles
+            tracer.span(
+                "pair_compute", CAT_COMPUTE, MPE_TRACK, base, cycles,
+                flops=tile_pairs * FLOPS_PER_PAIR,
+            )
+            tracer.span(
+                f"kernel:{spec.name}", CAT_KERNEL, MPE_TRACK, base, cycles,
+                cluster_pairs=m_pairs,
+            )
         return KernelResult(
             name=spec.name,
             forces=sr.forces,
@@ -228,6 +260,7 @@ def run_kernel(
     # ---- read path ---------------------------------------------------------
     n_i_clusters_total = sum(hi - lo for lo, hi in parts)
     read_seconds = 0.0
+    read_bytes = 0
     read_misses = 0
     read_accesses = 0
     if spec.read_cache:
@@ -236,11 +269,13 @@ def run_kernel(
             trace = work_list.pair_cj[s:e].astype(np.int64)
             rstats = analyze_read_trace(trace, packed, params)
             read_seconds += rstats.seconds
+            read_bytes += rstats.bytes_fetched
             read_misses += rstats.misses
             read_accesses += rstats.accesses
         # i-cluster packages stream sequentially, one line per 8 packages.
         i_lines = -(-n_i_clusters_total // params.packages_per_line)
         read_seconds += i_lines * transfer_seconds(packed.data_line_bytes, params)
+        read_bytes += i_lines * packed.data_line_bytes
         stats["read_miss_ratio"] = read_misses / max(read_accesses, 1)
     elif not spec.packaged:
         # Naive port: every field of every j particle is a separate gld
@@ -250,17 +285,18 @@ def run_kernel(
         read_seconds += (
             n_gld / params.n_cpes * params.gld_latency_cycles * params.cycle_s
         )
+        read_bytes += n_gld * 4
         stats["read_miss_ratio"] = 1.0
         stats["n_gld"] = float(n_gld)
     else:
         # Pkg rung: no LDM cache, so the inner loop re-fetches the j
         # package for every i-particle row of the 4x4 tile (the redundancy
         # the Fig. 3 read cache eliminates), plus the i packages.
+        n_reads = CLUSTER_SIZE * m_pairs + n_i_clusters_total
         read_seconds += uncached_read_seconds(
-            CLUSTER_SIZE * m_pairs + n_i_clusters_total,
-            params.package_bytes,
-            params,
+            n_reads, params.package_bytes, params
         )
+        read_bytes += n_reads * params.package_bytes
         stats["read_miss_ratio"] = 1.0
     breakdown["read_dma"] = read_seconds
 
@@ -271,6 +307,7 @@ def run_kernel(
 
     # ---- write path ----------------------------------------------------------
     write_seconds = 0.0
+    write_bytes = 0
     touched_lines_per_cpe: list[int] = []
     write_misses = 0
     write_accesses = 0
@@ -279,6 +316,7 @@ def run_kernel(
             trace = _write_trace_for_range(work_list, lo, hi)
             wstats = analyze_write_trace(trace, params, use_mark=spec.mark)
             write_seconds += wstats.seconds(params)
+            write_bytes += wstats.bytes_moved
             write_misses += wstats.misses
             write_accesses += wstats.accesses
             amap = AddressMap(params.index_bits, params.offset_bits)
@@ -292,9 +330,11 @@ def run_kernel(
         write_seconds = n_i_clusters_total * transfer_seconds(
             FORCE_PACKAGE_BYTES, params
         )
+        write_bytes = n_i_clusters_total * FORCE_PACKAGE_BYTES
     elif spec.mpe_collect:
         # USTC: CPEs push per-tile j contributions to the MPE's queue.
         write_seconds = m_pairs * transfer_seconds(FORCE_PACKAGE_BYTES, params)
+        write_bytes = m_pairs * FORCE_PACKAGE_BYTES
     elif not spec.packaged:
         # Naive port: per-pair force update = 3 gld + 3 gst per particle
         # pair (Algorithm 1 line 9), serialised on the issuing CPE.
@@ -305,6 +345,7 @@ def run_kernel(
             * (params.gld_latency_cycles + params.gst_latency_cycles)
             * params.cycle_s
         )
+        write_bytes = n_ops * 2 * 4  # one 4 B load + one 4 B store per op
         amap = AddressMap(params.index_bits, params.offset_bits)
         for lo, hi in parts:
             trace = _write_trace_for_range(work_list, lo, hi)
@@ -316,9 +357,9 @@ def run_kernel(
         # tile read-modify-writes the j force package in the CPE's main
         # memory copy (Algorithm 1 line 9), plus one i-force package per
         # i-cluster.
-        write_seconds = (
-            2 * CLUSTER_SIZE * m_pairs + n_i_clusters_total
-        ) * transfer_seconds(FORCE_PACKAGE_BYTES, params)
+        n_writes = 2 * CLUSTER_SIZE * m_pairs + n_i_clusters_total
+        write_seconds = n_writes * transfer_seconds(FORCE_PACKAGE_BYTES, params)
+        write_bytes = n_writes * FORCE_PACKAGE_BYTES
         amap = AddressMap(params.index_bits, params.offset_bits)
         for lo, hi in parts:
             trace = _write_trace_for_range(work_list, lo, hi)
@@ -327,13 +368,57 @@ def run_kernel(
             )
     breakdown["write_dma"] = write_seconds
 
+    # ---- parallel region under the pipeline model ---------------------------
+    dma_seconds = read_seconds + write_seconds + nblist_seconds
+    if spec.pipelined:
+        hidden = params.pipeline_overlap * min(compute_seconds, dma_seconds)
+        parallel = compute_seconds + dma_seconds - hidden
+    else:
+        parallel = compute_seconds + dma_seconds
+    stats["dma_seconds"] = dma_seconds
+
+    # ---- timeline emission (parallel region) --------------------------------
+    traced = tracer.enabled
+    base = tracer.end_cycle() if traced else 0.0
+    if traced:
+        hz = params.clock_hz
+        for cpe in range(len(parts)):
+            pairs = int(pair_counts[cpe])
+            if pairs == 0:
+                continue
+            tracer.span(
+                "pair_compute", CAT_COMPUTE, cpe, base,
+                _compute_cycles(spec, pairs, params),
+                cluster_pairs=pairs, flops=16 * pairs * FLOPS_PER_PAIR,
+            )
+        # DMA phases end exactly at the close of the parallel region, so
+        # the realised overlap equals the scalar the model assumed.
+        t = base + (parallel - dma_seconds) * hz
+        for phase, secs, nbytes in (
+            ("read_dma", read_seconds, read_bytes),
+            ("nblist_dma", nblist_seconds, nblist_bytes),
+            ("write_dma", write_seconds, write_bytes),
+        ):
+            if secs > 0.0:
+                tracer.span(
+                    phase, CAT_DMA, DMA_TRACK, t, secs * hz, bytes=int(nbytes)
+                )
+                t += secs * hz
+        # Serial passes (init/reduction) start after the parallel region
+        # even when the DMA phases were fully hidden.
+        lag = base + parallel * hz - tracer.cursor(DMA_TRACK)
+        if lag > 0.0:
+            tracer.advance(DMA_TRACK, lag)
+
     # ---- init + reduction -------------------------------------------------
     init_seconds = 0.0
     red_seconds = 0.0
     if spec.rma_copies:
         n_slots = work_list.n_slots
         if not spec.mark:
-            init_seconds = init_cost(params.n_cpes, n_slots, params).seconds
+            init_seconds = init_cost(
+                params.n_cpes, n_slots, params, tracer=tracer
+            ).seconds
         red = reduction_cost(
             touched_lines_per_cpe
             if spec.mark
@@ -341,6 +426,7 @@ def run_kernel(
             n_slots,
             params,
             marked=spec.mark,
+            tracer=tracer,
         )
         red_seconds = red.seconds
     breakdown["init"] = init_seconds
@@ -353,21 +439,26 @@ def run_kernel(
         mpe_seconds = (
             n_updates * params.mpe_collect_cycles_per_particle * params.cycle_s
         )
+        if traced and mpe_seconds > 0.0:
+            tracer.span(
+                "mpe_collect", CAT_COMPUTE, MPE_TRACK, base,
+                mpe_seconds * params.clock_hz, n_updates=n_updates,
+            )
     breakdown["mpe_collect"] = mpe_seconds
 
     # ---- combine ------------------------------------------------------------
-    dma_seconds = read_seconds + write_seconds + nblist_seconds
-    if spec.pipelined:
-        hidden = params.pipeline_overlap * min(compute_seconds, dma_seconds)
-        parallel = compute_seconds + dma_seconds - hidden
-    else:
-        parallel = compute_seconds + dma_seconds
     if spec.mpe_collect:
         # Producer-consumer pipeline: the slower side dominates.
         elapsed = max(parallel, mpe_seconds) + init_seconds + red_seconds
     else:
         elapsed = parallel + init_seconds + red_seconds
-    stats["dma_seconds"] = dma_seconds
+    if traced:
+        tracer.span(
+            f"kernel:{spec.name}", CAT_KERNEL, MPE_TRACK, base,
+            elapsed * params.clock_hz,
+            cluster_pairs=m_pairs, dma_seconds=dma_seconds,
+            compute_seconds=compute_seconds,
+        )
     return KernelResult(
         name=spec.name,
         forces=sr.forces,
@@ -390,6 +481,7 @@ def run_kernel_sequential(
     spec: KernelSpec,
     params: ChipParams = DEFAULT_PARAMS,
     n_cpes: int | None = None,
+    tracer: NullTracer = NULL_TRACER,
 ) -> KernelResult:
     """Walk the pair list cluster-by-cluster through the actual
     DeferredUpdateCache / bitmap / SIMD machinery.
@@ -400,7 +492,7 @@ def run_kernel_sequential(
     trace analysis, letting tests pin the two together.
     """
     if not (spec.write_cache and spec.use_cpes):
-        return run_kernel(system, plist, nb_params, spec, params)
+        return run_kernel(system, plist, nb_params, spec, params, tracer=tracer)
     n_cpes = n_cpes or params.n_cpes
     work_list = plist.to_full() if spec.full_list else plist
     packed = PackedParticles.from_pairlist(system, plist, Layout.AOS, params)
@@ -490,7 +582,7 @@ def run_kernel_sequential(
         ),
         "simd_shuffles": float(ops.shuffle),
     }
-    fast = run_kernel(system, plist, nb_params, spec, params)
+    fast = run_kernel(system, plist, nb_params, spec, params, tracer=tracer)
     return KernelResult(
         name=spec.name + "(seq)",
         forces=forces,

@@ -25,7 +25,6 @@ import numpy as np
 
 from repro.hw.cache import (
     AddressMap,
-    DirectMappedReadCache,
     TwoWaySetAssociativeCache,
     count_misses_direct_mapped,
 )

@@ -25,6 +25,13 @@ import numpy as np
 from repro.hw.bitmap import LineMarkBitmap
 from repro.hw.dma import transfer_seconds
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.trace.events import (
+    CAT_INIT,
+    CAT_REDUCTION,
+    DMA_TRACK,
+    NULL_TRACER,
+    NullTracer,
+)
 
 
 @dataclass
@@ -79,6 +86,7 @@ def init_cost(
     n_cpes: int,
     n_slots: int,
     params: ChipParams = DEFAULT_PARAMS,
+    tracer: NullTracer = NULL_TRACER,
 ) -> ReductionCost:
     """Cost of zero-initialising all per-CPE copies (RMA only).
 
@@ -92,6 +100,11 @@ def init_cost(
     seconds = bytes_moved / (
         _stream_bandwidth(params) * 1e9
     )
+    if tracer.enabled and seconds > 0.0:
+        tracer.emit(
+            "rma_init", CAT_INIT, DMA_TRACK, seconds * params.clock_hz,
+            bytes=bytes_moved, lines=total_lines,
+        )
     return ReductionCost(total_lines, bytes_moved, seconds)
 
 
@@ -100,6 +113,7 @@ def reduction_cost(
     n_slots: int,
     params: ChipParams = DEFAULT_PARAMS,
     marked: bool = True,
+    tracer: NullTracer = NULL_TRACER,
 ) -> ReductionCost:
     """Cost of the reduction pass.
 
@@ -136,6 +150,15 @@ def reduction_cost(
     # vector op per 4 floats on the critical CPE's share.
     add_cycles = fetched * params.particles_per_line * 3 / 4 / max(n_cpes, 1)
     add_seconds = add_cycles * params.cycle_s
+    if tracer.enabled:
+        total = gather_seconds + writeback_seconds + add_seconds
+        if total > 0.0:
+            tracer.emit(
+                "reduction", CAT_REDUCTION, DMA_TRACK,
+                total * params.clock_hz,
+                marked=marked, lines_fetched=fetched,
+                bytes=gather_bytes + writeback_bytes,
+            )
     return ReductionCost(
         lines_fetched=fetched,
         bytes_moved=gather_bytes + writeback_bytes,

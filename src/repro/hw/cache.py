@@ -23,11 +23,10 @@ agree on arbitrary traces.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hw.params import ChipParams, DEFAULT_PARAMS
 
 
 @dataclass(frozen=True)

@@ -40,9 +40,13 @@ class Cpe:
         self.scalar_cycles += cycles
 
     def charge_gld(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"gld count must be non-negative, got {count}")
         self.n_gld += count
 
     def charge_gst(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"gst count must be non-negative, got {count}")
         self.n_gst += count
 
     def total_cycles(self) -> float:

@@ -16,11 +16,10 @@ The engine is an event counter, not a timing simulator: kernels call
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.trace.events import CAT_DMA, DMA_TRACK, NULL_TRACER, NullTracer
 
 
 def interpolate_bandwidth_gbs(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:
@@ -97,9 +96,16 @@ class DmaEngine:
     :func:`transfer_seconds`).
     """
 
-    def __init__(self, params: ChipParams = DEFAULT_PARAMS) -> None:
+    def __init__(
+        self,
+        params: ChipParams = DEFAULT_PARAMS,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> None:
         self.params = params
         self.stats = DmaStats()
+        #: Timeline tracer; the no-op default keeps the hot path at one
+        #: attribute check per transaction.
+        self.tracer = tracer
 
     def reset(self) -> None:
         self.stats = DmaStats()
@@ -110,6 +116,10 @@ class DmaEngine:
         self.stats.n_get += 1
         self.stats.bytes_get += size_bytes
         self.stats.seconds += t
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(
+                "dma_get", CAT_DMA, DMA_TRACK, t, size_bytes=size_bytes
+            )
         return t
 
     def put(self, size_bytes: int) -> float:
@@ -118,6 +128,10 @@ class DmaEngine:
         self.stats.n_put += 1
         self.stats.bytes_put += size_bytes
         self.stats.seconds += t
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(
+                "dma_put", CAT_DMA, DMA_TRACK, t, size_bytes=size_bytes
+            )
         return t
 
     def get_bulk(self, size_bytes: int, count: int) -> float:
@@ -130,6 +144,11 @@ class DmaEngine:
         self.stats.n_get += count
         self.stats.bytes_get += size_bytes * count
         self.stats.seconds += t
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(
+                "dma_get_bulk", CAT_DMA, DMA_TRACK, t,
+                size_bytes=size_bytes, count=count,
+            )
         return t
 
     def put_bulk(self, size_bytes: int, count: int) -> float:
@@ -142,6 +161,11 @@ class DmaEngine:
         self.stats.n_put += count
         self.stats.bytes_put += size_bytes * count
         self.stats.seconds += t
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(
+                "dma_put_bulk", CAT_DMA, DMA_TRACK, t,
+                size_bytes=size_bytes, count=count,
+            )
         return t
 
     def effective_bandwidth_gbs(self) -> float:

@@ -16,7 +16,7 @@ per-experiment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 
 #: Measured DMA bandwidth curve from the paper's Table 2:

@@ -17,8 +17,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.hw.dma import DmaEngine, DmaStats
+from repro.hw.dma import DmaEngine
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_GLD,
+    CAT_GST,
+    MPE_TRACK,
+    NULL_TRACER,
+    NullTracer,
+)
 
 
 @dataclass
@@ -37,27 +45,51 @@ class PerfCounters:
     pipelined: bool = True
     #: DMA engine shared by the CPEs of this CG.
     dma: DmaEngine = field(default_factory=DmaEngine)
+    #: Timeline tracer (no-op by default).  Charges land on CPE track 0 —
+    #: the counters model the *critical* CPE, not a specific one.
+    tracer: NullTracer = NULL_TRACER
 
     def __post_init__(self) -> None:
-        # Keep the DMA engine on the same parameter set as the counters.
+        # Keep the DMA engine on the same parameter set as the counters,
+        # and let its transactions land on the same timeline.
         self.dma.params = self.params
+        if self.tracer.enabled and not self.dma.tracer.enabled:
+            self.dma.tracer = self.tracer
 
     # --- charging API -----------------------------------------------------
     def charge_cpe_cycles(self, cycles: float) -> None:
         if cycles < 0:
             raise ValueError(f"cycles must be non-negative, got {cycles}")
         self.cpe_compute_cycles += cycles
+        if self.tracer.enabled:
+            self.tracer.emit("cpe_compute", CAT_COMPUTE, 0, cycles)
 
     def charge_mpe_cycles(self, cycles: float) -> None:
         if cycles < 0:
             raise ValueError(f"cycles must be non-negative, got {cycles}")
         self.mpe_compute_cycles += cycles
+        if self.tracer.enabled:
+            self.tracer.emit("mpe_compute", CAT_COMPUTE, MPE_TRACK, cycles)
 
     def charge_gld(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"gld count must be non-negative, got {count}")
         self.n_gld += count
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gld", CAT_GLD, 0,
+                count * self.params.gld_latency_cycles, count=count,
+            )
 
     def charge_gst(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError(f"gst count must be non-negative, got {count}")
         self.n_gst += count
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "gst", CAT_GST, 0,
+                count * self.params.gst_latency_cycles, count=count,
+            )
 
     # --- conversion to time ------------------------------------------------
     @property
@@ -93,11 +125,21 @@ class PerfCounters:
         return parallel + self.gld_seconds + self.mpe_compute_seconds
 
     def merge(self, other: "PerfCounters") -> None:
-        """Fold another kernel's events into this one (sequential phases)."""
+        """Fold another kernel's events into this one (sequential phases).
+
+        The merged ``pipelined`` flag is the conservative AND of both: a
+        single scalar overlap cannot distinguish which phase's DMA was
+        double-buffered, so merging a non-pipelined kernel into a
+        pipelined one must not let the non-pipelined phase's DMA hide
+        behind compute (that would overstate overlap).  Callers needing
+        per-phase fidelity should keep separate counters and sum
+        ``elapsed_seconds()`` instead.
+        """
         self.cpe_compute_cycles += other.cpe_compute_cycles
         self.mpe_compute_cycles += other.mpe_compute_cycles
         self.n_gld += other.n_gld
         self.n_gst += other.n_gst
+        self.pipelined = self.pipelined and other.pipelined
         self.dma.stats.merge(other.dma.stats)
 
     def summary(self) -> dict[str, float]:

@@ -20,6 +20,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    CAT_PIPELINE,
+    DMA_TRACK,
+    NULL_TRACER,
+    NullTracer,
+)
+
 
 @dataclass
 class PipelineSchedule:
@@ -39,6 +48,8 @@ def simulate_double_buffer(
     fetch_times: np.ndarray,
     compute_times: np.ndarray,
     n_buffers: int = 2,
+    tracer: NullTracer = NULL_TRACER,
+    cpe_id: int = 0,
 ) -> PipelineSchedule:
     """Event-driven schedule of a fetch/compute loop with ``n_buffers``
     DMA slots.
@@ -47,6 +58,11 @@ def simulate_double_buffer(
     iteration *i* cannot start before buffer slot ``i mod n_buffers`` is
     released by compute ``i - n_buffers``.  Fetches are serialised on the
     single DMA channel.
+
+    With a recording ``tracer``, every fetch lands on the DMA track and
+    every compute stage on ``cpe_id``'s track at its scheduled position
+    (input times are recorded as cycles), so the interleaving is
+    inspectable in Perfetto.
     """
     f = np.asarray(fetch_times, dtype=np.float64)
     c = np.asarray(compute_times, dtype=np.float64)
@@ -60,6 +76,8 @@ def simulate_double_buffer(
     if n == 0:
         return PipelineSchedule(0.0, 0.0, 0.0, 0.0)
 
+    traced = tracer.enabled
+    base = max(tracer.cursor(cpe_id), tracer.cursor(DMA_TRACK)) if traced else 0.0
     fetch_done = np.zeros(n)
     compute_done = np.zeros(n)
     dma_free = 0.0
@@ -71,8 +89,21 @@ def simulate_double_buffer(
         dma_free = fetch_done[i]
         compute_start = max(fetch_done[i], compute_done[i - 1] if i else 0.0)
         compute_done[i] = compute_start + c[i]
+        if traced:
+            tracer.span(
+                "fetch", CAT_DMA, DMA_TRACK, base + start, f[i], iteration=i
+            )
+            tracer.span(
+                "compute", CAT_COMPUTE, cpe_id, base + compute_start, c[i],
+                iteration=i,
+            )
 
     total = float(compute_done[-1])
+    if traced:
+        tracer.span(
+            "double_buffer", CAT_PIPELINE, cpe_id, base, total,
+            n_iterations=n, n_buffers=n_buffers,
+        )
     stall = total - float(c.sum())
     return PipelineSchedule(
         total_seconds=total,

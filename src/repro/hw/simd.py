@@ -16,7 +16,7 @@ That is exactly enough to express the 6-shuffle 4x3 transpose of Fig. 7
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

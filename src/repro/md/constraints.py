@@ -17,7 +17,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.md.box import Box
-from repro.md.system import ParticleSystem
 from repro.md.topology import Constraint
 
 

@@ -15,9 +15,7 @@ settings it lists in Table 3.  This module provides:
 
 from __future__ import annotations
 
-import io
 from dataclasses import dataclass
-from pathlib import Path
 
 import numpy as np
 

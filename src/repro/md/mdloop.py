@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.hw.perf import KernelTiming
+from repro.trace.events import CAT_STEP, MPE_TRACK, NULL_TRACER, NullTracer
 from repro.md.bonded import compute_bonded
 from repro.md.constraints import build_constraint_solver
 from repro.md.forces import compute_short_range
@@ -77,9 +78,19 @@ class MdResult:
 class MdLoop:
     """Reference MD driver."""
 
-    def __init__(self, system: ParticleSystem, config: MdConfig | None = None) -> None:
+    def __init__(
+        self,
+        system: ParticleSystem,
+        config: MdConfig | None = None,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> None:
         self.system = system
         self.config = config or MdConfig()
+        #: Timeline tracer: step phases land on the MPE track as measured
+        #: wall time (this is the reference x86-like engine, so wall time
+        #: is the honest unit; conversion to cycles uses the tracer's
+        #: clock).
+        self.tracer = tracer
         self.shake = build_constraint_solver(
             system, self.config.constraint_algorithm
         )
@@ -91,6 +102,12 @@ class MdLoop:
         self._forces = np.zeros_like(system.positions)
         self._potential = 0.0
 
+    def _add(self, timing: KernelTiming, kernel: str, dt: float) -> None:
+        """Record one measured step-phase duration (timing + trace)."""
+        timing.add(kernel, dt)
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(kernel, CAT_STEP, MPE_TRACK, dt)
+
     def compute_forces(self, timing: KernelTiming | None = None) -> tuple[np.ndarray, float]:
         """All forces and the total potential at the current positions."""
         timing = timing if timing is not None else KernelTiming()
@@ -100,14 +117,14 @@ class MdLoop:
             self.system, self.pairlist, self.config.nonbonded,
             dtype=self.config.precision,
         )
-        timing.add(KERNEL_FORCE, time.perf_counter() - t0)
+        self._add(timing, KERNEL_FORCE, time.perf_counter() - t0)
         forces = sr.forces
         potential = sr.energy
 
         if self.pme is not None:
             t0 = time.perf_counter()
             pme_res = self.pme.compute(self.system)
-            timing.add(KERNEL_PME, time.perf_counter() - t0)
+            self._add(timing, KERNEL_PME, time.perf_counter() - t0)
             forces = forces + pme_res.forces
             potential += pme_res.energy
 
@@ -115,7 +132,7 @@ class MdLoop:
         if topo.bonds or topo.angles or topo.dihedrals:
             t0 = time.perf_counter()
             bonded = compute_bonded(self.system)
-            timing.add(KERNEL_BONDED, time.perf_counter() - t0)
+            self._add(timing, KERNEL_BONDED, time.perf_counter() - t0)
             forces = forces + bonded.forces
             potential += bonded.energy
         return forces, potential
@@ -123,7 +140,7 @@ class MdLoop:
     def _rebuild_pairlist(self, timing: KernelTiming) -> None:
         t0 = time.perf_counter()
         self.pairlist = build_pair_list(self.system, self.config.nonbonded.r_list)
-        timing.add(KERNEL_NEIGHBOR, time.perf_counter() - t0)
+        self._add(timing, KERNEL_NEIGHBOR, time.perf_counter() - t0)
 
     def run(self, n_steps: int) -> MdResult:
         """Run ``n_steps`` of MD, recording energies and kernel timings."""
@@ -148,10 +165,10 @@ class MdLoop:
             # SHAKE runs inside the integrator; attribute its share to the
             # Constraints kernel proportionally to constraint count.
             if self.shake is not None and self.shake.n_constraints:
-                timing.add(KERNEL_UPDATE, dt_update * 0.4)
-                timing.add(KERNEL_CONSTRAINTS, dt_update * 0.6)
+                self._add(timing, KERNEL_UPDATE, dt_update * 0.4)
+                self._add(timing, KERNEL_CONSTRAINTS, dt_update * 0.6)
             else:
-                timing.add(KERNEL_UPDATE, dt_update)
+                self._add(timing, KERNEL_UPDATE, dt_update)
 
             t0 = time.perf_counter()
             reporter.maybe_record(
@@ -160,12 +177,12 @@ class MdLoop:
                 self.system.kinetic_energy(),
                 self.system.temperature(),
             )
-            timing.add(KERNEL_COMM, time.perf_counter() - t0)
+            self._add(timing, KERNEL_COMM, time.perf_counter() - t0)
 
             if cfg.output_interval and step % cfg.output_interval == 0:
                 t0 = time.perf_counter()
                 trajectory.append(self.system.positions.copy())
-                timing.add(KERNEL_OUTPUT, time.perf_counter() - t0)
+                self._add(timing, KERNEL_OUTPUT, time.perf_counter() - t0)
 
         return MdResult(
             system=self.system,

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.md.forces import ShortRangeResult
 from repro.md.system import ParticleSystem

@@ -8,7 +8,6 @@ quantities (kinetic energy, temperature, degrees of freedom).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 
 import numpy as np
 

@@ -8,7 +8,7 @@ bonds, angles, dihedrals and rigid constraints as index arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

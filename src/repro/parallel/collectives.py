@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.parallel.decomposition import DomainDecomposition, halo_bytes_per_step

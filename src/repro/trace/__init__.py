@@ -1,0 +1,81 @@
+"""Event-timeline tracing and analysis for the SW26010 simulator.
+
+Public surface:
+
+* :class:`Tracer` / :class:`NullTracer` / :data:`NULL_TRACER` — the
+  span/instant recording API (no-op by default, see
+  :mod:`repro.trace.events`);
+* :class:`TraceEvent`, :data:`MPE_TRACK`, :data:`DMA_TRACK` — the event
+  model and pseudo-track ids;
+* :func:`to_chrome_trace` / :func:`write_chrome_trace` /
+  :func:`validate_chrome_trace` — Chrome/Perfetto JSON export;
+* :func:`measure_overlap`, :func:`occupancy`, :func:`load_imbalance`,
+  :func:`dma_bandwidth_histogram`, :func:`roofline_point`,
+  :func:`summarize` — derived metrics.
+"""
+
+from repro.trace.analyze import (
+    DmaBucket,
+    OverlapReport,
+    RooflinePoint,
+    dma_bandwidth_histogram,
+    load_imbalance,
+    measure_overlap,
+    occupancy,
+    roofline_point,
+    summarize,
+)
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    CAT_GLD,
+    CAT_GST,
+    CAT_INIT,
+    CAT_KERNEL,
+    CAT_PIPELINE,
+    CAT_REDUCTION,
+    CAT_STEP,
+    DMA_TRACK,
+    MPE_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    track_label,
+)
+from repro.trace.export import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "CAT_COMPUTE",
+    "CAT_DMA",
+    "CAT_GLD",
+    "CAT_GST",
+    "CAT_INIT",
+    "CAT_KERNEL",
+    "CAT_PIPELINE",
+    "CAT_REDUCTION",
+    "CAT_STEP",
+    "DMA_TRACK",
+    "DmaBucket",
+    "MPE_TRACK",
+    "NULL_TRACER",
+    "NullTracer",
+    "OverlapReport",
+    "RooflinePoint",
+    "TraceEvent",
+    "Tracer",
+    "dma_bandwidth_histogram",
+    "load_imbalance",
+    "measure_overlap",
+    "occupancy",
+    "roofline_point",
+    "summarize",
+    "to_chrome_trace",
+    "track_label",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

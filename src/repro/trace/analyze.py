@@ -1,0 +1,262 @@
+"""Derived metrics from a recorded event timeline.
+
+Everything `PerfCounters` *assumes* (the pipeline-overlap scalar, balanced
+CPEs, the Table 2 bandwidth curve) can be *measured* from a trace:
+
+* :func:`measure_overlap` — the compute/DMA overlap fraction actually
+  realised on the timeline, comparable to ``ChipParams.pipeline_overlap``;
+* :func:`occupancy` / :func:`load_imbalance` — per-CPE busy fractions and
+  the critical/mean ratio the partitioner tries to minimise;
+* :func:`dma_bandwidth_histogram` — achieved GB/s per transaction block
+  size, regenerating the paper's Table 2 from recorded transactions
+  instead of the closed-form model;
+* :func:`roofline_point` — arithmetic intensity and achieved GFLOP/s
+  against the core group's bandwidth/compute ceilings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import ChipParams
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    CAT_GLD,
+    CAT_GST,
+    DMA_TRACK,
+    TraceEvent,
+    Tracer,
+)
+
+#: Categories that occupy a CPE's execution pipeline.
+CPE_BUSY_CATEGORIES = (CAT_COMPUTE, CAT_GLD, CAT_GST)
+
+
+def _span(events: list[TraceEvent]) -> tuple[float, float]:
+    """(first start, last end) over the given events; (0, 0) when empty."""
+    if not events:
+        return 0.0, 0.0
+    return (
+        min(e.start_cycle for e in events),
+        max(e.end_cycle for e in events),
+    )
+
+
+@dataclass
+class OverlapReport:
+    """Measured compute/DMA overlap over one traced parallel region."""
+
+    compute_cycles: float  # critical-CPE compute busy time
+    dma_cycles: float  # DMA-track busy time
+    makespan_cycles: float  # last end - first start over both
+    hidden_cycles: float  # compute + dma - makespan
+
+    @property
+    def overlap_fraction(self) -> float:
+        """The scalar `PerfCounters.elapsed_seconds` would need:
+        ``T = C + D - overlap * min(C, D)`` solved for ``overlap``."""
+        denom = min(self.compute_cycles, self.dma_cycles)
+        if denom <= 0.0:
+            return 1.0
+        return min(max(self.hidden_cycles / denom, 0.0), 1.0)
+
+
+def measure_overlap(tracer: Tracer) -> OverlapReport:
+    """Measure the realised compute/DMA overlap from the timeline.
+
+    Compute time is the *critical* CPE's busy cycles (the same max-over-
+    CPEs quantity the cost model charges); DMA time is the DMA track's
+    busy cycles in the ``dma`` category (init/reduction passes are
+    separate categories and excluded, matching the parallel-region
+    definition of ``PerfCounters.elapsed_seconds``).
+    """
+    compute = [e for e in tracer.events if e.category == CAT_COMPUTE and e.cpe_id >= 0]
+    dma = [e for e in tracer.events if e.category == CAT_DMA and e.cpe_id == DMA_TRACK]
+    per_cpe: dict[int, float] = {}
+    for e in compute:
+        per_cpe[e.cpe_id] = per_cpe.get(e.cpe_id, 0.0) + e.duration_cycles
+    c = max(per_cpe.values()) if per_cpe else 0.0
+    d = sum(e.duration_cycles for e in dma)
+    lo, hi = _span(compute + dma)
+    makespan = hi - lo
+    return OverlapReport(
+        compute_cycles=c,
+        dma_cycles=d,
+        makespan_cycles=makespan,
+        hidden_cycles=c + d - makespan,
+    )
+
+
+def occupancy(tracer: Tracer) -> dict[int, float]:
+    """Per-CPE busy fraction over the CPE-activity makespan."""
+    events = [
+        e
+        for e in tracer.events
+        if e.cpe_id >= 0 and e.category in CPE_BUSY_CATEGORIES
+    ]
+    lo, hi = _span(events)
+    makespan = hi - lo
+    if makespan <= 0.0:
+        return {}
+    busy: dict[int, float] = {}
+    for e in events:
+        busy[e.cpe_id] = busy.get(e.cpe_id, 0.0) + e.duration_cycles
+    return {cpe: cycles / makespan for cpe, cycles in sorted(busy.items())}
+
+
+def load_imbalance(tracer: Tracer) -> float:
+    """Critical / mean CPE busy time (1.0 = perfectly balanced)."""
+    occ = occupancy(tracer)
+    if not occ:
+        return 1.0
+    values = list(occ.values())
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 1.0
+    return max(values) / mean
+
+
+@dataclass
+class DmaBucket:
+    """Aggregated DMA activity for one transaction block size."""
+
+    size_bytes: int
+    n_transactions: int
+    bytes_total: int
+    seconds: float
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.bytes_total / self.seconds / 1e9
+
+
+def dma_bandwidth_histogram(
+    tracer: Tracer, params: ChipParams | None = None
+) -> list[DmaBucket]:
+    """Achieved bandwidth per block size from recorded DMA transactions.
+
+    Only per-transaction events carrying a ``size_bytes`` arg contribute
+    (the `DmaEngine` hooks attach it); aggregate kernel-phase spans
+    without a block size are skipped.  Driving `hw.dma.bandwidth_table`'s
+    traffic pattern through a traced engine regenerates the paper's
+    Table 2 from events.
+    """
+    params = params or tracer.params
+    buckets: dict[int, DmaBucket] = {}
+    for e in tracer.events:
+        if e.category != CAT_DMA or "size_bytes" not in e.args:
+            continue
+        size = int(e.args["size_bytes"])
+        count = int(e.args.get("count", 1))
+        b = buckets.get(size)
+        if b is None:
+            b = buckets[size] = DmaBucket(size, 0, 0, 0.0)
+        b.n_transactions += count
+        b.bytes_total += size * count
+        b.seconds += e.duration_cycles * params.cycle_s
+    return [buckets[size] for size in sorted(buckets)]
+
+
+@dataclass
+class RooflinePoint:
+    """One kernel's position against the core-group roofline."""
+
+    flops: float
+    dma_bytes: float
+    makespan_seconds: float
+    peak_gflops: float
+    stream_bandwidth_gbs: float
+
+    @property
+    def intensity(self) -> float:
+        """Arithmetic intensity, FLOP per DMA byte."""
+        if self.dma_bytes <= 0.0:
+            return float("inf")
+        return self.flops / self.dma_bytes
+
+    @property
+    def achieved_gflops(self) -> float:
+        if self.makespan_seconds <= 0.0:
+            return 0.0
+        return self.flops / self.makespan_seconds / 1e9
+
+    @property
+    def attainable_gflops(self) -> float:
+        """Roofline ceiling at this intensity."""
+        return min(self.peak_gflops, self.intensity * self.stream_bandwidth_gbs)
+
+    @property
+    def bound(self) -> str:
+        ridge = self.peak_gflops / self.stream_bandwidth_gbs
+        return "memory" if self.intensity < ridge else "compute"
+
+
+def roofline_point(
+    tracer: Tracer, params: ChipParams | None = None
+) -> RooflinePoint:
+    """Place the traced execution on the core group's roofline.
+
+    FLOPs come from compute events' ``flops`` args (the kernel hooks
+    attach an LJ+RF per-pair estimate); events without the arg fall back
+    to 1 FLOP/cycle/lane.  Bytes are the DMA events' recorded traffic.
+    """
+    flops = 0.0
+    for e in tracer.events:
+        if e.category != CAT_COMPUTE:
+            continue
+        if "flops" in e.args:
+            flops += float(e.args["flops"])
+        else:
+            flops += e.duration_cycles * (params or tracer.params).simd_width_floats
+    params = params or tracer.params
+    dma_bytes = 0.0
+    for e in tracer.events:
+        if e.category != CAT_DMA:
+            continue
+        if "bytes" in e.args:
+            dma_bytes += float(e.args["bytes"])
+        elif "size_bytes" in e.args:
+            dma_bytes += float(e.args["size_bytes"]) * int(e.args.get("count", 1))
+    region = [
+        e for e in tracer.events if e.category in (CAT_COMPUTE, CAT_DMA)
+    ]
+    lo, hi = _span(region)
+    return RooflinePoint(
+        flops=flops,
+        dma_bytes=dma_bytes,
+        makespan_seconds=(hi - lo) * params.cycle_s,
+        peak_gflops=params.peak_gflops_per_cg,
+        stream_bandwidth_gbs=params.dma_curve[-1][1],
+    )
+
+
+def summarize(tracer: Tracer) -> str:
+    """Human-readable analysis block (used by ``repro trace``)."""
+    ov = measure_overlap(tracer)
+    imb = load_imbalance(tracer)
+    occ = occupancy(tracer)
+    rl = roofline_point(tracer)
+    lines = [
+        f"events              : {len(tracer)} on {len(tracer.tracks())} tracks",
+        f"makespan            : {ov.makespan_cycles * tracer.params.cycle_s * 1e6:.2f} us",
+        f"measured overlap    : {ov.overlap_fraction:.3f} "
+        f"(model assumes {tracer.params.pipeline_overlap:.2f})",
+        f"load imbalance      : {imb:.3f} over {len(occ)} CPEs",
+        f"arithmetic intensity: {rl.intensity:.2f} flop/byte "
+        f"({rl.bound}-bound; ridge at "
+        f"{rl.peak_gflops / rl.stream_bandwidth_gbs:.1f})",
+        f"achieved            : {rl.achieved_gflops:.1f} GFLOP/s "
+        f"(roofline ceiling {rl.attainable_gflops:.1f})",
+    ]
+    hist = dma_bandwidth_histogram(tracer)
+    if hist:
+        lines.append("DMA bandwidth by block size:")
+        for b in hist:
+            lines.append(
+                f"  {b.size_bytes:6d} B x{b.n_transactions:<8d} "
+                f"{b.bandwidth_gbs:6.2f} GB/s"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""Chrome-trace / Perfetto JSON export of a recorded event timeline.
+
+Produces the `Trace Event Format`_ JSON-object flavour: a
+``{"traceEvents": [...]}`` document of complete ("X") events plus
+metadata ("M") events naming one thread per track — CPE 00..63, MPE and
+DMA — all under a single process.  Load the file in ``chrome://tracing``
+or https://ui.perfetto.dev to inspect the pipeline overlap visually.
+
+Timestamps are converted from chip cycles to microseconds (the format's
+native unit) through ``ChipParams.clock_hz``.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.hw.params import ChipParams
+from repro.trace.events import DMA_TRACK, MPE_TRACK, Tracer, track_label
+
+#: Process id for the (single) simulated core group.
+PID = 0
+
+#: Stable thread ids: CPEs keep their id; pseudo-tracks map above them so
+#: every tid is non-negative (Perfetto sorts tracks by tid).
+_TID_MPE = 1000
+_TID_DMA = 1001
+
+
+def _tid(cpe_id: int) -> int:
+    if cpe_id == MPE_TRACK:
+        return _TID_MPE
+    if cpe_id == DMA_TRACK:
+        return _TID_DMA
+    return cpe_id
+
+
+def to_chrome_trace(
+    tracer: Tracer, params: ChipParams | None = None
+) -> dict:
+    """Convert a tracer's events into a Chrome-trace JSON object."""
+    params = params or tracer.params
+    us_per_cycle = 1e6 * params.cycle_s
+    trace_events: list[dict] = []
+    for track in tracer.tracks():
+        trace_events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": PID,
+                "tid": _tid(track),
+                "args": {"name": track_label(track, params)},
+            }
+        )
+    trace_events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": PID,
+            "tid": 0,
+            "args": {"name": "SW26010 core group (simulated)"},
+        }
+    )
+    for e in tracer.events:
+        rec = {
+            "ph": "X",
+            "name": e.name,
+            "cat": e.category,
+            "pid": PID,
+            "tid": _tid(e.cpe_id),
+            "ts": e.start_cycle * us_per_cycle,
+            "dur": e.duration_cycles * us_per_cycle,
+        }
+        if e.args:
+            rec["args"] = dict(e.args)
+        trace_events.append(rec)
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock_hz": params.clock_hz,
+            "n_cpes": params.n_cpes,
+            "source": "repro.trace (SW_GROMACS reproduction)",
+        },
+    }
+
+
+def write_chrome_trace(
+    tracer: Tracer, path: str, params: ChipParams | None = None
+) -> dict:
+    """Serialise the tracer to ``path``; returns the exported object."""
+    doc = to_chrome_trace(tracer, params)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+    return doc
+
+
+def validate_chrome_trace(doc: dict) -> list[str]:
+    """Schema check for the exported object; returns a list of problems.
+
+    Covers what Perfetto's importer actually requires: a ``traceEvents``
+    list; every event has a phase; "X" events carry name/pid/tid plus
+    numeric non-negative ts/dur; "M" metadata events carry an args.name.
+    An empty list means the document is loadable.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, e in enumerate(events):
+        if not isinstance(e, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        ph = e.get("ph")
+        if ph not in ("X", "M", "i", "B", "E"):
+            problems.append(f"event {i}: bad phase {ph!r}")
+            continue
+        if "pid" not in e or "tid" not in e:
+            problems.append(f"event {i}: missing pid/tid")
+        if ph == "X":
+            for key in ("name", "ts", "dur"):
+                if key not in e:
+                    problems.append(f"event {i}: X event missing {key!r}")
+            ts, dur = e.get("ts", 0), e.get("dur", 0)
+            if not isinstance(ts, (int, float)) or ts < 0:
+                problems.append(f"event {i}: bad ts {ts!r}")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"event {i}: bad dur {dur!r}")
+        elif ph == "M":
+            if e.get("name") not in ("thread_name", "process_name"):
+                problems.append(f"event {i}: unknown metadata {e.get('name')!r}")
+            elif "name" not in e.get("args", {}):
+                problems.append(f"event {i}: metadata without args.name")
+    try:
+        json.dumps(doc)
+    except (TypeError, ValueError) as exc:
+        problems.append(f"not JSON-serialisable: {exc}")
+    return problems

@@ -1,6 +1,5 @@
 """Scalability model (Fig. 12), accuracy experiment (Fig. 13), printers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.accuracy import run_accuracy_experiment

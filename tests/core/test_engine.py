@@ -1,6 +1,5 @@
 """SWGromacsEngine: workflow timing, optimisation levels, dynamics."""
 
-import numpy as np
 import pytest
 
 from repro.core.engine import (

@@ -22,7 +22,6 @@ from repro.md.pairlist import CLUSTER_SIZE
 
 @pytest.fixture(scope="module")
 def packed(request):
-    from repro.md.nonbonded import NonbondedParams
     from repro.md.pairlist import build_pair_list
     from repro.md.water import build_water_system
 

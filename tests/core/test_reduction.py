@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.reduction import init_cost, reduce_copies, reduction_cost
 from repro.hw.bitmap import LineMarkBitmap
-from repro.hw.params import DEFAULT_PARAMS
 
 PPL = 32
 

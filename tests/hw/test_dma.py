@@ -9,7 +9,7 @@ from repro.hw.dma import (
     interpolate_bandwidth_gbs,
     transfer_seconds,
 )
-from repro.hw.params import DEFAULT_PARAMS, DMA_BANDWIDTH_TABLE_GBS
+from repro.hw.params import DMA_BANDWIDTH_TABLE_GBS
 
 
 class TestBandwidthCurve:

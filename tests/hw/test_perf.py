@@ -1,0 +1,131 @@
+"""PerfCounters charging, pipeline model, and merge semantics."""
+
+import pytest
+
+from repro.hw.cpe import Cpe
+from repro.hw.params import ChipParams
+from repro.hw.perf import KernelTiming, PerfCounters
+
+
+class TestChargeValidation:
+    """Regression: negative counts used to be accepted silently, skewing
+    the gld/gst stall model without any error."""
+
+    def test_negative_gld_rejected(self):
+        pc = PerfCounters()
+        with pytest.raises(ValueError, match="non-negative"):
+            pc.charge_gld(-1)
+        assert pc.n_gld == 0
+
+    def test_negative_gst_rejected(self):
+        pc = PerfCounters()
+        with pytest.raises(ValueError, match="non-negative"):
+            pc.charge_gst(-3)
+        assert pc.n_gst == 0
+
+    def test_negative_cycles_rejected(self):
+        pc = PerfCounters()
+        with pytest.raises(ValueError, match="non-negative"):
+            pc.charge_cpe_cycles(-1.0)
+        with pytest.raises(ValueError, match="non-negative"):
+            pc.charge_mpe_cycles(-1.0)
+
+    def test_cpe_object_rejects_negative_counts_too(self):
+        cpe = Cpe(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            cpe.charge_gld(-1)
+        with pytest.raises(ValueError, match="non-negative"):
+            cpe.charge_gst(-1)
+
+    def test_zero_count_is_a_noop(self):
+        pc = PerfCounters()
+        pc.charge_gld(0)
+        pc.charge_gst(0)
+        assert (pc.n_gld, pc.n_gst) == (0, 0)
+
+
+class TestPipelineModel:
+    def test_pipelined_hides_overlap_fraction(self):
+        params = ChipParams()
+        pc = PerfCounters(params=params)
+        pc.charge_cpe_cycles(2 * params.clock_hz * 1e-6)  # 2 us compute
+        pc.dma.stats.seconds += 1e-6  # 1 us DMA
+        expected = 3e-6 - params.pipeline_overlap * 1e-6
+        assert pc.elapsed_seconds() == pytest.approx(expected)
+
+    def test_unpipelined_is_serial_sum(self):
+        params = ChipParams()
+        pc = PerfCounters(params=params, pipelined=False)
+        pc.charge_cpe_cycles(2 * params.clock_hz * 1e-6)
+        pc.dma.stats.seconds += 1e-6
+        assert pc.elapsed_seconds() == pytest.approx(3e-6)
+
+
+class TestMerge:
+    """Regression: merge() used to ignore the other kernel's ``pipelined``
+    flag, so folding a non-pipelined phase into a pipelined one let the
+    serial phase's DMA hide behind compute."""
+
+    def _counters(self, pipelined, compute_us=2.0, dma_us=1.0):
+        params = ChipParams()
+        pc = PerfCounters(params=params, pipelined=pipelined)
+        pc.charge_cpe_cycles(compute_us * 1e-6 * params.clock_hz)
+        pc.dma.stats.seconds += dma_us * 1e-6
+        return pc
+
+    def test_merge_is_conservative_about_pipelining(self):
+        merged = self._counters(pipelined=True)
+        merged.merge(self._counters(pipelined=False))
+        assert merged.pipelined is False
+
+    def test_merge_keeps_pipelined_when_both_are(self):
+        merged = self._counters(pipelined=True)
+        merged.merge(self._counters(pipelined=True))
+        assert merged.pipelined is True
+
+    def test_merged_elapsed_does_not_hide_serial_dma(self):
+        a = self._counters(pipelined=True)
+        b = self._counters(pipelined=False)
+        serial_sum = a.elapsed_seconds() + b.elapsed_seconds()
+        a.merge(b)
+        # conservative: the merged estimate must not beat the per-phase sum
+        assert a.elapsed_seconds() >= serial_sum - 1e-15
+
+    def test_merge_sums_events(self):
+        a = self._counters(pipelined=True)
+        b = self._counters(pipelined=True)
+        b.charge_gld(4)
+        b.charge_gst(1)
+        a.merge(b)
+        assert a.n_gld == 4
+        assert a.n_gst == 1
+        assert a.cpe_compute_cycles == pytest.approx(
+            2 * 2.0e-6 * a.params.clock_hz
+        )
+        assert a.dma_seconds == pytest.approx(2e-6)
+
+
+class TestKernelTiming:
+    def test_add_accumulates_and_rejects_negative(self):
+        kt = KernelTiming()
+        kt.add("Force", 1.0)
+        kt.add("Force", 0.5)
+        assert kt.seconds["Force"] == pytest.approx(1.5)
+        with pytest.raises(ValueError, match="negative"):
+            kt.add("Force", -0.1)
+
+    def test_fractions(self):
+        kt = KernelTiming()
+        kt.add("Force", 3.0)
+        kt.add("PME mesh", 1.0)
+        fr = kt.fractions()
+        assert fr["Force"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_merge(self):
+        a, b = KernelTiming(), KernelTiming()
+        a.add("Force", 1.0)
+        b.add("Force", 2.0)
+        b.add("Update", 0.5)
+        a.merge(b)
+        assert a.seconds == {"Force": pytest.approx(3.0), "Update": pytest.approx(0.5)}

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.hw.simd import LANES, FloatV4, OpCounter, vshuff
+from repro.hw.simd import FloatV4, OpCounter, vshuff
 
 finite_f32 = st.floats(
     min_value=-1e6, max_value=1e6, allow_nan=False, width=32

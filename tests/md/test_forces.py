@@ -11,7 +11,7 @@ from repro.md.forces import (
     compute_short_range,
     tile_indices,
 )
-from repro.md.nonbonded import NonbondedParams, lj_shift_energy, pair_force_energy
+from repro.md.nonbonded import NonbondedParams, pair_force_energy
 from repro.md.pairlist import build_pair_list
 from repro.util.units import COULOMB_CONSTANT
 

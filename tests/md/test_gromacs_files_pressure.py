@@ -19,7 +19,7 @@ from repro.md.gromacs_files import (
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
 from repro.md.pressure import PRESSURE_UNIT_TO_BAR, compute_pressure, ideal_gas_pressure
-from repro.md.water import build_lj_fluid, build_water_system
+from repro.md.water import build_lj_fluid
 
 
 class TestGroRoundTrip:

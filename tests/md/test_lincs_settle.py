@@ -15,7 +15,7 @@ from repro.md.lincs import LincsConfig, LincsSolver
 from repro.md.mdloop import MdConfig, MdLoop
 from repro.md.nonbonded import NonbondedParams
 from repro.md.settle import SettleParameters, SettleSolver
-from repro.md.water import build_lj_fluid, build_water_system
+from repro.md.water import build_water_system
 
 
 @pytest.fixture(scope="module")

@@ -12,7 +12,7 @@ from repro.md.pairlist import (
     build_pair_list,
     pair_list_covers,
 )
-from repro.md.water import build_lj_fluid, build_water_system
+from repro.md.water import build_lj_fluid
 
 
 class TestCellGrid:

@@ -16,7 +16,7 @@ from repro.md.constants import (
 from repro.md.system import ParticleSystem
 from repro.md.topology import Bond, Constraint, Topology
 from repro.md.water import build_lj_fluid, build_water_system
-from repro.util.units import KB_KJ_PER_MOL_K, kinetic_temperature
+from repro.util.units import kinetic_temperature
 
 
 class TestAtomType:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.md.constants import SPC, SPCE, TIP3P, WATER_MODELS
-from repro.md.forces import brute_force_short_range
 from repro.md.integrator import IntegratorConfig
 from repro.md.mdloop import MdConfig, MdLoop
 from repro.md.nonbonded import NonbondedParams

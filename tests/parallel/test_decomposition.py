@@ -4,7 +4,6 @@ force computation that must equal the single-domain result."""
 import numpy as np
 import pytest
 
-from repro.md.box import Box
 from repro.md.forces import brute_force_short_range
 from repro.md.nonbonded import NonbondedParams
 from repro.parallel.decomposition import (

@@ -1,0 +1,195 @@
+"""Timeline-derived metrics: overlap, occupancy, DMA histogram, roofline."""
+
+import pytest
+
+from repro.core.kernels import MARK, PKG, run_kernel
+from repro.hw.dma import DmaEngine, bandwidth_table
+from repro.hw.params import DEFAULT_PARAMS
+from repro.trace.analyze import (
+    dma_bandwidth_histogram,
+    load_imbalance,
+    measure_overlap,
+    occupancy,
+    roofline_point,
+    summarize,
+)
+from repro.trace.events import CAT_COMPUTE, CAT_DMA, DMA_TRACK, Tracer
+
+
+class TestMeasureOverlapSynthetic:
+    def test_half_overlapped(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("d", CAT_DMA, DMA_TRACK, 50.0, 100.0)
+        ov = measure_overlap(t)
+        assert ov.compute_cycles == 100.0
+        assert ov.dma_cycles == 100.0
+        assert ov.makespan_cycles == 150.0
+        assert ov.overlap_fraction == pytest.approx(0.5)
+
+    def test_serial_phases_have_zero_overlap(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("d", CAT_DMA, DMA_TRACK, 100.0, 50.0)
+        assert measure_overlap(t).overlap_fraction == pytest.approx(0.0)
+
+    def test_fully_hidden_dma(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("d", CAT_DMA, DMA_TRACK, 20.0, 30.0)
+        assert measure_overlap(t).overlap_fraction == pytest.approx(1.0)
+
+    def test_critical_cpe_defines_compute(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 10.0)
+        t.span("c", CAT_COMPUTE, 1, 0.0, 40.0)
+        ov = measure_overlap(t)
+        assert ov.compute_cycles == 40.0
+
+    def test_empty_trace(self):
+        ov = measure_overlap(Tracer())
+        assert ov.makespan_cycles == 0.0
+        assert ov.overlap_fraction == 1.0
+
+
+class TestKernelOverlap:
+    """Acceptance: the overlap measured from a traced kernel agrees with
+    the ``ChipParams.pipeline_overlap`` the cost model assumed."""
+
+    def test_pipelined_kernel_matches_assumed_overlap(
+        self, water_small, plist_water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        run_kernel(
+            water_small, plist_water_small, nb_water_small, MARK,
+            tracer=tracer,
+        )
+        measured = measure_overlap(tracer).overlap_fraction
+        assumed = DEFAULT_PARAMS.pipeline_overlap
+        assert measured == pytest.approx(assumed, rel=0.05)
+
+    def test_non_pipelined_kernel_measures_no_overlap(
+        self, water_small, plist_water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        run_kernel(
+            water_small, plist_water_small, nb_water_small, PKG,
+            tracer=tracer,
+        )
+        assert not PKG.pipelined
+        assert measure_overlap(tracer).overlap_fraction <= 0.05
+
+
+class TestOccupancy:
+    def test_busy_fractions(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("c", CAT_COMPUTE, 1, 0.0, 50.0)
+        occ = occupancy(t)
+        assert occ[0] == pytest.approx(1.0)
+        assert occ[1] == pytest.approx(0.5)
+
+    def test_ignores_mpe_and_dma_tracks(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 10.0)
+        t.span("d", CAT_DMA, DMA_TRACK, 0.0, 500.0)
+        assert occupancy(t) == {0: pytest.approx(1.0)}
+
+    def test_imbalance_ratio(self):
+        t = Tracer()
+        t.span("c", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("c", CAT_COMPUTE, 1, 0.0, 50.0)
+        # max / mean = 1.0 / 0.75
+        assert load_imbalance(t) == pytest.approx(4.0 / 3.0)
+
+    def test_imbalance_of_empty_trace_is_balanced(self):
+        assert load_imbalance(Tracer()) == 1.0
+
+    def test_traced_kernel_is_reasonably_balanced(
+        self, water_small, plist_water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        run_kernel(
+            water_small, plist_water_small, nb_water_small, MARK,
+            tracer=tracer,
+        )
+        imb = load_imbalance(tracer)
+        assert 1.0 <= imb < 3.0  # contiguous ranges, ~equal pair counts
+
+
+class TestDmaHistogram:
+    def test_regenerates_table2_from_events(self):
+        """Driving Table 2's traffic through a traced engine reproduces
+        the closed-form bandwidth_table() numbers from events alone."""
+        tracer = Tracer()
+        engine = DmaEngine(tracer=tracer)
+        total = 64 * 1024 * 1024
+        for size, _ in bandwidth_table():
+            engine.get_bulk(size, max(1, total // size))
+        hist = dma_bandwidth_histogram(tracer)
+        measured = {b.size_bytes: b.bandwidth_gbs for b in hist}
+        for size, gbs in bandwidth_table():
+            assert measured[size] == pytest.approx(gbs, rel=1e-9)
+
+    def test_buckets_sorted_and_counted(self):
+        tracer = Tracer()
+        engine = DmaEngine(tracer=tracer)
+        engine.get_bulk(512, 4)
+        engine.get(128)
+        engine.get(128)
+        hist = dma_bandwidth_histogram(tracer)
+        assert [b.size_bytes for b in hist] == [128, 512]
+        assert hist[0].n_transactions == 2
+        assert hist[1].n_transactions == 4
+        assert hist[1].bytes_total == 2048
+
+    def test_aggregate_spans_without_size_are_skipped(self):
+        t = Tracer()
+        t.span("read_dma", CAT_DMA, DMA_TRACK, 0.0, 100.0, bytes=4096)
+        assert dma_bandwidth_histogram(t) == []
+
+
+class TestRoofline:
+    def test_synthetic_point(self):
+        t = Tracer()
+        hz = t.params.clock_hz
+        t.span("c", CAT_COMPUTE, 0, 0.0, hz * 1e-6, flops=2e5)
+        t.span("d", CAT_DMA, DMA_TRACK, 0.0, hz * 1e-6, bytes=1e5)
+        rl = roofline_point(t)
+        assert rl.intensity == pytest.approx(2.0)
+        assert rl.achieved_gflops == pytest.approx(200.0)
+        assert rl.bound == "memory"  # ridge ~ 765/30 = 25 flop/byte
+        assert rl.attainable_gflops == pytest.approx(
+            2.0 * DEFAULT_PARAMS.dma_curve[-1][1]
+        )
+
+    def test_traced_kernel_is_memory_bound(
+        self, water_small, plist_water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        run_kernel(
+            water_small, plist_water_small, nb_water_small, MARK,
+            tracer=tracer,
+        )
+        rl = roofline_point(tracer)
+        assert rl.flops > 0
+        assert rl.dma_bytes > 0
+        # the paper's central claim: short-range MD on SW26010 sits under
+        # the bandwidth roof, far left of the ridge
+        assert rl.bound == "memory"
+        assert 0 < rl.achieved_gflops <= rl.attainable_gflops * 1.01
+
+
+class TestSummarize:
+    def test_mentions_headline_metrics(
+        self, water_small, plist_water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        run_kernel(
+            water_small, plist_water_small, nb_water_small, MARK,
+            tracer=tracer,
+        )
+        text = summarize(tracer)
+        assert "measured overlap" in text
+        assert "load imbalance" in text
+        assert "arithmetic intensity" in text

@@ -1,0 +1,170 @@
+"""Tracer / NullTracer event-recording semantics."""
+
+import pytest
+
+from repro.hw.params import ChipParams
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    DMA_TRACK,
+    MPE_TRACK,
+    NULL_TRACER,
+    NullTracer,
+    TraceEvent,
+    Tracer,
+    track_label,
+)
+
+
+class TestTraceEvent:
+    def test_end_cycle(self):
+        e = TraceEvent("x", CAT_COMPUTE, 0, 10.0, 5.0)
+        assert e.end_cycle == 15.0
+
+    def test_args_default_independent(self):
+        a = TraceEvent("x", CAT_COMPUTE, 0, 0.0, 1.0)
+        b = TraceEvent("y", CAT_COMPUTE, 0, 0.0, 1.0)
+        a.args["k"] = 1
+        assert b.args == {}
+
+
+class TestNullTracer:
+    def test_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_all_methods_noop(self):
+        t = NullTracer()
+        t.span("a", CAT_COMPUTE, 0, 0.0, 1.0)
+        t.emit("b", CAT_DMA, DMA_TRACK, 2.0)
+        t.instant("c", CAT_COMPUTE, 1)
+        t.span_seconds("d", CAT_COMPUTE, 0, 0.0, 1e-6)
+        t.emit_seconds("e", CAT_COMPUTE, 0, 1e-6)
+        t.advance(0, 100.0)
+        assert t.cursor(0) == 0.0
+        assert t.end_cycle() == 0.0
+
+    def test_tracer_is_a_nulltracer(self):
+        # so `tracer: NullTracer` annotations accept both implementations
+        assert isinstance(Tracer(), NullTracer)
+
+
+class TestSpanAndCursors:
+    def test_span_records_absolute(self):
+        t = Tracer()
+        t.span("a", CAT_COMPUTE, 3, 100.0, 50.0, pairs=7)
+        (e,) = t.events
+        assert (e.name, e.category, e.cpe_id) == ("a", CAT_COMPUTE, 3)
+        assert (e.start_cycle, e.duration_cycles) == (100.0, 50.0)
+        assert e.args == {"pairs": 7}
+        assert t.cursor(3) == 150.0
+
+    def test_span_does_not_move_cursor_backwards(self):
+        t = Tracer()
+        t.span("a", CAT_COMPUTE, 0, 0.0, 100.0)
+        t.span("b", CAT_COMPUTE, 0, 10.0, 20.0)  # ends before the first
+        assert t.cursor(0) == 100.0
+
+    def test_emit_chains_at_cursor(self):
+        t = Tracer()
+        t.emit("a", CAT_COMPUTE, 0, 10.0)
+        t.emit("b", CAT_COMPUTE, 0, 5.0)
+        assert [e.start_cycle for e in t.events] == [0.0, 10.0]
+        assert t.cursor(0) == 15.0
+
+    def test_cursors_are_per_track(self):
+        t = Tracer()
+        t.emit("a", CAT_COMPUTE, 0, 10.0)
+        t.emit("b", CAT_DMA, DMA_TRACK, 3.0)
+        assert t.cursor(0) == 10.0
+        assert t.cursor(DMA_TRACK) == 3.0
+        assert t.cursor(MPE_TRACK) == 0.0
+
+    def test_instant_has_zero_duration(self):
+        t = Tracer()
+        t.emit("a", CAT_COMPUTE, 0, 10.0)
+        t.instant("mark", CAT_COMPUTE, 0)
+        assert t.events[-1].duration_cycles == 0.0
+        assert t.events[-1].start_cycle == 10.0
+
+    def test_advance_skips_without_event(self):
+        t = Tracer()
+        t.advance(0, 25.0)
+        t.emit("a", CAT_COMPUTE, 0, 5.0)
+        assert t.events[0].start_cycle == 25.0
+
+    def test_negative_duration_rejected(self):
+        t = Tracer()
+        with pytest.raises(ValueError, match="negative duration"):
+            t.span("a", CAT_COMPUTE, 0, 0.0, -1.0)
+        with pytest.raises(ValueError, match="negative duration"):
+            t.emit("a", CAT_COMPUTE, 0, -1e-9)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError, match="backwards"):
+            Tracer().advance(0, -1.0)
+
+
+class TestSecondsHelpers:
+    def test_seconds_convert_through_clock(self):
+        params = ChipParams(clock_hz=2.0e9)
+        t = Tracer(params)
+        t.span_seconds("a", CAT_COMPUTE, 0, 1e-6, 2e-6)
+        assert t.events[0].start_cycle == pytest.approx(2000.0)
+        assert t.events[0].duration_cycles == pytest.approx(4000.0)
+        t.emit_seconds("b", CAT_COMPUTE, 0, 1e-6)
+        assert t.events[1].start_cycle == pytest.approx(6000.0)
+        assert t.total_seconds() == pytest.approx(3e-6)
+
+
+class TestQueries:
+    def _loaded(self):
+        t = Tracer()
+        t.span("f", CAT_COMPUTE, 0, 0.0, 10.0)
+        t.span("f", CAT_COMPUTE, 1, 0.0, 20.0)
+        t.span("g", CAT_DMA, DMA_TRACK, 5.0, 40.0)
+        return t
+
+    def test_len_tracks_end(self):
+        t = self._loaded()
+        assert len(t) == 3
+        assert t.tracks() == [DMA_TRACK, 0, 1]
+        assert t.end_cycle() == 45.0
+
+    def test_select(self):
+        t = self._loaded()
+        assert len(t.select(CAT_COMPUTE)) == 2
+        assert len(t.select(cpe_id=1)) == 1
+        assert len(t.select(CAT_DMA, DMA_TRACK)) == 1
+        assert t.select("nope") == []
+
+    def test_totals(self):
+        t = self._loaded()
+        assert t.total_cycles() == 70.0
+        assert t.total_cycles(CAT_COMPUTE) == 30.0
+        assert t.total_cycles(CAT_COMPUTE, cpe_id=1) == 20.0
+        assert t.total_seconds(CAT_DMA) == pytest.approx(40.0 * t.params.cycle_s)
+
+    def test_by_name_seconds(self):
+        t = self._loaded()
+        by_name = t.by_name_seconds()
+        assert by_name["f"] == pytest.approx(30.0 * t.params.cycle_s)
+        assert by_name["g"] == pytest.approx(40.0 * t.params.cycle_s)
+        assert t.by_name_seconds(CAT_COMPUTE) == {
+            "f": pytest.approx(30.0 * t.params.cycle_s)
+        }
+
+    def test_clear(self):
+        t = self._loaded()
+        t.clear()
+        assert len(t) == 0
+        assert t.cursor(0) == 0.0
+        assert t.end_cycle() == 0.0
+
+
+class TestTrackLabel:
+    def test_labels(self):
+        assert track_label(MPE_TRACK) == "MPE"
+        assert track_label(DMA_TRACK) == "DMA"
+        assert track_label(7) == "CPE 07"
+        assert track_label(63) == "CPE 63"
+        assert track_label(64) == "track 64"

@@ -1,0 +1,119 @@
+"""Chrome-trace JSON export: schema validity and the CLI path."""
+
+import json
+
+import pytest
+
+from repro import cli
+from repro.trace.events import CAT_COMPUTE, CAT_DMA, DMA_TRACK, MPE_TRACK, Tracer
+from repro.trace.export import (
+    _TID_DMA,
+    _TID_MPE,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+def _small_tracer():
+    t = Tracer()
+    t.span("compute", CAT_COMPUTE, 0, 0.0, 100.0, pairs=8)
+    t.span("fetch", CAT_DMA, DMA_TRACK, 10.0, 40.0)
+    t.emit("collect", CAT_COMPUTE, MPE_TRACK, 25.0)
+    return t
+
+
+class TestToChromeTrace:
+    def test_schema_valid(self):
+        doc = to_chrome_trace(_small_tracer())
+        assert validate_chrome_trace(doc) == []
+
+    def test_track_metadata(self):
+        doc = to_chrome_trace(_small_tracer())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert names == {"CPE 00", "MPE", "DMA"}
+        assert any(e["name"] == "process_name" for e in meta)
+
+    def test_tid_mapping(self):
+        doc = to_chrome_trace(_small_tracer())
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert spans["compute"]["tid"] == 0
+        assert spans["fetch"]["tid"] == _TID_DMA
+        assert spans["collect"]["tid"] == _TID_MPE
+
+    def test_microsecond_conversion(self):
+        t = _small_tracer()
+        doc = to_chrome_trace(t)
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        us_per_cycle = 1e6 / t.params.clock_hz
+        assert spans["fetch"]["ts"] == pytest.approx(10.0 * us_per_cycle)
+        assert spans["fetch"]["dur"] == pytest.approx(40.0 * us_per_cycle)
+
+    def test_args_carried(self):
+        doc = to_chrome_trace(_small_tracer())
+        spans = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert spans["compute"]["args"] == {"pairs": 8}
+
+    def test_write_round_trips(self, tmp_path):
+        path = tmp_path / "t.json"
+        doc = write_chrome_trace(_small_tracer(), str(path))
+        assert json.loads(path.read_text()) == doc
+
+
+class TestValidate:
+    def test_flags_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_flags_bad_phase_and_fields(self):
+        doc = {
+            "traceEvents": [
+                {"ph": "Z", "pid": 0, "tid": 0},
+                {"ph": "X", "pid": 0, "tid": 0, "name": "a", "ts": -1, "dur": 1},
+                {"ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 0},
+                {"ph": "M", "name": "thread_name", "pid": 0, "tid": 0, "args": {}},
+            ]
+        }
+        problems = validate_chrome_trace(doc)
+        assert any("bad phase" in p for p in problems)
+        assert any("bad ts" in p for p in problems)
+        assert any("missing 'name'" in p for p in problems)
+        assert any("metadata without args.name" in p for p in problems)
+
+    def test_flags_non_serialisable(self):
+        doc = to_chrome_trace(_small_tracer())
+        doc["traceEvents"][0]["args"] = {"bad": object()}
+        assert any(
+            "not JSON-serialisable" in p for p in validate_chrome_trace(doc)
+        )
+
+
+class TestCliTrace:
+    def test_water_box_trace_has_cpe_mpe_dma_tracks(self, tmp_path, capsys):
+        """Acceptance: `repro trace` emits schema-valid Chrome JSON with
+        >= 3 track kinds (CPE, MPE, DMA) for a water-box step."""
+        out = tmp_path / "trace.json"
+        rc = cli.main(
+            ["trace", "-n", "750", "--steps", "1", "--rcut", "0.8",
+             "--out", str(out)]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert validate_chrome_trace(doc) == []
+
+        names = {
+            e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "MPE" in names
+        assert "DMA" in names
+        cpe_tracks = {n for n in names if n.startswith("CPE ")}
+        assert len(cpe_tracks) >= 1
+        assert len(names) >= 3
+
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert spans, "trace carries no events"
+        stdout = capsys.readouterr().out
+        assert "perfetto" in stdout
+        assert "measured overlap" in stdout

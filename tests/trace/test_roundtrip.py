@@ -1,0 +1,110 @@
+"""KernelTiming <-> trace-event round-trips (per-kernel seconds agree).
+
+Every step-phase duration an engine adds to its ``KernelTiming`` is also
+emitted as a ``step_phase`` event, so summing events by name must
+reproduce the timing table exactly — the trace is a faithful, finer-
+grained view of the same accounting, not a second clock.
+"""
+
+import pytest
+
+from repro.core.engine import EngineConfig, SWGromacsEngine
+from repro.hw.params import DEFAULT_PARAMS
+from repro.hw.perf import PerfCounters
+from repro.md.mdloop import MdConfig, MdLoop
+from repro.trace.events import (
+    CAT_COMPUTE,
+    CAT_DMA,
+    CAT_GLD,
+    CAT_GST,
+    CAT_STEP,
+    MPE_TRACK,
+    Tracer,
+)
+
+
+def _assert_timings_match(timing_seconds, tracer):
+    by_name = tracer.by_name_seconds(CAT_STEP)
+    assert set(by_name) == set(timing_seconds)
+    for kernel, seconds in timing_seconds.items():
+        assert by_name[kernel] == pytest.approx(seconds, rel=1e-9), kernel
+
+
+class TestEngineRoundTrip:
+    def test_step_events_sum_to_kernel_timing(self, water_small, nb_water_small):
+        tracer = Tracer()
+        engine = SWGromacsEngine(
+            water_small.copy(),
+            EngineConfig(nonbonded=nb_water_small),
+            tracer=tracer,
+        )
+        result = engine.run(3)
+        assert result.timing.seconds, "engine recorded no kernel timings"
+        _assert_timings_match(result.timing.seconds, tracer)
+
+    def test_timing_total_matches_tracer_aggregate(
+        self, water_small, nb_water_small
+    ):
+        tracer = Tracer()
+        engine = SWGromacsEngine(
+            water_small.copy(),
+            EngineConfig(nonbonded=nb_water_small),
+            tracer=tracer,
+        )
+        result = engine.run(2)
+        assert tracer.total_seconds(CAT_STEP) == pytest.approx(
+            result.timing.total(), rel=1e-9
+        )
+
+
+class TestMdLoopRoundTrip:
+    def test_step_events_sum_to_kernel_timing(self, water_small, nb_water_small):
+        tracer = Tracer()
+        loop = MdLoop(
+            water_small.copy(),
+            MdConfig(nonbonded=nb_water_small),
+            tracer=tracer,
+        )
+        result = loop.run(2)
+        assert result.timing.seconds
+        _assert_timings_match(result.timing.seconds, tracer)
+
+
+class TestPerfCountersRoundTrip:
+    def test_summary_matches_tracer_aggregates(self):
+        tracer = Tracer()
+        pc = PerfCounters(tracer=tracer)
+        pc.charge_cpe_cycles(1000.0)
+        pc.charge_cpe_cycles(500.0)
+        pc.charge_mpe_cycles(200.0)
+        pc.charge_gld(3)
+        pc.charge_gst(2)
+        pc.dma.get_bulk(512, 10)
+        pc.dma.put(2048)
+
+        s = pc.summary()
+        assert tracer.total_seconds(CAT_COMPUTE, cpe_id=0) == pytest.approx(
+            s["cpe_compute_s"]
+        )
+        assert tracer.total_seconds(CAT_COMPUTE, MPE_TRACK) == pytest.approx(
+            s["mpe_compute_s"]
+        )
+        assert tracer.total_seconds(CAT_GLD) + tracer.total_seconds(
+            CAT_GST
+        ) == pytest.approx(s["gld_s"])
+        assert tracer.total_seconds(CAT_DMA) == pytest.approx(s["dma_s"])
+
+    def test_counters_share_timeline_with_dma_engine(self):
+        tracer = Tracer()
+        pc = PerfCounters(tracer=tracer)
+        assert pc.dma.tracer is tracer
+        pc.dma.get(256)
+        assert tracer.select(CAT_DMA)
+
+    def test_gld_latency_model_agrees(self):
+        tracer = Tracer()
+        pc = PerfCounters(tracer=tracer)
+        pc.charge_gld(7)
+        assert tracer.total_cycles(CAT_GLD) == pytest.approx(
+            7 * DEFAULT_PARAMS.gld_latency_cycles
+        )
