@@ -1,0 +1,94 @@
+"""Checkpoint overhead on the water step loop: must stay under 2 %.
+
+Two costs matter, and both are bounded here:
+
+1. **modelled** — what the resilience layer charges the chip for the
+   checkpoint writes (the "Checkpoint" row of `KernelTiming`): syscalls
+   plus the float64 payload at disk bandwidth.  Amortised over the
+   checkpoint cadence this must stay below 2 % of modelled step time,
+   or the simulated machine would spend its exascale-resilience budget
+   on I/O.
+2. **measured** — the real wall time `save_checkpoint` spends
+   serialising, hashing, fsyncing, and renaming, relative to the real
+   wall time of one functional MD step at the same cadence.
+
+The cadence is one checkpoint every 50 steps — already far denser than
+GROMACS' default (one write per 15 wall-clock *minutes*, i.e. many
+thousands of steps), so passing here means any sane cadence passes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.engine import (
+    KERNEL_CHECKPOINT,
+    EngineConfig,
+    SWGromacsEngine,
+)
+from repro.resilience import ResiliencePolicy, load_checkpoint, save_checkpoint
+
+from conftest import cached_water, emit
+
+N_PARTICLES = 1500
+N_STEPS = 50
+CHECKPOINT_EVERY = 50
+BUDGET = 0.02
+
+
+def test_checkpoint_overhead(benchmark, nb_paper, tmp_path):
+    path = str(tmp_path / "state.ckpt")
+    policy = ResiliencePolicy(
+        checkpoint_every=CHECKPOINT_EVERY, checkpoint_path=path
+    )
+    engine = SWGromacsEngine(
+        cached_water(N_PARTICLES).copy(),
+        EngineConfig(nonbonded=nb_paper, resilience=policy),
+    )
+
+    t0 = time.perf_counter()
+    result = benchmark.pedantic(
+        lambda: engine.run(N_STEPS), rounds=1, iterations=1
+    )
+    wall_run_seconds = time.perf_counter() - t0
+    assert result.checkpoints_written == N_STEPS // CHECKPOINT_EVERY
+
+    # 1. Modelled: the Checkpoint row against everything else.
+    ckpt_modelled = result.timing.seconds[KERNEL_CHECKPOINT]
+    step_modelled = result.timing.total() - ckpt_modelled
+    modelled_fraction = ckpt_modelled / step_modelled
+    assert modelled_fraction < BUDGET, (
+        f"modelled checkpoint cost is {modelled_fraction:.2%} of step time "
+        f"(budget {BUDGET:.0%}) at cadence {CHECKPOINT_EVERY}"
+    )
+
+    # 2. Measured: wall time of the writes at the same cadence vs the
+    #    wall time of the functional steps that ran between them.
+    ckpt = engine.checkpoint()
+    t0 = time.perf_counter()
+    n_writes = 10
+    for _ in range(n_writes):
+        save_checkpoint(ckpt, path)
+    write_seconds = (time.perf_counter() - t0) / n_writes
+    wall_step_seconds = (wall_run_seconds - write_seconds * result.checkpoints_written) / N_STEPS
+    measured_fraction = write_seconds / (CHECKPOINT_EVERY * wall_step_seconds)
+    assert measured_fraction < BUDGET, (
+        f"measured checkpoint write is {measured_fraction:.2%} of wall step "
+        f"time (budget {BUDGET:.0%}) at cadence {CHECKPOINT_EVERY}"
+    )
+
+    # Sanity: what was written is a valid, loadable checkpoint.
+    assert load_checkpoint(path).n_particles == engine.system.n_particles
+
+    emit(
+        benchmark,
+        f"Checkpoint overhead ({N_PARTICLES} particles, every "
+        f"{CHECKPOINT_EVERY} steps):\n"
+        f"  modelled  {modelled_fraction:8.4%} of step time (budget {BUDGET:.0%})\n"
+        f"  measured  {measured_fraction:8.4%} of wall step time "
+        f"({write_seconds * 1e3:.2f} ms/write, "
+        f"{wall_step_seconds * 1e3:.1f} ms/step)",
+        modelled_fraction=round(modelled_fraction, 6),
+        measured_fraction=round(measured_fraction, 6),
+        write_ms=round(write_seconds * 1e3, 3),
+    )

@@ -95,6 +95,21 @@ class ReferenceTimings:
     pair_seconds: float  # force + neighbour search (scales with pairs)
     particle_seconds: float  # update/constraints/buffer (scales with N)
 
+    def degraded(self, slowdown: float) -> "ReferenceTimings":
+        """Reference timings after permanent CPE loss.
+
+        ``slowdown`` is :attr:`repro.resilience.DegradationReport.slowdown`
+        (n_cpes / survivors): the CPE-parallel pair work stretches by it,
+        letting the Fig. 12 curves be re-derived for a degraded machine.
+        """
+        if not slowdown >= 1.0:
+            raise ValueError(f"slowdown must be >= 1: {slowdown}")
+        return ReferenceTimings(
+            n_local=self.n_local,
+            pair_seconds=self.pair_seconds * slowdown,
+            particle_seconds=self.particle_seconds,
+        )
+
     @classmethod
     def measure(
         cls,

@@ -34,6 +34,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--level", type=int, default=3, choices=range(4))
     run.add_argument("--rcut", type=float, default=0.9)
     run.add_argument("--seed", type=int, default=2019)
+    run.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="write a checkpoint every N completed steps (0 = never)",
+    )
+    run.add_argument(
+        "--checkpoint-path", default="state.ckpt",
+        help="checkpoint file (default: state.ckpt)",
+    )
+    run.add_argument(
+        "--restart", metavar="FILE", default=None,
+        help="resume from a checkpoint file (bit-identical continuation)",
+    )
+    run.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults, e.g. 'seed=7,dma=1e-3,cpe=0.01,msg=1e-4,dead=3+17'",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -46,6 +62,10 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--seed", type=int, default=2019)
     trace.add_argument(
         "--out", default="trace.json", help="output path for the trace JSON"
+    )
+    trace.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults and trace the retries (same SPEC as run)",
     )
 
     ladder = sub.add_parser("ladder", help="Fig. 8/9 strategy speedups")
@@ -71,9 +91,15 @@ def _cmd_run(args) -> int:
     from repro.md.minimize import minimize
     from repro.md.nonbonded import NonbondedParams
     from repro.md.water import build_water_system
+    from repro.resilience import ResiliencePolicy, load_checkpoint
 
     nb = NonbondedParams(
         r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
+    )
+    policy = ResiliencePolicy(
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_path=args.checkpoint_path,
+        faults=args.faults,
     )
     system = build_water_system(args.particles, seed=args.seed)
     minimize(system, MdConfig(nonbonded=nb), n_steps=60)
@@ -84,8 +110,13 @@ def _cmd_run(args) -> int:
             nonbonded=nb,
             optimization_level=args.level,
             report_interval=max(args.steps // 10, 1),
+            resilience=policy,
         ),
     )
+    if args.restart:
+        ckpt = load_checkpoint(args.restart)
+        engine.restore(ckpt)
+        print(f"restarted from {args.restart} at step {ckpt.step}")
     result = engine.run(args.steps)
     print("step   E_total(kJ/mol)     T(K)")
     for frame in result.reporter.frames:
@@ -97,6 +128,17 @@ def _cmd_run(args) -> int:
         result.timing.fractions().items(), key=lambda kv: -kv[1]
     ):
         print(f"  {kernel:18s} {frac:6.1%}")
+    if result.checkpoints_written:
+        print(f"\ncheckpoints: {result.checkpoints_written} written to "
+              f"{policy.checkpoint_path}")
+    if result.fault_counts is not None:
+        fc = result.fault_counts
+        print(f"injected faults: {fc.dma_errors} DMA errors, "
+              f"{fc.cpe_losses} CPE losses, {fc.messages_lost} messages lost")
+        if result.degradation is not None and result.degradation.degraded:
+            d = result.degradation
+            print(f"degradation: {d.mode} over {d.n_survivors}/{d.n_cpes} "
+                  f"CPEs (x{d.slowdown:.2f} CPE-parallel slowdown)")
     return 0
 
 
@@ -106,6 +148,7 @@ def _cmd_trace(args) -> int:
     from repro.md.minimize import minimize
     from repro.md.nonbonded import NonbondedParams
     from repro.md.water import build_water_system
+    from repro.resilience import ResiliencePolicy
     from repro.trace import Tracer, summarize, write_chrome_trace
 
     nb = NonbondedParams(
@@ -114,7 +157,11 @@ def _cmd_trace(args) -> int:
     system = build_water_system(args.particles, seed=args.seed)
     minimize(system, MdConfig(nonbonded=nb), n_steps=30)
     system.thermalize(300.0, np.random.default_rng(args.seed + 1))
-    config = EngineConfig(nonbonded=nb, optimization_level=args.level)
+    config = EngineConfig(
+        nonbonded=nb,
+        optimization_level=args.level,
+        resilience=ResiliencePolicy(faults=args.faults),
+    )
     tracer = Tracer(config.chip)
     engine = SWGromacsEngine(system, config, tracer=tracer)
     engine.run(args.steps)

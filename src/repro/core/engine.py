@@ -24,8 +24,14 @@ import numpy as np
 
 from repro.core.comm_opt import Transport, step_comm
 from repro.core.fastio import io_model_seconds
-from repro.core.kernels import ALL_SPECS, KernelResult, run_kernel
+from repro.core.kernels import (
+    ALL_SPECS,
+    FORCE_PACKAGE_BYTES,
+    KernelResult,
+    run_kernel,
+)
 from repro.core.pairlist_cpe import cache_study, search_kernel_seconds, search_trace
+from repro.hw.dma import DmaEngine
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.hw.perf import KernelTiming
 from repro.md.constraints import build_constraint_solver
@@ -43,11 +49,33 @@ from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
 from repro.md.reporter import EnergyReporter
 from repro.md.system import ParticleSystem
-from repro.trace.events import CAT_STEP, MPE_TRACK, NULL_TRACER, NullTracer
+from repro.resilience import (
+    MODE_MPE_FALLBACK,
+    CheckpointError,
+    DegradationReport,
+    FaultCounts,
+    MdCheckpoint,
+    ResiliencePolicy,
+    capture,
+    degraded_chip,
+    plan_degradation,
+    save_checkpoint,
+)
+from repro.resilience import restore as restore_checkpoint_state
+from repro.trace.events import (
+    CAT_CHECKPOINT,
+    CAT_FAULT,
+    CAT_STEP,
+    MPE_TRACK,
+    NULL_TRACER,
+    NullTracer,
+)
 
 KERNEL_DOMAIN_DECOMP = "Domain decomp."
 KERNEL_WAIT_COMM_F = "Wait + comm. F"
 KERNEL_BUFFER_OPS = "NB X/F buffer ops"
+KERNEL_FAULT_RETRY = "Fault retries"
+KERNEL_CHECKPOINT = "Checkpoint"
 
 #: Workflow-kernel cost constants (MPE cycles), set so the level-0 MPE
 #: run reproduces the paper's Table 1 case-1 fractions (force ~95 %,
@@ -80,6 +108,8 @@ class EngineConfig:
     report_interval: int = 100
     use_pme_comm: bool = True  # PME all-to-all in the comm model
     chip: ChipParams = DEFAULT_PARAMS
+    #: Failure/recovery knobs (default = perfect hardware, no checkpoints).
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
         if not 0 <= self.optimization_level <= 3:
@@ -112,6 +142,11 @@ class EngineResult:
     n_steps: int
     level: str
     force_result: KernelResult | None = None
+    #: Last degradation decision of the run (None = no fault plan).
+    degradation: DegradationReport | None = None
+    #: Totals of every injected fault (None = no fault plan).
+    fault_counts: FaultCounts | None = None
+    checkpoints_written: int = 0
 
     @property
     def modelled_seconds(self) -> float:
@@ -144,6 +179,31 @@ class SWGromacsEngine:
         self.pairlist = None
         self._cached_force_model: KernelResult | None = None
         self._cached_ns_seconds: float | None = None
+        #: Seeded fault oracle for this run (None = perfect hardware).
+        policy = self.config.resilience
+        self.fault_plan = policy.build_fault_plan()
+        #: Private DMA engine that replays the force kernel's recorded
+        #: traffic against the fault plan — the force kernel's own DMA
+        #: math is closed-form, so retry overhead is charged by replay.
+        self._fault_dma = (
+            DmaEngine(
+                params=self.config.chip,
+                tracer=tracer,
+                fault_plan=self.fault_plan,
+                retry=policy.retry,
+            )
+            if self.fault_plan is not None
+            and self.fault_plan.spec.dma_error_rate > 0.0
+            else None
+        )
+        #: Last degradation decision (refreshed at every list rebuild).
+        self.degradation: DegradationReport | None = None
+        self._start_step = 0
+        self._next_step = 0
+        self._pairlist_rebuild_step = 0
+        self._pairlist_ref_positions: np.ndarray | None = None
+        self._restart_ref_positions: np.ndarray | None = None
+        self._checkpoints_written = 0
 
     def _add(self, timing: KernelTiming, kernel: str, seconds: float) -> None:
         """Record one modelled step-phase duration (timing + trace)."""
@@ -154,17 +214,18 @@ class SWGromacsEngine:
     # ------------------------------------------------------------------
     # per-kernel modelled costs
     # ------------------------------------------------------------------
-    def _ns_seconds(self) -> float:
+    def _ns_seconds(self, chip: ChipParams | None = None) -> float:
         """Pair-list generation time at the current level (per rebuild)."""
         cfg = self.config
+        chip = chip or cfg.chip
         assert self.pairlist is not None
         n_checks = self.pairlist.n_cluster_pairs * NS_EXPANSION
         if cfg.optimization_level < 2:
-            return 16.0 * n_checks * MPE_NS_CHECK_CYCLES * cfg.chip.cycle_s
+            return 16.0 * n_checks * MPE_NS_CHECK_CYCLES * chip.cycle_s
         trace = search_trace(self.pairlist, NS_EXPANSION)
-        study = cache_study(trace, cfg.chip)
+        study = cache_study(trace, chip)
         return search_kernel_seconds(
-            self.pairlist, study.two_way_miss_ratio, cfg.chip, NS_EXPANSION
+            self.pairlist, study.two_way_miss_ratio, chip, NS_EXPANSION
         )
 
     def _update_constraint_seconds(self) -> tuple[float, float]:
@@ -226,9 +287,53 @@ class SWGromacsEngine:
         ).total
 
     # ------------------------------------------------------------------
-    # driving
+    # resilience
     # ------------------------------------------------------------------
-    def _rebuild(self, timing: KernelTiming) -> None:
+    def _degradation_decision(self) -> DegradationReport | None:
+        """Spawn-time CPE roll call + recovery-mode choice (per rebuild).
+
+        Only CPE-offload levels spawn; the level-0 MPE path has nothing
+        to lose.
+        """
+        cfg = self.config
+        if self.fault_plan is None or cfg.optimization_level < 1:
+            return None
+        spec = self.fault_plan.spec
+        if not (spec.cpe_fail_rate or spec.dead_cpes):
+            return None
+        survivors = len(self.fault_plan.surviving_cpes(cfg.chip.n_cpes))
+        report = plan_degradation(
+            survivors, cfg.chip, cfg.resilience.min_cpes
+        )
+        self.degradation = report
+        if report.degraded and self.tracer.enabled:
+            self.tracer.instant(
+                "cpe_loss", CAT_FAULT, MPE_TRACK,
+                mode=report.mode, survivors=report.n_survivors,
+                lost=report.n_lost,
+            )
+        return report
+
+    def _rebuild(self, timing: KernelTiming, step: int = 0) -> None:
+        """Rebuild the pair list + cached kernel cost model at ``step``.
+
+        Builds from the *current* system positions; the restart path
+        temporarily swaps in the checkpointed reference positions so the
+        regenerated list is bit-identical to the interrupted run's.
+        """
+        cfg = self.config
+        chip = cfg.chip
+        spec = cfg.force_spec
+        report = self._degradation_decision()
+        if report is not None and report.degraded:
+            if report.mode == MODE_MPE_FALLBACK:
+                # Too few survivors for the CPE ladder: run the MPE
+                # reference kernel (same forces, "Ori" cost).
+                spec = ALL_SPECS["ORI"]
+            else:
+                # Repartition over survivors: the same kernel costed
+                # against a narrower core group.
+                chip = degraded_chip(chip, report)
         self.pairlist = build_pair_list(
             self.system, self.config.nonbonded.r_list
         )
@@ -236,25 +341,138 @@ class SWGromacsEngine:
             self.system,
             self.pairlist,
             self.config.nonbonded,
-            self.config.force_spec,
-            self.config.chip,
+            spec,
+            chip,
             tracer=self.tracer,
         )
-        self._cached_ns_seconds = self._ns_seconds()
+        self._cached_ns_seconds = self._ns_seconds(chip)
         self._add(timing, KERNEL_NEIGHBOR, self._cached_ns_seconds)
         self._add(timing, KERNEL_DOMAIN_DECOMP, self._dd_seconds())
+        self._pairlist_rebuild_step = step
+        self._pairlist_ref_positions = self.system.positions.copy()
 
+    def _rebuild_from_checkpoint(self, timing: KernelTiming) -> None:
+        """Regenerate the mid-interval pair list after a restart."""
+        if self._restart_ref_positions is None:
+            raise CheckpointError(
+                "restarted mid pair-list interval but the checkpoint "
+                "carried no reference positions"
+            )
+        saved = self.system.positions
+        self.system.positions = self._restart_ref_positions
+        try:
+            self._rebuild(timing, self._pairlist_rebuild_step)
+        finally:
+            self.system.positions = saved
+            self._restart_ref_positions = None
+
+    def _replay_dma_faults(self) -> float:
+        """Charge DMA retry overhead for one step's force-kernel traffic.
+
+        The force kernel's DMA cost is closed-form, so fault injection
+        replays its recorded per-phase byte totals through a private
+        fault-carrying :class:`DmaEngine` at the kernel's own block
+        sizes; only the retry-seconds delta is returned (base transfer
+        time is already in the Force row).
+        """
+        dma = self._fault_dma
+        stats = self._cached_force_model.stats
+        chip = self.config.chip
+        before = dma.stats.retry_seconds
+        read_bytes = int(stats.get("read_bytes", 0))
+        write_bytes = int(stats.get("write_bytes", 0))
+        nblist_bytes = int(stats.get("nblist_bytes", 0))
+        if read_bytes:
+            size = max(chip.line_bytes, 1)
+            dma.get_bulk(size, max(1, read_bytes // size))
+        if nblist_bytes:
+            size = chip.dma_curve[-1][0]  # streamed at the largest block
+            dma.get_bulk(size, max(1, nblist_bytes // size))
+        if write_bytes:
+            dma.put_bulk(
+                FORCE_PACKAGE_BYTES,
+                max(1, write_bytes // FORCE_PACKAGE_BYTES),
+            )
+        return dma.stats.retry_seconds - before
+
+    def checkpoint(self, step: int | None = None) -> MdCheckpoint:
+        """Snapshot the run (``step`` = next step to execute)."""
+        return capture(
+            self.system,
+            self.integrator,
+            step=self._next_step if step is None else step,
+            pairlist_rebuild_step=self._pairlist_rebuild_step,
+            pairlist_ref_positions=self._pairlist_ref_positions,
+            meta={
+                "level": self.config.level_name,
+                "n_particles": self.system.n_particles,
+            },
+        )
+
+    def restore(self, ckpt: MdCheckpoint) -> None:
+        """Resume from a checkpoint: the next :meth:`run` continues at
+        ``ckpt.step`` and reproduces the uninterrupted run bit-for-bit."""
+        if tuple(ckpt.box_lengths) != tuple(
+            float(v) for v in self.system.box.lengths
+        ):
+            raise CheckpointError(
+                f"checkpoint box {ckpt.box_lengths} != system box "
+                f"{tuple(self.system.box.lengths)}"
+            )
+        restore_checkpoint_state(ckpt, self.system, self.integrator)
+        self._start_step = self._next_step = ckpt.step
+        self._pairlist_rebuild_step = ckpt.pairlist_rebuild_step
+        self._restart_ref_positions = ckpt.pairlist_ref_positions
+        self.pairlist = None
+        self._cached_force_model = None
+        self._cached_ns_seconds = None
+
+    def _checkpoint_seconds(self, ckpt: MdCheckpoint) -> float:
+        """Modelled cost of one checkpoint write (binary, no formatting):
+        write + fsync + rename syscalls plus the payload at disk rate."""
+        chip = self.config.chip
+        nbytes = ckpt.positions.nbytes + ckpt.velocities.nbytes
+        if ckpt.pairlist_ref_positions is not None:
+            nbytes += ckpt.pairlist_ref_positions.nbytes
+        return 3.0 * chip.io_syscall_s + nbytes / (
+            chip.io_disk_bandwidth_gbs * 1e9
+        )
+
+    def _write_checkpoint(self, timing: KernelTiming, next_step: int) -> None:
+        policy = self.config.resilience
+        ckpt = self.checkpoint(next_step)
+        save_checkpoint(ckpt, policy.checkpoint_path)
+        self._checkpoints_written += 1
+        t = self._checkpoint_seconds(ckpt)
+        timing.add(KERNEL_CHECKPOINT, t)
+        if self.tracer.enabled:
+            self.tracer.emit_seconds(
+                "checkpoint_write", CAT_CHECKPOINT, MPE_TRACK, t,
+                step=next_step, path=policy.checkpoint_path,
+            )
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
     def run(self, n_steps: int) -> EngineResult:
-        """Run ``n_steps`` of real dynamics, accumulating modelled time."""
+        """Run ``n_steps`` of real dynamics, accumulating modelled time.
+
+        After :meth:`restore` the loop continues from the checkpointed
+        step, so ``n_steps`` is always the *total* step count of the
+        trajectory, matching an uninterrupted run.
+        """
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative: {n_steps}")
         cfg = self.config
+        policy = cfg.resilience
         timing = KernelTiming()
         reporter = EnergyReporter(interval=cfg.report_interval)
 
-        for step in range(n_steps):
+        for step in range(self._start_step, n_steps):
             if step % cfg.nonbonded.nstlist == 0:
-                self._rebuild(timing)
+                self._rebuild(timing, step)
+            elif self.pairlist is None:
+                self._rebuild_from_checkpoint(timing)
             # Functional force (mixed precision, identical to the modelled
             # kernel's functional output); modelled time from the cached
             # kernel analysis.
@@ -262,8 +480,11 @@ class SWGromacsEngine:
                 self.system, self.pairlist, cfg.nonbonded, dtype=np.float32
             )
             self._add(timing, KERNEL_FORCE, self._cached_force_model.elapsed_seconds)
+            if self._fault_dma is not None:
+                self._add(timing, KERNEL_FAULT_RETRY, self._replay_dma_faults())
 
             self.integrator.step(self.system, sr.forces)
+            self._next_step = step + 1
             upd, con = self._update_constraint_seconds()
             self._add(timing, KERNEL_UPDATE, upd)
             if con:
@@ -279,6 +500,11 @@ class SWGromacsEngine:
             )
             if cfg.output_interval and step % cfg.output_interval == 0:
                 self._add(timing, KERNEL_OUTPUT, self._io_seconds())
+            if (
+                policy.checkpoint_every
+                and (step + 1) % policy.checkpoint_every == 0
+            ):
+                self._write_checkpoint(timing, step + 1)
 
         return EngineResult(
             system=self.system,
@@ -287,6 +513,11 @@ class SWGromacsEngine:
             n_steps=n_steps,
             level=cfg.level_name,
             force_result=self._cached_force_model,
+            degradation=self.degradation,
+            fault_counts=(
+                self.fault_plan.counts if self.fault_plan is not None else None
+            ),
+            checkpoints_written=self._checkpoints_written,
         )
 
     def model_step(self) -> KernelTiming:

@@ -367,6 +367,12 @@ def run_kernel(
                 len(np.unique(trace >> amap.offset_bits))
             )
     breakdown["write_dma"] = write_seconds
+    # Byte totals per DMA phase: the resilience layer replays this
+    # traffic through a fault-injecting DmaEngine to charge retry
+    # overhead at the same Table 2 block sizes.
+    stats["read_bytes"] = float(read_bytes)
+    stats["write_bytes"] = float(write_bytes)
+    stats["nblist_bytes"] = float(nblist_bytes)
 
     # ---- parallel region under the pipeline model ---------------------------
     dma_seconds = read_seconds + write_seconds + nblist_seconds

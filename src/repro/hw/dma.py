@@ -19,7 +19,9 @@ import math
 from dataclasses import dataclass
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
-from repro.trace.events import CAT_DMA, DMA_TRACK, NULL_TRACER, NullTracer
+from repro.resilience.faults import FaultPlan
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy, retry_rounds
+from repro.trace.events import CAT_DMA, CAT_FAULT, DMA_TRACK, NULL_TRACER, NullTracer
 
 
 def interpolate_bandwidth_gbs(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:
@@ -71,6 +73,16 @@ class DmaStats:
     bytes_get: int = 0
     bytes_put: int = 0
     seconds: float = 0.0
+    #: Injected-fault recovery: reissued transactions, their payload
+    #: bytes, and the modelled time they cost.  ``retry_seconds`` is the
+    #: slice of ``seconds`` attributable to retries (payload re-transfer
+    #: through the Table 2 curve plus backoff waits); ``bytes_retried``
+    #: is *extra* traffic not counted in ``bytes_get``/``bytes_put``, so
+    #: ``effective_bandwidth_gbs`` degrades under faults the way a
+    #: microbenchmark would observe.
+    n_retries: int = 0
+    bytes_retried: int = 0
+    retry_seconds: float = 0.0
 
     @property
     def n_transactions(self) -> int:
@@ -86,6 +98,9 @@ class DmaStats:
         self.bytes_get += other.bytes_get
         self.bytes_put += other.bytes_put
         self.seconds += other.seconds
+        self.n_retries += other.n_retries
+        self.bytes_retried += other.bytes_retried
+        self.retry_seconds += other.retry_seconds
 
 
 class DmaEngine:
@@ -100,15 +115,57 @@ class DmaEngine:
         self,
         params: ChipParams = DEFAULT_PARAMS,
         tracer: NullTracer = NULL_TRACER,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy = DEFAULT_RETRY,
     ) -> None:
         self.params = params
         self.stats = DmaStats()
         #: Timeline tracer; the no-op default keeps the hot path at one
         #: attribute check per transaction.
         self.tracer = tracer
+        #: Fault-injection schedule (None = perfect DMA, zero overhead).
+        self.fault_plan = fault_plan
+        self.retry = retry
 
     def reset(self) -> None:
         self.stats = DmaStats()
+
+    def _charge_faults(self, size_bytes: int, count: int, op: str) -> float:
+        """Inject faults for ``count`` transactions; return retry seconds.
+
+        Each retry round reissues the failed transactions — the retried
+        bytes re-enter the Table 2 bandwidth curve at the original block
+        size — plus one backoff wait per round (stragglers of a round
+        back off concurrently across CPEs, so the wait is charged once,
+        not per transaction).  Raises
+        :class:`~repro.resilience.faults.PermanentFaultError` when a
+        transaction survives ``retry.max_attempts`` attempts.
+        """
+        if self.fault_plan is None:
+            return 0.0
+        rounds = retry_rounds(
+            self.fault_plan, self.retry, count, what=f"DMA {op}"
+        )
+        if not rounds:
+            return 0.0
+        total = 0.0
+        for r in rounds:
+            t = (
+                transfer_seconds(size_bytes, self.params) * r.n_transactions
+                + r.backoff_cycles * self.params.cycle_s
+            )
+            total += t
+            self.stats.n_retries += r.n_transactions
+            self.stats.bytes_retried += size_bytes * r.n_transactions
+            if self.tracer.enabled:
+                self.tracer.emit_seconds(
+                    f"dma_retry:{op}", CAT_FAULT, DMA_TRACK, t,
+                    size_bytes=size_bytes, count=r.n_transactions,
+                    attempt=r.attempt,
+                )
+        self.stats.retry_seconds += total
+        self.stats.seconds += total
+        return total
 
     def get(self, size_bytes: int) -> float:
         """Record one main-memory -> LDM transfer; return its modelled time."""
@@ -120,6 +177,8 @@ class DmaEngine:
             self.tracer.emit_seconds(
                 "dma_get", CAT_DMA, DMA_TRACK, t, size_bytes=size_bytes
             )
+        if self.fault_plan is not None:
+            t += self._charge_faults(size_bytes, 1, "get")
         return t
 
     def put(self, size_bytes: int) -> float:
@@ -132,6 +191,8 @@ class DmaEngine:
             self.tracer.emit_seconds(
                 "dma_put", CAT_DMA, DMA_TRACK, t, size_bytes=size_bytes
             )
+        if self.fault_plan is not None:
+            t += self._charge_faults(size_bytes, 1, "put")
         return t
 
     def get_bulk(self, size_bytes: int, count: int) -> float:
@@ -149,6 +210,8 @@ class DmaEngine:
                 "dma_get_bulk", CAT_DMA, DMA_TRACK, t,
                 size_bytes=size_bytes, count=count,
             )
+        if self.fault_plan is not None:
+            t += self._charge_faults(size_bytes, count, "get")
         return t
 
     def put_bulk(self, size_bytes: int, count: int) -> float:
@@ -166,6 +229,8 @@ class DmaEngine:
                 "dma_put_bulk", CAT_DMA, DMA_TRACK, t,
                 size_bytes=size_bytes, count=count,
             )
+        if self.fault_plan is not None:
+            t += self._charge_faults(size_bytes, count, "put")
         return t
 
     def effective_bandwidth_gbs(self) -> float:

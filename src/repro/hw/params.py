@@ -113,6 +113,9 @@ class ChipParams:
     mpi_latency_s: float = 1.0e-5
     mpi_bandwidth_gbs: float = 5.0
     mpi_copy_count: int = 4
+    #: Memory-copy bandwidth for the §3.6 kernel/user copies (GB/s per
+    #: copy) — calibratable like every other hardware constant.
+    mpi_copy_bandwidth_gbs: float = 24.0
     mpi_pack_cycles_per_byte: float = 0.1
     rdma_latency_s: float = 1.7e-6
     rdma_bandwidth_gbs: float = 6.5

@@ -142,6 +142,15 @@ class PerfCounters:
         self.pipelined = self.pipelined and other.pipelined
         self.dma.stats.merge(other.dma.stats)
 
+    @property
+    def fault_overhead_seconds(self) -> float:
+        """Modelled time lost to injected-fault recovery (DMA retries).
+
+        Already included in :attr:`dma_seconds` / ``elapsed_seconds`` —
+        this property isolates the overhead so callers can report it.
+        """
+        return self.dma.stats.retry_seconds
+
     def summary(self) -> dict[str, float]:
         return {
             "cpe_compute_s": self.cpe_compute_seconds,
@@ -150,6 +159,8 @@ class PerfCounters:
             "gld_s": self.gld_seconds,
             "dma_bytes": float(self.dma.stats.bytes_total),
             "dma_transactions": float(self.dma.stats.n_transactions),
+            "dma_retries": float(self.dma.stats.n_retries),
+            "fault_overhead_s": self.fault_overhead_seconds,
             "elapsed_s": self.elapsed_seconds(),
         }
 

@@ -54,6 +54,23 @@ class LeapfrogIntegrator:
         self._rng = np.random.default_rng(seed)
         self._step_count = 0
 
+    def get_state(self) -> dict:
+        """JSON-serialisable internals for checkpointing.
+
+        Captures the thermostat RNG (bit-generator state) and the step
+        counter (COM-removal scheduling) — everything needed to resume
+        the stochastic trajectory bit-identically.
+        """
+        return {
+            "rng": self._rng.bit_generator.state,
+            "step_count": self._step_count,
+        }
+
+    def set_state(self, state: dict) -> None:
+        """Restore internals captured by :meth:`get_state`."""
+        self._rng.bit_generator.state = state["rng"]
+        self._step_count = int(state["step_count"])
+
     def step(self, system: ParticleSystem, forces: np.ndarray) -> None:
         """Advance positions/velocities one dt using ``forces``."""
         cfg = self.config

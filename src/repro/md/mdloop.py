@@ -26,6 +26,14 @@ from repro.md.pairlist import ClusterPairList, build_pair_list
 from repro.md.pme import PmeParams, PmeSolver
 from repro.md.reporter import EnergyReporter
 from repro.md.system import ParticleSystem
+from repro.resilience import (
+    CheckpointError,
+    MdCheckpoint,
+    ResiliencePolicy,
+    capture,
+    save_checkpoint,
+)
+from repro.resilience import restore as restore_checkpoint_state
 
 #: Kernel names following the paper's Table 1.
 KERNEL_NEIGHBOR = "Neighbor search"
@@ -36,6 +44,7 @@ KERNEL_UPDATE = "Update"
 KERNEL_CONSTRAINTS = "Constraints"
 KERNEL_COMM = "Comm. energies"
 KERNEL_OUTPUT = "Write traj"
+KERNEL_CHECKPOINT = "Checkpoint"
 
 
 @dataclass
@@ -50,6 +59,9 @@ class MdConfig:
     constraint_algorithm: str = "auto"  # auto | shake | lincs | settle
     output_interval: int = 0  # 0 = no trajectory output
     report_interval: int = 100
+    #: Checkpoint cadence/path (fault injection is an engine-side
+    #: concept; the reference loop only checkpoints).
+    resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
 
     def __post_init__(self) -> None:
         if self.use_pme and self.nonbonded.coulomb_mode != "ewald":
@@ -73,6 +85,7 @@ class MdResult:
     n_steps: int
     n_pairlist_rebuilds: int
     trajectory_frames: list[np.ndarray] = field(default_factory=list)
+    checkpoints_written: int = 0
 
 
 class MdLoop:
@@ -101,6 +114,12 @@ class MdLoop:
         self.pairlist: ClusterPairList | None = None
         self._forces = np.zeros_like(system.positions)
         self._potential = 0.0
+        self._start_step = 0
+        self._next_step = 0
+        self._pairlist_rebuild_step = 0
+        self._pairlist_ref_positions: np.ndarray | None = None
+        self._restart_ref_positions: np.ndarray | None = None
+        self._checkpoints_written = 0
 
     def _add(self, timing: KernelTiming, kernel: str, dt: float) -> None:
         """Record one measured step-phase duration (timing + trace)."""
@@ -137,30 +156,78 @@ class MdLoop:
             potential += bonded.energy
         return forces, potential
 
-    def _rebuild_pairlist(self, timing: KernelTiming) -> None:
+    def _rebuild_pairlist(self, timing: KernelTiming, step: int = 0) -> None:
         t0 = time.perf_counter()
         self.pairlist = build_pair_list(self.system, self.config.nonbonded.r_list)
         self._add(timing, KERNEL_NEIGHBOR, time.perf_counter() - t0)
+        self._pairlist_rebuild_step = step
+        self._pairlist_ref_positions = self.system.positions.copy()
+
+    def _rebuild_from_checkpoint(self, timing: KernelTiming) -> None:
+        """Regenerate the mid-interval pair list after a restart:
+        building from the checkpointed reference positions reproduces the
+        interrupted run's list bit-for-bit."""
+        if self._restart_ref_positions is None:
+            raise CheckpointError(
+                "restarted mid pair-list interval but the checkpoint "
+                "carried no reference positions"
+            )
+        saved = self.system.positions
+        self.system.positions = self._restart_ref_positions
+        try:
+            self._rebuild_pairlist(timing, self._pairlist_rebuild_step)
+        finally:
+            self.system.positions = saved
+            self._restart_ref_positions = None
+
+    def checkpoint(self, step: int | None = None) -> MdCheckpoint:
+        """Snapshot the run (``step`` = next step to execute)."""
+        return capture(
+            self.system,
+            self.integrator,
+            step=self._next_step if step is None else step,
+            pairlist_rebuild_step=self._pairlist_rebuild_step,
+            pairlist_ref_positions=self._pairlist_ref_positions,
+            meta={"driver": "mdloop", "n_particles": self.system.n_particles},
+        )
+
+    def restore(self, ckpt: MdCheckpoint) -> None:
+        """Resume from a checkpoint: the next :meth:`run` continues at
+        ``ckpt.step`` and reproduces the uninterrupted run bit-for-bit."""
+        restore_checkpoint_state(ckpt, self.system, self.integrator)
+        self._start_step = self._next_step = ckpt.step
+        self._pairlist_rebuild_step = ckpt.pairlist_rebuild_step
+        self._restart_ref_positions = ckpt.pairlist_ref_positions
+        self.pairlist = None
 
     def run(self, n_steps: int) -> MdResult:
-        """Run ``n_steps`` of MD, recording energies and kernel timings."""
+        """Run ``n_steps`` of MD, recording energies and kernel timings.
+
+        After :meth:`restore` the loop continues from the checkpointed
+        step, so ``n_steps`` is the *total* trajectory length.
+        """
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative: {n_steps}")
         cfg = self.config
+        policy = cfg.resilience
         timing = KernelTiming()
         reporter = EnergyReporter(interval=cfg.report_interval)
         trajectory: list[np.ndarray] = []
         rebuilds = 0
 
-        for step in range(n_steps):
+        for step in range(self._start_step, n_steps):
             if step % cfg.nonbonded.nstlist == 0:
-                self._rebuild_pairlist(timing)
+                self._rebuild_pairlist(timing, step)
+                rebuilds += 1
+            elif self.pairlist is None:
+                self._rebuild_from_checkpoint(timing)
                 rebuilds += 1
 
             forces, potential = self.compute_forces(timing)
 
             t0 = time.perf_counter()
             self.integrator.step(self.system, forces)
+            self._next_step = step + 1
             dt_update = time.perf_counter() - t0
             # SHAKE runs inside the integrator; attribute its share to the
             # Constraints kernel proportionally to constraint count.
@@ -184,6 +251,17 @@ class MdLoop:
                 trajectory.append(self.system.positions.copy())
                 self._add(timing, KERNEL_OUTPUT, time.perf_counter() - t0)
 
+            if (
+                policy.checkpoint_every
+                and (step + 1) % policy.checkpoint_every == 0
+            ):
+                t0 = time.perf_counter()
+                save_checkpoint(
+                    self.checkpoint(step + 1), policy.checkpoint_path
+                )
+                self._checkpoints_written += 1
+                self._add(timing, KERNEL_CHECKPOINT, time.perf_counter() - t0)
+
         return MdResult(
             system=self.system,
             reporter=reporter,
@@ -191,4 +269,5 @@ class MdLoop:
             n_steps=n_steps,
             n_pairlist_rebuilds=rebuilds,
             trajectory_frames=trajectory,
+            checkpoints_written=self._checkpoints_written,
         )

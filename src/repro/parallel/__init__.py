@@ -1,7 +1,13 @@
 """Simulated parallel runtime: athread-style CPE spawning, spatial domain
 decomposition over core groups, and MPI/RDMA communication models."""
 
-from repro.parallel.athread import SpawnReport, block_partition, spawn, weighted_partition
+from repro.parallel.athread import (
+    AthreadSpawnError,
+    SpawnReport,
+    block_partition,
+    spawn,
+    weighted_partition,
+)
 from repro.parallel.collectives import CommBreakdown, ENERGY_RECORD_BYTES, step_comm_seconds
 from repro.parallel.decomposition import (
     DomainDecomposition,
@@ -15,9 +21,15 @@ from repro.parallel.mpi_sim import (
     alltoall_seconds,
     mpi_message_seconds,
 )
-from repro.parallel.rdma import crossover_size_bytes, rdma_message_seconds, rdma_speedup
+from repro.parallel.rdma import (
+    crossover_size_bytes,
+    rdma_message_seconds,
+    rdma_message_seconds_with_faults,
+    rdma_speedup,
+)
 
 __all__ = [
+    "AthreadSpawnError",
     "CommBreakdown",
     "DomainDecomposition",
     "ENERGY_RECORD_BYTES",
@@ -32,6 +44,7 @@ __all__ = [
     "halo_bytes_per_step",
     "mpi_message_seconds",
     "rdma_message_seconds",
+    "rdma_message_seconds_with_faults",
     "rdma_speedup",
     "spawn",
     "step_comm_seconds",

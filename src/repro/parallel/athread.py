@@ -6,6 +6,13 @@ simulator: :func:`spawn` calls a kernel function once per CPE with its
 ``cpe_id`` and its slice of the iteration space, collecting per-CPE
 results; :class:`SpawnReport` exposes the load-balance statistics the
 cost model consumes.
+
+Spawns may be given a :class:`~repro.resilience.faults.FaultPlan`: CPEs
+the plan marks dead (or drops at spawn time) get no work, and the
+iteration space is re-partitioned over the survivors — the graceful-
+degradation path of DESIGN.md §7.  A spawn with zero surviving workers
+raises :class:`AthreadSpawnError` instead of silently producing empty
+slices.
 """
 
 from __future__ import annotations
@@ -16,8 +23,13 @@ from typing import Callable, Sequence, TypeVar
 import numpy as np
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.resilience.faults import FaultPlan
 
 T = TypeVar("T")
+
+
+class AthreadSpawnError(RuntimeError):
+    """A spawn cannot run: no surviving CPEs to partition work over."""
 
 
 @dataclass
@@ -26,6 +38,25 @@ class SpawnReport:
 
     results: list
     work_per_cpe: np.ndarray
+    #: CPE ids that actually ran (all configured CPEs when healthy).
+    cpe_ids: tuple[int, ...] = ()
+    #: Core-group width the spawn was configured for.
+    n_configured: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.cpe_ids:
+            self.cpe_ids = tuple(range(len(self.results)))
+        if not self.n_configured:
+            self.n_configured = len(self.results)
+
+    @property
+    def n_survivors(self) -> int:
+        return len(self.cpe_ids)
+
+    @property
+    def n_lost(self) -> int:
+        """CPEs that were configured but did not answer the spawn."""
+        return self.n_configured - self.n_survivors
 
     @property
     def imbalance(self) -> float:
@@ -79,23 +110,47 @@ def spawn(
     n_items: int,
     params: ChipParams = DEFAULT_PARAMS,
     weights: Sequence[float] | None = None,
+    fault_plan: FaultPlan | None = None,
 ) -> SpawnReport:
     """Run ``kernel(cpe_id, lo, hi)`` across all CPEs (simulated serially).
 
     ``weights`` switches from block to weighted partitioning.  The kernel's
     return value per CPE is collected; work per CPE is the assigned weight
     (or item count).
+
+    With a ``fault_plan``, CPEs dropped at spawn time are skipped and the
+    iteration space is re-partitioned over the survivors (their ranges
+    grow accordingly; ``SpawnReport.n_lost`` records the loss).  Raises
+    :class:`AthreadSpawnError` when zero CPEs survive — silently running
+    a spawn over empty worker slices would hang a real core group.
     """
     if weights is not None and len(weights) != n_items:
         raise ValueError(
             f"weights has {len(weights)} entries for {n_items} items"
         )
+    if fault_plan is None:
+        alive = list(range(params.n_cpes))
+    else:
+        alive = fault_plan.surviving_cpes(params.n_cpes)
+    if not alive:
+        raise AthreadSpawnError(
+            f"cannot spawn over zero surviving CPEs "
+            f"({params.n_cpes} configured, all lost to injected faults)"
+        )
+    n_workers = len(alive)
     if weights is None:
-        parts = block_partition(n_items, params.n_cpes)
+        parts = block_partition(n_items, n_workers)
         work = np.array([hi - lo for lo, hi in parts], dtype=np.float64)
     else:
-        parts = weighted_partition(weights, params.n_cpes)
+        parts = weighted_partition(weights, n_workers)
         w = np.asarray(weights, dtype=np.float64)
         work = np.array([w[lo:hi].sum() for lo, hi in parts])
-    results = [kernel(cpe_id, lo, hi) for cpe_id, (lo, hi) in enumerate(parts)]
-    return SpawnReport(results=results, work_per_cpe=work)
+    results = [
+        kernel(cpe_id, lo, hi) for cpe_id, (lo, hi) in zip(alive, parts)
+    ]
+    return SpawnReport(
+        results=results,
+        work_per_cpe=work,
+        cpe_ids=tuple(alive),
+        n_configured=params.n_cpes,
+    )

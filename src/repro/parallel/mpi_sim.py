@@ -22,9 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
-
-#: Memory-copy bandwidth for the kernel/user copies (GB/s per copy).
-COPY_BANDWIDTH_GBS = 24.0
+from repro.resilience.faults import FaultPlan, PermanentFaultError
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 
 
 @dataclass
@@ -32,6 +31,11 @@ class MessageStats:
     n_messages: int = 0
     bytes: int = 0
     seconds: float = 0.0
+    #: Injected-loss recovery: resent messages and the modelled time the
+    #: resends + backoff waits cost (``retry_seconds`` is the slice of
+    #: ``seconds`` attributable to recovery).
+    n_retries: int = 0
+    retry_seconds: float = 0.0
 
 
 def mpi_message_seconds(
@@ -41,7 +45,9 @@ def mpi_message_seconds(
     if size_bytes < 0:
         raise ValueError(f"message size must be non-negative: {size_bytes}")
     transfer = size_bytes / (params.mpi_bandwidth_gbs * 1e9)
-    copies = params.mpi_copy_count * size_bytes / (COPY_BANDWIDTH_GBS * 1e9)
+    copies = params.mpi_copy_count * size_bytes / (
+        params.mpi_copy_bandwidth_gbs * 1e9
+    )
     pack = 2.0 * params.mpi_pack_cycles_per_byte * size_bytes * params.cycle_s
     return params.mpi_latency_s + transfer + copies + pack
 
@@ -114,18 +120,51 @@ class SimComm:
         n_ranks: int,
         params: ChipParams = DEFAULT_PARAMS,
         message_seconds=mpi_message_seconds,
+        fault_plan: FaultPlan | None = None,
+        retry: RetryPolicy = DEFAULT_RETRY,
     ) -> None:
         if n_ranks < 1:
             raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
         self.n_ranks = n_ranks
         self.params = params
         self.message_seconds = message_seconds
+        #: Message-loss schedule (None = lossless NoC, zero overhead).
+        self.fault_plan = fault_plan
+        self.retry = retry
         self.stats = MessageStats()
         self._boxes: dict[tuple[int, int, int], list[np.ndarray]] = {}
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.n_ranks:
             raise ValueError(f"rank {rank} out of range [0, {self.n_ranks})")
+
+    def _charge_message_faults(self, nbytes: int) -> float:
+        """Resend one message until it lands; return the recovery time.
+
+        Each lost attempt pays the full message cost again plus an
+        exponential backoff wait — delivery always succeeds in the end
+        (or :class:`PermanentFaultError` fires), so the functional path
+        never observes the loss.
+        """
+        if self.fault_plan is None:
+            return 0.0
+        extra = 0.0
+        attempt = 0
+        while self.fault_plan.message_lost():
+            attempt += 1
+            if attempt >= self.retry.max_attempts:
+                raise PermanentFaultError(
+                    f"message of {nbytes} B lost "
+                    f"{self.retry.max_attempts} times in a row"
+                )
+            extra += (
+                self.message_seconds(nbytes, self.params)
+                + self.retry.backoff_cycles(attempt) * self.params.cycle_s
+            )
+            self.stats.n_retries += 1
+        self.stats.retry_seconds += extra
+        self.stats.seconds += extra
+        return extra
 
     def send(self, src: int, dst: int, data: np.ndarray, tag: int = 0) -> None:
         self._check_rank(src)
@@ -135,6 +174,8 @@ class SimComm:
         self.stats.n_messages += 1
         self.stats.bytes += arr.nbytes
         self.stats.seconds += self.message_seconds(arr.nbytes, self.params)
+        if self.fault_plan is not None:
+            self._charge_message_faults(arr.nbytes)
 
     def recv(self, src: int, dst: int, tag: int = 0) -> np.ndarray:
         self._check_rank(src)
@@ -157,4 +198,9 @@ class SimComm:
         self.stats.seconds += allreduce_seconds(
             nbytes, self.n_ranks, self.message_seconds, self.params
         )
+        if self.fault_plan is not None and self.n_ranks > 1:
+            # Each of the 2 log2(P) stages moves one message that can be
+            # lost on the NoC and resent.
+            for _ in range(int(2 * np.ceil(np.log2(self.n_ranks)))):
+                self._charge_message_faults(nbytes)
         return total

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.parallel.mpi_sim import mpi_message_seconds
+from repro.resilience.faults import FaultPlan, PermanentFaultError
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 
 
 def rdma_message_seconds(
@@ -26,6 +28,36 @@ def rdma_message_seconds(
         raise ValueError(f"message size must be non-negative: {size_bytes}")
     assert params.rdma_copy_count == 0, "RDMA is zero-copy by definition"
     return params.rdma_latency_s + size_bytes / (params.rdma_bandwidth_gbs * 1e9)
+
+
+def rdma_message_seconds_with_faults(
+    size_bytes: float,
+    fault_plan: FaultPlan | None,
+    retry: RetryPolicy = DEFAULT_RETRY,
+    params: ChipParams = DEFAULT_PARAMS,
+) -> float:
+    """RDMA message time including NoC-loss resends under a fault plan.
+
+    RDMA has no kernel to re-drive a lost packet, so the library layer
+    detects the missing completion and reissues the whole transfer; each
+    resend pays the full message cost plus an exponential backoff.
+    """
+    t = rdma_message_seconds(size_bytes, params)
+    if fault_plan is None:
+        return t
+    attempt = 0
+    while fault_plan.message_lost():
+        attempt += 1
+        if attempt >= retry.max_attempts:
+            raise PermanentFaultError(
+                f"RDMA transfer of {size_bytes} B lost "
+                f"{retry.max_attempts} times in a row"
+            )
+        t += (
+            rdma_message_seconds(size_bytes, params)
+            + retry.backoff_cycles(attempt) * params.cycle_s
+        )
+    return t
 
 
 def rdma_speedup(size_bytes: float, params: ChipParams = DEFAULT_PARAMS) -> float:

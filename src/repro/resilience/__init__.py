@@ -1,0 +1,79 @@
+"""repro.resilience: fault injection, checkpoint/restart, degradation.
+
+The subsystem threads a failure/recovery axis through the simulator
+(DESIGN.md §7) while preserving the repo's core invariant: forces and
+trajectories stay bit-identical to the fault-free reference under every
+injected-fault schedule — faults cost modelled time, never physics.
+"""
+
+from repro.resilience.checkpoint import (
+    CheckpointError,
+    MdCheckpoint,
+    capture,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+)
+from repro.resilience.degrade import (
+    DEGRADATION_MODES,
+    MODE_MPE_FALLBACK,
+    MODE_NONE,
+    MODE_REPARTITION,
+    DegradationError,
+    DegradationReport,
+    degraded_chip,
+    plan_degradation,
+)
+from repro.resilience.faults import (
+    FAULT_CPE,
+    FAULT_DMA,
+    FAULT_MSG,
+    NO_FAULTS,
+    FaultCounts,
+    FaultPlan,
+    FaultSpec,
+    PermanentFaultError,
+    parse_fault_spec,
+)
+from repro.resilience.policy import (
+    DEFAULT_CHECKPOINT_PATH,
+    ResiliencePolicy,
+)
+from repro.resilience.retry import (
+    DEFAULT_RETRY,
+    RetryPolicy,
+    RetryRound,
+    retry_rounds,
+)
+
+__all__ = [
+    "CheckpointError",
+    "MdCheckpoint",
+    "capture",
+    "load_checkpoint",
+    "restore",
+    "save_checkpoint",
+    "DEGRADATION_MODES",
+    "MODE_MPE_FALLBACK",
+    "MODE_NONE",
+    "MODE_REPARTITION",
+    "DegradationError",
+    "DegradationReport",
+    "degraded_chip",
+    "plan_degradation",
+    "FAULT_CPE",
+    "FAULT_DMA",
+    "FAULT_MSG",
+    "NO_FAULTS",
+    "FaultCounts",
+    "FaultPlan",
+    "FaultSpec",
+    "PermanentFaultError",
+    "parse_fault_spec",
+    "DEFAULT_CHECKPOINT_PATH",
+    "ResiliencePolicy",
+    "DEFAULT_RETRY",
+    "RetryPolicy",
+    "RetryRound",
+    "retry_rounds",
+]

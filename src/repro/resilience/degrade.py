@@ -1,0 +1,111 @@
+"""Graceful degradation after permanent CPE loss.
+
+When a fault plan kills CPEs, the run must keep producing the *same
+physics* with the surviving hardware.  Two recovery shapes exist on a
+real SW26010, mirrored here:
+
+* **repartition** — re-split the iteration space over the surviving
+  CPEs (``block_partition``/``partition_clusters`` over ``n_survivors``
+  workers).  The cost model sees it as a smaller core group: the force
+  kernel runs against ``ChipParams.with_overrides(n_cpes=survivors)``,
+  so the critical-CPE work, reduction-copy count, and imbalance all
+  shift consistently;
+* **mpe_fallback** — below a survivable CPE count, abandon the CPE
+  strategy ladder entirely and run the MPE reference kernel (the "Ori"
+  rung): slow, but always available.
+
+:func:`plan_degradation` makes the decision; the report it returns is
+what the engine charges, traces, and prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+
+#: Recovery modes, in order of preference.
+MODE_NONE = "none"  # full strength, nothing to do
+MODE_REPARTITION = "repartition"
+MODE_MPE_FALLBACK = "mpe_fallback"
+
+DEGRADATION_MODES = (MODE_NONE, MODE_REPARTITION, MODE_MPE_FALLBACK)
+
+
+class DegradationError(RuntimeError):
+    """CPE loss exceeded what the configured policy tolerates."""
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """Outcome of one degradation decision (one spawn / list rebuild)."""
+
+    n_cpes: int  # configured core-group width
+    n_survivors: int
+    mode: str
+
+    def __post_init__(self) -> None:
+        if self.mode not in DEGRADATION_MODES:
+            raise ValueError(f"mode {self.mode!r} not in {DEGRADATION_MODES}")
+        if not 0 <= self.n_survivors <= self.n_cpes:
+            raise ValueError(
+                f"n_survivors {self.n_survivors} out of [0, {self.n_cpes}]"
+            )
+
+    @property
+    def n_lost(self) -> int:
+        return self.n_cpes - self.n_survivors
+
+    @property
+    def degraded(self) -> bool:
+        return self.mode != MODE_NONE
+
+    @property
+    def slowdown(self) -> float:
+        """Expected CPE-parallel slowdown versus the full core group.
+
+        Repartitioned work is CPE-bound, so the critical path grows as
+        ``n_cpes / n_survivors``; the MPE fallback's slowdown is the
+        strategy-ladder gap itself and is reported as ``inf`` here (the
+        engine charges the real MPE kernel cost instead).
+        """
+        if self.mode == MODE_NONE:
+            return 1.0
+        if self.mode == MODE_MPE_FALLBACK:
+            return float("inf")
+        return self.n_cpes / self.n_survivors
+
+
+def plan_degradation(
+    n_survivors: int,
+    params: ChipParams = DEFAULT_PARAMS,
+    min_cpes: int = 8,
+) -> DegradationReport:
+    """Choose a recovery mode for ``n_survivors`` live CPEs.
+
+    ``min_cpes`` is the floor under which CPE offload stops paying for
+    itself (reduction copies and init dominate) and the engine falls
+    back to the MPE path.
+    """
+    if min_cpes < 1:
+        raise ValueError(f"min_cpes must be >= 1: {min_cpes}")
+    if n_survivors < 0 or n_survivors > params.n_cpes:
+        raise ValueError(
+            f"n_survivors {n_survivors} out of [0, {params.n_cpes}]"
+        )
+    if n_survivors == params.n_cpes:
+        mode = MODE_NONE
+    elif n_survivors >= min_cpes:
+        mode = MODE_REPARTITION
+    else:
+        mode = MODE_MPE_FALLBACK
+    return DegradationReport(
+        n_cpes=params.n_cpes, n_survivors=n_survivors, mode=mode
+    )
+
+
+def degraded_chip(params: ChipParams, report: DegradationReport) -> ChipParams:
+    """Chip parameters the repartitioned kernel should be costed against."""
+    if report.mode != MODE_REPARTITION:
+        return params
+    return params.with_overrides(n_cpes=report.n_survivors)

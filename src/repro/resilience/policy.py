@@ -1,0 +1,52 @@
+"""ResiliencePolicy: one knob bundle for a survivable run.
+
+``EngineConfig`` (and ``MdConfig``) carry one of these; the default is
+inert — no checkpoints, no faults, default retry — so the happy path
+costs nothing.  The CLI maps ``--checkpoint-every/--restart/--faults``
+onto it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.resilience.faults import FaultPlan, FaultSpec, parse_fault_spec
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
+
+#: Default checkpoint file name (GROMACS calls its own ``state.cpt``).
+DEFAULT_CHECKPOINT_PATH = "state.ckpt"
+
+
+@dataclass
+class ResiliencePolicy:
+    """Failure/recovery configuration for one run."""
+
+    #: Write a checkpoint every N completed steps (0 = never).
+    checkpoint_every: int = 0
+    checkpoint_path: str = DEFAULT_CHECKPOINT_PATH
+    #: Fault schedule (None = perfect hardware).
+    faults: FaultSpec | None = None
+    retry: RetryPolicy = field(default_factory=lambda: DEFAULT_RETRY)
+    #: CPE count under which the engine abandons the CPE strategy ladder
+    #: for the MPE reference path.
+    min_cpes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0: {self.checkpoint_every}"
+            )
+        if isinstance(self.faults, str):
+            self.faults = parse_fault_spec(self.faults)
+        if self.min_cpes < 1:
+            raise ValueError(f"min_cpes must be >= 1: {self.min_cpes}")
+
+    @property
+    def any_faults(self) -> bool:
+        return self.faults is not None and self.faults.any_faults
+
+    def build_fault_plan(self) -> FaultPlan | None:
+        """Fresh seeded plan for one run (None when fault-free)."""
+        if not self.any_faults:
+            return None
+        return FaultPlan(self.faults)

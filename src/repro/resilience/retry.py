@@ -1,0 +1,101 @@
+"""Retry with exponential backoff, charged to the cycle/byte cost model.
+
+A real Sunway runtime recovers a failed DMA transaction or lost NoC
+message by reissuing it; the recovery is not free.  Each retry pays:
+
+* the *payload again* — retried bytes re-enter the Table-2 bandwidth
+  curve (DMA) or the transport's per-message cost (MPI/RDMA), exactly as
+  the first attempt did;
+* a *backoff wait* — exponential, ``base * factor**(attempt-1)`` cycles,
+  modelling the reissue descriptor setup plus the deliberate wait real
+  retry loops insert to let congestion drain.
+
+:func:`retry_rounds` turns a fault plan + a transaction population into
+the deterministic schedule of retry rounds; the DMA/comm hooks convert
+the rounds to seconds with their own per-transaction cost functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.resilience.faults import FaultPlan, PermanentFaultError
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How failed transactions are reissued.
+
+    ``max_attempts`` counts the first attempt: 5 means up to 4 retries
+    before the fault is declared permanent.
+    """
+
+    max_attempts: int = 5
+    backoff_base_cycles: float = 2000.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1: {self.max_attempts}")
+        if self.backoff_base_cycles < 0:
+            raise ValueError(
+                f"backoff_base_cycles must be >= 0: {self.backoff_base_cycles}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1: {self.backoff_factor}"
+            )
+
+    def backoff_cycles(self, attempt: int) -> float:
+        """Wait before retry ``attempt`` (1 = first retry)."""
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1: {attempt}")
+        return self.backoff_base_cycles * self.backoff_factor ** (attempt - 1)
+
+
+#: The default policy used by every hook unless a run overrides it.
+DEFAULT_RETRY = RetryPolicy()
+
+
+@dataclass
+class RetryRound:
+    """One retry wave: how many transactions are reissued and the wait."""
+
+    attempt: int  # 1 = first retry
+    n_transactions: int
+    backoff_cycles: float
+
+
+def retry_rounds(
+    plan: FaultPlan,
+    policy: RetryPolicy,
+    n_transactions: int,
+    what: str = "DMA transaction",
+) -> list[RetryRound]:
+    """Deterministic retry schedule for ``n_transactions`` attempts.
+
+    Round 0 (the original attempts) is not included — callers already
+    charged it.  Each round reissues the previous round's failures;
+    retries can themselves fail.  Raises :class:`PermanentFaultError`
+    when failures survive ``policy.max_attempts`` attempts, naming the
+    transaction class so the error is actionable.
+    """
+    rounds: list[RetryRound] = []
+    failing = plan.dma_failures(n_transactions)
+    attempt = 1
+    while failing > 0:
+        if attempt >= policy.max_attempts:
+            raise PermanentFaultError(
+                f"{failing} {what}(s) still failing after "
+                f"{policy.max_attempts} attempts"
+            )
+        rounds.append(
+            RetryRound(
+                attempt=attempt,
+                n_transactions=failing,
+                backoff_cycles=policy.backoff_cycles(attempt),
+            )
+        )
+        failing = plan.dma_failures(failing)
+        attempt += 1
+    return rounds

@@ -16,9 +16,11 @@ Public surface:
 
 from repro.trace.analyze import (
     DmaBucket,
+    FaultReport,
     OverlapReport,
     RooflinePoint,
     dma_bandwidth_histogram,
+    fault_report,
     load_imbalance,
     measure_overlap,
     occupancy,
@@ -26,8 +28,10 @@ from repro.trace.analyze import (
     summarize,
 )
 from repro.trace.events import (
+    CAT_CHECKPOINT,
     CAT_COMPUTE,
     CAT_DMA,
+    CAT_FAULT,
     CAT_GLD,
     CAT_GST,
     CAT_INIT,
@@ -50,8 +54,10 @@ from repro.trace.export import (
 )
 
 __all__ = [
+    "CAT_CHECKPOINT",
     "CAT_COMPUTE",
     "CAT_DMA",
+    "CAT_FAULT",
     "CAT_GLD",
     "CAT_GST",
     "CAT_INIT",
@@ -61,6 +67,7 @@ __all__ = [
     "CAT_STEP",
     "DMA_TRACK",
     "DmaBucket",
+    "FaultReport",
     "MPE_TRACK",
     "NULL_TRACER",
     "NullTracer",
@@ -69,6 +76,7 @@ __all__ = [
     "TraceEvent",
     "Tracer",
     "dma_bandwidth_histogram",
+    "fault_report",
     "load_imbalance",
     "measure_overlap",
     "occupancy",

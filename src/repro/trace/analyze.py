@@ -22,6 +22,7 @@ from repro.hw.params import ChipParams
 from repro.trace.events import (
     CAT_COMPUTE,
     CAT_DMA,
+    CAT_FAULT,
     CAT_GLD,
     CAT_GST,
     DMA_TRACK,
@@ -233,6 +234,51 @@ def roofline_point(
     )
 
 
+@dataclass
+class FaultReport:
+    """Injected-fault recovery overhead measured from the timeline."""
+
+    n_events: int  # retry/loss trace events
+    n_retries: int  # reissued transactions/messages
+    retried_bytes: int  # payload that re-entered the bandwidth curve
+    retry_cycles: float  # total recovery time (resends + backoff)
+    total_cycles: float  # all-event busy cycles for the overhead ratio
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Recovery time as a fraction of all recorded busy time."""
+        if self.total_cycles <= 0.0:
+            return 0.0
+        return self.retry_cycles / self.total_cycles
+
+
+def fault_report(tracer: Tracer) -> FaultReport:
+    """Aggregate the ``fault`` category: what recovery actually cost.
+
+    The retry hooks (`DmaEngine._charge_faults`, `SimComm`) emit one
+    event per retry round carrying ``count`` and ``size_bytes`` args;
+    this folds them into the overhead numbers `repro trace`/`repro run`
+    print, closing the loop on the retry cost accounting: the overhead
+    the cost model charged is the overhead the timeline shows.
+    """
+    events = tracer.select(CAT_FAULT)
+    n_retries = 0
+    retried_bytes = 0
+    retry_cycles = 0.0
+    for e in events:
+        count = int(e.args.get("count", 1))
+        n_retries += count
+        retried_bytes += int(e.args.get("size_bytes", 0)) * count
+        retry_cycles += e.duration_cycles
+    return FaultReport(
+        n_events=len(events),
+        n_retries=n_retries,
+        retried_bytes=retried_bytes,
+        retry_cycles=retry_cycles,
+        total_cycles=sum(e.duration_cycles for e in tracer.events),
+    )
+
+
 def summarize(tracer: Tracer) -> str:
     """Human-readable analysis block (used by ``repro trace``)."""
     ov = measure_overlap(tracer)
@@ -259,4 +305,11 @@ def summarize(tracer: Tracer) -> str:
                 f"  {b.size_bytes:6d} B x{b.n_transactions:<8d} "
                 f"{b.bandwidth_gbs:6.2f} GB/s"
             )
+    faults = fault_report(tracer)
+    if faults.n_events:
+        lines.append(
+            f"fault recovery      : {faults.n_retries} retries "
+            f"({faults.retried_bytes} B re-sent), "
+            f"{faults.overhead_fraction:.2%} of busy time"
+        )
     return "\n".join(lines)

@@ -47,6 +47,8 @@ CAT_REDUCTION = "reduction"
 CAT_KERNEL = "kernel"
 CAT_STEP = "step_phase"
 CAT_PIPELINE = "pipeline"
+CAT_FAULT = "fault"
+CAT_CHECKPOINT = "checkpoint"
 
 
 @dataclass

@@ -1,0 +1,158 @@
+"""Checkpoint container: atomic writes, checksums, exact round trips."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
+from repro.resilience import (
+    CheckpointError,
+    MdCheckpoint,
+    capture,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+)
+from repro.resilience.checkpoint import MAGIC
+
+
+def _make_ckpt(n=12, with_ref=True, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    pos = rng.standard_normal((n, 3))
+    return MdCheckpoint(
+        step=17,
+        positions=pos,
+        velocities=rng.standard_normal((n, 3)),
+        box_lengths=(2.0, 2.5, 3.0),
+        integrator_state={"rng": {"state": 1}, "step_count": 17},
+        pairlist_rebuild_step=10,
+        pairlist_ref_positions=pos + 0.01 if with_ref else None,
+        meta={"driver": "test"},
+    )
+
+
+class TestContainer:
+    def test_round_trip_is_exact(self, tmp_path):
+        ckpt = _make_ckpt()
+        path = str(tmp_path / "state.ckpt")
+        save_checkpoint(ckpt, path)
+        back = load_checkpoint(path)
+        # Bit-exact: float64 arrays survive untouched.
+        assert np.array_equal(back.positions, ckpt.positions)
+        assert np.array_equal(back.velocities, ckpt.velocities)
+        assert np.array_equal(
+            back.pairlist_ref_positions, ckpt.pairlist_ref_positions
+        )
+        assert back.step == ckpt.step
+        assert back.box_lengths == ckpt.box_lengths
+        assert back.integrator_state == ckpt.integrator_state
+        assert back.pairlist_rebuild_step == 10
+        assert back.pairlist_age == 7
+        assert back.meta == {"driver": "test"}
+
+    def test_round_trip_without_ref_positions(self, tmp_path):
+        path = str(tmp_path / "s.ckpt")
+        save_checkpoint(_make_ckpt(with_ref=False), path)
+        assert load_checkpoint(path).pairlist_ref_positions is None
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        save_checkpoint(_make_ckpt(), str(tmp_path / "s.ckpt"))
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["s.ckpt"]
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        path = str(tmp_path / "s.ckpt")
+        save_checkpoint(_make_ckpt(rng_seed=1), path)
+        save_checkpoint(_make_ckpt(rng_seed=2), path)
+        back = load_checkpoint(path)
+        assert np.array_equal(back.positions, _make_ckpt(rng_seed=2).positions)
+
+    def test_corruption_detected(self, tmp_path):
+        path = str(tmp_path / "s.ckpt")
+        save_checkpoint(_make_ckpt(), path)
+        blob = bytearray(open(path, "rb").read())
+        blob[-10] ^= 0xFF  # flip one payload byte
+        with open(path, "wb") as fh:
+            fh.write(blob)
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_truncation_detected(self, tmp_path):
+        path = str(tmp_path / "s.ckpt")
+        save_checkpoint(_make_ckpt(), path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(blob[: len(blob) // 2])
+        with pytest.raises(CheckpointError, match="checksum"):
+            load_checkpoint(path)
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "notckpt")
+        with open(path, "wb") as fh:
+            fh.write(b"GROMACS\nwhatever\n")
+        with pytest.raises(CheckpointError, match="magic"):
+            load_checkpoint(path)
+        assert MAGIC not in open(path, "rb").read()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(str(tmp_path / "absent.ckpt"))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(CheckpointError):
+            MdCheckpoint(
+                step=0,
+                positions=np.zeros((3, 3)),
+                velocities=np.zeros((4, 3)),
+                box_lengths=(1.0, 1.0, 1.0),
+                integrator_state={},
+            )
+
+
+class TestCaptureRestore:
+    def test_capture_restore_round_trip(self, water_small):
+        system = water_small.copy()
+        integ = LeapfrogIntegrator(
+            IntegratorConfig(thermostat="vrescale"), seed=3
+        )
+        integ._rng.normal()  # advance the stream past its seed state
+        ckpt = capture(system, integ, step=5)
+        # Mutate, then restore: state must come back bit-identical.
+        target = water_small.copy()
+        target.positions += 1.0
+        target.velocities *= 0.5
+        integ2 = LeapfrogIntegrator(
+            IntegratorConfig(thermostat="vrescale"), seed=99
+        )
+        restore(ckpt, target, integ2)
+        assert np.array_equal(target.positions, system.positions)
+        assert np.array_equal(target.velocities, system.velocities)
+        # Restored RNG continues the captured stream exactly.
+        assert integ2._rng.normal() == integ._rng.normal()
+
+    def test_restore_rejects_particle_mismatch(self, water_small, lj_small):
+        integ = LeapfrogIntegrator(IntegratorConfig())
+        ckpt = capture(water_small, integ, step=0)
+        with pytest.raises(CheckpointError, match="particles"):
+            restore(ckpt, lj_small.copy(), integ)
+
+    def test_capture_copies_state(self, water_small):
+        system = water_small.copy()
+        integ = LeapfrogIntegrator(IntegratorConfig())
+        ckpt = capture(system, integ, step=0)
+        system.positions += 5.0
+        assert not np.array_equal(ckpt.positions, system.positions)
+
+    def test_integrator_state_survives_disk(self, tmp_path, water_small):
+        """RNG bit-generator state is JSON-serialisable through the file."""
+        system = water_small.copy()
+        integ = LeapfrogIntegrator(
+            IntegratorConfig(thermostat="vrescale"), seed=11
+        )
+        integ._rng.chisquare(10)
+        path = str(tmp_path / "s.ckpt")
+        save_checkpoint(capture(system, integ, step=3), path)
+        integ2 = LeapfrogIntegrator(IntegratorConfig(thermostat="vrescale"))
+        restore(load_checkpoint(path), system, integ2)
+        assert integ2._rng.normal() == integ._rng.normal()
+        assert os.path.exists(path)

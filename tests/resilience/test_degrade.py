@@ -1,0 +1,69 @@
+"""Degradation decisions and the narrowed-chip cost view."""
+
+import pytest
+
+from repro.hw.params import DEFAULT_PARAMS
+from repro.resilience import (
+    MODE_MPE_FALLBACK,
+    MODE_NONE,
+    MODE_REPARTITION,
+    DegradationReport,
+    degraded_chip,
+    plan_degradation,
+)
+
+
+class TestPlanDegradation:
+    def test_full_strength_is_none(self):
+        report = plan_degradation(DEFAULT_PARAMS.n_cpes)
+        assert report.mode == MODE_NONE
+        assert not report.degraded
+        assert report.slowdown == 1.0
+        assert report.n_lost == 0
+
+    def test_partial_loss_repartitions(self):
+        report = plan_degradation(48)
+        assert report.mode == MODE_REPARTITION
+        assert report.degraded
+        assert report.n_lost == 16
+        assert report.slowdown == pytest.approx(64 / 48)
+
+    def test_catastrophic_loss_falls_back_to_mpe(self):
+        report = plan_degradation(4, min_cpes=8)
+        assert report.mode == MODE_MPE_FALLBACK
+        assert report.slowdown == float("inf")
+
+    def test_min_cpes_is_the_threshold(self):
+        assert plan_degradation(8, min_cpes=8).mode == MODE_REPARTITION
+        assert plan_degradation(7, min_cpes=8).mode == MODE_MPE_FALLBACK
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_degradation(-1)
+        with pytest.raises(ValueError):
+            plan_degradation(65)
+        with pytest.raises(ValueError):
+            plan_degradation(8, min_cpes=0)
+
+
+class TestDegradedChip:
+    def test_repartition_narrows_core_group(self):
+        report = plan_degradation(40)
+        chip = degraded_chip(DEFAULT_PARAMS, report)
+        assert chip.n_cpes == 40
+        assert DEFAULT_PARAMS.n_cpes == 64  # original untouched
+
+    def test_other_modes_leave_chip_alone(self):
+        for survivors in (DEFAULT_PARAMS.n_cpes, 2):
+            report = plan_degradation(survivors)
+            assert degraded_chip(DEFAULT_PARAMS, report) is DEFAULT_PARAMS
+
+
+class TestReportValidation:
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            DegradationReport(n_cpes=64, n_survivors=60, mode="limp")
+
+    def test_survivor_bounds(self):
+        with pytest.raises(ValueError):
+            DegradationReport(n_cpes=64, n_survivors=65, mode=MODE_NONE)

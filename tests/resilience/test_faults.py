@@ -1,0 +1,139 @@
+"""Fault specs, the seeded fault oracle, and retry scheduling."""
+
+import pytest
+
+from repro.resilience import (
+    NO_FAULTS,
+    FaultPlan,
+    FaultSpec,
+    PermanentFaultError,
+    RetryPolicy,
+    parse_fault_spec,
+    retry_rounds,
+)
+
+
+class TestFaultSpec:
+    def test_defaults_are_inert(self):
+        spec = FaultSpec()
+        assert not spec.any_faults
+
+    def test_any_faults_flags(self):
+        assert FaultSpec(dma_error_rate=1e-3).any_faults
+        assert FaultSpec(cpe_fail_rate=0.1).any_faults
+        assert FaultSpec(msg_loss_rate=1e-4).any_faults
+        assert FaultSpec(dead_cpes=(3,)).any_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"dma_error_rate": -0.1},
+            {"dma_error_rate": 1.0},
+            {"cpe_fail_rate": 1.5},
+            {"msg_loss_rate": -1e-9},
+            {"dead_cpes": (-1,)},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultSpec(**kwargs)
+
+
+class TestParseFaultSpec:
+    def test_full_spec(self):
+        spec = parse_fault_spec("seed=7,dma=1e-3,cpe=0.01,msg=1e-4,dead=3+17")
+        assert spec.seed == 7
+        assert spec.dma_error_rate == pytest.approx(1e-3)
+        assert spec.cpe_fail_rate == pytest.approx(0.01)
+        assert spec.msg_loss_rate == pytest.approx(1e-4)
+        assert spec.dead_cpes == (3, 17)
+
+    def test_partial_spec(self):
+        spec = parse_fault_spec("dma=0.01")
+        assert spec.seed == 0
+        assert spec.dma_error_rate == pytest.approx(0.01)
+        assert not spec.cpe_fail_rate
+
+    def test_unknown_key_raises(self):
+        with pytest.raises(ValueError, match="unknown fault spec key"):
+            parse_fault_spec("dma=0.01,typo=3")
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            parse_fault_spec("dma")
+
+
+class TestFaultPlan:
+    def test_deterministic_across_instances(self):
+        spec = FaultSpec(seed=42, dma_error_rate=0.05, cpe_fail_rate=0.03)
+        a, b = FaultPlan(spec), FaultPlan(spec)
+        seq_a = [a.dma_failures(1000) for _ in range(5)]
+        seq_b = [b.dma_failures(1000) for _ in range(5)]
+        assert seq_a == seq_b
+        assert a.surviving_cpes(64) == b.surviving_cpes(64)
+
+    def test_seed_changes_stream(self):
+        draw = lambda s: FaultPlan(FaultSpec(seed=s, dma_error_rate=0.05)).dma_failures(10_000)  # noqa: E731
+        assert draw(1) != draw(2)
+
+    def test_zero_rate_never_fails(self):
+        plan = FaultPlan(FaultSpec(seed=1))
+        assert plan.dma_failures(10_000) == 0
+        assert not plan.message_lost()
+        assert plan.surviving_cpes(64) == list(range(64))
+        assert plan.counts.total == 0
+
+    def test_dead_cpes_start_dead_and_stay_dead(self):
+        plan = FaultPlan(FaultSpec(seed=0, dead_cpes=(3, 17)))
+        alive = plan.surviving_cpes(64)
+        assert 3 not in alive and 17 not in alive
+        assert len(alive) == 62
+        assert plan.surviving_cpes(64) == alive  # no resurrection
+
+    def test_cpe_loss_is_permanent_and_monotonic(self):
+        plan = FaultPlan(FaultSpec(seed=5, cpe_fail_rate=0.05))
+        survivors = [len(plan.surviving_cpes(64)) for _ in range(20)]
+        assert survivors == sorted(survivors, reverse=True)
+        assert plan.counts.cpe_losses == 64 - survivors[-1]
+
+    def test_counts_accumulate(self):
+        plan = FaultPlan(FaultSpec(seed=3, dma_error_rate=0.1))
+        n = sum(plan.dma_failures(1000) for _ in range(10))
+        assert plan.counts.dma_errors == n
+        assert n > 0
+
+    def test_no_faults_singleton_is_inert(self):
+        assert NO_FAULTS.dma_failures(10_000) == 0
+        assert NO_FAULTS.surviving_cpes(64) == list(range(64))
+
+
+class TestRetry:
+    def test_backoff_is_exponential(self):
+        pol = RetryPolicy(backoff_base_cycles=100.0, backoff_factor=2.0)
+        assert pol.backoff_cycles(1) == 100.0
+        assert pol.backoff_cycles(3) == 400.0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_no_failures_no_rounds(self):
+        plan = FaultPlan(FaultSpec(seed=1))
+        assert retry_rounds(plan, RetryPolicy(), 1000) == []
+
+    def test_rounds_shrink_and_converge(self):
+        plan = FaultPlan(FaultSpec(seed=9, dma_error_rate=0.1))
+        rounds = retry_rounds(plan, RetryPolicy(max_attempts=50), 10_000)
+        assert rounds, "10% of 10k transactions should fail at least once"
+        sizes = [r.n_transactions for r in rounds]
+        assert sizes == sorted(sizes, reverse=True)
+        assert [r.attempt for r in rounds] == list(range(1, len(rounds) + 1))
+
+    def test_permanent_fault_raises_with_context(self):
+        plan = FaultPlan(FaultSpec(seed=2, dma_error_rate=0.9))
+        with pytest.raises(PermanentFaultError, match="halo message"):
+            retry_rounds(
+                plan, RetryPolicy(max_attempts=2), 10_000, what="halo message"
+            )

@@ -1,0 +1,148 @@
+"""Fault hooks in the hardware/parallel layers: DMA, athread, MPI, RDMA."""
+
+import numpy as np
+import pytest
+
+from repro.hw.dma import DmaEngine, transfer_seconds
+from repro.hw.params import DEFAULT_PARAMS
+from repro.hw.perf import PerfCounters
+from repro.parallel.athread import AthreadSpawnError, spawn
+from repro.parallel.mpi_sim import SimComm, mpi_message_seconds
+from repro.parallel.rdma import (
+    rdma_message_seconds,
+    rdma_message_seconds_with_faults,
+)
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    PermanentFaultError,
+    RetryPolicy,
+)
+
+
+class TestDmaFaults:
+    def test_no_plan_no_overhead(self):
+        engine = DmaEngine()
+        engine.get_bulk(512, 1000)
+        assert engine.stats.n_retries == 0
+        assert engine.stats.retry_seconds == 0.0
+
+    def test_retries_charge_time_and_bytes(self):
+        plan = FaultPlan(FaultSpec(seed=4, dma_error_rate=0.01))
+        engine = DmaEngine(fault_plan=plan)
+        clean = transfer_seconds(512) * 10_000
+        total = engine.get_bulk(512, 10_000)
+        assert engine.stats.n_retries > 0
+        assert engine.stats.retry_seconds > 0.0
+        assert total == pytest.approx(clean + engine.stats.retry_seconds)
+        # Retried payload re-enters the curve at the original block size.
+        assert engine.stats.bytes_retried == 512 * engine.stats.n_retries
+        # ... and is extra traffic: effective bandwidth degrades.
+        assert engine.stats.bytes_retried not in (0, engine.stats.bytes_total)
+        faulty_bw = engine.effective_bandwidth_gbs()
+        ref = DmaEngine()
+        ref.get_bulk(512, 10_000)
+        assert faulty_bw < ref.effective_bandwidth_gbs()
+
+    def test_deterministic_overhead(self):
+        def run():
+            plan = FaultPlan(FaultSpec(seed=9, dma_error_rate=0.005))
+            engine = DmaEngine(fault_plan=plan)
+            engine.get_bulk(256, 5000)
+            engine.put_bulk(64, 5000)
+            return engine.stats.retry_seconds
+
+        assert run() == run()
+
+    def test_unrecoverable_raises(self):
+        plan = FaultPlan(FaultSpec(seed=1, dma_error_rate=0.9))
+        engine = DmaEngine(
+            fault_plan=plan, retry=RetryPolicy(max_attempts=2)
+        )
+        with pytest.raises(PermanentFaultError):
+            engine.get_bulk(512, 10_000)
+
+    def test_perf_counters_surface_overhead(self):
+        counters = PerfCounters()
+        counters.dma.fault_plan = FaultPlan(
+            FaultSpec(seed=2, dma_error_rate=0.02)
+        )
+        counters.dma.get_bulk(512, 5000)
+        assert counters.fault_overhead_seconds > 0.0
+        summary = counters.summary()
+        assert summary["dma_retries"] > 0
+        assert summary["fault_overhead_s"] == pytest.approx(
+            counters.fault_overhead_seconds
+        )
+
+
+class TestAthreadFaults:
+    def test_zero_survivors_raises_clear_error(self):
+        plan = FaultPlan(
+            FaultSpec(seed=0, dead_cpes=tuple(range(DEFAULT_PARAMS.n_cpes)))
+        )
+        with pytest.raises(AthreadSpawnError, match="zero surviving CPEs"):
+            spawn(lambda cpe, lo, hi: hi - lo, 1000, fault_plan=plan)
+
+    def test_survivors_cover_all_work(self):
+        plan = FaultPlan(FaultSpec(seed=0, dead_cpes=(0, 7, 63)))
+        report = spawn(lambda cpe, lo, hi: hi - lo, 1000, fault_plan=plan)
+        assert report.n_survivors == DEFAULT_PARAMS.n_cpes - 3
+        assert report.n_lost == 3
+        assert 0 not in report.cpe_ids and 63 not in report.cpe_ids
+        assert sum(report.results) == 1000  # no items dropped
+
+    def test_healthy_spawn_unchanged(self):
+        report = spawn(lambda cpe, lo, hi: hi - lo, 640)
+        assert report.n_survivors == DEFAULT_PARAMS.n_cpes
+        assert report.n_lost == 0
+
+
+class TestMessageFaults:
+    def test_send_content_survives_loss(self):
+        plan = FaultPlan(FaultSpec(seed=6, msg_loss_rate=0.3))
+        comm = SimComm(2, fault_plan=plan)
+        payload = np.arange(64, dtype=np.float64)
+        for tag in range(20):
+            comm.send(0, 1, payload, tag=tag)
+        for tag in range(20):
+            assert np.array_equal(comm.recv(0, 1, tag=tag), payload)
+        assert comm.stats.n_retries > 0
+        assert comm.stats.retry_seconds > 0.0
+
+    def test_lossless_comm_has_zero_retry_cost(self):
+        comm = SimComm(2)
+        comm.send(0, 1, np.zeros(8))
+        assert comm.stats.n_retries == 0
+        assert comm.stats.retry_seconds == 0.0
+
+    def test_allreduce_charges_per_stage_losses(self):
+        plan = FaultPlan(FaultSpec(seed=8, msg_loss_rate=0.4))
+        comm = SimComm(8, fault_plan=plan)
+        parts = [np.full(16, float(r)) for r in range(8)]
+        total = comm.allreduce_sum(parts)
+        assert np.array_equal(total, np.full(16, float(sum(range(8)))))
+        assert comm.stats.n_retries > 0
+
+    def test_rdma_resend_model(self):
+        clean = rdma_message_seconds(4096)
+        plan = FaultPlan(FaultSpec(seed=5, msg_loss_rate=0.5))
+        faulty = rdma_message_seconds_with_faults(4096, plan)
+        assert faulty >= clean
+        no_loss = rdma_message_seconds_with_faults(
+            4096, FaultPlan(FaultSpec(seed=5))
+        )
+        assert no_loss == pytest.approx(clean)
+
+
+class TestMpiCopyBandwidthParam:
+    """Satellite: the §3.6 copy bandwidth lives in ChipParams now."""
+
+    def test_default_matches_paper_value(self):
+        assert DEFAULT_PARAMS.mpi_copy_bandwidth_gbs == pytest.approx(24.0)
+
+    def test_override_changes_message_cost(self):
+        slow = DEFAULT_PARAMS.with_overrides(mpi_copy_bandwidth_gbs=6.0)
+        assert mpi_message_seconds(1 << 20, slow) > mpi_message_seconds(
+            1 << 20, DEFAULT_PARAMS
+        )
