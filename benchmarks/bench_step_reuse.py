@@ -1,0 +1,147 @@
+"""Perf trajectory of the step-compute reuse layer (DESIGN.md §8).
+
+Measures, for the water benchmark at three sizes:
+
+* MD steps/sec of `SWGromacsEngine` with reuse on (informational —
+  machine-dependent, never gated);
+* the wall-clock speedup of one `run_strategy_sweep` over the full
+  Fig. 8+9 rung set versus running every rung naively (each through a
+  fresh `NullStepCache`, i.e. one `compute_short_range` per rung) —
+  machine-portable ratios, gated in CI.
+
+Run as a script to (re)generate the committed baseline:
+
+    PYTHONPATH=src python benchmarks/bench_step_reuse.py
+
+Run under pytest (the CI perf-smoke job) to check the current tree
+against ``BENCH_step.json``: the sweep speedup must stay >= the
+acceptance floor (1.5x) and within 20 % of the committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core.kernels import ALL_SPECS, run_kernel, run_strategy_sweep
+from repro.core.stepcache import NullStepCache
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import build_pair_list
+from repro.md.water import build_water_system
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_step.json"
+SIZES = (750, 1500, 3000)  # ~particles per water box
+SWEEP_SPECS = list(ALL_SPECS)
+#: Acceptance floor for the reuse speedup (ISSUE 3) and the CI
+#: regression tolerance against the committed baseline.
+MIN_SWEEP_SPEEDUP = 1.5
+REGRESSION_TOLERANCE = 0.20
+N_MD_STEPS = 10
+SEED = 2019
+
+
+def _nb() -> NonbondedParams:
+    return NonbondedParams(r_cut=0.8, r_list=0.9, coulomb_mode="rf")
+
+
+def measure_sweep_speedup(n_particles: int) -> dict:
+    """Wall-clock ratio: naive per-rung kernels vs one shared sweep."""
+    system = build_water_system(n_particles, seed=SEED)
+    nb = _nb()
+    plist = build_pair_list(system, nb.r_list)
+
+    t0 = time.perf_counter()
+    naive = {
+        name: run_kernel(
+            system, plist, nb, ALL_SPECS[name], cache=NullStepCache()
+        )
+        for name in SWEEP_SPECS
+    }
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    swept = run_strategy_sweep(system, plist, nb, SWEEP_SPECS)
+    sweep_s = time.perf_counter() - t0
+
+    # The point of the exercise: identical physics, fewer evaluations.
+    for name in SWEEP_SPECS:
+        assert swept[name].energy == naive[name].energy, name
+    return {
+        "n_particles": int(system.n_particles),
+        "naive_seconds": naive_s,
+        "sweep_seconds": sweep_s,
+        "speedup": naive_s / sweep_s,
+    }
+
+
+def measure_engine_steps_per_sec(n_particles: int) -> dict:
+    """Engine throughput with reuse on (informational, machine-bound)."""
+    from repro.core.engine import EngineConfig, SWGromacsEngine
+
+    system = build_water_system(n_particles, seed=SEED)
+    engine = SWGromacsEngine(
+        system, EngineConfig(nonbonded=_nb(), step_reuse=True)
+    )
+    t0 = time.perf_counter()
+    engine.run(N_MD_STEPS)
+    elapsed = time.perf_counter() - t0
+    return {
+        "n_particles": int(system.n_particles),
+        "steps_per_sec": N_MD_STEPS / elapsed,
+    }
+
+
+def collect() -> dict:
+    return {
+        "sweep_specs": SWEEP_SPECS,
+        "n_md_steps": N_MD_STEPS,
+        "sweep": {str(n): measure_sweep_speedup(n) for n in SIZES},
+        "engine": {
+            str(n): measure_engine_steps_per_sec(n) for n in SIZES
+        },
+    }
+
+
+def main() -> None:
+    data = collect()
+    BASELINE_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {BASELINE_PATH}")
+    for n, row in data["sweep"].items():
+        print(
+            f"  n={n}: sweep {row['speedup']:.2f}x over naive "
+            f"({row['naive_seconds']:.3f}s -> {row['sweep_seconds']:.3f}s)"
+        )
+    for n, row in data["engine"].items():
+        print(f"  n={n}: engine {row['steps_per_sec']:.1f} steps/s")
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the CI perf-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_speedup_meets_floor():
+    """Reuse must buy >= 1.5x on the ablation sweep at every size."""
+    for n in SIZES:
+        row = measure_sweep_speedup(n)
+        assert row["speedup"] >= MIN_SWEEP_SPEEDUP, row
+
+
+def test_no_regression_against_committed_baseline():
+    """Speedup *ratios* are machine-portable: the current tree must stay
+    within 20 % of the committed ``BENCH_step.json`` baseline.  Absolute
+    steps/sec are informational only and never gated."""
+    baseline = json.loads(BASELINE_PATH.read_text())
+    for n in SIZES:
+        base = baseline["sweep"][str(n)]["speedup"]
+        now = measure_sweep_speedup(n)["speedup"]
+        floor = base * (1.0 - REGRESSION_TOLERANCE)
+        assert now >= floor, (
+            f"n={n}: sweep speedup regressed to {now:.2f}x "
+            f"(baseline {base:.2f}x, floor {floor:.2f}x)"
+        )
+
+
+if __name__ == "__main__":
+    main()

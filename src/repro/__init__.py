@@ -43,6 +43,8 @@ _EXPORTS = {
     "STRATEGY_LADDER": ("repro.core.strategies", "STRATEGY_LADDER"),
     "BASELINE_STRATEGIES": ("repro.core.strategies", "BASELINE_STRATEGIES"),
     "run_strategy": ("repro.core.strategies", "run_strategy"),
+    "run_strategy_sweep": ("repro.core.kernels", "run_strategy_sweep"),
+    "StepCache": ("repro.core.stepcache", "StepCache"),
     "ChipParams": ("repro.hw.params", "ChipParams"),
     "DEFAULT_PARAMS": ("repro.hw.params", "DEFAULT_PARAMS"),
     "Tracer": ("repro.trace.events", "Tracer"),

@@ -10,8 +10,10 @@ Public surface:
 * Bit-Map reduction — :func:`reduce_copies`, :func:`reduction_cost`,
   :func:`init_cost` (Fig. 5, Algorithm 4);
 * vectorisation — :func:`transpose_4x3` (Fig. 7);
-* kernels & strategies — :func:`run_kernel`, :data:`STRATEGY_LADDER`,
-  :data:`BASELINE_STRATEGIES` (Figs. 8-9);
+* kernels & strategies — :func:`run_kernel`, :func:`run_strategy_sweep`,
+  :data:`STRATEGY_LADDER`, :data:`BASELINE_STRATEGIES` (Figs. 8-9);
+* step-compute reuse — :class:`StepCache` (pairlist-interval caching,
+  DESIGN.md §8);
 * pair-list generation on CPEs — :func:`generate_parallel`,
   :func:`cache_study` (§3.5);
 * communication — :class:`Transport`, :func:`message_sweep` (§3.6);
@@ -44,6 +46,7 @@ from repro.core.kernels import (
     partition_clusters,
     run_kernel,
     run_kernel_sequential,
+    run_strategy_sweep,
 )
 from repro.core.packing import Layout, PackedParticles
 from repro.core.pairlist_cpe import (
@@ -63,6 +66,12 @@ from repro.core.platforms import (
 )
 from repro.core.reduction import init_cost, reduce_copies, reduction_cost
 from repro.core.shuffle import transpose_4x3, transpose_4x3_reference
+from repro.core.stepcache import (
+    NullStepCache,
+    StepCache,
+    StepCacheStats,
+    position_fingerprint,
+)
 from repro.core.strategies import (
     BASELINE_STRATEGIES,
     STRATEGY_LADDER,
@@ -87,11 +96,14 @@ __all__ = [
     "KernelResult",
     "KernelSpec",
     "LadderResult",
+    "NullStepCache",
     "Layout",
     "PackedParticles",
     "ReadCachedFetcher",
     "ReadTraceStats",
     "STRATEGY_LADDER",
+    "StepCache",
+    "StepCacheStats",
     "SWGromacsEngine",
     "Strategy",
     "Transport",
@@ -109,10 +121,12 @@ __all__ = [
     "message_sweep",
     "modelled_figure11",
     "partition_clusters",
+    "position_fingerprint",
     "reduce_copies",
     "reduction_cost",
     "run_kernel",
     "run_kernel_sequential",
+    "run_strategy_sweep",
     "run_ladder",
     "run_optimization_ladder",
     "run_strategy",

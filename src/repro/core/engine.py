@@ -31,11 +31,11 @@ from repro.core.kernels import (
     run_kernel,
 )
 from repro.core.pairlist_cpe import cache_study, search_kernel_seconds, search_trace
+from repro.core.stepcache import NullStepCache, StepCache
 from repro.hw.dma import DmaEngine
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.hw.perf import KernelTiming
 from repro.md.constraints import build_constraint_solver
-from repro.md.forces import compute_short_range
 from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
 from repro.md.mdloop import (
     KERNEL_COMM,
@@ -47,7 +47,7 @@ from repro.md.mdloop import (
 )
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
-from repro.md.reporter import EnergyReporter
+from repro.md.reporter import EnergyFrame, EnergyReporter
 from repro.md.system import ParticleSystem
 from repro.resilience import (
     MODE_MPE_FALLBACK,
@@ -107,6 +107,12 @@ class EngineConfig:
     output_interval: int = 0
     report_interval: int = 100
     use_pme_comm: bool = True  # PME all-to-all in the comm model
+    #: Step-compute reuse (DESIGN.md §8): share the functional force
+    #: evaluation between the rebuild-step kernel model and the step
+    #: loop, plus all pairlist-topology analysis across the interval.
+    #: False swaps in the recompute-everything NullStepCache (ablation
+    #: baseline); results are bit-identical either way.
+    step_reuse: bool = True
     chip: ChipParams = DEFAULT_PARAMS
     #: Failure/recovery knobs (default = perfect hardware, no checkpoints).
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
@@ -153,7 +159,7 @@ class EngineResult:
         return self.timing.total()
 
     def speedup_over(self, other: "EngineResult") -> float:
-        if self.modelled_seconds <= 0:
+        if self.modelled_seconds <= 0 or other.modelled_seconds <= 0:
             raise ValueError("non-positive modelled time")
         return other.modelled_seconds / self.modelled_seconds
 
@@ -179,6 +185,11 @@ class SWGromacsEngine:
         self.pairlist = None
         self._cached_force_model: KernelResult | None = None
         self._cached_ns_seconds: float | None = None
+        #: Pairlist-interval reuse layer; invalidated on every rebuild
+        #: and on restore() (DESIGN.md §8).
+        self.stepcache = (
+            StepCache() if self.config.step_reuse else NullStepCache()
+        )
         #: Seeded fault oracle for this run (None = perfect hardware).
         policy = self.config.resilience
         self.fault_plan = policy.build_fault_plan()
@@ -204,6 +215,10 @@ class SWGromacsEngine:
         self._pairlist_ref_positions: np.ndarray | None = None
         self._restart_ref_positions: np.ndarray | None = None
         self._checkpoints_written = 0
+        #: Accounting carried through restore() so a restarted run's
+        #: EngineResult matches the uninterrupted one.
+        self._restored_history: dict | None = None
+        self._reporter: EnergyReporter | None = None
 
     def _add(self, timing: KernelTiming, kernel: str, seconds: float) -> None:
         """Record one modelled step-phase duration (timing + trace)."""
@@ -334,6 +349,7 @@ class SWGromacsEngine:
                 # Repartition over survivors: the same kernel costed
                 # against a narrower core group.
                 chip = degraded_chip(chip, report)
+        self.stepcache.invalidate()
         self.pairlist = build_pair_list(
             self.system, self.config.nonbonded.r_list
         )
@@ -344,6 +360,7 @@ class SWGromacsEngine:
             spec,
             chip,
             tracer=self.tracer,
+            cache=self.stepcache,
         )
         self._cached_ns_seconds = self._ns_seconds(chip)
         self._add(timing, KERNEL_NEIGHBOR, self._cached_ns_seconds)
@@ -395,6 +412,17 @@ class SWGromacsEngine:
             )
         return dma.stats.retry_seconds - before
 
+    def _history_dict(self) -> dict:
+        """Accumulated accounting to stow in a checkpoint (v2)."""
+        frames = self._reporter.frames if self._reporter is not None else []
+        return {
+            "checkpoints_written": int(self._checkpoints_written),
+            "reporter_frames": [
+                [f.step, f.potential, f.kinetic, f.temperature]
+                for f in frames
+            ],
+        }
+
     def checkpoint(self, step: int | None = None) -> MdCheckpoint:
         """Snapshot the run (``step`` = next step to execute)."""
         return capture(
@@ -407,6 +435,7 @@ class SWGromacsEngine:
                 "level": self.config.level_name,
                 "n_particles": self.system.n_particles,
             },
+            history=self._history_dict(),
         )
 
     def restore(self, ckpt: MdCheckpoint) -> None:
@@ -426,6 +455,17 @@ class SWGromacsEngine:
         self.pairlist = None
         self._cached_force_model = None
         self._cached_ns_seconds = None
+        self.stepcache.invalidate()
+        if ckpt.history is not None:
+            self._restored_history = dict(ckpt.history)
+        else:
+            # Pre-v2 checkpoint: reconstruct the counter; reporter
+            # history is unrecoverable and restarts empty.
+            every = self.config.resilience.checkpoint_every
+            self._restored_history = {
+                "checkpoints_written": ckpt.step // every if every else 0,
+                "reporter_frames": [],
+            }
 
     def _checkpoint_seconds(self, ckpt: MdCheckpoint) -> float:
         """Modelled cost of one checkpoint write (binary, no formatting):
@@ -440,9 +480,11 @@ class SWGromacsEngine:
 
     def _write_checkpoint(self, timing: KernelTiming, next_step: int) -> None:
         policy = self.config.resilience
+        # Count the in-flight checkpoint before capturing so its own
+        # history includes it — a restart from this file has "written" it.
+        self._checkpoints_written += 1
         ckpt = self.checkpoint(next_step)
         save_checkpoint(ckpt, policy.checkpoint_path)
-        self._checkpoints_written += 1
         t = self._checkpoint_seconds(ckpt)
         timing.add(KERNEL_CHECKPOINT, t)
         if self.tracer.enabled:
@@ -466,7 +508,17 @@ class SWGromacsEngine:
         cfg = self.config
         policy = cfg.resilience
         timing = KernelTiming()
+        hist = self._restored_history or {}
         reporter = EnergyReporter(interval=cfg.report_interval)
+        reporter.frames.extend(
+            EnergyFrame(int(r[0]), float(r[1]), float(r[2]), float(r[3]))
+            for r in hist.get("reporter_frames", [])
+        )
+        # Restart-invariant accounting: resume from the restored base
+        # (zero on a fresh start, so repeated run() calls don't inherit
+        # earlier counts).
+        self._checkpoints_written = int(hist.get("checkpoints_written", 0))
+        self._reporter = reporter
 
         for step in range(self._start_step, n_steps):
             if step % cfg.nonbonded.nstlist == 0:
@@ -475,8 +527,10 @@ class SWGromacsEngine:
                 self._rebuild_from_checkpoint(timing)
             # Functional force (mixed precision, identical to the modelled
             # kernel's functional output); modelled time from the cached
-            # kernel analysis.
-            sr = compute_short_range(
+            # kernel analysis.  At rebuild steps the kernel model already
+            # evaluated these exact forces — the step cache hands the
+            # shared result back instead of recomputing it.
+            sr = self.stepcache.short_range(
                 self.system, self.pairlist, cfg.nonbonded, dtype=np.float32
             )
             self._add(timing, KERNEL_FORCE, self._cached_force_model.elapsed_seconds)

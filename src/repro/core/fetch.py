@@ -93,6 +93,24 @@ def analyze_read_trace(
     )
 
 
+def sequential_stream_lines(lo: int, hi: int, packages_per_line: int) -> int:
+    """Aligned cache lines covered by one CPE streaming packages
+    ``[lo, hi)`` sequentially.
+
+    A CPE's i-package stream starts wherever its cluster range starts, so
+    it fetches every line its range *overlaps* — up to one extra line at
+    each end versus the global ceil ``⌈N/ppl⌉`` (which undercounts by up
+    to ``n_cpes - 1`` lines when summed over partitions).  Matches the
+    distinct-line count :func:`analyze_read_trace` reports for the
+    sequential trace ``arange(lo, hi)``.
+    """
+    if packages_per_line < 1:
+        raise ValueError(f"packages_per_line must be >= 1: {packages_per_line}")
+    if hi <= lo:
+        return 0
+    return (hi - 1) // packages_per_line - lo // packages_per_line + 1
+
+
 def uncached_read_seconds(
     n_accesses: int,
     access_bytes: int,

@@ -40,16 +40,20 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.deferred import DeferredUpdateCache, analyze_write_trace
-from repro.core.fetch import analyze_read_trace, uncached_read_seconds
+from repro.core.deferred import DeferredUpdateCache
+from repro.core.fetch import sequential_stream_lines, uncached_read_seconds
 from repro.core.packing import Layout, PackedParticles
 from repro.core.reduction import init_cost, reduce_copies, reduction_cost
 from repro.core.shuffle import transpose_4x3
-from repro.hw.cache import AddressMap
+from repro.core.stepcache import (
+    NullStepCache,
+    StepCache,
+    partition_clusters,
+    write_trace_for_range,
+)
 from repro.hw.dma import transfer_seconds
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.hw.simd import FloatV4, OpCounter
-from repro.md.forces import compute_short_range
 from repro.md.nonbonded import NonbondedParams, pair_force_energy
 from repro.md.pairlist import CLUSTER_SIZE, ClusterPairList
 from repro.md.system import ParticleSystem
@@ -135,40 +139,32 @@ class KernelResult:
     def speedup_over(self, other: "KernelResult") -> float:
         if self.elapsed_seconds <= 0:
             raise ValueError(f"non-positive elapsed time for {self.name}")
+        if other.elapsed_seconds <= 0:
+            raise ValueError(f"non-positive elapsed time for {other.name}")
         return other.elapsed_seconds / self.elapsed_seconds
 
 
-def partition_clusters(plist: ClusterPairList, n_cpes: int) -> list[tuple[int, int]]:
-    """Split i-clusters into ``n_cpes`` contiguous ranges with ~equal
-    cluster-pair counts (the paper partitions Algorithm 1's outer loop)."""
-    if n_cpes < 1:
-        raise ValueError(f"n_cpes must be >= 1: {n_cpes}")
-    pair_prefix = plist.i_starts  # pairs before cluster c
-    total = int(pair_prefix[-1])
-    bounds = [0]
-    for c in range(1, n_cpes):
-        target = total * c // n_cpes
-        bounds.append(int(np.searchsorted(pair_prefix, target)))
-    bounds.append(plist.n_clusters)
-    # Monotonicity can break on tiny systems; enforce it.
-    for k in range(1, len(bounds)):
-        bounds[k] = max(bounds[k], bounds[k - 1])
-    return [(bounds[k], bounds[k + 1]) for k in range(n_cpes)]
+#: Partitioning and the write-trace construction live in
+#: `repro.core.stepcache` (they are pure list-topology functions the reuse
+#: layer memoises); re-exported here for the established public API.
+_write_trace_for_range = write_trace_for_range
 
 
-def _write_trace_for_range(
-    plist: ClusterPairList, lo: int, hi: int
-) -> np.ndarray:
-    """Force-update trace for one CPE: per i-cluster, its j packages in
-    pair order followed by the i package itself."""
-    s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
-    js = plist.pair_cj[s:e].astype(np.int64)
-    counts = (plist.i_starts[lo + 1 : hi + 1] - plist.i_starts[lo:hi]).astype(
-        np.int64
+def nblist_stream_seconds(
+    pair_counts: np.ndarray, params: ChipParams
+) -> float:
+    """Modelled time for the CPEs to stream their neighbour-list slices.
+
+    Each CPE DMAs its own contiguous run of 4 B cluster-pair entries —
+    ``pair_counts[cpe] * 4`` bytes — in one large chunked transfer, so the
+    achieved bandwidth is the Table 2 value *for that block size*, not the
+    top-anchor peak.  (Charging every list at the 2048 B anchor made small
+    systems' nblist DMA impossibly fast.)  Beyond the last anchor the
+    curve is flat, so large systems still stream at peak.
+    """
+    return sum(
+        transfer_seconds(int(c) * 4, params) for c in pair_counts if c > 0
     )
-    insert_at = np.cumsum(counts)
-    i_vals = np.arange(lo, hi, dtype=np.int64)
-    return np.insert(js, insert_at, i_vals)
 
 
 def _compute_cycles(spec: KernelSpec, n_cluster_pairs: int, params: ChipParams) -> float:
@@ -187,6 +183,7 @@ def run_kernel(
     params: ChipParams = DEFAULT_PARAMS,
     check_ldm: bool = True,
     tracer: NullTracer = NULL_TRACER,
+    cache: StepCache | NullStepCache | None = None,
 ) -> KernelResult:
     """Execute one strategy (fast path): vectorised functional forces +
     trace-driven cost model.
@@ -195,6 +192,13 @@ def run_kernel(
     :class:`~repro.hw.ldm.LdmOverflowError` when the configured cache
     geometry cannot fit the 64 KB scratchpad — the failure a real athread
     launch would hit.  Disable only for hypothetical-geometry studies.
+
+    ``cache`` is the step-reuse layer (DESIGN.md §8): the functional half
+    of the kernel (forces, packing, partitions, trace analysis) is routed
+    through it, so rungs sharing a cache share one `compute_short_range`
+    per (work list, positions) and all list-topology analysis.  With the
+    default (a throwaway `StepCache`) every lookup is a miss and the
+    result is bit-identical to the historical uncached path.
 
     With a recording ``tracer``, the kernel lays its modelled phases out
     on the timeline: per-CPE compute spans, the read/nblist/write DMA
@@ -207,12 +211,14 @@ def run_kernel(
         from repro.core.ldm_plan import plan_kernel_ldm
 
         plan_kernel_ldm(spec, system.n_particles, params)
-    work_list = plist.to_full() if spec.full_list else plist
-    packed = PackedParticles.from_pairlist(
+    if cache is None:
+        cache = StepCache()
+    work_list = cache.full_list(plist) if spec.full_list else plist
+    packed = cache.packed(
         system, plist, Layout.SOA if spec.simd else Layout.AOS, params
     )
 
-    sr = compute_short_range(system, work_list, nb_params, dtype=np.float32)
+    sr = cache.short_range(system, work_list, nb_params, dtype=np.float32)
     m_pairs = work_list.n_cluster_pairs
     tile_pairs = 16 * m_pairs
     breakdown: dict[str, float] = {}
@@ -245,10 +251,8 @@ def run_kernel(
         )
 
     # ---- partition across CPEs -------------------------------------------
-    parts = partition_clusters(work_list, params.n_cpes)
-    pair_counts = np.array(
-        [int(work_list.i_starts[hi] - work_list.i_starts[lo]) for lo, hi in parts]
-    )
+    parts = cache.partitions(work_list, params.n_cpes)
+    pair_counts = cache.pair_counts(work_list, params.n_cpes)
     crit_pairs = int(pair_counts.max()) if len(pair_counts) else 0
     stats["imbalance"] = (
         float(crit_pairs / pair_counts.mean()) if pair_counts.mean() > 0 else 1.0
@@ -265,18 +269,23 @@ def run_kernel(
     read_accesses = 0
     if spec.read_cache:
         for lo, hi in parts:
-            s, e = int(work_list.i_starts[lo]), int(work_list.i_starts[hi])
-            trace = work_list.pair_cj[s:e].astype(np.int64)
-            rstats = analyze_read_trace(trace, packed, params)
+            rstats = cache.read_trace_stats(work_list, lo, hi, packed, params)
             read_seconds += rstats.seconds
             read_bytes += rstats.bytes_fetched
             read_misses += rstats.misses
             read_accesses += rstats.accesses
         # i-cluster packages stream sequentially, one line per 8 packages.
-        i_lines = -(-n_i_clusters_total // params.packages_per_line)
+        # Each CPE streams its *own* contiguous cluster range, so the line
+        # count ceils per partition (a global ceil undercounted up to
+        # n_cpes - 1 boundary lines).
+        i_lines = sum(
+            sequential_stream_lines(lo, hi, params.packages_per_line)
+            for lo, hi in parts
+        )
         read_seconds += i_lines * transfer_seconds(packed.data_line_bytes, params)
         read_bytes += i_lines * packed.data_line_bytes
         stats["read_miss_ratio"] = read_misses / max(read_accesses, 1)
+        stats["i_lines"] = float(i_lines)
     elif not spec.packaged:
         # Naive port: every field of every j particle is a separate gld
         # (position x/y/z, type, charge, and the force read-modify-write
@@ -300,9 +309,9 @@ def run_kernel(
         stats["read_miss_ratio"] = 1.0
     breakdown["read_dma"] = read_seconds
 
-    # Neighbour-list entries stream in large chunks.
+    # Neighbour-list entries stream in per-CPE chunks through Table 2.
     nblist_bytes = m_pairs * 4
-    nblist_seconds = nblist_bytes / (params.dma_curve[-1][1] * 1e9)
+    nblist_seconds = nblist_stream_seconds(pair_counts, params)
     breakdown["nblist_dma"] = nblist_seconds
 
     # ---- write path ----------------------------------------------------------
@@ -313,15 +322,15 @@ def run_kernel(
     write_accesses = 0
     if spec.write_cache:
         for lo, hi in parts:
-            trace = _write_trace_for_range(work_list, lo, hi)
-            wstats = analyze_write_trace(trace, params, use_mark=spec.mark)
+            wstats = cache.write_trace_stats(
+                work_list, lo, hi, params, use_mark=spec.mark
+            )
             write_seconds += wstats.seconds(params)
             write_bytes += wstats.bytes_moved
             write_misses += wstats.misses
             write_accesses += wstats.accesses
-            amap = AddressMap(params.index_bits, params.offset_bits)
             touched_lines_per_cpe.append(
-                len(np.unique(trace >> amap.offset_bits))
+                cache.touched_lines(work_list, lo, hi, params)
             )
         stats["write_miss_ratio"] = write_misses / max(write_accesses, 1)
     elif spec.full_list:
@@ -346,11 +355,9 @@ def run_kernel(
             * params.cycle_s
         )
         write_bytes = n_ops * 2 * 4  # one 4 B load + one 4 B store per op
-        amap = AddressMap(params.index_bits, params.offset_bits)
         for lo, hi in parts:
-            trace = _write_trace_for_range(work_list, lo, hi)
             touched_lines_per_cpe.append(
-                len(np.unique(trace >> amap.offset_bits))
+                cache.touched_lines(work_list, lo, hi, params)
             )
     else:
         # Pkg rung: without the deferred-update cache, each i-row of the
@@ -360,11 +367,9 @@ def run_kernel(
         n_writes = 2 * CLUSTER_SIZE * m_pairs + n_i_clusters_total
         write_seconds = n_writes * transfer_seconds(FORCE_PACKAGE_BYTES, params)
         write_bytes = n_writes * FORCE_PACKAGE_BYTES
-        amap = AddressMap(params.index_bits, params.offset_bits)
         for lo, hi in parts:
-            trace = _write_trace_for_range(work_list, lo, hi)
             touched_lines_per_cpe.append(
-                len(np.unique(trace >> amap.offset_bits))
+                cache.touched_lines(work_list, lo, hi, params)
             )
     breakdown["write_dma"] = write_seconds
     # Byte totals per DMA phase: the resilience layer replays this
@@ -475,6 +480,51 @@ def run_kernel(
     )
 
 
+def run_strategy_sweep(
+    system: ParticleSystem,
+    plist: ClusterPairList,
+    nb_params: NonbondedParams,
+    specs: list[KernelSpec | str],
+    params: ChipParams = DEFAULT_PARAMS,
+    check_ldm: bool = True,
+    tracer: NullTracer = NULL_TRACER,
+    cache: StepCache | NullStepCache | None = None,
+) -> dict[str, KernelResult]:
+    """Evaluate many strategy rungs against ONE ``(system state, pair
+    list)`` — the one-pass ablation API used by bench_fig8/fig9, the
+    engine, and the CLI.
+
+    All rungs share a single :class:`~repro.core.stepcache.StepCache`, so
+    the functional forces are computed exactly once per work list (the
+    half list, plus the mirrored full list iff an RCA-style spec is in the
+    sweep), packing is built once per layout, and every trace analysis is
+    memoised.  Results are bit-identical to calling :func:`run_kernel`
+    individually per spec (test-enforced).
+
+    ``specs`` accepts :class:`KernelSpec` objects or names from
+    :data:`ALL_SPECS`; the returned dict is keyed by spec name in input
+    order.  Pass an explicit ``cache`` to extend sharing across calls
+    (e.g. across steps of a pair-list interval); the caller then owns
+    invalidation.
+    """
+    if cache is None:
+        cache = StepCache()
+    resolved = [ALL_SPECS[s] if isinstance(s, str) else s for s in specs]
+    return {
+        spec.name: run_kernel(
+            system,
+            plist,
+            nb_params,
+            spec,
+            params,
+            check_ldm=check_ldm,
+            tracer=tracer,
+            cache=cache,
+        )
+        for spec in resolved
+    }
+
+
 # ---------------------------------------------------------------------------
 # Fidelity path: sequential execution through the real cache objects.
 # ---------------------------------------------------------------------------
@@ -579,7 +629,7 @@ def run_kernel_sequential(
     if not work_list.half:
         energy *= 0.5
 
-    read_stats = {
+    write_cache_stats = {
         "write_misses": float(sum(c.stats.misses for c in caches)),
         "write_puts": float(sum(c.stats.puts for c in caches)),
         "write_gets": float(sum(c.stats.gets for c in caches)),
@@ -595,5 +645,5 @@ def run_kernel_sequential(
         energy=energy,
         elapsed_seconds=fast.elapsed_seconds,
         breakdown=fast.breakdown,
-        stats={**fast.stats, **read_stats},
+        stats={**fast.stats, **write_cache_stats},
     )

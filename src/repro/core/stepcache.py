@@ -1,0 +1,342 @@
+"""Pairlist-interval compute reuse: the step cache (DESIGN.md §8).
+
+GROMACS' Verlet scheme owes most of its speed to *reuse across the
+pair-list interval*: the list is rebuilt every ``nstlist`` steps, and
+everything derivable from list topology alone is computed once per
+rebuild, not once per step (Páll et al. 2015, 2020).  This module gives
+the reproduction the same lever, at two scopes:
+
+* **list-state scope** (valid while positions are unchanged): the
+  functional short-range result (`ShortRangeResult`) and the packed
+  particle arrays (`PackedParticles`).  Every strategy kernel in
+  `repro.core.kernels` computes identical physics — only the cost model
+  differs — so a Fig. 8/9 ablation sweep over N rungs needs ONE
+  `compute_short_range` evaluation per list state, not N.  Entries are
+  keyed on a position fingerprint (BLAKE2 over the raw coordinate
+  bytes), so any position change is a guaranteed miss — reuse can never
+  alter the physics, which keeps the repo's bit-identity invariant.
+* **list-topology scope** (valid until the list is rebuilt): per-CPE
+  partitions, write traces, read/write trace-analysis statistics, and
+  touched-line counts.  These depend only on the cluster-pair structure,
+  never on positions, so steps ``2..nstlist`` of each interval skip
+  trace analysis entirely.
+
+Invalidation rules (enforced by the owners, tested in
+``tests/core/test_stepcache.py``):
+
+* `SWGromacsEngine` and `MdLoop` call :meth:`StepCache.invalidate` on
+  every pair-list rebuild and on checkpoint :meth:`restore`;
+* position-keyed entries store only the *latest* fingerprint per
+  (pair list, dtype) so a long MD run cannot grow the cache;
+* topology-keyed entries die with their pair-list object (the cache
+  holds the only strong reference and drops it on invalidate).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.deferred import WriteTraceStats, analyze_write_trace
+from repro.core.fetch import ReadTraceStats, analyze_read_trace
+from repro.core.packing import Layout, PackedParticles
+from repro.hw.cache import AddressMap
+from repro.hw.params import ChipParams, DEFAULT_PARAMS
+from repro.md.forces import ShortRangeResult, compute_short_range
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import ClusterPairList
+from repro.md.system import ParticleSystem
+
+
+def partition_clusters(plist: ClusterPairList, n_cpes: int) -> list[tuple[int, int]]:
+    """Split i-clusters into ``n_cpes`` contiguous ranges with ~equal
+    cluster-pair counts (the paper partitions Algorithm 1's outer loop)."""
+    if n_cpes < 1:
+        raise ValueError(f"n_cpes must be >= 1: {n_cpes}")
+    pair_prefix = plist.i_starts  # pairs before cluster c
+    total = int(pair_prefix[-1])
+    bounds = [0]
+    for c in range(1, n_cpes):
+        target = total * c // n_cpes
+        bounds.append(int(np.searchsorted(pair_prefix, target)))
+    bounds.append(plist.n_clusters)
+    # Monotonicity can break on tiny systems; enforce it.
+    for k in range(1, len(bounds)):
+        bounds[k] = max(bounds[k], bounds[k - 1])
+    return [(bounds[k], bounds[k + 1]) for k in range(n_cpes)]
+
+
+def write_trace_for_range(
+    plist: ClusterPairList, lo: int, hi: int
+) -> np.ndarray:
+    """Force-update trace for one CPE: per i-cluster, its j packages in
+    pair order followed by the i package itself."""
+    s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
+    js = plist.pair_cj[s:e].astype(np.int64)
+    counts = (plist.i_starts[lo + 1 : hi + 1] - plist.i_starts[lo:hi]).astype(
+        np.int64
+    )
+    insert_at = np.cumsum(counts)
+    i_vals = np.arange(lo, hi, dtype=np.int64)
+    return np.insert(js, insert_at, i_vals)
+
+
+def position_fingerprint(positions: np.ndarray) -> bytes:
+    """Cheap, collision-safe fingerprint of a coordinate array.
+
+    BLAKE2b over the raw bytes: ~1 GB/s, so negligible next to a force
+    evaluation, and cryptographically collision-resistant — a stale hit
+    on changed positions is not a realistic failure mode (unlike a
+    sampled or checksum fingerprint).
+    """
+    arr = np.ascontiguousarray(positions)
+    return hashlib.blake2b(arr.tobytes(), digest_size=16).digest()
+
+
+@dataclass
+class StepCacheStats:
+    """Hit/miss counters, split by the expensive entry kinds."""
+
+    sr_hits: int = 0
+    sr_evals: int = 0  # actual compute_short_range executions
+    packed_hits: int = 0
+    packed_builds: int = 0
+    topo_hits: int = 0
+    topo_misses: int = 0
+    invalidations: int = 0
+
+
+class StepCache:
+    """Compute-reuse layer shared by strategy sweeps and the MD drivers.
+
+    One instance serves one driver (engine, reference loop, or one
+    `run_strategy_sweep` call).  All getters are memoising wrappers
+    around the underlying pure functions; with a fresh cache every call
+    is a miss, so results are bit-identical to the uncached path by
+    construction.
+    """
+
+    def __init__(self) -> None:
+        #: Strong refs keep cached pair-list ids unique until invalidate().
+        self._plists: dict[int, ClusterPairList] = {}
+        #: Topology-keyed entries: (kind, plist id, ...) -> value.
+        self._topo: dict[tuple, object] = {}
+        #: Position-keyed entries: (kind, plist id, ...) -> (fingerprint,
+        #: value).  Only the latest fingerprint is retained per key, so a
+        #: stepping run replaces entries instead of accumulating them.
+        self._state: dict[tuple, tuple[bytes, object]] = {}
+        self.stats = StepCacheStats()
+
+    # -- lifecycle ---------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop everything (pair-list rebuild or checkpoint restore)."""
+        self._plists.clear()
+        self._topo.clear()
+        self._state.clear()
+        self.stats.invalidations += 1
+
+    def _pin(self, plist: ClusterPairList) -> int:
+        key = id(plist)
+        self._plists[key] = plist
+        return key
+
+    # -- internal memo helpers ---------------------------------------------
+    def _topo_get(self, key: tuple, compute):
+        hit = self._topo.get(key)
+        if hit is None:
+            hit = compute()
+            self._topo[key] = hit
+            self.stats.topo_misses += 1
+        else:
+            self.stats.topo_hits += 1
+        return hit
+
+    # -- list-state scope (position-fingerprinted) -------------------------
+    def short_range(
+        self,
+        system: ParticleSystem,
+        plist: ClusterPairList,
+        nb_params: NonbondedParams,
+        dtype: type = np.float64,
+    ) -> ShortRangeResult:
+        """One functional force evaluation per (pair list, dtype, positions).
+
+        The returned object is shared between callers; nothing in the
+        kernel/driver paths mutates it (tests enforce bit-identity of a
+        shared vs. recomputed result).
+        """
+        key = ("sr", self._pin(plist), np.dtype(dtype).str, nb_params)
+        fp = position_fingerprint(system.positions)
+        hit = self._state.get(key)
+        if hit is not None and hit[0] == fp:
+            self.stats.sr_hits += 1
+            return hit[1]
+        sr = compute_short_range(system, plist, nb_params, dtype=dtype)
+        self._state[key] = (fp, sr)
+        self.stats.sr_evals += 1
+        return sr
+
+    def packed(
+        self,
+        system: ParticleSystem,
+        plist: ClusterPairList,
+        layout: Layout,
+        params: ChipParams = DEFAULT_PARAMS,
+    ) -> PackedParticles:
+        """Packed particle arrays, shared across the rungs of a sweep."""
+        key = ("packed", self._pin(plist), layout, params)
+        fp = position_fingerprint(system.positions)
+        hit = self._state.get(key)
+        if hit is not None and hit[0] == fp:
+            self.stats.packed_hits += 1
+            return hit[1]
+        packed = PackedParticles.from_pairlist(system, plist, layout, params)
+        self._state[key] = (fp, packed)
+        self.stats.packed_builds += 1
+        return packed
+
+    # -- list-topology scope -----------------------------------------------
+    def full_list(self, plist: ClusterPairList) -> ClusterPairList:
+        """Memoised ``plist.to_full()`` (the RCA mirrored list)."""
+        key = ("full", self._pin(plist))
+        return self._topo_get(key, plist.to_full)
+
+    def partitions(
+        self, plist: ClusterPairList, n_cpes: int
+    ) -> list[tuple[int, int]]:
+        key = ("parts", self._pin(plist), n_cpes)
+        return self._topo_get(key, lambda: partition_clusters(plist, n_cpes))
+
+    def pair_counts(self, plist: ClusterPairList, n_cpes: int) -> np.ndarray:
+        """Cluster-pair count per CPE for the cached partition."""
+        key = ("pair_counts", self._pin(plist), n_cpes)
+
+        def compute():
+            parts = self.partitions(plist, n_cpes)
+            return np.array(
+                [int(plist.i_starts[hi] - plist.i_starts[lo]) for lo, hi in parts]
+            )
+
+        return self._topo_get(key, compute)
+
+    def write_trace(
+        self, plist: ClusterPairList, lo: int, hi: int
+    ) -> np.ndarray:
+        key = ("wtrace", self._pin(plist), lo, hi)
+        return self._topo_get(key, lambda: write_trace_for_range(plist, lo, hi))
+
+    def write_trace_stats(
+        self,
+        plist: ClusterPairList,
+        lo: int,
+        hi: int,
+        params: ChipParams,
+        use_mark: bool,
+    ) -> WriteTraceStats:
+        key = ("wstats", self._pin(plist), lo, hi, params, use_mark)
+        return self._topo_get(
+            key,
+            lambda: analyze_write_trace(
+                self.write_trace(plist, lo, hi), params, use_mark=use_mark
+            ),
+        )
+
+    def read_trace_stats(
+        self,
+        plist: ClusterPairList,
+        lo: int,
+        hi: int,
+        packed: PackedParticles,
+        params: ChipParams,
+    ) -> ReadTraceStats:
+        # The analysis uses only the trace, the cache geometry, and the
+        # packed line size — all topology/params facts, never positions.
+        key = ("rstats", self._pin(plist), lo, hi, params, packed.data_line_bytes)
+
+        def compute():
+            s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
+            trace = plist.pair_cj[s:e].astype(np.int64)
+            return analyze_read_trace(trace, packed, params)
+
+        return self._topo_get(key, compute)
+
+    def touched_lines(
+        self, plist: ClusterPairList, lo: int, hi: int, params: ChipParams
+    ) -> int:
+        """Distinct force-cache lines one CPE's write trace touches."""
+        key = ("tlines", self._pin(plist), lo, hi, params.offset_bits)
+
+        def compute():
+            amap = AddressMap(params.index_bits, params.offset_bits)
+            trace = self.write_trace(plist, lo, hi)
+            return int(len(np.unique(trace >> amap.offset_bits)))
+
+        return self._topo_get(key, compute)
+
+
+@dataclass
+class _NullStats:
+    """Placeholder so ``reuse off`` paths can still report counters."""
+
+    sr_evals: int = 0
+    sr_hits: int = 0
+    invalidations: int = 0
+
+
+@dataclass
+class NullStepCache:
+    """Reuse-off stand-in: every getter recomputes (ablation baseline).
+
+    Lets the drivers keep one code path while `step_reuse=False` disables
+    all sharing — the bit-identity tests run both and compare.
+    """
+
+    stats: _NullStats = field(default_factory=_NullStats)
+
+    def invalidate(self) -> None:
+        self.stats.invalidations += 1
+
+    def short_range(self, system, plist, nb_params, dtype=np.float64):
+        self.stats.sr_evals += 1
+        return compute_short_range(
+            system, plist, nb_params, dtype=dtype, reuse_gathers=False
+        )
+
+    def packed(self, system, plist, layout, params=DEFAULT_PARAMS):
+        return PackedParticles.from_pairlist(system, plist, layout, params)
+
+    def full_list(self, plist):
+        return plist.to_full()
+
+    def partitions(self, plist, n_cpes):
+        return partition_clusters(plist, n_cpes)
+
+    def pair_counts(self, plist, n_cpes):
+        return np.array(
+            [
+                int(plist.i_starts[hi] - plist.i_starts[lo])
+                for lo, hi in self.partitions(plist, n_cpes)
+            ]
+        )
+
+    def write_trace(self, plist, lo, hi):
+        return write_trace_for_range(plist, lo, hi)
+
+    def write_trace_stats(self, plist, lo, hi, params, use_mark):
+        return analyze_write_trace(
+            self.write_trace(plist, lo, hi), params, use_mark=use_mark
+        )
+
+    def read_trace_stats(self, plist, lo, hi, packed, params):
+        s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
+        return analyze_read_trace(
+            plist.pair_cj[s:e].astype(np.int64), packed, params
+        )
+
+    def touched_lines(self, plist, lo, hi, params):
+        amap = AddressMap(params.index_bits, params.offset_bits)
+        return int(
+            len(np.unique(self.write_trace(plist, lo, hi) >> amap.offset_bits))
+        )

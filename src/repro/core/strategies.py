@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.kernels import ALL_SPECS, KernelResult, KernelSpec, run_kernel
+from repro.core.stepcache import StepCache
 from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import ClusterPairList, build_pair_list
@@ -89,18 +90,29 @@ def run_ladder(
     """Run a set of strategies on one system; compute speedups vs. baseline.
 
     The pair list is built once and shared (all strategies see identical
-    work), exactly as the paper's single-kernel comparison does.
+    work), exactly as the paper's single-kernel comparison does.  All
+    rungs run through one :class:`~repro.core.stepcache.StepCache`, so
+    the whole ladder performs exactly one `compute_short_range` per list
+    state (one more for the mirrored full list if RCA is included) —
+    labels that alias the same spec (``Mark`` / ``MARK_GMX``) share all
+    cached pieces too.
     """
     nb_params = nb_params or NonbondedParams()
     plist = build_pair_list(system, nb_params.r_list)
+    cache = StepCache()
     results: dict[str, KernelResult] = {}
     for strat in strategies:
         results[strat.label] = run_kernel(
-            system, plist, nb_params, strat.spec, params
+            system, plist, nb_params, strat.spec, params, cache=cache
         )
     if baseline_label not in results:
         base = run_kernel(
-            system, plist, nb_params, get_strategy(baseline_label).spec, params
+            system,
+            plist,
+            nb_params,
+            get_strategy(baseline_label).spec,
+            params,
+            cache=cache,
         )
     else:
         base = results[baseline_label]

@@ -24,7 +24,7 @@ from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import ClusterPairList, build_pair_list
 from repro.md.pme import PmeParams, PmeSolver
-from repro.md.reporter import EnergyReporter
+from repro.md.reporter import EnergyFrame, EnergyReporter
 from repro.md.system import ParticleSystem
 from repro.resilience import (
     CheckpointError,
@@ -59,6 +59,10 @@ class MdConfig:
     constraint_algorithm: str = "auto"  # auto | shake | lincs | settle
     output_interval: int = 0  # 0 = no trajectory output
     report_interval: int = 100
+    #: Step-compute reuse (DESIGN.md §8): route the step-invariant
+    #: gathers (charges/types/mols) through the pair list's memo.  Forces
+    #: are bit-identical either way; False is the ablation baseline.
+    step_reuse: bool = True
     #: Checkpoint cadence/path (fault injection is an engine-side
     #: concept; the reference loop only checkpoints).
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
@@ -120,6 +124,14 @@ class MdLoop:
         self._pairlist_ref_positions: np.ndarray | None = None
         self._restart_ref_positions: np.ndarray | None = None
         self._checkpoints_written = 0
+        #: Accounting carried through restore() so a restarted run's
+        #: MdResult matches the uninterrupted one (None = fresh start).
+        self._restored_history: dict | None = None
+        self._restored_trajectory: list[np.ndarray] = []
+        #: Live run state, referenced by checkpoint() mid-run.
+        self._reporter: EnergyReporter | None = None
+        self._trajectory: list[np.ndarray] = []
+        self._rebuilds = 0
 
     def _add(self, timing: KernelTiming, kernel: str, dt: float) -> None:
         """Record one measured step-phase duration (timing + trace)."""
@@ -135,6 +147,7 @@ class MdLoop:
         sr = compute_short_range(
             self.system, self.pairlist, self.config.nonbonded,
             dtype=self.config.precision,
+            reuse_gathers=self.config.step_reuse,
         )
         self._add(timing, KERNEL_FORCE, time.perf_counter() - t0)
         forces = sr.forces
@@ -180,6 +193,18 @@ class MdLoop:
             self.system.positions = saved
             self._restart_ref_positions = None
 
+    def _history_dict(self) -> dict:
+        """Accumulated accounting to stow in a checkpoint (v2)."""
+        frames = self._reporter.frames if self._reporter is not None else []
+        return {
+            "n_pairlist_rebuilds": int(self._rebuilds),
+            "checkpoints_written": int(self._checkpoints_written),
+            "reporter_frames": [
+                [f.step, f.potential, f.kinetic, f.temperature]
+                for f in frames
+            ],
+        }
+
     def checkpoint(self, step: int | None = None) -> MdCheckpoint:
         """Snapshot the run (``step`` = next step to execute)."""
         return capture(
@@ -189,6 +214,10 @@ class MdLoop:
             pairlist_rebuild_step=self._pairlist_rebuild_step,
             pairlist_ref_positions=self._pairlist_ref_positions,
             meta={"driver": "mdloop", "n_particles": self.system.n_particles},
+            history=self._history_dict(),
+            trajectory=(
+                np.stack(self._trajectory) if self._trajectory else None
+            ),
         )
 
     def restore(self, ckpt: MdCheckpoint) -> None:
@@ -199,6 +228,23 @@ class MdLoop:
         self._pairlist_rebuild_step = ckpt.pairlist_rebuild_step
         self._restart_ref_positions = ckpt.pairlist_ref_positions
         self.pairlist = None
+        if ckpt.history is not None:
+            self._restored_history = dict(ckpt.history)
+        else:
+            # Pre-v2 checkpoint: reconstruct the counters (reporter
+            # history is unrecoverable and restarts empty).
+            nstlist = self.config.nonbonded.nstlist
+            every = self.config.resilience.checkpoint_every
+            self._restored_history = {
+                "n_pairlist_rebuilds": -(-ckpt.step // nstlist),
+                "checkpoints_written": ckpt.step // every if every else 0,
+                "reporter_frames": [],
+            }
+        self._restored_trajectory = (
+            [np.array(f) for f in ckpt.trajectory]
+            if ckpt.trajectory is not None
+            else []
+        )
 
     def run(self, n_steps: int) -> MdResult:
         """Run ``n_steps`` of MD, recording energies and kernel timings.
@@ -211,17 +257,29 @@ class MdLoop:
         cfg = self.config
         policy = cfg.resilience
         timing = KernelTiming()
+        hist = self._restored_history or {}
         reporter = EnergyReporter(interval=cfg.report_interval)
-        trajectory: list[np.ndarray] = []
-        rebuilds = 0
+        reporter.frames.extend(
+            EnergyFrame(int(r[0]), float(r[1]), float(r[2]), float(r[3]))
+            for r in hist.get("reporter_frames", [])
+        )
+        trajectory: list[np.ndarray] = list(self._restored_trajectory)
+        # Restart-invariant accounting: counters resume from the restored
+        # base (zero on a fresh start — a second run() on the same loop no
+        # longer inherits the first run's checkpoint count).
+        self._rebuilds = int(hist.get("n_pairlist_rebuilds", 0))
+        self._checkpoints_written = int(hist.get("checkpoints_written", 0))
+        self._reporter = reporter
+        self._trajectory = trajectory
 
         for step in range(self._start_step, n_steps):
             if step % cfg.nonbonded.nstlist == 0:
                 self._rebuild_pairlist(timing, step)
-                rebuilds += 1
+                self._rebuilds += 1
             elif self.pairlist is None:
+                # Regenerating the checkpointed list is recovery work,
+                # not a new rebuild — the uninterrupted run never did it.
                 self._rebuild_from_checkpoint(timing)
-                rebuilds += 1
 
             forces, potential = self.compute_forces(timing)
 
@@ -256,10 +314,13 @@ class MdLoop:
                 and (step + 1) % policy.checkpoint_every == 0
             ):
                 t0 = time.perf_counter()
+                # Count the in-flight checkpoint before capturing so its
+                # own history includes it — a restart from this file has
+                # "written" it.
+                self._checkpoints_written += 1
                 save_checkpoint(
                     self.checkpoint(step + 1), policy.checkpoint_path
                 )
-                self._checkpoints_written += 1
                 self._add(timing, KERNEL_CHECKPOINT, time.perf_counter() - t0)
 
         return MdResult(
@@ -267,7 +328,7 @@ class MdLoop:
             reporter=reporter,
             timing=timing,
             n_steps=n_steps,
-            n_pairlist_rebuilds=rebuilds,
+            n_pairlist_rebuilds=self._rebuilds,
             trajectory_frames=trajectory,
             checkpoints_written=self._checkpoints_written,
         )

@@ -82,11 +82,12 @@ def pair_force_energy(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Force scalar and energy for particle pairs.
 
-    Arguments are broadcastable arrays: squared distances ``r2``, charge
-    products pre-multiplied by the electric factor is NOT applied (``qq``
-    is q_i * q_j; the Coulomb constant is applied here), and LJ ``c6`` /
-    ``c12``.  Returns ``(f_scalar, energy)`` where the force on i is
-    ``f_scalar * (r_i - r_j)`` — i.e. f_scalar = -(dV/dr)/r.
+    Arguments are broadcastable arrays: squared distances ``r2``, raw
+    charge products ``qq`` (plain ``q_i * q_j``, *without* the electric
+    conversion factor — the Coulomb constant is applied inside this
+    function), and LJ ``c6`` / ``c12``.  Returns ``(f_scalar, energy)``
+    where the force on i is ``f_scalar * (r_i - r_j)`` — i.e.
+    f_scalar = -(dV/dr)/r.
 
     ``mask`` marks pairs that interact; masked-out entries contribute
     exactly zero and are guarded against r2 = 0 (padding particles overlap

@@ -96,6 +96,40 @@ class ClusterPairList:
         out[self.real] = arr[self.perm[self.real]]
         return out
 
+    def gather_cached(
+        self,
+        per_particle: np.ndarray,
+        fill: float = 0.0,
+        dtype: np.dtype | type | None = None,
+    ) -> np.ndarray:
+        """Memoised :meth:`gather` for step-invariant per-particle arrays.
+
+        Charges, type ids, and molecule ids never change between pair-list
+        rebuilds, yet the force path re-gathered them every step.  The memo
+        is keyed on the source array's identity (plus dtype/fill), lives on
+        this list instance, and therefore dies with it at the next rebuild —
+        the invalidation rule of DESIGN.md §8.  Returned arrays are marked
+        read-only: they are shared across steps, so an accidental in-place
+        edit must fail loudly instead of corrupting later steps.
+
+        Only use for arrays that are immutable for the lifetime of this
+        list (positions must keep going through :meth:`current_positions`).
+        """
+        key = (
+            id(per_particle),
+            None if dtype is None else np.dtype(dtype).str,
+            float(fill),
+        )
+        cache = self.__dict__.setdefault("_gather_cache", {})
+        out = cache.get(key)
+        if out is None:
+            out = self.gather(per_particle, fill)
+            if dtype is not None and out.dtype != np.dtype(dtype):
+                out = out.astype(dtype)
+            out.setflags(write=False)
+            cache[key] = out
+        return out
+
     def scatter_add(self, target: np.ndarray, sorted_values: np.ndarray) -> None:
         """Accumulate sorted-slot values back into original particle order."""
         if len(sorted_values) != self.n_slots:

@@ -34,7 +34,11 @@ import numpy as np
 
 MAGIC = b"REPROCKPT1"
 #: Header schema version inside the payload (bump on layout changes).
-FORMAT_VERSION = 1
+#: v2 adds the accounting ``history`` dict and the optional stacked
+#: ``trajectory`` array; v1 files still load (both default to None).
+FORMAT_VERSION = 2
+#: Versions this build can read.
+READABLE_VERSIONS = (1, 2)
 
 
 class CheckpointError(RuntimeError):
@@ -58,6 +62,15 @@ class MdCheckpoint:
     pairlist_rebuild_step: int = 0
     pairlist_ref_positions: np.ndarray | None = None
     meta: dict = field(default_factory=dict)
+    #: Accumulated run accounting (``n_pairlist_rebuilds``,
+    #: ``checkpoints_written``, ``reporter_frames`` as [step, potential,
+    #: kinetic, temperature] rows) so a restarted run reports the same
+    #: `MdResult`/`EngineResult` counters as an uninterrupted one.  JSON
+    #: floats round-trip exactly, preserving reporter bit-identity.
+    #: None on pre-v2 files (restart then falls back to reconstruction).
+    history: dict | None = None
+    #: Trajectory frames written so far, stacked (n_frames, n, 3).
+    trajectory: np.ndarray | None = None
 
     def __post_init__(self) -> None:
         self.positions = np.asarray(self.positions, dtype=np.float64)
@@ -98,7 +111,9 @@ def _payload_bytes(ckpt: MdCheckpoint) -> bytes:
         "integrator_state": ckpt.integrator_state,
         "pairlist_rebuild_step": int(ckpt.pairlist_rebuild_step),
         "has_pairlist_ref": ckpt.pairlist_ref_positions is not None,
+        "has_trajectory": ckpt.trajectory is not None,
         "meta": ckpt.meta,
+        "history": ckpt.history,
     }
     arrays = {
         "positions": ckpt.positions,
@@ -111,6 +126,8 @@ def _payload_bytes(ckpt: MdCheckpoint) -> bytes:
         arrays["pairlist_ref_positions"] = np.asarray(
             ckpt.pairlist_ref_positions, dtype=np.float64
         )
+    if ckpt.trajectory is not None:
+        arrays["trajectory"] = np.asarray(ckpt.trajectory, dtype=np.float64)
     buf = io.BytesIO()
     np.savez(buf, **arrays)
     return buf.getvalue()
@@ -165,12 +182,15 @@ def load_checkpoint(path: str) -> MdCheckpoint:
                 if header.get("has_pairlist_ref")
                 else None
             )
+            traj = (
+                data["trajectory"] if header.get("has_trajectory") else None
+            )
     except (KeyError, ValueError, json.JSONDecodeError) as exc:
         raise CheckpointError(f"malformed checkpoint payload: {exc}") from exc
-    if header.get("version") != FORMAT_VERSION:
+    if header.get("version") not in READABLE_VERSIONS:
         raise CheckpointError(
             f"unsupported checkpoint version {header.get('version')} "
-            f"(this build reads {FORMAT_VERSION})"
+            f"(this build reads {READABLE_VERSIONS})"
         )
     return MdCheckpoint(
         step=int(header["step"]),
@@ -181,6 +201,8 @@ def load_checkpoint(path: str) -> MdCheckpoint:
         pairlist_rebuild_step=int(header["pairlist_rebuild_step"]),
         pairlist_ref_positions=ref,
         meta=header.get("meta", {}),
+        history=header.get("history"),
+        trajectory=traj,
     )
 
 
@@ -191,6 +213,8 @@ def capture(
     pairlist_rebuild_step: int = 0,
     pairlist_ref_positions: np.ndarray | None = None,
     meta: dict | None = None,
+    history: dict | None = None,
+    trajectory: np.ndarray | None = None,
 ) -> MdCheckpoint:
     """Snapshot a driver's state (shared by MdLoop and SWGromacsEngine)."""
     return MdCheckpoint(
@@ -206,6 +230,8 @@ def capture(
             else pairlist_ref_positions.copy()
         ),
         meta=meta or {},
+        history=history,
+        trajectory=None if trajectory is None else np.asarray(trajectory),
     )
 
 

@@ -249,3 +249,216 @@ class TestCostModelShape:
         assert res.name == "MARK"
         with pytest.raises(KeyError):
             get_strategy("nonexistent")
+
+
+class TestCostModelRegressions:
+    """Satellite-bug pins: nblist DMA through Table 2 per CPE, per-
+    partition i-line counts, and the two-sided speedup guard."""
+
+    def test_nblist_charged_at_interpolated_bandwidth(
+        self, water_small_mod, nb_mod, plist_mod
+    ):
+        """Each CPE's neighbour-list slice streams at the Table 2
+        bandwidth for its own chunk size — hand-recomputed here with an
+        independent log-log interpolation of the anchors."""
+        from repro.hw.params import DEFAULT_PARAMS
+
+        res = run_kernel(
+            water_small_mod, plist_mod, nb_mod, ALL_SPECS["MARK"]
+        )
+        curve = DEFAULT_PARAMS.dma_curve
+        sizes = np.array([s for s, _ in curve], dtype=float)
+        bws = np.array([b for _, b in curve], dtype=float)
+
+        def hand_bandwidth_gbs(nbytes: float) -> float:
+            if nbytes <= sizes[0]:
+                return bws[0] * nbytes / sizes[0]
+            if nbytes >= sizes[-1]:
+                return float(bws[-1])
+            return float(
+                np.exp(
+                    np.interp(np.log(nbytes), np.log(sizes), np.log(bws))
+                )
+            )
+
+        parts = partition_clusters(plist_mod, DEFAULT_PARAMS.n_cpes)
+        expected = 0.0
+        for lo, hi in parts:
+            nbytes = int(plist_mod.i_starts[hi] - plist_mod.i_starts[lo]) * 4
+            if nbytes:
+                expected += nbytes / (hand_bandwidth_gbs(nbytes) * 1e9)
+        assert res.breakdown["nblist_dma"] == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_nblist_not_charged_at_peak_anchor(
+        self, water_small_mod, nb_mod, plist_mod
+    ):
+        """The old model divided by the top-anchor bandwidth, making
+        small systems' nblist DMA impossibly fast; per-CPE chunks of
+        this system sit below the top anchor, so the corrected time is
+        strictly slower than peak."""
+        from repro.hw.params import DEFAULT_PARAMS
+
+        res = run_kernel(
+            water_small_mod, plist_mod, nb_mod, ALL_SPECS["MARK"]
+        )
+        peak_seconds = (
+            plist_mod.n_cluster_pairs * 4
+        ) / (DEFAULT_PARAMS.dma_curve[-1][1] * 1e9)
+        assert res.breakdown["nblist_dma"] > peak_seconds
+
+    def test_i_lines_ceil_per_partition(
+        self, water_small_mod, nb_mod, plist_mod
+    ):
+        """Each CPE streams its own contiguous i-cluster range: the line
+        count must match what the sequential fidelity cache reports for
+        that range, and their sum exceeds the old global ceil."""
+        from repro.core.fetch import (
+            analyze_read_trace,
+            sequential_stream_lines,
+        )
+        from repro.core.packing import Layout, PackedParticles
+        from repro.hw.params import DEFAULT_PARAMS
+
+        params = DEFAULT_PARAMS
+        packed = PackedParticles.from_pairlist(
+            water_small_mod, plist_mod, Layout.SOA, params
+        )
+        parts = partition_clusters(plist_mod, params.n_cpes)
+        total = 0
+        for lo, hi in parts:
+            n_lines = sequential_stream_lines(
+                lo, hi, params.packages_per_line
+            )
+            if hi > lo:
+                seq = analyze_read_trace(
+                    np.arange(lo, hi, dtype=np.int64), packed, params
+                )
+                assert n_lines == seq.misses, (lo, hi)
+            total += n_lines
+        res = run_kernel(
+            water_small_mod, plist_mod, nb_mod, ALL_SPECS["MARK"]
+        )
+        assert res.stats["i_lines"] == total
+        global_ceil = -(-plist_mod.n_clusters // params.packages_per_line)
+        assert total > global_ceil  # the old undercount
+
+    def test_speedup_over_guards_both_operands(self):
+        from repro.core.kernels import KernelResult
+
+        good = KernelResult("a", np.zeros((1, 3)), 0.0, 1.0)
+        bad = KernelResult("b", np.zeros((1, 3)), 0.0, 0.0)
+        with pytest.raises(ValueError):
+            bad.speedup_over(good)
+        with pytest.raises(ValueError):
+            good.speedup_over(bad)
+        assert good.speedup_over(good) == 1.0
+
+    def test_engine_speedup_guards_both_operands(self):
+        from repro.core.engine import EngineResult
+        from repro.hw.perf import KernelTiming
+
+        t = KernelTiming()
+        t.add("Force", 1.0)
+        good = EngineResult(None, None, t, 1, "Ori")
+        bad = EngineResult(None, None, KernelTiming(), 1, "Ori")
+        with pytest.raises(ValueError):
+            good.speedup_over(bad)
+        with pytest.raises(ValueError):
+            bad.speedup_over(good)
+
+
+#: Golden cost-model pins (water 600, seed 21, nb_mod, DEFAULT_PARAMS):
+#: future cost-model edits must update these numbers *deliberately*.
+GOLDEN_BREAKDOWN = {
+    "ORI": {
+        "compute": 0.004211255172413793,
+    },
+    "GLD": {
+        "compute": 0.00020915862068965517,
+        "read_dma": 0.0012940836206896552,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 0.0012589898275862069,
+        "init": 1.531968503937008e-05,
+        "reduction": 7.887061913434195e-05,
+        "mpe_collect": 0.0,
+    },
+    "PKG": {
+        "compute": 0.00020915862068965517,
+        "read_dma": 0.0002765167879319904,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 0.0005510618575567485,
+        "init": 1.531968503937008e-05,
+        "reduction": 7.887061913434195e-05,
+        "mpe_collect": 0.0,
+    },
+    "CACHE": {
+        "compute": 0.00020915862068965517,
+        "read_dma": 2.68711354668689e-05,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 2.1629351513335847e-05,
+        "init": 1.531968503937008e-05,
+        "reduction": 7.887061913434195e-05,
+        "mpe_collect": 0.0,
+    },
+    "VEC": {
+        "compute": 8.058758620689655e-05,
+        "read_dma": 2.68711354668689e-05,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 2.1629351513335847e-05,
+        "init": 1.531968503937008e-05,
+        "reduction": 7.887061913434195e-05,
+        "mpe_collect": 0.0,
+    },
+    "MARK": {
+        "compute": 8.058758620689655e-05,
+        "read_dma": 2.68711354668689e-05,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 1.0814675756667923e-05,
+        "init": 0.0,
+        "reduction": 1.1264821697477044e-05,
+        "mpe_collect": 0.0,
+    },
+    "RMA": {
+        "compute": 8.058758620689655e-05,
+        "read_dma": 2.68711354668689e-05,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 2.1629351513335847e-05,
+        "init": 1.531968503937008e-05,
+        "reduction": 7.887061913434195e-05,
+        "mpe_collect": 0.0,
+    },
+    "RCA": {
+        "compute": 0.00033015172413793103,
+        "read_dma": 3.90191910725221e-05,
+        "nblist_dma": 2.258874174711415e-06,
+        "write_dma": 1.2236994733903296e-06,
+        "init": 0.0,
+        "reduction": 0.0,
+        "mpe_collect": 0.0,
+    },
+    "USTC": {
+        "compute": 0.00020915862068965517,
+        "read_dma": 2.68711354668689e-05,
+        "nblist_dma": 1.1650275849904328e-06,
+        "write_dma": 6.872976976041977e-05,
+        "init": 0.0,
+        "reduction": 0.0,
+        "mpe_collect": 0.0002857489655172414,
+    },
+}
+
+
+class TestGoldenBreakdowns:
+    """Pin every rung's modelled breakdown on the fixed-seed system."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN_BREAKDOWN))
+    def test_breakdown_pinned(self, name, water_small_mod, nb_mod, plist_mod):
+        res = run_kernel(water_small_mod, plist_mod, nb_mod, ALL_SPECS[name])
+        golden = GOLDEN_BREAKDOWN[name]
+        assert res.breakdown.keys() == golden.keys()
+        for phase, val in golden.items():
+            assert res.breakdown[phase] == pytest.approx(
+                val, rel=1e-9, abs=1e-18
+            ), phase

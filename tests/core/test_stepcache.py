@@ -1,0 +1,252 @@
+"""Step-compute reuse layer (DESIGN.md §8).
+
+The headline invariant: forces/energies are bit-identical with reuse on
+vs. off, at every level — kernel sweep, engine, reference loop.  Plus the
+reuse accounting itself: one `compute_short_range` per (work list,
+positions), topology entries memoised, invalidation on rebuild/restore.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    ALL_SPECS,
+    run_kernel,
+    run_strategy_sweep,
+)
+from repro.core.stepcache import (
+    NullStepCache,
+    StepCache,
+    position_fingerprint,
+    write_trace_for_range,
+)
+from repro.core.strategies import STRATEGY_LADDER, run_ladder
+from repro.hw.params import DEFAULT_PARAMS
+from repro.md.forces import compute_short_range
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import build_pair_list
+from repro.md.water import build_water_system
+
+LADDER = ["ORI", "PKG", "CACHE", "VEC", "MARK"]
+WITH_BASELINES = LADDER + ["RMA", "RCA", "USTC"]
+
+
+@pytest.fixture(scope="module")
+def water(nb):
+    return build_water_system(600, seed=21)
+
+
+@pytest.fixture(scope="module")
+def nb():
+    return NonbondedParams(r_cut=0.75, r_list=0.85, coulomb_mode="rf")
+
+
+@pytest.fixture(scope="module")
+def plist(water, nb):
+    return build_pair_list(water, nb.r_list)
+
+
+class TestSweepEquivalence:
+    def test_sweep_matches_individual_runs_bitwise(self, water, plist, nb):
+        swept = run_strategy_sweep(water, plist, nb, WITH_BASELINES)
+        for name in WITH_BASELINES:
+            solo = run_kernel(water, plist, nb, ALL_SPECS[name])
+            assert np.array_equal(swept[name].forces, solo.forces), name
+            assert swept[name].energy == solo.energy, name
+            assert swept[name].elapsed_seconds == solo.elapsed_seconds, name
+            assert swept[name].breakdown == solo.breakdown, name
+            assert swept[name].stats == solo.stats, name
+
+    def test_sweep_accepts_spec_objects(self, water, plist, nb):
+        by_name = run_strategy_sweep(water, plist, nb, ["MARK"])
+        by_spec = run_strategy_sweep(water, plist, nb, [ALL_SPECS["MARK"]])
+        assert by_name.keys() == by_spec.keys()
+        assert np.array_equal(
+            by_name["MARK"].forces, by_spec["MARK"].forces
+        )
+
+    def test_one_force_eval_per_work_list(self, water, plist, nb):
+        """The acceptance criterion: a full ladder sweep evaluates
+        `compute_short_range` once per list state — once for the half
+        list, plus once for the RCA-mirrored full list."""
+        cache = StepCache()
+        run_strategy_sweep(water, plist, nb, LADDER, cache=cache)
+        assert cache.stats.sr_evals == 1
+        assert cache.stats.sr_hits == len(LADDER) - 1
+
+        cache = StepCache()
+        run_strategy_sweep(water, plist, nb, WITH_BASELINES, cache=cache)
+        assert cache.stats.sr_evals == 2  # half list + RCA full list
+        assert cache.stats.sr_hits == len(WITH_BASELINES) - 2
+
+    def test_one_packing_per_layout(self, water, plist, nb):
+        cache = StepCache()
+        run_strategy_sweep(water, plist, nb, WITH_BASELINES, cache=cache)
+        # AOS (non-simd rungs) + SOA (simd rungs) = 2 builds.
+        assert cache.stats.packed_builds == 2
+        assert cache.stats.packed_hits > 0
+
+    def test_run_ladder_shares_one_eval(self, water, nb):
+        res = run_ladder(water, STRATEGY_LADDER, nb)
+        labels = [s.label for s in STRATEGY_LADDER]
+        assert list(res.results.keys()) == labels
+        # All rungs share the identical forces object state.
+        ref = res.results["Ori"].forces
+        for label in labels[1:]:
+            assert np.array_equal(res.results[label].forces, ref)
+
+
+class TestCacheSemantics:
+    def test_position_change_is_a_miss(self, water, plist, nb):
+        cache = StepCache()
+        a = cache.short_range(water, plist, nb, dtype=np.float32)
+        moved = water.copy()
+        moved.positions = moved.positions + 1e-7
+        b = cache.short_range(moved, plist, nb, dtype=np.float32)
+        assert cache.stats.sr_evals == 2
+        assert not np.array_equal(a.forces, b.forces)
+
+    def test_hit_returns_shared_result(self, water, plist, nb):
+        cache = StepCache()
+        a = cache.short_range(water, plist, nb, dtype=np.float32)
+        b = cache.short_range(water, plist, nb, dtype=np.float32)
+        assert a is b
+        assert cache.stats.sr_evals == 1 and cache.stats.sr_hits == 1
+
+    def test_nb_params_in_key(self, water, plist, nb):
+        cache = StepCache()
+        cache.short_range(water, plist, nb, dtype=np.float32)
+        other = NonbondedParams(r_cut=0.7, r_list=0.85, coulomb_mode="rf")
+        cache.short_range(water, plist, other, dtype=np.float32)
+        assert cache.stats.sr_evals == 2
+
+    def test_latest_fingerprint_only(self, water, plist, nb):
+        """A stepping run replaces entries, it doesn't accumulate them."""
+        cache = StepCache()
+        moved = water.copy()
+        for k in range(4):
+            moved.positions = moved.positions + 1e-7
+            cache.short_range(moved, plist, nb, dtype=np.float32)
+        assert cache.stats.sr_evals == 4
+        assert len(cache._state) == 1
+
+    def test_invalidate_clears_everything(self, water, plist, nb):
+        cache = StepCache()
+        cache.short_range(water, plist, nb, dtype=np.float32)
+        cache.partitions(plist, DEFAULT_PARAMS.n_cpes)
+        cache.invalidate()
+        assert not cache._state and not cache._topo and not cache._plists
+        assert cache.stats.invalidations == 1
+        cache.short_range(water, plist, nb, dtype=np.float32)
+        assert cache.stats.sr_evals == 2
+
+    def test_topology_entries_memoised(self, plist):
+        cache = StepCache()
+        p1 = cache.partitions(plist, 64)
+        p2 = cache.partitions(plist, 64)
+        assert p1 is p2
+        t1 = cache.write_trace(plist, 0, plist.n_clusters)
+        t2 = cache.write_trace(plist, 0, plist.n_clusters)
+        assert t1 is t2
+        assert np.array_equal(
+            t1, write_trace_for_range(plist, 0, plist.n_clusters)
+        )
+
+    def test_fingerprint_sensitivity(self):
+        a = np.zeros((8, 3))
+        b = a.copy()
+        assert position_fingerprint(a) == position_fingerprint(b)
+        b[7, 2] = np.nextafter(0.0, 1.0)  # smallest possible change
+        assert position_fingerprint(a) != position_fingerprint(b)
+
+    def test_null_cache_counts_evals(self, water, plist, nb):
+        cache = NullStepCache()
+        a = cache.short_range(water, plist, nb, dtype=np.float32)
+        b = cache.short_range(water, plist, nb, dtype=np.float32)
+        assert cache.stats.sr_evals == 2
+        assert a is not b
+        assert np.array_equal(a.forces, b.forces)
+
+
+class TestGatherReuse:
+    def test_reuse_on_off_bit_identical(self, water, plist, nb):
+        on = compute_short_range(water, plist, nb, reuse_gathers=True)
+        off = compute_short_range(water, plist, nb, reuse_gathers=False)
+        assert np.array_equal(on.forces, off.forces)
+        assert on.energy == off.energy
+        assert on.virial == off.virial
+
+    def test_cached_gathers_are_readonly(self, water, plist):
+        q = plist.gather_cached(water.charges)
+        with pytest.raises(ValueError):
+            q[0] = 99.0
+
+    def test_gather_cache_dies_with_list(self, water, nb):
+        """Rebuilding the list naturally invalidates the gather memo."""
+        pl1 = build_pair_list(water, nb.r_list)
+        q1 = pl1.gather_cached(water.charges)
+        pl2 = build_pair_list(water, nb.r_list)
+        q2 = pl2.gather_cached(water.charges)
+        assert q1 is not q2
+
+
+class TestDriverBitIdentity:
+    def test_engine_reuse_on_off(self, water):
+        from repro.core.engine import EngineConfig, SWGromacsEngine
+        from repro.md.integrator import IntegratorConfig
+
+        nb = NonbondedParams(
+            r_cut=0.75, r_list=0.85, coulomb_mode="rf", nstlist=5
+        )
+        results = {}
+        for reuse in (True, False):
+            cfg = EngineConfig(
+                nonbonded=nb,
+                integrator=IntegratorConfig(thermostat="berendsen"),
+                step_reuse=reuse,
+                report_interval=2,
+            )
+            eng = SWGromacsEngine(water.copy(), cfg)
+            results[reuse] = eng.run(12)
+        on, off = results[True], results[False]
+        assert np.array_equal(on.system.positions, off.system.positions)
+        assert np.array_equal(on.system.velocities, off.system.velocities)
+        assert [f.total for f in on.reporter.frames] == [
+            f.total for f in off.reporter.frames
+        ]
+
+    def test_mdloop_reuse_on_off(self, water):
+        from repro.md.integrator import IntegratorConfig
+        from repro.md.mdloop import MdConfig, MdLoop
+
+        nb = NonbondedParams(
+            r_cut=0.75, r_list=0.85, coulomb_mode="rf", nstlist=5
+        )
+        results = {}
+        for reuse in (True, False):
+            cfg = MdConfig(
+                nonbonded=nb,
+                integrator=IntegratorConfig(thermostat="berendsen"),
+                step_reuse=reuse,
+                report_interval=2,
+            )
+            results[reuse] = MdLoop(water.copy(), cfg).run(12)
+        on, off = results[True], results[False]
+        assert np.array_equal(on.system.positions, off.system.positions)
+        assert np.array_equal(on.system.velocities, off.system.velocities)
+        assert [f.total for f in on.reporter.frames] == [
+            f.total for f in off.reporter.frames
+        ]
+
+    def test_engine_rebuild_invalidates(self, water):
+        from repro.core.engine import EngineConfig, SWGromacsEngine
+
+        nb = NonbondedParams(
+            r_cut=0.75, r_list=0.85, coulomb_mode="rf", nstlist=4
+        )
+        eng = SWGromacsEngine(water.copy(), EngineConfig(nonbonded=nb))
+        eng.run(9)  # rebuilds at steps 0, 4, 8
+        assert eng.stepcache.stats.invalidations == 3
+        # At each rebuild step the kernel model's evaluation is shared
+        # with the step loop (one hit per rebuild).
+        assert eng.stepcache.stats.sr_hits >= 3

@@ -225,3 +225,90 @@ class TestMdLoopCheckpointRestart:
         assert np.array_equal(
             result.system.velocities, baseline.system.velocities
         )
+
+
+class TestRestartInvariantAccounting:
+    """A restarted run's result accounting must match the uninterrupted
+    run: rebuild counts, reporter series, trajectory frames, checkpoint
+    counts — not just the physics."""
+
+    def _md_cfg(self, nb, **kw):
+        return MdConfig(
+            nonbonded=nb, report_interval=2, output_interval=3, **kw
+        )
+
+    def test_mdloop_accounting_parity(
+        self, tmp_path, water_small, nb_water_small
+    ):
+        path = str(tmp_path / "md.ckpt")
+        policy = ResiliencePolicy(checkpoint_every=4, checkpoint_path=path)
+        baseline = MdLoop(
+            water_small.copy(), self._md_cfg(nb_water_small, resilience=policy)
+        ).run(N_STEPS)
+
+        MdLoop(
+            water_small.copy(), self._md_cfg(nb_water_small, resilience=policy)
+        ).run(13)  # crash at 13; last checkpoint = step 12
+        resumed = MdLoop(
+            water_small.copy(), self._md_cfg(nb_water_small, resilience=policy)
+        )
+        resumed.restore(load_checkpoint(path))
+        result = resumed.run(N_STEPS)
+
+        # The _rebuild_from_checkpoint regeneration is recovery work, not
+        # a new rebuild: counts must match the uninterrupted run exactly.
+        assert result.n_pairlist_rebuilds == baseline.n_pairlist_rebuilds
+        # Pre-restart reporter history is carried through the checkpoint
+        # bit-exactly (JSON floats round-trip).
+        assert [
+            (f.step, f.potential, f.kinetic, f.temperature)
+            for f in result.reporter.frames
+        ] == [
+            (f.step, f.potential, f.kinetic, f.temperature)
+            for f in baseline.reporter.frames
+        ]
+        assert len(result.trajectory_frames) == len(
+            baseline.trajectory_frames
+        )
+        for a, b in zip(result.trajectory_frames, baseline.trajectory_frames):
+            assert np.array_equal(a, b)
+        assert result.checkpoints_written == baseline.checkpoints_written
+
+    def test_mdloop_checkpoint_count_resets_between_runs(
+        self, tmp_path, water_small, nb_water_small
+    ):
+        path = str(tmp_path / "md.ckpt")
+        policy = ResiliencePolicy(checkpoint_every=4, checkpoint_path=path)
+        loop = MdLoop(
+            water_small.copy(), self._md_cfg(nb_water_small, resilience=policy)
+        )
+        first = loop.run(N_STEPS)
+        second = loop.run(N_STEPS)
+        # A second run() no longer inherits the first run's count.
+        assert first.checkpoints_written == second.checkpoints_written == 3
+
+    def test_engine_accounting_parity(
+        self, tmp_path, water_small, nb_water_small
+    ):
+        path = str(tmp_path / "eng.ckpt")
+        policy = ResiliencePolicy(checkpoint_every=4, checkpoint_path=path)
+
+        def cfg():
+            return EngineConfig(
+                nonbonded=nb_water_small, report_interval=2, resilience=policy
+            )
+
+        baseline = SWGromacsEngine(water_small.copy(), cfg()).run(N_STEPS)
+        SWGromacsEngine(water_small.copy(), cfg()).run(13)
+        resumed = SWGromacsEngine(water_small.copy(), cfg())
+        resumed.restore(load_checkpoint(path))
+        result = resumed.run(N_STEPS)
+
+        assert [
+            (f.step, f.potential, f.kinetic, f.temperature)
+            for f in result.reporter.frames
+        ] == [
+            (f.step, f.potential, f.kinetic, f.temperature)
+            for f in baseline.reporter.frames
+        ]
+        assert result.checkpoints_written == baseline.checkpoints_written
