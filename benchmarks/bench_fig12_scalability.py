@@ -21,13 +21,30 @@ from repro.md.water import build_water_system
 from conftest import emit
 
 
+def _build_water_2019(n):
+    return build_water_system(n, seed=2019)
+
+
+def _curve_job(task):
+    """Measure one Fig. 12 curve (pool-safe job; the two curves are
+    independent given the shared reference timings)."""
+    ref, kind, n, nb = task
+    if kind == "strong":
+        return strong_scaling_curve(ref, n, nonbonded=nb)
+    return weak_scaling_curve(ref, n, nonbonded=nb)
+
+
 def test_fig12_scalability(benchmark, nb_paper):
+    from repro.parallel.pool import shared_backend
+
+    backend = shared_backend()
+
     def run():
-        ref = ReferenceTimings.measure(
-            lambda n: build_water_system(n, seed=2019), 12000, nb_paper
+        ref = ReferenceTimings.measure(_build_water_2019, 12000, nb_paper)
+        strong, weak = backend.map(
+            _curve_job,
+            [(ref, "strong", 48000, nb_paper), (ref, "weak", 10000, nb_paper)],
         )
-        strong = strong_scaling_curve(ref, 48000, nonbonded=nb_paper)
-        weak = weak_scaling_curve(ref, 10000, nonbonded=nb_paper)
         return strong.strong_efficiency(), weak.weak_efficiency()
 
     strong_eff, weak_eff = benchmark.pedantic(run, rounds=1, iterations=1)

@@ -10,20 +10,30 @@ import pytest
 from repro.analysis.figures import PAPER_FIG8, print_speedup_bars
 from repro.core.strategies import STRATEGY_LADDER, run_ladder
 from repro.md.forces import compute_short_range
+from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
+from repro.parallel.pool import shared_backend
 
 from conftest import cached_water, emit
 
 
+def _ladder_at_size(task: tuple[int, NonbondedParams]):
+    """One system size's full strategy ladder (pool-safe job)."""
+    n, nb = task
+    return n, run_ladder(cached_water(n), STRATEGY_LADDER, nb)
+
+
 def test_fig8_strategy_ladder(benchmark, nb_paper, fig8_sizes):
-    ladders = {}
+    # The sizes are independent runs, so they fan across the execution
+    # backend (serial by default; REPRO_BACKEND=pool gives one worker
+    # per size).  Results merge in size order on either backend.
+    backend = shared_backend()
 
     def run_all():
-        out = {}
-        for n in fig8_sizes:
-            system = cached_water(n)
-            out[n] = run_ladder(system, STRATEGY_LADDER, nb_paper)
-        return out
+        pairs = backend.map(
+            _ladder_at_size, [(n, nb_paper) for n in fig8_sizes]
+        )
+        return dict(pairs)
 
     ladders = benchmark.pedantic(run_all, rounds=1, iterations=1)
 

@@ -1,0 +1,233 @@
+"""Perf trajectory of the host-parallel execution backend (DESIGN.md §9).
+
+Measures, on the fidelity-path water workload:
+
+* wall-clock speedup of `run_kernel_sequential` under ``PoolBackend``
+  versus ``SerialBackend`` (the tentpole claim of ISSUE 4) — gated in CI
+  at >= 1.5x with 4 workers, skipped on hosts with fewer than 4 usable
+  CPUs (a pool cannot beat serial on a single core, and pretending
+  otherwise would just record scheduler noise);
+* wall-clock speedup of the vectorised pair-list test oracles
+  (`brute_force_pairs` / `pair_list_covers`) over their scalar
+  predecessors — machine-portable, gated everywhere.
+
+Run as a script to (re)generate the committed snapshot:
+
+    PYTHONPATH=src python benchmarks/bench_parallel_speedup.py
+
+The snapshot (``BENCH_parallel.json``) always records ``host_cpus`` so a
+1-CPU container's ~1.0x pool ratio reads as what it is — a hardware
+limit, not a regression.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import ALL_SPECS, run_kernel_sequential
+from repro.md.nonbonded import NonbondedParams
+from repro.md.pairlist import brute_force_pairs, build_pair_list, pair_list_covers
+from repro.md.water import build_water_system
+from repro.parallel.pool import PoolBackend, SerialBackend, host_cpu_count
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+SEED = 2019
+FIDELITY_PARTICLES = 1500
+ORACLE_PARTICLES = 1200
+#: CI acceptance floor (ISSUE 4): pool >= 1.5x serial with 4 workers.
+MIN_POOL_SPEEDUP = 1.5
+GATE_WORKERS = 4
+#: The vectorised oracles must never lose to the scalar walks.  The
+#: ratio is modest (~1.2x) because the shared distance-matrix cost
+#: dominates both sides; the python pair loops they replace are what
+#: vectorisation removes.
+MIN_ORACLE_SPEEDUP = 1.0
+ORACLE_REPEATS = 3
+
+
+def _nb() -> NonbondedParams:
+    return NonbondedParams(r_cut=0.75, r_list=0.85, coulomb_mode="rf")
+
+
+def measure_pool_speedup(n_workers: int) -> dict:
+    """Fidelity-path wall clock: serial vs an ``n_workers`` pool.
+
+    The per-CPE partitions of `run_kernel_sequential` are the simulator's
+    hottest Python loop and fully independent, so this is the cleanest
+    end-to-end probe of the backend.  Identity of the outputs is asserted
+    here too — a fast wrong answer is not a speedup.
+    """
+    system = build_water_system(FIDELITY_PARTICLES, seed=SEED)
+    nb = _nb()
+    plist = build_pair_list(system, nb.r_list)
+    spec = ALL_SPECS["MARK"]
+
+    t0 = time.perf_counter()
+    serial = run_kernel_sequential(
+        system, plist, nb, spec, n_cpes=8, backend=SerialBackend()
+    )
+    serial_s = time.perf_counter() - t0
+
+    with PoolBackend(n_workers) as backend:
+        # Warm the executor (fork + import cost is startup, not kernel).
+        backend.map(int, [0])
+        t0 = time.perf_counter()
+        pooled = run_kernel_sequential(
+            system, plist, nb, spec, n_cpes=8, backend=backend
+        )
+        pool_s = time.perf_counter() - t0
+
+    np.testing.assert_array_equal(serial.forces, pooled.forces)
+    assert serial.energy == pooled.energy
+    return {
+        "n_particles": int(system.n_particles),
+        "n_workers": n_workers,
+        "serial_seconds": serial_s,
+        "pool_seconds": pool_s,
+        "speedup": serial_s / pool_s,
+    }
+
+
+def _brute_force_pairs_scalar(system, r_cut):
+    pos = system.box.wrap(system.positions)
+    n = len(pos)
+    pairs = set()
+    chunk = max(1, int(4e6) // max(n, 1))
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        d = system.box.distance(pos[lo:hi, None, :], pos[None, :, :])
+        ii, jj = np.nonzero(d < r_cut)
+        for i, j in zip(ii + lo, jj):
+            if i < j:
+                pairs.add((int(i), int(j)))
+    return pairs
+
+
+def _pair_list_covers_scalar(plist, pairs):
+    from repro.md.pairlist import CLUSTER_SIZE
+
+    listed = set(zip(plist.pair_ci.tolist(), plist.pair_cj.tolist()))
+    slot_of = {
+        int(orig): slot
+        for slot, orig in enumerate(plist.perm)
+        if orig >= 0
+    }
+    for i, j in pairs:
+        ci = slot_of[i] // CLUSTER_SIZE
+        cj = slot_of[j] // CLUSTER_SIZE
+        if plist.half and ci > cj:
+            ci, cj = cj, ci
+        if (ci, cj) not in listed:
+            return False
+    return True
+
+
+def _best_of(fn, repeats: int = ORACLE_REPEATS) -> tuple[float, object]:
+    """Best-of-N wall clock (single-CPU containers are noisy)."""
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure_oracle_speedup() -> dict:
+    """Vectorised vs scalar pair-list oracles (machine-portable ratio)."""
+    system = build_water_system(ORACLE_PARTICLES, seed=SEED)
+    nb = _nb()
+    plist = build_pair_list(system, nb.r_list)
+
+    scalar_s, scalar_pairs = _best_of(
+        lambda: _brute_force_pairs_scalar(system, nb.r_list)
+    )
+    covers_scalar_s, scalar_covered = _best_of(
+        lambda: _pair_list_covers_scalar(plist, scalar_pairs)
+    )
+    fast_s, fast_pairs = _best_of(
+        lambda: brute_force_pairs(system, nb.r_list)
+    )
+    covers_fast_s, fast_covered = _best_of(
+        lambda: pair_list_covers(plist, fast_pairs)
+    )
+
+    assert fast_pairs == scalar_pairs
+    assert fast_covered == scalar_covered
+    return {
+        "n_particles": int(system.n_particles),
+        "n_pairs": len(fast_pairs),
+        "scalar_seconds": scalar_s + covers_scalar_s,
+        "vectorized_seconds": fast_s + covers_fast_s,
+        "speedup": (scalar_s + covers_scalar_s) / (fast_s + covers_fast_s),
+    }
+
+
+def collect(pool_workers: tuple[int, ...] = (2, GATE_WORKERS)) -> dict:
+    cpus = host_cpu_count()
+    return {
+        "host_cpus": cpus,
+        "gate": {
+            "workers": GATE_WORKERS,
+            "min_speedup": MIN_POOL_SPEEDUP,
+            # The wall-clock floor only means anything with real cores
+            # under it; on smaller hosts the recorded ratio documents the
+            # hardware, and CI's 4-core runners enforce the floor.
+            "enforced_on_this_host": cpus >= GATE_WORKERS,
+        },
+        "pool": {str(w): measure_pool_speedup(w) for w in pool_workers},
+        "pairlist_oracles": measure_oracle_speedup(),
+    }
+
+
+def main() -> None:
+    data = collect()
+    SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']})")
+    for w, row in data["pool"].items():
+        print(
+            f"  pool x{w}: {row['speedup']:.2f}x over serial "
+            f"({row['serial_seconds']:.2f}s -> {row['pool_seconds']:.2f}s)"
+        )
+    oracle = data["pairlist_oracles"]
+    print(
+        f"  oracles: {oracle['speedup']:.1f}x over scalar "
+        f"({oracle['scalar_seconds']:.3f}s -> "
+        f"{oracle['vectorized_seconds']:.3f}s)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the CI perf-smoke job)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(
+    host_cpu_count() < GATE_WORKERS,
+    reason=f"pool speedup gate needs >= {GATE_WORKERS} usable CPUs "
+    f"(host has {host_cpu_count()})",
+)
+def test_pool_speedup_meets_floor():
+    """With 4 real cores, 4 workers must buy >= 1.5x on the fidelity path."""
+    row = measure_pool_speedup(GATE_WORKERS)
+    assert row["speedup"] >= MIN_POOL_SPEEDUP, row
+
+
+def test_pool_results_identical_even_on_small_hosts():
+    """The identity half of the claim is hardware-independent: always run
+    the serial-vs-pool comparison (2 workers), gate only the physics."""
+    row = measure_pool_speedup(2)  # asserts bit-identity internally
+    assert row["pool_seconds"] > 0
+
+
+def test_oracle_vectorization_meets_floor():
+    row = measure_oracle_speedup()
+    assert row["speedup"] >= MIN_ORACLE_SPEEDUP, row
+
+
+if __name__ == "__main__":
+    main()

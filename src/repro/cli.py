@@ -8,16 +8,25 @@ Commands mirror the paper's experiments:
 * ``ladder``   — the Fig. 8/9 strategy comparison;
 * ``overall``  — the Fig. 10 optimisation-level ladder;
 * ``scaling``  — the Fig. 12 strong/weak curves;
+* ``ranks``    — a multi-rank simulated-MPI run, one worker per rank;
 * ``table2``   — the DMA bandwidth table;
 * ``ttf``      — the Eq. 3/4 platform ratios.
+
+Every command accepts ``--backend serial|pool`` and ``--workers N``
+(before the subcommand) to pick the host execution backend; the
+``REPRO_BACKEND`` / ``REPRO_WORKERS`` environment variables are the
+fallback (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
+
+from repro.parallel.pool import BACKEND_ENV, BACKEND_NAMES, WORKERS_ENV
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -25,6 +34,14 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SW_GROMACS reproduction: GROMACS-like MD on a "
         "simulated SW26010 core group",
+    )
+    parser.add_argument(
+        "--backend", choices=sorted(BACKEND_NAMES), default=None,
+        help="host execution backend (default: $REPRO_BACKEND or serial)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="pool worker count (default: $REPRO_WORKERS or host CPUs)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -80,6 +97,21 @@ def _build_parser() -> argparse.ArgumentParser:
     scaling.add_argument("--strong-total", type=int, default=48000)
     scaling.add_argument("--weak-per-cg", type=int, default=10000)
 
+    ranks = sub.add_parser(
+        "ranks",
+        help="multi-rank simulated-MPI run (one host worker per rank)",
+    )
+    ranks.add_argument("-r", "--ranks", dest="n_ranks", type=int, default=4)
+    ranks.add_argument("-n", "--particles", type=int, default=3000)
+    ranks.add_argument("-s", "--steps", type=int, default=20)
+    ranks.add_argument("--level", type=int, default=3, choices=range(4))
+    ranks.add_argument("--rcut", type=float, default=0.9)
+    ranks.add_argument("--seed", type=int, default=2019)
+    ranks.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="per-rank fault injection (same SPEC as run; rank-seeded)",
+    )
+
     sub.add_parser("table2", help="DMA bandwidth vs block size")
     sub.add_parser("ttf", help="Eq. 3/4 cross-platform TTF ratios")
     return parser
@@ -111,6 +143,8 @@ def _cmd_run(args) -> int:
             optimization_level=args.level,
             report_interval=max(args.steps // 10, 1),
             resilience=policy,
+            backend=args.backend,
+            workers=args.workers,
         ),
     )
     if args.restart:
@@ -161,6 +195,8 @@ def _cmd_trace(args) -> int:
         nonbonded=nb,
         optimization_level=args.level,
         resilience=ResiliencePolicy(faults=args.faults),
+        backend=args.backend,
+        workers=args.workers,
     )
     tracer = Tracer(config.chip)
     engine = SWGromacsEngine(system, config, tracer=tracer)
@@ -190,7 +226,7 @@ def _cmd_ladder(args) -> int:
     )
     nb = NonbondedParams(r_cut=1.0, r_list=1.0, coulomb_mode="rf")
     system = build_water_system(args.particles)
-    lad = run_ladder(system, strategies, nb)
+    lad = run_ladder(system, strategies, nb, backend=args.backend)
     print(
         print_speedup_bars(
             {s.label: lad.speedups[s.label] for s in STRATEGY_LADDER},
@@ -269,6 +305,55 @@ def _cmd_scaling(args) -> int:
     return 0
 
 
+def _cmd_ranks(args) -> int:
+    from repro.core.engine import EngineConfig
+    from repro.md.mdloop import MdConfig
+    from repro.md.minimize import minimize
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+    from repro.parallel.multirank import run_mpi_ranks
+    from repro.resilience import ResiliencePolicy
+
+    nb = NonbondedParams(
+        r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
+    )
+    system = build_water_system(args.particles, seed=args.seed)
+    minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+    system.thermalize(300.0, np.random.default_rng(args.seed + 1))
+    config = EngineConfig(
+        nonbonded=nb,
+        optimization_level=args.level,
+        n_cgs=args.n_ranks,
+        resilience=ResiliencePolicy(faults=args.faults),
+        backend=args.backend,
+        workers=args.workers,
+    )
+    result = run_mpi_ranks(
+        system,
+        args.steps,
+        config=config,
+        n_ranks=args.n_ranks,
+        backend=args.backend,
+    )
+    print(f"{result.n_ranks} simulated ranks x {args.steps} steps "
+          f"({args.particles} particles each)")
+    print("rank   E_pot(kJ/mol)     T(K)   modelled(ms)  faults(d/c/m)")
+    for r in result.ranks:
+        faults = (
+            "/".join(str(c) for c in r.fault_counts)
+            if r.fault_counts is not None
+            else "-"
+        )
+        print(f"{r.rank:4d} {r.potential:15.1f} {r.temperature:8.1f} "
+              f"{r.modelled_seconds * 1e3:14.2f}  {faults}")
+    pot, kin = result.reduced_energy
+    print(f"\nallreduced energy: E_pot={pot:.1f} E_kin={kin:.1f} kJ/mol")
+    print(f"modelled time: {result.modelled_seconds * 1e3:.2f} ms "
+          f"(comm {result.comm_seconds * 1e6:.1f} us, "
+          f"{result.comm_stats.n_retries} comm retries)")
+    return 0
+
+
 def _cmd_table2(args) -> int:
     from repro.analysis.figures import print_table2
     from repro.hw.dma import bandwidth_table
@@ -295,6 +380,7 @@ _COMMANDS = {
     "ladder": _cmd_ladder,
     "overall": _cmd_overall,
     "scaling": _cmd_scaling,
+    "ranks": _cmd_ranks,
     "table2": _cmd_table2,
     "ttf": _cmd_ttf,
 }
@@ -302,6 +388,13 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    # Flags beat the environment; exporting them here threads the choice
+    # through every library call-site that resolves `shared_backend()`
+    # from the environment (sweeps, engines, pair-list builds).
+    if args.backend is not None:
+        os.environ[BACKEND_ENV] = args.backend
+    if args.workers is not None:
+        os.environ[WORKERS_ENV] = str(args.workers)
     return _COMMANDS[args.command](args)
 
 

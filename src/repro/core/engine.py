@@ -49,6 +49,7 @@ from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import build_pair_list
 from repro.md.reporter import EnergyFrame, EnergyReporter
 from repro.md.system import ParticleSystem
+from repro.parallel.pool import shared_backend
 from repro.resilience import (
     MODE_MPE_FALLBACK,
     CheckpointError,
@@ -116,6 +117,14 @@ class EngineConfig:
     chip: ChipParams = DEFAULT_PARAMS
     #: Failure/recovery knobs (default = perfect hardware, no checkpoints).
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    #: Host-parallel execution backend (DESIGN.md §9): "serial", "pool",
+    #: or None for ``REPRO_BACKEND``-or-serial.  Fans the pair-list exact
+    #: filter and the per-CPE trace analyses over real worker processes;
+    #: results are bit-identical either way.
+    backend: str | None = None
+    #: Worker count for the pool backend (None = ``REPRO_WORKERS`` or
+    #: host CPU count).
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if not 0 <= self.optimization_level <= 3:
@@ -182,6 +191,9 @@ class SWGromacsEngine:
         self.tracer = tracer
         self.shake = build_constraint_solver(system, "auto")
         self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
+        #: Execution backend for fan-out work (process-wide shared
+        #: instance when selected by name/env; never closed here).
+        self.backend = shared_backend(self.config.backend, self.config.workers)
         self.pairlist = None
         self._cached_force_model: KernelResult | None = None
         self._cached_ns_seconds: float | None = None
@@ -351,7 +363,7 @@ class SWGromacsEngine:
                 chip = degraded_chip(chip, report)
         self.stepcache.invalidate()
         self.pairlist = build_pair_list(
-            self.system, self.config.nonbonded.r_list
+            self.system, self.config.nonbonded.r_list, backend=self.backend
         )
         self._cached_force_model = run_kernel(
             self.system,
@@ -361,6 +373,7 @@ class SWGromacsEngine:
             chip,
             tracer=self.tracer,
             cache=self.stepcache,
+            backend=self.backend,
         )
         self._cached_ns_seconds = self._ns_seconds(chip)
         self._add(timing, KERNEL_NEIGHBOR, self._cached_ns_seconds)
@@ -596,6 +609,12 @@ class SWGromacsEngine:
         return timing
 
 
+def _model_level_job(task: tuple[ParticleSystem, EngineConfig]) -> KernelTiming:
+    """Model one optimisation level's step timing (pool-safe job)."""
+    system, cfg = task
+    return SWGromacsEngine(system.copy(), cfg).model_step()
+
+
 def run_optimization_ladder(
     system_builder,
     n_local_particles: int,
@@ -603,22 +622,30 @@ def run_optimization_ladder(
     nonbonded: NonbondedParams | None = None,
     output_interval: int = 0,
     chip: ChipParams = DEFAULT_PARAMS,
+    backend=None,
 ) -> dict[str, KernelTiming]:
     """Fig. 10: modelled per-step timing at each optimisation level.
 
     ``system_builder(n_particles)`` builds the local (per-CG) system once;
-    the four levels share it so differences are purely modelled.
+    the four levels share it so differences are purely modelled.  The
+    levels are independent, so under a parallel ``backend`` (or
+    ``REPRO_BACKEND=pool``) each level models on its own worker; results
+    merge in level order, so the dict is identical on any backend.
     """
+    backend = shared_backend(backend)
     system = system_builder(n_local_particles)
-    out: dict[str, KernelTiming] = {}
-    for level in range(4):
-        cfg = EngineConfig(
+    configs = [
+        EngineConfig(
             nonbonded=nonbonded or NonbondedParams(),
             optimization_level=level,
             n_cgs=n_cgs,
             output_interval=output_interval,
             chip=chip,
+            backend="serial",
         )
-        engine = SWGromacsEngine(system.copy(), cfg)
-        out[cfg.level_name] = engine.model_step()
-    return out
+        for level in range(4)
+    ]
+    timings = backend.map(
+        _model_level_job, [(system, cfg) for cfg in configs]
+    )
+    return {cfg.level_name: t for cfg, t in zip(configs, timings)}

@@ -57,6 +57,12 @@ from repro.hw.simd import FloatV4, OpCounter
 from repro.md.nonbonded import NonbondedParams, pair_force_energy
 from repro.md.pairlist import CLUSTER_SIZE, ClusterPairList
 from repro.md.system import ParticleSystem
+from repro.parallel.pool import (
+    ExecutionBackend,
+    as_input,
+    shared_backend,
+    shared_inputs,
+)
 from repro.trace.events import (
     CAT_COMPUTE,
     CAT_DMA,
@@ -65,6 +71,7 @@ from repro.trace.events import (
     MPE_TRACK,
     NULL_TRACER,
     NullTracer,
+    TraceEvent,
 )
 
 FORCE_PACKAGE_BYTES = 48  # 4 particles x 3 float32
@@ -184,9 +191,17 @@ def run_kernel(
     check_ldm: bool = True,
     tracer: NullTracer = NULL_TRACER,
     cache: StepCache | NullStepCache | None = None,
+    backend: ExecutionBackend | None = None,
 ) -> KernelResult:
     """Execute one strategy (fast path): vectorised functional forces +
     trace-driven cost model.
+
+    ``backend`` (DESIGN.md §9) fans the per-CPE trace analyses across
+    worker processes by priming ``cache`` before the serial accumulation
+    loops below; every primed value is bit-identical to what the loop
+    would compute, so results do not depend on the backend.  ``None``
+    keeps the historical fully-inline path — callers that want env-var
+    selection resolve it themselves (`repro.parallel.pool.shared_backend`).
 
     ``check_ldm`` plans the kernel's LDM layout up front and raises
     :class:`~repro.hw.ldm.LdmOverflowError` when the configured cache
@@ -252,6 +267,18 @@ def run_kernel(
 
     # ---- partition across CPEs -------------------------------------------
     parts = cache.partitions(work_list, params.n_cpes)
+    if backend is not None and getattr(backend, "parallel", False):
+        cache.prime_partition_stats(
+            work_list,
+            params.n_cpes,
+            packed,
+            params,
+            read=spec.read_cache,
+            write=spec.write_cache,
+            use_mark=spec.mark,
+            touched=not (spec.full_list or spec.mpe_collect),
+            backend=backend,
+        )
     pair_counts = cache.pair_counts(work_list, params.n_cpes)
     crit_pairs = int(pair_counts.max()) if len(pair_counts) else 0
     stats["imbalance"] = (
@@ -489,6 +516,7 @@ def run_strategy_sweep(
     check_ldm: bool = True,
     tracer: NullTracer = NULL_TRACER,
     cache: StepCache | NullStepCache | None = None,
+    backend: str | ExecutionBackend | None = None,
 ) -> dict[str, KernelResult]:
     """Evaluate many strategy rungs against ONE ``(system state, pair
     list)`` — the one-pass ablation API used by bench_fig8/fig9, the
@@ -506,9 +534,16 @@ def run_strategy_sweep(
     order.  Pass an explicit ``cache`` to extend sharing across calls
     (e.g. across steps of a pair-list interval); the caller then owns
     invalidation.
+
+    ``backend`` selects the execution backend for the per-CPE trace
+    analyses (a name, an `ExecutionBackend`, or None for
+    ``REPRO_BACKEND``-or-serial); the rungs themselves stay in-process so
+    they keep sharing one `StepCache` — parallelism primes that cache,
+    it never forks the physics.
     """
     if cache is None:
         cache = StepCache()
+    backend = shared_backend(backend)
     resolved = [ALL_SPECS[s] if isinstance(s, str) else s for s in specs]
     return {
         spec.name: run_kernel(
@@ -520,6 +555,7 @@ def run_strategy_sweep(
             check_ldm=check_ldm,
             tracer=tracer,
             cache=cache,
+            backend=backend,
         )
         for spec in resolved
     }
@@ -530,6 +566,147 @@ def run_strategy_sweep(
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class _FidelityTask:
+    """One CPE's share of the fidelity walk.
+
+    Picklable work unit for `repro.parallel.pool` backends: the large
+    read-only inputs (positions, charges, LJ tables, ...) arrive as
+    `SharedArray` handles under the pool backend and as plain arrays
+    under the serial one — `as_input` resolves either.  The pair-list
+    slice is partition-local (``i_starts`` rebased to the slice).
+    """
+
+    cpe: int
+    lo: int
+    hi: int
+    pair_cj: np.ndarray  # this partition's j-cluster entries
+    i_starts: np.ndarray  # local prefix: pairs of cluster lo+k at [k, k+1)
+    positions: object
+    charges: object
+    types: object
+    mols: object
+    real: object
+    c6_table: object
+    c12_table: object
+    box: np.ndarray
+    half: bool
+    spec: KernelSpec
+    nb_params: NonbondedParams
+    params: ChipParams
+    padded_slots: int
+    traced: bool
+
+
+@dataclass
+class _FidelityResult:
+    """What one CPE's walk produces; merged in CPE-id order by the parent."""
+
+    cpe: int
+    copy: np.ndarray  # this CPE's force copy (padded_slots x 3 float32)
+    mark: object | None  # LineMarkBitmap when the spec uses Bit-Map marks
+    energy: float  # float64 partial, term order = walk order
+    write_misses: int
+    write_puts: int
+    write_gets: int
+    write_first_touches: int
+    shuffles: int
+    events: list[TraceEvent]
+
+
+def _walk_fidelity_partition(task: _FidelityTask) -> _FidelityResult:
+    """Walk one CPE partition through the real cache/bitmap/SIMD objects.
+
+    Pure function of the task (no globals, no RNG), so serial and pool
+    backends produce bit-identical results by construction.
+    """
+    spec, params, nb_params = task.spec, task.params, task.nb_params
+    pos = as_input(task.positions)
+    q = as_input(task.charges)
+    types = as_input(task.types)
+    mols = as_input(task.mols)
+    real = as_input(task.real)
+    c6_tab = as_input(task.c6_table)
+    c12_tab = as_input(task.c12_table)
+    box_arr = task.box
+
+    copy = np.zeros((task.padded_slots, 3), dtype=np.float32)
+    cache = DeferredUpdateCache(copy, params, use_mark=spec.mark)
+    ops = OpCounter()
+    energy = 0.0
+    for k in range(task.hi - task.lo):
+        ci = task.lo + k
+        fi_acc = np.zeros((CLUSTER_SIZE, 3), dtype=np.float32)
+        i_sl = slice(ci * CLUSTER_SIZE, (ci + 1) * CLUSTER_SIZE)
+        for cj in task.pair_cj[task.i_starts[k] : task.i_starts[k + 1]]:
+            cj = int(cj)
+            j_sl = slice(cj * CLUSTER_SIZE, (cj + 1) * CLUSTER_SIZE)
+            dr = pos[i_sl][:, None, :] - pos[j_sl][None, :, :]
+            dr = dr - box_arr * np.round(dr / box_arr)
+            r2 = np.sum(dr * dr, axis=-1)
+            valid = (
+                real[i_sl][:, None]
+                & real[j_sl][None, :]
+                & (mols[i_sl][:, None] != mols[j_sl][None, :])
+            )
+            if ci == cj:
+                lane = np.arange(CLUSTER_SIZE)
+                if task.half:
+                    valid &= lane[:, None] < lane[None, :]
+                else:
+                    valid &= lane[:, None] != lane[None, :]
+            qq = q[i_sl][:, None] * q[j_sl][None, :]
+            c6 = c6_tab[types[i_sl][:, None], types[j_sl][None, :]]
+            c12 = c12_tab[types[i_sl][:, None], types[j_sl][None, :]]
+            f_scalar, e = pair_force_energy(
+                r2, qq, c6, c12, nb_params, mask=valid
+            )
+            energy += float(e.sum(dtype=np.float64))
+            fvec = f_scalar[..., None] * dr
+            if spec.simd:
+                # Exercise the Fig. 7 post-treatment on the i-side sums
+                # (functionally identity; counts the 6 shuffles).
+                fsum = fvec.sum(axis=1)
+                fx = FloatV4(fsum[:, 0], ops)
+                fy = FloatV4(fsum[:, 1], ops)
+                fz = FloatV4(fsum[:, 2], ops)
+                o0, o1, o2 = transpose_4x3(fx, fy, fz, ops)
+                interleaved = np.concatenate([o0.lanes, o1.lanes, o2.lanes])
+                fi_acc += interleaved.reshape(CLUSTER_SIZE, 3)
+            else:
+                fi_acc += fvec.sum(axis=1)
+            if task.half:
+                cache.accumulate_package(cj, -fvec.sum(axis=0))
+        cache.accumulate_package(ci, fi_acc)
+    cache.flush()
+
+    events: list[TraceEvent] = []
+    if task.traced:
+        n_pairs = int(task.i_starts[-1])
+        events.append(
+            TraceEvent(
+                "fidelity_walk",
+                CAT_COMPUTE,
+                task.cpe,
+                0.0,
+                _compute_cycles(spec, n_pairs, params),
+                {"cluster_pairs": n_pairs},
+            )
+        )
+    return _FidelityResult(
+        cpe=task.cpe,
+        copy=copy,
+        mark=cache.mark if spec.mark else None,
+        energy=energy,
+        write_misses=cache.stats.misses,
+        write_puts=cache.stats.puts,
+        write_gets=cache.stats.gets,
+        write_first_touches=cache.stats.first_touches,
+        shuffles=ops.shuffle,
+        events=events,
+    )
+
+
 def run_kernel_sequential(
     system: ParticleSystem,
     plist: ClusterPairList,
@@ -538,17 +715,30 @@ def run_kernel_sequential(
     params: ChipParams = DEFAULT_PARAMS,
     n_cpes: int | None = None,
     tracer: NullTracer = NULL_TRACER,
+    backend: str | ExecutionBackend | None = None,
 ) -> KernelResult:
     """Walk the pair list cluster-by-cluster through the actual
     DeferredUpdateCache / bitmap / SIMD machinery.
 
-    Slow (Python per cluster pair) — use small systems.  Only the cached
-    strategies (CACHE/VEC/MARK/RMA) are meaningful here; others fall back
-    to `run_kernel`.  Returns the same counters the fast path derives from
-    trace analysis, letting tests pin the two together.
+    Slow (Python per cluster pair) — use small systems, or spread the
+    per-CPE partitions over real cores with ``backend="pool"`` (this is
+    the simulator's hottest Python loop and its partitions are fully
+    independent).  Merging is deterministic — copies, marks, counters,
+    energy partials, and trace events join in CPE-id order — so every
+    output is bit-identical between backends (test-enforced).  ``backend``
+    accepts a name, an `ExecutionBackend`, or None for
+    ``REPRO_BACKEND``-or-serial.
+
+    Only the cached strategies (CACHE/VEC/MARK/RMA) are meaningful here;
+    others fall back to `run_kernel`.  Returns the same counters the fast
+    path derives from trace analysis, letting tests pin the two together.
     """
+    backend = shared_backend(backend)
     if not (spec.write_cache and spec.use_cpes):
-        return run_kernel(system, plist, nb_params, spec, params, tracer=tracer)
+        return run_kernel(
+            system, plist, nb_params, spec, params, tracer=tracer,
+            backend=backend,
+        )
     n_cpes = n_cpes or params.n_cpes
     work_list = plist.to_full() if spec.full_list else plist
     packed = PackedParticles.from_pairlist(system, plist, Layout.AOS, params)
@@ -557,72 +747,51 @@ def run_kernel_sequential(
     n_slots = work_list.n_slots
     ppl = params.particles_per_line
     padded_slots = -(-n_slots // ppl) * ppl
-    copies = [
-        np.zeros((padded_slots, 3), dtype=np.float32) for _ in range(n_cpes)
-    ]
-    caches = [
-        DeferredUpdateCache(copies[c], params, use_mark=spec.mark)
-        for c in range(n_cpes)
-    ]
-    ops = OpCounter()
-    energy = 0.0
-
-    pos = packed.positions
     box_arr = work_list.box.array.astype(np.float32)
-    q = packed.charges
-    types = packed.types.astype(np.int64)
-    mols = packed.mols.astype(np.int64)
-    c6_tab = system.topology.c6_table.astype(np.float32)
-    c12_tab = system.topology.c12_table.astype(np.float32)
 
-    for cpe, (lo, hi) in enumerate(parts):
-        cache = caches[cpe]
-        for ci in range(lo, hi):
-            fi_acc = np.zeros((CLUSTER_SIZE, 3), dtype=np.float32)
-            i_sl = slice(ci * CLUSTER_SIZE, (ci + 1) * CLUSTER_SIZE)
-            for cj in work_list.pairs_of_cluster(ci):
-                cj = int(cj)
-                j_sl = slice(cj * CLUSTER_SIZE, (cj + 1) * CLUSTER_SIZE)
-                dr = pos[i_sl][:, None, :] - pos[j_sl][None, :, :]
-                dr = dr - box_arr * np.round(dr / box_arr)
-                r2 = np.sum(dr * dr, axis=-1)
-                valid = (
-                    work_list.real[i_sl][:, None]
-                    & work_list.real[j_sl][None, :]
-                    & (mols[i_sl][:, None] != mols[j_sl][None, :])
+    with shared_inputs(
+        backend,
+        positions=packed.positions,
+        charges=packed.charges,
+        types=packed.types.astype(np.int64),
+        mols=packed.mols.astype(np.int64),
+        real=work_list.real,
+        c6_table=system.topology.c6_table.astype(np.float32),
+        c12_table=system.topology.c12_table.astype(np.float32),
+    ) as shared:
+        tasks = []
+        for cpe, (lo, hi) in enumerate(parts):
+            s, e = int(work_list.i_starts[lo]), int(work_list.i_starts[hi])
+            tasks.append(
+                _FidelityTask(
+                    cpe=cpe,
+                    lo=lo,
+                    hi=hi,
+                    pair_cj=work_list.pair_cj[s:e],
+                    i_starts=(
+                        work_list.i_starts[lo : hi + 1] - s
+                    ).astype(np.int64),
+                    box=box_arr,
+                    half=work_list.half,
+                    spec=spec,
+                    nb_params=nb_params,
+                    params=params,
+                    padded_slots=padded_slots,
+                    traced=tracer.enabled,
+                    **shared,
                 )
-                if ci == cj:
-                    lane = np.arange(CLUSTER_SIZE)
-                    if work_list.half:
-                        valid &= lane[:, None] < lane[None, :]
-                    else:
-                        valid &= lane[:, None] != lane[None, :]
-                qq = q[i_sl][:, None] * q[j_sl][None, :]
-                c6 = c6_tab[types[i_sl][:, None], types[j_sl][None, :]]
-                c12 = c12_tab[types[i_sl][:, None], types[j_sl][None, :]]
-                f_scalar, e = pair_force_energy(
-                    r2, qq, c6, c12, nb_params, mask=valid
-                )
-                energy += float(e.sum(dtype=np.float64))
-                fvec = f_scalar[..., None] * dr
-                if spec.simd:
-                    # Exercise the Fig. 7 post-treatment on the i-side sums
-                    # (functionally identity; counts the 6 shuffles).
-                    fsum = fvec.sum(axis=1)
-                    fx = FloatV4(fsum[:, 0], ops)
-                    fy = FloatV4(fsum[:, 1], ops)
-                    fz = FloatV4(fsum[:, 2], ops)
-                    o0, o1, o2 = transpose_4x3(fx, fy, fz, ops)
-                    interleaved = np.concatenate([o0.lanes, o1.lanes, o2.lanes])
-                    fi_acc += interleaved.reshape(CLUSTER_SIZE, 3)
-                else:
-                    fi_acc += fvec.sum(axis=1)
-                if work_list.half:
-                    cache.accumulate_package(cj, -fvec.sum(axis=0))
-            cache.accumulate_package(ci, fi_acc)
-        cache.flush()
+            )
+        walks = backend.map(_walk_fidelity_partition, tasks)
 
-    marks = [c.mark for c in caches] if spec.mark else None
+    # ---- deterministic CPE-id-ordered merge --------------------------------
+    copies = [w.copy for w in walks]
+    marks = [w.mark for w in walks] if spec.mark else None
+    energy = 0.0
+    for w in walks:  # partials summed in CPE order
+        energy += w.energy
+    if tracer.enabled:
+        for w in walks:
+            tracer.absorb(w.events)
     total_sorted = reduce_copies(copies, marks, ppl)[:n_slots]
     forces = np.zeros((system.n_particles, 3), dtype=np.float64)
     work_list.scatter_add(forces, total_sorted)
@@ -630,15 +799,17 @@ def run_kernel_sequential(
         energy *= 0.5
 
     write_cache_stats = {
-        "write_misses": float(sum(c.stats.misses for c in caches)),
-        "write_puts": float(sum(c.stats.puts for c in caches)),
-        "write_gets": float(sum(c.stats.gets for c in caches)),
+        "write_misses": float(sum(w.write_misses for w in walks)),
+        "write_puts": float(sum(w.write_puts for w in walks)),
+        "write_gets": float(sum(w.write_gets for w in walks)),
         "write_first_touches": float(
-            sum(c.stats.first_touches for c in caches)
+            sum(w.write_first_touches for w in walks)
         ),
-        "simd_shuffles": float(ops.shuffle),
+        "simd_shuffles": float(sum(w.shuffles for w in walks)),
     }
-    fast = run_kernel(system, plist, nb_params, spec, params, tracer=tracer)
+    fast = run_kernel(
+        system, plist, nb_params, spec, params, tracer=tracer, backend=backend
+    )
     return KernelResult(
         name=spec.name + "(seq)",
         forces=forces,

@@ -83,6 +83,47 @@ def write_trace_for_range(
     return np.insert(js, insert_at, i_vals)
 
 
+@dataclass(frozen=True)
+class _PartitionStatsTask:
+    """Picklable per-CPE trace-analysis work unit for the parallel backend.
+
+    Carries the partition's trace *slices* (small, pair-list-sized) plus
+    the scalar geometry facts the analyses need — never the particle
+    arrays, which the analyses provably do not read.
+    """
+
+    lo: int
+    hi: int
+    params: ChipParams
+    read_trace: np.ndarray | None  # j-package trace, None if read stats unneeded
+    write_trace: np.ndarray | None  # force-update trace, None if unneeded
+    data_line_bytes: int
+    use_mark: bool
+    want_write: bool
+    want_touched: bool
+
+
+def _partition_stats_job(
+    task: _PartitionStatsTask,
+) -> tuple[ReadTraceStats | None, WriteTraceStats | None, int | None]:
+    """Run one CPE partition's trace analyses (pure; runs in any process)."""
+    rstats = None
+    if task.read_trace is not None:
+        rstats = analyze_read_trace(
+            task.read_trace, task.data_line_bytes, task.params
+        )
+    wstats = None
+    if task.want_write:
+        wstats = analyze_write_trace(
+            task.write_trace, task.params, use_mark=task.use_mark
+        )
+    tlines = None
+    if task.want_touched:
+        amap = AddressMap(task.params.index_bits, task.params.offset_bits)
+        tlines = int(len(np.unique(task.write_trace >> amap.offset_bits)))
+    return rstats, wstats, tlines
+
+
 def position_fingerprint(positions: np.ndarray) -> bytes:
     """Cheap, collision-safe fingerprint of a coordinate array.
 
@@ -132,6 +173,8 @@ class StepCache:
     # -- lifecycle ---------------------------------------------------------
     def invalidate(self) -> None:
         """Drop everything (pair-list rebuild or checkpoint restore)."""
+        for plist in self._plists.values():
+            plist.invalidate()  # the list's own gather memo dies with us
         self._plists.clear()
         self._topo.clear()
         self._state.clear()
@@ -275,6 +318,89 @@ class StepCache:
 
         return self._topo_get(key, compute)
 
+    # -- parallel priming ---------------------------------------------------
+    def prime_partition_stats(
+        self,
+        plist: ClusterPairList,
+        n_cpes: int,
+        packed: PackedParticles,
+        params: ChipParams,
+        *,
+        read: bool,
+        write: bool,
+        use_mark: bool,
+        touched: bool,
+        backend,
+    ) -> None:
+        """Fan the per-CPE trace analyses across a parallel backend.
+
+        Computes exactly the entries the subsequent `run_kernel` loop
+        would compute serially — read-trace stats, write-trace stats,
+        touched-line counts per partition — and stores them under the
+        same `_topo` keys, so the serial getters then hit.  Values are
+        bit-identical by construction: the workers run the same pure
+        functions on the same trace slices, and results are stored in
+        partition order.  Serial or already-cached entries make this a
+        no-op; only missing analyses are shipped.
+
+        (Counter note: primed entries count as `topo_misses` here and as
+        `topo_hits` at the getter, so hit counts differ from a serial run
+        even though every cached *value* is identical.)
+        """
+        if not getattr(backend, "parallel", False):
+            return
+        if not (read or write or touched):
+            return
+        parts = self.partitions(plist, n_cpes)
+        pid = self._pin(plist)
+        tasks: list[_PartitionStatsTask] = []
+        keys: list[tuple[tuple | None, tuple | None, tuple | None]] = []
+        for lo, hi in parts:
+            rkey = ("rstats", pid, lo, hi, params, packed.data_line_bytes)
+            wkey = ("wstats", pid, lo, hi, params, use_mark)
+            tkey = ("tlines", pid, lo, hi, params.offset_bits)
+            want_r = read and rkey not in self._topo
+            want_w = write and wkey not in self._topo
+            want_t = touched and tkey not in self._topo
+            if not (want_r or want_w or want_t):
+                continue
+            rtrace = None
+            if want_r:
+                s, e = int(plist.i_starts[lo]), int(plist.i_starts[hi])
+                rtrace = plist.pair_cj[s:e].astype(np.int64)
+            wtrace = (
+                self.write_trace(plist, lo, hi) if (want_w or want_t) else None
+            )
+            tasks.append(
+                _PartitionStatsTask(
+                    lo=lo,
+                    hi=hi,
+                    params=params,
+                    read_trace=rtrace,
+                    write_trace=wtrace,
+                    data_line_bytes=packed.data_line_bytes,
+                    use_mark=use_mark,
+                    want_write=want_w,
+                    want_touched=want_t,
+                )
+            )
+            keys.append(
+                (
+                    rkey if want_r else None,
+                    wkey if want_w else None,
+                    tkey if want_t else None,
+                )
+            )
+        if not tasks:
+            return
+        for (rkey, wkey, tkey), (rstats, wstats, tlines) in zip(
+            keys, backend.map(_partition_stats_job, tasks)
+        ):
+            for key, value in ((rkey, rstats), (wkey, wstats), (tkey, tlines)):
+                if key is not None:
+                    self._topo[key] = value
+                    self.stats.topo_misses += 1
+
 
 @dataclass
 class _NullStats:
@@ -340,3 +466,6 @@ class NullStepCache:
         return int(
             len(np.unique(self.write_trace(plist, lo, hi) >> amap.offset_bits))
         )
+
+    def prime_partition_stats(self, *args, **kwargs) -> None:
+        """Reuse off: nothing to prime (getters always recompute)."""

@@ -19,6 +19,7 @@ from repro.hw.params import ChipParams, DEFAULT_PARAMS
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import ClusterPairList, build_pair_list
 from repro.md.system import ParticleSystem
+from repro.parallel.pool import ExecutionBackend, shared_backend
 
 
 @dataclass(frozen=True)
@@ -86,6 +87,7 @@ def run_ladder(
     nb_params: NonbondedParams | None = None,
     params: ChipParams = DEFAULT_PARAMS,
     baseline_label: str = "Ori",
+    backend: str | ExecutionBackend | None = None,
 ) -> LadderResult:
     """Run a set of strategies on one system; compute speedups vs. baseline.
 
@@ -96,14 +98,20 @@ def run_ladder(
     state (one more for the mirrored full list if RCA is included) —
     labels that alias the same spec (``Mark`` / ``MARK_GMX``) share all
     cached pieces too.
+
+    ``backend`` fans the pair-list exact filter and per-CPE trace
+    analyses across worker processes (name, `ExecutionBackend`, or None
+    for ``REPRO_BACKEND``-or-serial); results are bit-identical.
     """
     nb_params = nb_params or NonbondedParams()
-    plist = build_pair_list(system, nb_params.r_list)
+    backend = shared_backend(backend)
+    plist = build_pair_list(system, nb_params.r_list, backend=backend)
     cache = StepCache()
     results: dict[str, KernelResult] = {}
     for strat in strategies:
         results[strat.label] = run_kernel(
-            system, plist, nb_params, strat.spec, params, cache=cache
+            system, plist, nb_params, strat.spec, params, cache=cache,
+            backend=backend,
         )
     if baseline_label not in results:
         base = run_kernel(
@@ -113,6 +121,7 @@ def run_ladder(
             get_strategy(baseline_label).spec,
             params,
             cache=cache,
+            backend=backend,
         )
     else:
         base = results[baseline_label]

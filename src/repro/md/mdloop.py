@@ -23,6 +23,7 @@ from repro.md.forces import compute_short_range
 from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import ClusterPairList, build_pair_list
+from repro.parallel.pool import shared_backend
 from repro.md.pme import PmeParams, PmeSolver
 from repro.md.reporter import EnergyFrame, EnergyReporter
 from repro.md.system import ParticleSystem
@@ -66,6 +67,11 @@ class MdConfig:
     #: Checkpoint cadence/path (fault injection is an engine-side
     #: concept; the reference loop only checkpoints).
     resilience: ResiliencePolicy = field(default_factory=ResiliencePolicy)
+    #: Host-parallel execution backend (DESIGN.md §9): "serial", "pool",
+    #: or None for ``REPRO_BACKEND``-or-serial.  Used for the pair-list
+    #: exact filter; the list is bit-identical either way.
+    backend: str | None = None
+    workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.use_pme and self.nonbonded.coulomb_mode != "ewald":
@@ -112,6 +118,7 @@ class MdLoop:
             system, self.config.constraint_algorithm
         )
         self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
+        self.backend = shared_backend(self.config.backend, self.config.workers)
         self.pme = (
             PmeSolver(system.box, self.config.pme) if self.config.use_pme else None
         )
@@ -171,7 +178,9 @@ class MdLoop:
 
     def _rebuild_pairlist(self, timing: KernelTiming, step: int = 0) -> None:
         t0 = time.perf_counter()
-        self.pairlist = build_pair_list(self.system, self.config.nonbonded.r_list)
+        self.pairlist = build_pair_list(
+            self.system, self.config.nonbonded.r_list, backend=self.backend
+        )
         self._add(timing, KERNEL_NEIGHBOR, time.perf_counter() - t0)
         self._pairlist_rebuild_step = step
         self._pairlist_ref_positions = self.system.positions.copy()

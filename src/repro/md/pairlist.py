@@ -24,8 +24,14 @@ import numpy as np
 from repro.md.box import Box
 from repro.md.cells import CellGrid
 from repro.md.system import ParticleSystem
+from repro.parallel.pool import as_input, shared_inputs
 
 CLUSTER_SIZE = 4
+
+#: Cap on distinct (array, dtype, fill) gather memo entries per list —
+#: generous for real kernels (positions/charges/types/mols and a few
+#: study properties) while bounding long multi-property sweeps.
+GATHER_CACHE_MAX = 16
 
 
 @dataclass
@@ -123,12 +129,22 @@ class ClusterPairList:
         cache = self.__dict__.setdefault("_gather_cache", {})
         out = cache.get(key)
         if out is None:
+            # Bounded FIFO: a long multi-property sweep against one
+            # long-lived list cannot grow the memo without limit.
+            while len(cache) >= GATHER_CACHE_MAX:
+                cache.pop(next(iter(cache)))
             out = self.gather(per_particle, fill)
             if dtype is not None and out.dtype != np.dtype(dtype):
                 out = out.astype(dtype)
             out.setflags(write=False)
             cache[key] = out
         return out
+
+    def invalidate(self) -> None:
+        """Drop memoised gathers.  `StepCache.invalidate` calls this for
+        every pinned list, so the rebuild/restore invalidation rule of
+        DESIGN.md §8 covers this memo too."""
+        self.__dict__.pop("_gather_cache", None)
 
     def scatter_add(self, target: np.ndarray, sorted_values: np.ndarray) -> None:
         """Accumulate sorted-slot values back into original particle order."""
@@ -234,6 +250,7 @@ def build_pair_list(
     rlist: float,
     half: bool = True,
     exact_filter: bool = True,
+    backend=None,
 ) -> ClusterPairList:
     """Build the cluster pair list for the current positions.
 
@@ -243,6 +260,11 @@ def build_pair_list(
     per-pair bounding spheres; then (``exact_filter``) keep only pairs with
     an actual particle distance below ``rlist`` — the 4x4 distance work the
     paper's §3.5 neighbour-search kernel performs.
+
+    ``backend`` (an `ExecutionBackend` or None for in-process) fans the
+    exact-filter chunks — the dominant cost on large systems — across
+    worker processes; chunk results concatenate in order, so the built
+    list is bit-identical regardless of backend.
     """
     from scipy.spatial import cKDTree
 
@@ -277,7 +299,9 @@ def build_pair_list(
         keep = d <= rlist + radii[ci] + radii[cj]
         ci, cj = ci[keep], cj[keep]
         if exact_filter and len(ci):
-            keep = _exact_cluster_filter(sorted_pos, box, ci, cj, rlist)
+            keep = _exact_cluster_filter(
+                sorted_pos, box, ci, cj, rlist, backend=backend
+            )
             ci, cj = ci[keep], cj[keep]
         order2 = np.argsort(ci, kind="stable")
         ci, cj = ci[order2], cj[order2]
@@ -300,6 +324,26 @@ def build_pair_list(
     return plist if half else plist.to_full()
 
 
+@dataclass
+class _ExactFilterTask:
+    """One chunk of candidate cluster pairs for the exact distance filter."""
+
+    positions: object  # sorted slot positions (SharedArray under pool)
+    box: np.ndarray
+    ci: np.ndarray
+    cj: np.ndarray
+    rlist: float
+
+
+def _exact_filter_job(task: _ExactFilterTask) -> np.ndarray:
+    """Boolean keep mask for one chunk (pure; runs in any process)."""
+    members = as_input(task.positions).reshape(-1, CLUSTER_SIZE, 3)
+    dr = members[task.ci, :, None, :] - members[task.cj, None, :, :]
+    dr -= task.box * np.round(dr / task.box)
+    r2 = np.sum(dr * dr, axis=-1)
+    return r2.min(axis=(1, 2)) < task.rlist * task.rlist
+
+
 def _exact_cluster_filter(
     sorted_pos: np.ndarray,
     box: Box,
@@ -307,18 +351,38 @@ def _exact_cluster_filter(
     cj: np.ndarray,
     rlist: float,
     chunk: int = 262144,
+    backend=None,
 ) -> np.ndarray:
-    """True where some 4x4 particle distance of the cluster pair < rlist."""
-    members = sorted_pos.reshape(-1, CLUSTER_SIZE, 3)
+    """True where some 4x4 particle distance of the cluster pair < rlist.
+
+    Chunked to bound the 16x distance-matrix memory; with a parallel
+    ``backend`` and more than one chunk, chunks run on worker processes
+    (same math, ordered concatenation — bit-identical output).
+    """
     box_arr = box.array
+    bounds = range(0, len(ci), chunk)
+    if getattr(backend, "parallel", False) and len(ci) > chunk:
+        with shared_inputs(backend, positions=sorted_pos) as shared:
+            masks = backend.map(
+                _exact_filter_job,
+                [
+                    _ExactFilterTask(
+                        positions=shared["positions"],
+                        box=box_arr,
+                        ci=ci[lo : lo + chunk],
+                        cj=cj[lo : lo + chunk],
+                        rlist=rlist,
+                    )
+                    for lo in bounds
+                ],
+            )
+        return np.concatenate(masks)
     keep = np.empty(len(ci), dtype=bool)
-    r2_cut = rlist * rlist
-    for lo in range(0, len(ci), chunk):
+    for lo in bounds:
         hi = min(len(ci), lo + chunk)
-        dr = members[ci[lo:hi], :, None, :] - members[cj[lo:hi], None, :, :]
-        dr -= box_arr * np.round(dr / box_arr)
-        r2 = np.sum(dr * dr, axis=-1)
-        keep[lo:hi] = r2.min(axis=(1, 2)) < r2_cut
+        keep[lo:hi] = _exact_filter_job(
+            _ExactFilterTask(sorted_pos, box_arr, ci[lo:hi], cj[lo:hi], rlist)
+        )
     return keep
 
 
@@ -333,35 +397,37 @@ def brute_force_pairs(system: ParticleSystem, r_cut: float) -> set[tuple[int, in
         hi = min(n, lo + chunk)
         d = system.box.distance(pos[lo:hi, None, :], pos[None, :, :])
         ii, jj = np.nonzero(d < r_cut)
-        for a, b in zip(ii + lo, jj):
-            if a < b:
-                pairs.add((int(a), int(b)))
+        ii = ii + lo
+        upper = ii < jj
+        pairs.update(zip(ii[upper].tolist(), jj[upper].tolist()))
     return pairs
 
 
 def pair_list_covers(
     plist: ClusterPairList, pairs: set[tuple[int, int]]
 ) -> bool:
-    """Check every oracle particle pair lies in some listed cluster pair."""
+    """Check every oracle particle pair lies in some listed cluster pair.
+
+    Fully vectorised: listed cluster pairs and queried pairs are encoded
+    as ``ci * n_clusters + cj`` scalars and membership-tested with
+    `np.isin` (tests pin the result to a scalar reference walk).
+    """
+    if not pairs:
+        return True
     n_clusters = plist.n_clusters
-    listed = set(
-        (int(a), int(b))
-        for a, b in zip(plist.pair_ci.astype(int), plist.pair_cj.astype(int))
+    listed = np.unique(
+        plist.pair_ci.astype(np.int64) * n_clusters
+        + plist.pair_cj.astype(np.int64)
     )
-    slot_of = np.full(plist.perm.max() + 1 if len(plist.perm) else 0, -1, dtype=np.int64)
-    for slot, orig in enumerate(plist.perm):
-        if orig >= 0:
-            slot_of[orig] = slot
-    for i, j in pairs:
-        ci = int(slot_of[i]) // CLUSTER_SIZE
-        cj = int(slot_of[j]) // CLUSTER_SIZE
-        a, b = (ci, cj) if ci <= cj else (cj, ci)
-        if plist.half:
-            if (a, b) not in listed:
-                return False
-        else:
-            if (ci, cj) not in listed and ci != cj:
-                return False
-            if ci == cj and (ci, cj) not in listed:
-                return False
-    return True
+    slot_of = np.full(
+        int(plist.perm.max()) + 1 if len(plist.perm) else 0, -1, dtype=np.int64
+    )
+    real = plist.perm >= 0
+    slot_of[plist.perm[real]] = np.nonzero(real)[0]
+    query = np.array(list(pairs), dtype=np.int64)
+    ci = slot_of[query[:, 0]] // CLUSTER_SIZE
+    cj = slot_of[query[:, 1]] // CLUSTER_SIZE
+    if plist.half:
+        # The half list stores each unordered pair once, canonically.
+        ci, cj = np.minimum(ci, cj), np.maximum(ci, cj)
+    return bool(np.all(np.isin(ci * n_clusters + cj, listed)))

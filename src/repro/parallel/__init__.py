@@ -21,6 +21,23 @@ from repro.parallel.mpi_sim import (
     alltoall_seconds,
     mpi_message_seconds,
 )
+from repro.parallel.multirank import (
+    MultiRankResult,
+    RankResult,
+    derive_rank_faults,
+    run_mpi_ranks,
+)
+from repro.parallel.pool import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    SharedArray,
+    WorkerCrashError,
+    host_cpu_count,
+    resolve_backend,
+    shared_backend,
+)
 from repro.parallel.rdma import (
     crossover_size_bytes,
     rdma_message_seconds,
@@ -30,22 +47,35 @@ from repro.parallel.rdma import (
 
 __all__ = [
     "AthreadSpawnError",
+    "BACKEND_NAMES",
     "CommBreakdown",
     "DomainDecomposition",
     "ENERGY_RECORD_BYTES",
+    "ExecutionBackend",
+    "MultiRankResult",
+    "PoolBackend",
+    "RankResult",
+    "SerialBackend",
+    "SharedArray",
     "SimComm",
     "SpawnReport",
     "Subdomain",
+    "WorkerCrashError",
     "allreduce_seconds",
     "alltoall_seconds",
     "block_partition",
     "crossover_size_bytes",
+    "derive_rank_faults",
     "factor_ranks",
     "halo_bytes_per_step",
+    "host_cpu_count",
     "mpi_message_seconds",
     "rdma_message_seconds",
     "rdma_message_seconds_with_faults",
     "rdma_speedup",
+    "resolve_backend",
+    "run_mpi_ranks",
+    "shared_backend",
     "spawn",
     "step_comm_seconds",
     "weighted_partition",

@@ -1,0 +1,241 @@
+"""Multi-rank engine runs: one real worker per simulated MPI rank.
+
+The engine models multi-CG runs through SPMD symmetry (one
+representative core group + a communication model).  This module runs
+*many* per-rank engines — the shape of a real ``mpirun`` — and gives
+each simulated rank a real host process via `repro.parallel.pool`
+(DESIGN.md §9).  Ranks are embarrassingly parallel between collectives:
+each runs its own dynamics, checkpoints, and fault plan; the parent then
+executes the functional collectives (energy allreduce over `SimComm`)
+and merges results in rank order.
+
+Determinism contract (test-enforced):
+
+* per-rank fault plans derive from the base `FaultSpec` as
+  ``seed + 1 + rank`` in the *parent*, so rank r replays the same fault
+  schedule on any backend and any worker count;
+* the collective message-loss stream uses its own derived seed
+  (``seed + COMM_SEED_OFFSET``) and runs parent-side only;
+* results, trace events, and fault counts merge in rank-id order.
+
+Worker-local tracers: each rank records onto a private `Tracer`; on join
+the parent absorbs them rank-by-rank, shifting CPE tracks by
+``rank * n_cpes`` so rank timelines sit side by side (MPE/DMA
+pseudo-tracks stay shared — see `Tracer.absorb`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.md.system import ParticleSystem
+from repro.parallel.mpi_sim import MessageStats, SimComm, mpi_message_seconds
+from repro.parallel.pool import shared_backend
+from repro.parallel.rdma import rdma_message_seconds
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.trace.events import NULL_TRACER, NullTracer, TraceEvent, Tracer
+
+#: Seed offset for the parent-side collective message-loss stream, kept
+#: clear of the per-rank streams (``seed + 1 + rank``) for any sane rank
+#: count.
+COMM_SEED_OFFSET = 100_003
+
+
+def derive_rank_faults(base: FaultSpec | None, rank: int) -> FaultSpec | None:
+    """Per-rank fault schedule: same rates, rank-decorrelated stream.
+
+    Derived in the parent (never inside a worker), so the schedule is a
+    pure function of ``(base.seed, rank)`` — identical under serial and
+    pool backends and any worker count.
+    """
+    if base is None:
+        return None
+    return replace(base, seed=base.seed + 1 + rank)
+
+
+@dataclass
+class _RankTask:
+    """Picklable work unit: run one simulated rank's engine."""
+
+    rank: int
+    system: ParticleSystem
+    config: object  # EngineConfig (imported lazily to avoid a cycle)
+    n_steps: int
+    traced: bool
+
+
+@dataclass
+class RankResult:
+    """One rank's slimmed engine outcome (everything merge needs)."""
+
+    rank: int
+    n_steps: int
+    potential: float
+    kinetic: float
+    temperature: float
+    positions: np.ndarray
+    velocities: np.ndarray
+    modelled_seconds: float
+    timing_seconds: dict[str, float]
+    fault_counts: tuple[int, int, int] | None  # (dma, cpe, msg)
+    checkpoints_written: int
+    events: list[TraceEvent] = field(default_factory=list)
+
+
+def _run_rank_job(task: _RankTask) -> RankResult:
+    """Run one rank's engine (pure up to checkpoint files; any process)."""
+    from repro.core.engine import SWGromacsEngine
+
+    tracer = Tracer(task.config.chip) if task.traced else NULL_TRACER
+    # Copy so the serial backend leaves the caller's system untouched —
+    # the pool backend gets a pickled copy implicitly.
+    engine = SWGromacsEngine(task.system.copy(), task.config, tracer=tracer)
+    res = engine.run(task.n_steps)
+    counts = res.fault_counts
+    return RankResult(
+        rank=task.rank,
+        n_steps=res.n_steps,
+        potential=(
+            res.reporter.frames[-1].potential if res.reporter.frames else 0.0
+        ),
+        kinetic=res.system.kinetic_energy(),
+        temperature=res.system.temperature(),
+        positions=res.system.positions,
+        velocities=res.system.velocities,
+        modelled_seconds=res.modelled_seconds,
+        timing_seconds=dict(res.timing.seconds),
+        fault_counts=(
+            (counts.dma_errors, counts.cpe_losses, counts.messages_lost)
+            if counts is not None
+            else None
+        ),
+        checkpoints_written=res.checkpoints_written,
+        events=tracer.events if task.traced else [],
+    )
+
+
+@dataclass
+class MultiRankResult:
+    """Merged outcome of an ``n_ranks``-way simulated-MPI engine run."""
+
+    ranks: list[RankResult]
+    #: Allreduced [potential, kinetic] over all ranks (functional).
+    reduced_energy: np.ndarray
+    #: Modelled collective time + message-loss recovery for the run.
+    comm_seconds: float
+    comm_stats: MessageStats
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.ranks)
+
+    @property
+    def modelled_seconds(self) -> float:
+        """SPMD step time: slowest rank + the energy collectives."""
+        return (
+            max(r.modelled_seconds for r in self.ranks) + self.comm_seconds
+        )
+
+
+def run_mpi_ranks(
+    systems: ParticleSystem | list[ParticleSystem],
+    n_steps: int,
+    config=None,
+    n_ranks: int | None = None,
+    backend=None,
+    tracer: NullTracer = NULL_TRACER,
+) -> MultiRankResult:
+    """Run ``n_ranks`` per-rank engines, one real worker per rank.
+
+    ``systems`` is either one system (every rank runs its own copy —
+    SPMD) or one per rank.  ``config`` is an
+    `repro.core.engine.EngineConfig` template; per-rank configs derive
+    from it in the parent (rank-seeded faults, per-rank checkpoint
+    paths).  ``backend`` accepts a name, an `ExecutionBackend`, or None
+    for ``REPRO_BACKEND``-or-serial.
+
+    The allreduce at the end is functional *and* modelled: energies
+    really are summed across ranks through `SimComm`, and its modelled
+    time (with message-loss retries under the derived comm fault stream)
+    is charged to ``comm_seconds``.
+    """
+    from repro.core.engine import EngineConfig
+
+    if isinstance(systems, ParticleSystem):
+        if n_ranks is None:
+            raise ValueError("n_ranks is required with a single system")
+        systems = [systems] * n_ranks
+    elif n_ranks is not None and n_ranks != len(systems):
+        raise ValueError(
+            f"n_ranks={n_ranks} but {len(systems)} systems were given"
+        )
+    n_ranks = len(systems)
+    if n_ranks < 1:
+        raise ValueError(f"n_ranks must be >= 1: {n_ranks}")
+    if config is None:
+        config = EngineConfig()
+    backend = shared_backend(backend)
+
+    tasks = []
+    for rank, system in enumerate(systems):
+        policy = config.resilience
+        rank_policy = replace(
+            policy,
+            faults=derive_rank_faults(policy.faults, rank),
+            checkpoint_path=(
+                f"{policy.checkpoint_path}.rank{rank}"
+                if policy.checkpoint_every
+                else policy.checkpoint_path
+            ),
+        )
+        # Ranks are the parallel grain here: the per-rank engine always
+        # runs serially inside its worker, whatever backend the caller's
+        # template names — nesting pools would fork from forked workers.
+        rank_config = replace(
+            config, resilience=rank_policy, backend="serial", workers=None
+        )
+        tasks.append(
+            _RankTask(
+                rank=rank,
+                system=system,
+                config=rank_config,
+                n_steps=n_steps,
+                traced=tracer.enabled,
+            )
+        )
+    results = backend.map(_run_rank_job, tasks)
+
+    # ---- deterministic rank-ordered merge ---------------------------------
+    if tracer.enabled:
+        for r in results:
+            tracer.absorb(r.events, track_offset=r.rank * config.chip.n_cpes)
+
+    message_seconds = (
+        rdma_message_seconds
+        if config.optimization_level >= 3
+        else mpi_message_seconds
+    )
+    base = config.resilience.faults
+    comm_plan = (
+        FaultPlan(replace(base, seed=base.seed + COMM_SEED_OFFSET))
+        if base is not None and base.msg_loss_rate > 0.0
+        else None
+    )
+    comm = SimComm(
+        n_ranks,
+        params=config.chip,
+        message_seconds=message_seconds,
+        fault_plan=comm_plan,
+        retry=config.resilience.retry,
+    )
+    reduced = comm.allreduce_sum(
+        [np.array([r.potential, r.kinetic]) for r in results]
+    )
+    return MultiRankResult(
+        ranks=list(results),
+        reduced_energy=reduced,
+        comm_seconds=comm.stats.seconds,
+        comm_stats=comm.stats,
+    )

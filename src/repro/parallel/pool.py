@@ -1,0 +1,384 @@
+"""Host-parallel execution backend: real worker processes for simulated work.
+
+The simulator models 64 CPEs, many ranks, and whole benchmark suites — yet
+until this module everything executed serially in one CPython process.
+GROMACS itself ships the same shape of work as multi-level parallelism
+over real cores (Páll et al. 2015, 2020); this is the host-side analogue
+for the reproduction (DESIGN.md §9).
+
+Two interchangeable backends behind one tiny interface:
+
+* :class:`SerialBackend` — in-process, zero dependencies, the default.
+  ``map`` is a plain ordered loop, ``share`` hands arrays through
+  untouched.
+* :class:`PoolBackend` — a ``concurrent.futures.ProcessPoolExecutor``
+  over ``n_workers`` real processes.  Large read-only numpy arrays
+  (positions, charges, LJ tables) travel once through POSIX shared
+  memory (:class:`SharedArray`); per-task payloads (pair-list slices,
+  partition bounds) are pickled per task.
+
+Determinism contract (test-enforced in ``tests/parallel/test_pool.py``):
+``map`` returns results in task-submission order on both backends, and
+every job function in this repo is a pure function of its arguments —
+so forces, energies, cache counters, trace-event multisets, and fault
+replays are *bit-identical* between ``serial`` and ``pool``.
+
+Backend selection: explicit argument > ``REPRO_BACKEND`` env var >
+``"serial"``; worker count: explicit > ``REPRO_WORKERS`` env var > host
+CPU count.  A worker process that dies mid-task surfaces as
+:class:`WorkerCrashError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import get_context, shared_memory
+
+import numpy as np
+
+#: Environment variables the CLI / CI use to select the backend globally.
+BACKEND_ENV = "REPRO_BACKEND"
+WORKERS_ENV = "REPRO_WORKERS"
+
+BACKEND_NAMES = ("serial", "pool")
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died (signal, os._exit, OOM kill) mid-task.
+
+    Raised instead of hanging or surfacing the cryptic
+    ``BrokenProcessPool`` so callers can tell a crashed *worker* apart
+    from a bug in the task function (which propagates as itself).
+    """
+
+
+def host_cpu_count() -> int:
+    """Usable CPUs for worker processes (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arrays
+# ---------------------------------------------------------------------------
+
+#: Per-process cache of attached segments: name -> (SharedMemory, ndarray).
+#: Workers attach once per segment and keep the mapping for the process
+#: lifetime (closing the segment would invalidate live views).
+_ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+def _untrack(shm: shared_memory.SharedMemory) -> None:
+    """Detach a segment from the resource tracker (attach-side only).
+
+    Only the creating process owns unlink; without this, every worker
+    attach registers the segment again and the tracker warns about (or
+    double-frees) it at worker exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class SharedArray:
+    """Picklable handle to a numpy array living in POSIX shared memory.
+
+    The creating process calls :meth:`create` (copies the array in) and
+    eventually :meth:`unlink`; any process — including the creator —
+    reads it back with :meth:`array`, which returns a *read-only* view.
+    Pickling moves only ``(name, shape, dtype)``, never the payload.
+    """
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @classmethod
+    def create(cls, arr: np.ndarray) -> "SharedArray":
+        arr = np.ascontiguousarray(arr)
+        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+        view[...] = arr
+        handle = cls(name=shm.name, shape=tuple(arr.shape), dtype=arr.dtype.str)
+        # The creator keeps its mapping alive through the same cache the
+        # workers use, so `.array()` works uniformly everywhere.
+        _ATTACHED[shm.name] = (shm, view)
+        return handle
+
+    def array(self) -> np.ndarray:
+        entry = _ATTACHED.get(self.name)
+        if entry is None:
+            shm = shared_memory.SharedMemory(name=self.name)
+            _untrack(shm)
+            view = np.ndarray(self.shape, dtype=np.dtype(self.dtype), buffer=shm.buf)
+            _ATTACHED[self.name] = (shm, view)
+            entry = _ATTACHED[self.name]
+        out = entry[1]
+        out = out.view()
+        out.setflags(write=False)
+        return out
+
+    def unlink(self) -> None:
+        """Free the segment (creator only; views in live workers survive
+        on Linux until the last mapping closes)."""
+        entry = _ATTACHED.pop(self.name, None)
+        if entry is not None:
+            shm = entry[0]
+        else:
+            try:
+                shm = shared_memory.SharedMemory(name=self.name)
+            except FileNotFoundError:
+                return
+        try:
+            shm.close()
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Backends
+# ---------------------------------------------------------------------------
+
+
+class SerialBackend:
+    """In-process fallback: the behaviour every pool result is pinned to."""
+
+    name = "serial"
+    n_workers = 1
+
+    @property
+    def parallel(self) -> bool:
+        return False
+
+    def map(self, fn, items) -> list:
+        return [fn(item) for item in items]
+
+    def share(self, arr: np.ndarray) -> np.ndarray:
+        """Serial tasks read the array directly; no copy, no segment."""
+        return np.asarray(arr)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+def _worker_init() -> None:
+    """Executed in every pool worker at startup: force nested backend
+    resolution to ``serial``.
+
+    Jobs may run whole engines (multi-rank runs, benchmark fan-outs)
+    whose internals resolve their own backend from the environment; in a
+    worker that must come out serial, or every worker would spawn its
+    own grand-child pool and oversubscribe the host.
+    """
+    os.environ[BACKEND_ENV] = "serial"
+
+
+class PoolBackend:
+    """Process-pool backend over ``n_workers`` real host cores.
+
+    The executor is created lazily on the first :meth:`map`, so merely
+    configuring ``backend="pool"`` costs nothing until parallel work
+    exists.  Shared segments created through :meth:`share` are tracked
+    and freed on :meth:`close` (or context-manager exit).
+    """
+
+    name = "pool"
+
+    def __init__(self, n_workers: int | None = None) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        self.n_workers = n_workers or max(host_cpu_count(), 2)
+        self._executor: ProcessPoolExecutor | None = None
+        self._shared: list[SharedArray] = []
+
+    @property
+    def parallel(self) -> bool:
+        return self.n_workers > 1
+
+    def _ensure_executor(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            try:
+                ctx = get_context("fork")  # cheap on Linux; inherits pages
+            except ValueError:
+                ctx = get_context()
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=ctx,
+                initializer=_worker_init,
+            )
+        return self._executor
+
+    def map(self, fn, items) -> list:
+        """Ordered parallel map.  Task exceptions propagate as themselves;
+        a dead worker raises :class:`WorkerCrashError`."""
+        items = list(items)
+        if not items:
+            return []
+        executor = self._ensure_executor()
+        try:
+            return list(executor.map(fn, items))
+        except BrokenProcessPool as exc:
+            # The executor is unusable after a worker death; drop it so a
+            # retry on this backend starts a fresh pool.
+            self._executor = None
+            raise WorkerCrashError(
+                f"a {self.name} backend worker process died while running "
+                f"{getattr(fn, '__name__', fn)!r} over {len(items)} task(s); "
+                "the pool has been discarded (common causes: OOM kill, "
+                "os._exit in task code, a native-extension crash)"
+            ) from exc
+
+    def share(self, arr: np.ndarray) -> SharedArray:
+        """Publish a read-only array to workers via shared memory."""
+        handle = SharedArray.create(arr)
+        self._shared.append(handle)
+        return handle
+
+    def release_shared(self) -> None:
+        """Free all segments created by :meth:`share` (between phases)."""
+        for handle in self._shared:
+            handle.unlink()
+        self._shared.clear()
+
+    def close(self) -> None:
+        self.release_shared()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def __enter__(self) -> "PoolBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"PoolBackend(n_workers={self.n_workers})"
+
+
+#: Union type for annotations.
+ExecutionBackend = SerialBackend | PoolBackend
+
+
+def as_input(shared) -> np.ndarray:
+    """Resolve a task input that may be a :class:`SharedArray` handle or a
+    plain array (what :meth:`SerialBackend.share` returns)."""
+    if isinstance(shared, SharedArray):
+        return shared.array()
+    return np.asarray(shared)
+
+
+def resolve_backend(
+    backend: str | ExecutionBackend | None = None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Build the execution backend from an explicit choice or environment.
+
+    Precedence: explicit ``backend`` object/name > :data:`BACKEND_ENV`
+    env var > ``"serial"``.  Worker count: explicit ``workers`` >
+    :data:`WORKERS_ENV` > host CPU count.  ``REPRO_WORKERS`` > 1 alone
+    does *not* switch the backend — selection stays explicit so the env
+    var can pre-size pools without changing semantics.
+    """
+    if isinstance(backend, (SerialBackend, PoolBackend)):
+        return backend
+    name = backend or os.environ.get(BACKEND_ENV) or "serial"
+    name = name.lower()
+    if name not in BACKEND_NAMES:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            workers = int(env)
+    if name == "serial":
+        return SerialBackend()
+    return PoolBackend(n_workers=workers)
+
+
+#: Process-wide backend cache keyed by (name, workers) — see shared_backend().
+_SHARED_BACKENDS: dict[tuple[str, int | None], ExecutionBackend] = {}
+
+
+def _close_shared_backends() -> None:
+    for be in _SHARED_BACKENDS.values():
+        be.close()
+    _SHARED_BACKENDS.clear()
+
+
+def shared_backend(
+    backend: str | ExecutionBackend | None = None,
+    workers: int | None = None,
+) -> ExecutionBackend:
+    """Resolve like :func:`resolve_backend` but reuse one process-wide
+    instance per (name, workers) pair.
+
+    Long-lived components (engines, MD loops, CLI commands) that resolve
+    their backend from config/env should use this instead of
+    :func:`resolve_backend`, so a test suite constructing hundreds of
+    engines under ``REPRO_BACKEND=pool`` shares one executor rather than
+    leaking one worker pool per engine.  Shared backends are closed at
+    interpreter exit; callers must NOT ``close()`` them.  An explicit
+    backend *object* is passed through untouched (caller owns it).
+    """
+    if isinstance(backend, (SerialBackend, PoolBackend)):
+        return backend
+    name = (backend or os.environ.get(BACKEND_ENV) or "serial").lower()
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV)
+        if env is not None:
+            workers = int(env)
+    key = (name, workers)
+    if key not in _SHARED_BACKENDS:
+        if not _SHARED_BACKENDS:
+            atexit.register(_close_shared_backends)
+        _SHARED_BACKENDS[key] = resolve_backend(name, workers)
+    return _SHARED_BACKENDS[key]
+
+
+@contextmanager
+def shared_inputs(backend, **arrays):
+    """Publish named read-only arrays for one ``backend.map`` phase.
+
+    Yields ``{name: handle}`` where each handle is a :class:`SharedArray`
+    under a parallel backend and the plain array itself otherwise (tasks
+    resolve either with :func:`as_input`).  Segments created here are
+    unlinked on exit, so call-sites own exactly the segments they made —
+    safe even when several call-sites share one backend instance.
+    """
+    created: list[SharedArray] = []
+    handles: dict[str, object] = {}
+    try:
+        for key, arr in arrays.items():
+            if getattr(backend, "parallel", False):
+                handle = SharedArray.create(arr)
+                created.append(handle)
+                handles[key] = handle
+            else:
+                handles[key] = np.asarray(arr)
+        yield handles
+    finally:
+        for handle in created:
+            handle.unlink()

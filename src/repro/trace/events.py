@@ -114,6 +114,9 @@ class NullTracer:
     def advance(self, cpe_id: int, cycles: float) -> None:
         """Move a track's cursor forward without recording an event."""
 
+    def absorb(self, events: list["TraceEvent"], track_offset: int = 0) -> None:
+        """Merge a worker-local tracer's events (no-op here)."""
+
     def cursor(self, cpe_id: int) -> float:
         """Current cursor of a track (0.0 when untouched)."""
         return 0.0
@@ -196,6 +199,25 @@ class Tracer(NullTracer):
         if not self.events:
             return 0.0
         return max(e.end_cycle for e in self.events)
+
+    # --- merging -----------------------------------------------------------
+    def absorb(self, events: list[TraceEvent], track_offset: int = 0) -> None:
+        """Merge another tracer's recorded events into this timeline.
+
+        The host-parallel backend (DESIGN.md §9) gives each worker a
+        private tracer; on join the parent absorbs the per-worker event
+        lists in a deterministic order (CPE-id / rank order), so the
+        merged timeline is bit-identical to a serial run.  Events keep
+        their absolute positions; ``track_offset`` shifts non-negative
+        track ids (multi-rank merges place rank r at offset r * n_cpes;
+        the MPE/DMA pseudo-tracks are never shifted).
+        """
+        for e in events:
+            track = e.cpe_id + track_offset if e.cpe_id >= 0 else e.cpe_id
+            self.span(
+                e.name, e.category, track, e.start_cycle,
+                e.duration_cycles, **e.args,
+            )
 
     # --- queries -----------------------------------------------------------
     def __len__(self) -> int:

@@ -143,3 +143,118 @@ class TestPairListCoverage:
     def test_cutoff_too_large_rejected(self, lj_small):
         with pytest.raises(ValueError):
             build_pair_list(lj_small, lj_small.box.min_edge)
+
+
+def _brute_force_pairs_scalar(system, r_cut):
+    """Pre-vectorisation reference: per-pair python loop over the chunked
+    distance matrix (the exact old `brute_force_pairs` body)."""
+    pos = system.box.wrap(system.positions)
+    n = len(pos)
+    pairs = set()
+    chunk = max(1, int(4e6) // max(n, 1))
+    for lo in range(0, n, chunk):
+        hi = min(n, lo + chunk)
+        d = system.box.distance(pos[lo:hi, None, :], pos[None, :, :])
+        ii, jj = np.nonzero(d < r_cut)
+        for i, j in zip(ii + lo, jj):
+            if i < j:
+                pairs.add((int(i), int(j)))
+    return pairs
+
+
+def _pair_list_covers_scalar(plist, pairs):
+    """Pre-vectorisation reference: per-pair permutation walk."""
+    listed = set(zip(plist.pair_ci.tolist(), plist.pair_cj.tolist()))
+    slot_of = {}
+    for slot, orig in enumerate(plist.perm):
+        if orig >= 0:
+            slot_of[int(orig)] = slot
+    for i, j in pairs:
+        ci = slot_of[i] // CLUSTER_SIZE
+        cj = slot_of[j] // CLUSTER_SIZE
+        if plist.half and ci > cj:
+            ci, cj = cj, ci
+        if (ci, cj) not in listed and (
+            plist.half or (cj, ci) not in listed
+        ):
+            return False
+    return True
+
+
+class TestVectorizedOracles:
+    """The numpy-vectorised test oracles must agree with their scalar
+    predecessors bit-for-bit (satellite of the host-parallel PR)."""
+
+    def test_brute_force_pairs_matches_scalar(self, lj_small, nb_lj):
+        fast = brute_force_pairs(lj_small, nb_lj.r_list)
+        slow = _brute_force_pairs_scalar(lj_small, nb_lj.r_list)
+        assert fast == slow
+
+    def test_brute_force_pairs_matches_scalar_water(
+        self, water_small, nb_water_small
+    ):
+        fast = brute_force_pairs(water_small, nb_water_small.r_list)
+        slow = _brute_force_pairs_scalar(water_small, nb_water_small.r_list)
+        assert fast == slow
+
+    @pytest.mark.parametrize("half", [True, False])
+    def test_pair_list_covers_matches_scalar(
+        self, water_small, nb_water_small, half
+    ):
+        plist = build_pair_list(water_small, nb_water_small.r_list, half=half)
+        oracle = brute_force_pairs(water_small, nb_water_small.r_list)
+        assert pair_list_covers(plist, oracle) == _pair_list_covers_scalar(
+            plist, oracle
+        )
+        assert pair_list_covers(plist, oracle)
+
+    def test_pair_list_covers_detects_misses(self, water_small, nb_water_small):
+        plist = build_pair_list(water_small, nb_water_small.r_list)
+        # A pair well beyond the cutoff cannot be covered: find one by
+        # taking two real particles in distant clusters.
+        real_particles = plist.perm[plist.perm >= 0]
+        far = {(int(real_particles[0]), int(real_particles[-1]))}
+        if not _pair_list_covers_scalar(plist, far):
+            assert not pair_list_covers(plist, far)
+        assert pair_list_covers(plist, set()) is True
+
+
+class TestGatherCacheBound:
+    def test_memo_is_bounded_fifo(self, plist_water_small):
+        from repro.md.pairlist import GATHER_CACHE_MAX
+
+        plist = plist_water_small
+        plist.invalidate()
+        n = plist_water_small.perm.max() + 1
+        arrays = [
+            np.full(n, float(k)) for k in range(GATHER_CACHE_MAX + 5)
+        ]
+        for arr in arrays:
+            plist.gather_cached(arr)
+        cache = plist.__dict__["_gather_cache"]
+        assert len(cache) == GATHER_CACHE_MAX
+        # FIFO: the oldest entries were evicted, the newest survive.
+        assert (id(arrays[0]), None, 0.0) not in cache
+        assert (id(arrays[-1]), None, 0.0) in cache
+        plist.invalidate()
+
+    def test_invalidate_drops_memo(self, plist_water_small):
+        plist = plist_water_small
+        arr = np.arange(float(plist.perm.max() + 1))
+        first = plist.gather_cached(arr)
+        assert plist.gather_cached(arr) is first
+        plist.invalidate()
+        assert "_gather_cache" not in plist.__dict__
+        again = plist.gather_cached(arr)
+        assert again is not first
+        np.testing.assert_array_equal(again, first)
+        plist.invalidate()
+
+    def test_cached_results_read_only_and_equal_gather(self, plist_water_small):
+        plist = plist_water_small
+        arr = np.arange(float(plist.perm.max() + 1))
+        out = plist.gather_cached(arr, fill=-1.0)
+        np.testing.assert_array_equal(out, plist.gather(arr, fill=-1.0))
+        with pytest.raises(ValueError):
+            out[0] = 99.0
+        plist.invalidate()

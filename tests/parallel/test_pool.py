@@ -1,0 +1,356 @@
+"""Host-parallel execution backend (DESIGN.md §9).
+
+The load-bearing property is *bit-identity*: everything the simulator
+computes — forces, energies, cache counters, trace-event streams, fault
+replays — must be byte-for-byte the same whether the work ran in-process
+(`SerialBackend`) or on real worker processes (`PoolBackend`).  These
+tests pin that contract, plus backend selection precedence, shared-memory
+round trips, and crashed-worker surfacing.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import (
+    ALL_SPECS,
+    run_kernel_sequential,
+    run_strategy_sweep,
+)
+from repro.hw.params import DEFAULT_PARAMS
+from repro.md.pairlist import build_pair_list
+from repro.md.water import build_water_system
+from repro.parallel.multirank import derive_rank_faults, run_mpi_ranks
+from repro.parallel.pool import (
+    BACKEND_ENV,
+    WORKERS_ENV,
+    PoolBackend,
+    SerialBackend,
+    SharedArray,
+    WorkerCrashError,
+    as_input,
+    host_cpu_count,
+    resolve_backend,
+    shared_backend,
+)
+from repro.trace.events import Tracer
+
+
+# ---------------------------------------------------------------------------
+# Fixtures: one small water box and one long-lived 2-worker pool.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def water_600():
+    return build_water_system(600, seed=21)
+
+
+@pytest.fixture(scope="module")
+def nb_75():
+    from repro.md.nonbonded import NonbondedParams
+
+    return NonbondedParams(r_cut=0.75, r_list=0.85, coulomb_mode="rf")
+
+
+@pytest.fixture(scope="module")
+def plist_600(water_600, nb_75):
+    return build_pair_list(water_600, nb_75.r_list)
+
+
+@pytest.fixture(scope="module")
+def pool2():
+    with PoolBackend(2) as backend:
+        yield backend
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory arrays
+# ---------------------------------------------------------------------------
+
+
+class TestSharedArray:
+    def test_roundtrip_and_readonly(self):
+        src = np.arange(24, dtype=np.float64).reshape(6, 4)
+        handle = SharedArray.create(src)
+        try:
+            out = handle.array()
+            np.testing.assert_array_equal(out, src)
+            assert not out.flags.writeable
+            with pytest.raises(ValueError):
+                out[0, 0] = -1.0
+        finally:
+            handle.unlink()
+
+    def test_pickles_header_not_payload(self):
+        import pickle
+
+        src = np.zeros(1024, dtype=np.float64)
+        handle = SharedArray.create(src)
+        try:
+            blob = pickle.dumps(handle)
+            assert len(blob) < 512  # name + shape + dtype, never 8 KiB
+            clone = pickle.loads(blob)
+            np.testing.assert_array_equal(clone.array(), src)
+        finally:
+            handle.unlink()
+
+    def test_unlink_twice_is_safe(self):
+        handle = SharedArray.create(np.ones(3))
+        handle.unlink()
+        handle.unlink()
+
+    def test_as_input_accepts_both(self):
+        arr = np.arange(5.0)
+        np.testing.assert_array_equal(as_input(arr), arr)
+        handle = SharedArray.create(arr)
+        try:
+            np.testing.assert_array_equal(as_input(handle), arr)
+        finally:
+            handle.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Backend selection
+# ---------------------------------------------------------------------------
+
+
+class TestBackendSelection:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(), SerialBackend)
+
+    def test_env_selects_pool(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "pool")
+        monkeypatch.setenv(WORKERS_ENV, "3")
+        backend = resolve_backend()
+        assert isinstance(backend, PoolBackend)
+        assert backend.n_workers == 3
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "pool")
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+
+    def test_explicit_workers_beat_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV, "7")
+        assert resolve_backend("pool", workers=2).n_workers == 2
+
+    def test_workers_env_alone_stays_serial(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        assert isinstance(resolve_backend(), SerialBackend)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            resolve_backend("threads")
+
+    def test_bad_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            PoolBackend(0)
+
+    def test_object_passes_through(self, pool2):
+        assert resolve_backend(pool2) is pool2
+        assert shared_backend(pool2) is pool2
+
+    def test_shared_backend_is_cached(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        assert shared_backend() is shared_backend()
+        assert shared_backend("serial") is shared_backend("serial")
+
+    def test_host_cpu_count_positive(self):
+        assert host_cpu_count() >= 1
+
+
+# ---------------------------------------------------------------------------
+# map semantics
+# ---------------------------------------------------------------------------
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_value_error(x):
+    raise ValueError(f"task {x} failed")
+
+
+def _exit_hard(x):
+    os._exit(17)
+
+
+class TestMapSemantics:
+    def test_serial_map_ordered(self):
+        assert SerialBackend().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_pool_map_ordered(self, pool2):
+        assert pool2.map(_square, list(range(16))) == [
+            x * x for x in range(16)
+        ]
+
+    def test_empty_map(self, pool2):
+        assert pool2.map(_square, []) == []
+        assert SerialBackend().map(_square, []) == []
+
+    def test_task_exception_propagates_as_itself(self, pool2):
+        with pytest.raises(ValueError, match="task 5 failed"):
+            pool2.map(_raise_value_error, [5])
+
+    def test_dead_worker_raises_worker_crash_error(self):
+        # A private pool: the crash poisons the executor by design.
+        with PoolBackend(2) as backend:
+            with pytest.raises(WorkerCrashError, match="worker process died"):
+                backend.map(_exit_hard, [1, 2])
+            # The poisoned executor was discarded; the backend recovers.
+            assert backend.map(_square, [4]) == [16]
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: fidelity walk, sweep, multi-rank fault replay
+# ---------------------------------------------------------------------------
+
+
+def _events_key(tracer):
+    return [
+        (
+            e.name,
+            e.category,
+            e.cpe_id,
+            e.start_cycle,
+            e.duration_cycles,
+            tuple(sorted(e.args.items())),
+        )
+        for e in tracer.events
+    ]
+
+
+class TestSerialPoolBitIdentity:
+    @pytest.mark.parametrize("name", ["CACHE", "MARK"])
+    def test_fidelity_walk_identical(
+        self, name, water_600, nb_75, plist_600, pool2
+    ):
+        spec = ALL_SPECS[name]
+        trace_a = Tracer(DEFAULT_PARAMS)
+        trace_b = Tracer(DEFAULT_PARAMS)
+        serial = run_kernel_sequential(
+            water_600, plist_600, nb_75, spec, n_cpes=8,
+            tracer=trace_a, backend=SerialBackend(),
+        )
+        pooled = run_kernel_sequential(
+            water_600, plist_600, nb_75, spec, n_cpes=8,
+            tracer=trace_b, backend=pool2,
+        )
+        np.testing.assert_array_equal(serial.forces, pooled.forces)
+        assert serial.energy == pooled.energy
+        assert serial.stats == pooled.stats
+        assert serial.elapsed_seconds == pooled.elapsed_seconds
+        assert _events_key(trace_a) == _events_key(trace_b)
+
+    def test_strategy_sweep_identical(self, water_600, nb_75, plist_600, pool2):
+        serial = run_strategy_sweep(
+            water_600, plist_600, nb_75, ["CACHE", "VEC", "MARK"],
+            backend=SerialBackend(),
+        )
+        pooled = run_strategy_sweep(
+            water_600, plist_600, nb_75, ["CACHE", "VEC", "MARK"],
+            backend=pool2,
+        )
+        assert list(serial) == list(pooled)
+        for label in serial:
+            np.testing.assert_array_equal(
+                serial[label].forces, pooled[label].forces
+            )
+            assert serial[label].energy == pooled[label].energy
+            assert serial[label].elapsed_seconds == pooled[label].elapsed_seconds
+            assert serial[label].stats == pooled[label].stats
+
+    def test_pair_list_build_identical(self, water_600, nb_75, pool2):
+        serial = build_pair_list(water_600, nb_75.r_list)
+        plist_pool = build_pair_list(water_600, nb_75.r_list, backend=pool2)
+        np.testing.assert_array_equal(serial.pair_ci, plist_pool.pair_ci)
+        np.testing.assert_array_equal(serial.pair_cj, plist_pool.pair_cj)
+        np.testing.assert_array_equal(serial.perm, plist_pool.perm)
+
+    def test_exact_filter_chunks_identical(self, water_600, nb_75, pool2):
+        # Shrink the chunk below the candidate count so the pool path
+        # (shared positions + per-chunk jobs) actually fans out.
+        from repro.md.pairlist import _cluster_particles, _exact_cluster_filter
+
+        box = water_600.box
+        _, _, sorted_pos, _ = _cluster_particles(
+            box.wrap(water_600.positions), box
+        )
+        n_clusters = len(sorted_pos) // 4
+        rng = np.random.default_rng(3)
+        ci = rng.integers(0, n_clusters, size=1200)
+        cj = rng.integers(0, n_clusters, size=1200)
+        serial = _exact_cluster_filter(sorted_pos, box, ci, cj, nb_75.r_list)
+        pooled = _exact_cluster_filter(
+            sorted_pos, box, ci, cj, nb_75.r_list, chunk=256, backend=pool2
+        )
+        np.testing.assert_array_equal(serial, pooled)
+
+    def test_multirank_fault_replay_identical(self, water_600, nb_75, pool2):
+        from repro.core.engine import EngineConfig
+        from repro.resilience import ResiliencePolicy
+
+        config = EngineConfig(
+            nonbonded=nb_75,
+            optimization_level=3,
+            n_cgs=2,
+            resilience=ResiliencePolicy(faults="seed=11,dma=1e-3,msg=5e-3"),
+        )
+        serial = run_mpi_ranks(
+            water_600, 3, config=config, n_ranks=2, backend=SerialBackend()
+        )
+        pooled = run_mpi_ranks(
+            water_600, 3, config=config, n_ranks=2, backend=pool2
+        )
+        np.testing.assert_array_equal(
+            serial.reduced_energy, pooled.reduced_energy
+        )
+        assert serial.comm_seconds == pooled.comm_seconds
+        assert serial.modelled_seconds == pooled.modelled_seconds
+        for a, b in zip(serial.ranks, pooled.ranks):
+            assert a.rank == b.rank
+            np.testing.assert_array_equal(a.positions, b.positions)
+            np.testing.assert_array_equal(a.velocities, b.velocities)
+            assert a.fault_counts == b.fault_counts
+            assert a.timing_seconds == b.timing_seconds
+
+    def test_multirank_trace_merges_by_rank(self, water_600, nb_75, pool2):
+        from repro.core.engine import EngineConfig
+
+        config = EngineConfig(nonbonded=nb_75, optimization_level=3, n_cgs=2)
+        trace_a = Tracer(config.chip)
+        trace_b = Tracer(config.chip)
+        run_mpi_ranks(
+            water_600, 2, config=config, n_ranks=2,
+            backend=SerialBackend(), tracer=trace_a,
+        )
+        run_mpi_ranks(
+            water_600, 2, config=config, n_ranks=2,
+            backend=pool2, tracer=trace_b,
+        )
+        assert len(trace_a.events) > 0
+        assert _events_key(trace_a) == _events_key(trace_b)
+        # Rank 1's CPE events landed on shifted tracks.
+        cpe_tracks = {e.cpe_id for e in trace_a.events if e.cpe_id >= 0}
+        assert any(t >= config.chip.n_cpes for t in cpe_tracks)
+
+
+class TestRankFaultDerivation:
+    def test_none_stays_none(self):
+        assert derive_rank_faults(None, 3) is None
+
+    def test_ranks_get_distinct_streams(self):
+        from repro.resilience.faults import FaultSpec
+
+        base = FaultSpec(seed=5, dma_error_rate=1e-3)
+        seeds = {derive_rank_faults(base, r).seed for r in range(8)}
+        assert len(seeds) == 8
+        assert all(s != 5 for s in seeds)
+        assert derive_rank_faults(base, 2).dma_error_rate == 1e-3
