@@ -50,6 +50,11 @@ _EXPORTS = {
     "Tracer": ("repro.trace.events", "Tracer"),
     "NullTracer": ("repro.trace.events", "NullTracer"),
     "write_chrome_trace": ("repro.trace.export", "write_chrome_trace"),
+    "SimulationService": ("repro.serve.service", "SimulationService"),
+    "ServeConfig": ("repro.serve.service", "ServeConfig"),
+    "JobRequest": ("repro.serve.jobs", "JobRequest"),
+    "JobResult": ("repro.serve.jobs", "JobResult"),
+    "ServeClient": ("repro.serve.client", "ServeClient"),
 }
 
 

@@ -10,7 +10,10 @@ Commands mirror the paper's experiments:
 * ``scaling``  — the Fig. 12 strong/weak curves;
 * ``ranks``    — a multi-rank simulated-MPI run, one worker per rank;
 * ``table2``   — the DMA bandwidth table;
-* ``ttf``      — the Eq. 3/4 platform ratios.
+* ``ttf``      — the Eq. 3/4 platform ratios;
+* ``serve``    — run the long-lived simulation service (queue, batcher,
+  fair-share scheduler over the pool backend; DESIGN.md §10);
+* ``submit``   — submit a job (or control op) to a running service.
 
 Every command accepts ``--backend serial|pool`` and ``--workers N``
 (before the subcommand) to pick the host execution backend; the
@@ -26,6 +29,7 @@ import sys
 
 import numpy as np
 
+from repro import __version__
 from repro.parallel.pool import BACKEND_ENV, BACKEND_NAMES, WORKERS_ENV
 
 
@@ -34,6 +38,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="SW_GROMACS reproduction: GROMACS-like MD on a "
         "simulated SW26010 core group",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}",
+        help="print the package version and exit",
     )
     parser.add_argument(
         "--backend", choices=sorted(BACKEND_NAMES), default=None,
@@ -114,7 +122,88 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table2", help="DMA bandwidth vs block size")
     sub.add_parser("ttf", help="Eq. 3/4 cross-platform TTF ratios")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived simulation service (drain to stop)",
+    )
+    _add_address_args(serve)
+    serve.add_argument(
+        "--max-depth", type=int, default=64, metavar="N",
+        help="admission window: total queued jobs (default: 64)",
+    )
+    serve.add_argument(
+        "--max-per-tenant", type=int, default=None, metavar="N",
+        help="per-tenant queued-job cap (default: none)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="max distinct requests coalesced per dispatch (default: 16)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent batches (default: backend worker count)",
+    )
+    serve.add_argument(
+        "--no-dedup", action="store_true",
+        help="disable request dedup/batching (ablation baseline)",
+    )
+    serve.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome-trace service timeline to FILE on drain",
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a job (or control op) to a running service",
+    )
+    _add_address_args(submit)
+    submit.add_argument("-n", "--particles", type=int, default=900)
+    submit.add_argument(
+        "--kind", choices=("kernel", "md"), default="kernel",
+        help="job kind: one strategy kernel or a full MD run",
+    )
+    submit.add_argument(
+        "--spec", default="MARK",
+        help="kernel strategy name (kernel kind; default: MARK)",
+    )
+    submit.add_argument("-s", "--steps", type=int, default=5)
+    submit.add_argument("--level", type=int, default=3, choices=range(4))
+    submit.add_argument("--rcut", type=float, default=0.9)
+    submit.add_argument("--seed", type=int, default=2019)
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall deadline from admission",
+    )
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="enqueue and print the job id instead of waiting",
+    )
+    submit.add_argument(
+        "--wait-id", type=int, default=None, metavar="JOB_ID",
+        help="wait for a previously submitted job instead of submitting",
+    )
+    submit.add_argument(
+        "--op", choices=("ping", "stats", "pause", "resume", "drain"),
+        default=None,
+        help="send a control op instead of submitting a job",
+    )
     return parser
+
+
+def _add_address_args(parser) -> None:
+    parser.add_argument(
+        "--socket", metavar="PATH", default=None,
+        help="Unix-domain socket path for the service",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="TCP host (with --port)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, help="TCP port (0 = ephemeral)"
+    )
 
 
 def _cmd_run(args) -> int:
@@ -374,6 +463,135 @@ def _cmd_ttf(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import ServeConfig, SimulationService
+    from repro.trace import Tracer, write_chrome_trace
+    from repro.trace.events import NULL_TRACER
+
+    if args.socket is None and args.port is None:
+        print("serve: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    config = ServeConfig(
+        max_depth=args.max_depth,
+        max_per_tenant=args.max_per_tenant,
+        max_batch=args.max_batch,
+        max_inflight=args.max_inflight,
+        dedup=not args.no_dedup,
+        backend=args.backend,
+        workers=args.workers,
+    )
+    tracer = Tracer() if args.trace else NULL_TRACER
+
+    async def _main() -> int:
+        service = SimulationService(config, tracer=tracer)
+        await service.start()
+        if args.socket is not None:
+            await service.serve_unix(args.socket)
+            where = args.socket
+        else:
+            port = await service.serve_tcp(args.host, args.port)
+            where = f"{args.host}:{port}"
+        print(
+            f"repro serve: listening on {where} "
+            f"(backend={service.backend.name}, depth<={config.max_depth}, "
+            f"dedup={'on' if config.dedup else 'off'})",
+            flush=True,
+        )
+        stats = await service.run_until_drained()
+        if args.trace:
+            doc = write_chrome_trace(tracer, args.trace)
+            print(f"wrote {len(doc['traceEvents'])} events to {args.trace}")
+        s = stats.as_dict()
+        print(
+            f"drained: {s['completed']} completed, {s['failed']} failed, "
+            f"{s['rejected']} rejected, {s['executed_units']} executions "
+            f"for {s['accepted']} accepted jobs "
+            f"({s['dedup_hits']} dedup hits, {s['batches']} batches)"
+        )
+        return 0
+
+    return asyncio.run(_main())
+
+
+def _cmd_submit(args) -> int:
+    from repro.serve import (
+        JobRequest,
+        ServeClient,
+        ServeConnectionError,
+        ServeRequestError,
+    )
+
+    if args.socket is None and args.port is None:
+        print("submit: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    client = ServeClient(
+        socket_path=args.socket,
+        host=args.host if args.socket is None else None,
+        port=args.port if args.socket is None else None,
+    )
+    try:
+        if args.op is not None:
+            response = client.request({"op": args.op})
+            if args.op == "stats":
+                import json
+
+                print(json.dumps(response["stats"], indent=2, sort_keys=True))
+            elif args.op == "drain":
+                s = response["stats"]
+                print(
+                    f"drained: {s['completed']} completed, "
+                    f"{s['failed']} failed, {s['rejected']} rejected"
+                )
+            else:
+                print(f"{args.op}: ok")
+            return 0
+        if args.wait_id is not None:
+            result = client.wait(args.wait_id)
+        else:
+            request = JobRequest(
+                kind=args.kind,
+                n_particles=args.particles,
+                spec=args.spec,
+                steps=args.steps,
+                level=args.level,
+                r_cut=args.rcut,
+                seed=args.seed,
+                tenant=args.tenant,
+                priority=args.priority,
+                timeout_s=args.timeout,
+            )
+            if args.no_wait:
+                job_id = client.submit(request, wait=False)
+                print(f"accepted: job {job_id}")
+                return 0
+            result = client.submit(request)
+    except ServeConnectionError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 3
+    except ServeRequestError as exc:
+        print(f"rejected [{exc.code}]: {exc.message}", file=sys.stderr)
+        return 2
+    if not result.ok:
+        print(
+            f"failed [{result.error.code}]: {result.error.message}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"job {result.job_id} ok ({result.kind}, "
+        f"{'executed' if result.executed else 'deduplicated'}, "
+        f"queue {result.queue_seconds * 1e3:.1f} ms, "
+        f"exec {result.execute_seconds * 1e3:.1f} ms)"
+    )
+    for key, val in sorted(result.payload.items()):
+        if isinstance(val, dict):
+            continue
+        print(f"  {key:18s} {val}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
@@ -383,6 +601,8 @@ _COMMANDS = {
     "ranks": _cmd_ranks,
     "table2": _cmd_table2,
     "ttf": _cmd_ttf,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -172,6 +172,32 @@ class EngineResult:
             raise ValueError("non-positive modelled time")
         return other.modelled_seconds / self.modelled_seconds
 
+    def summary(self) -> dict:
+        """JSON-able digest of the run: the serving layer's wire payload
+        (`repro.serve`), also handy for scripting.
+
+        The state fingerprint is BLAKE2b over the final positions, so
+        two runs agree on the summary iff they agree on the trajectory —
+        the serve bit-identity tests compare exactly this.
+        """
+        from repro.core.stepcache import position_fingerprint
+
+        last = self.reporter.frames[-1] if self.reporter.frames else None
+        return {
+            "level": self.level,
+            "n_steps": int(self.n_steps),
+            "n_particles": int(self.system.n_particles),
+            "potential": float(last.potential) if last else None,
+            "kinetic": float(last.kinetic) if last else None,
+            "temperature": float(last.temperature) if last else None,
+            "modelled_seconds": float(self.modelled_seconds),
+            "positions_fp": position_fingerprint(self.system.positions).hex(),
+            "timing": {
+                k: float(v) for k, v in sorted(self.timing.seconds.items())
+            },
+            "checkpoints_written": int(self.checkpoints_written),
+        }
+
 
 class SWGromacsEngine:
     """MD on the simulated chip with per-kernel modelled timing."""

@@ -148,6 +148,11 @@ class StepCacheStats:
     topo_misses: int = 0
     invalidations: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-able counter snapshot (pool workers report cache sharing
+        back to the serving layer through this)."""
+        return dict(vars(self))
+
 
 class StepCache:
     """Compute-reuse layer shared by strategy sweeps and the MD drivers.
@@ -409,6 +414,9 @@ class _NullStats:
     sr_evals: int = 0
     sr_hits: int = 0
     invalidations: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(vars(self))
 
 
 @dataclass

@@ -328,6 +328,25 @@ def _close_shared_backends() -> None:
     _SHARED_BACKENDS.clear()
 
 
+def close_shared_backend() -> None:
+    """Explicitly close and forget every process-wide shared backend.
+
+    ``shared_backend()`` instances are normally reaped at interpreter
+    exit via ``atexit`` — fine for one-shot CLI runs, but a long-lived
+    process (the ``repro serve`` service, a notebook, a test harness)
+    that is done with parallel work should release the worker pool and
+    its shared-memory segments *now*, not at exit.  The service calls
+    this from graceful drain.
+
+    Safe at any time: components still holding a closed ``PoolBackend``
+    reference lazily respawn its executor on the next ``map``, and the
+    next ``shared_backend()`` call simply builds a fresh instance.
+    Idempotent; the ``atexit`` hook remains as the backstop and becomes
+    a no-op once the registry is empty.
+    """
+    _close_shared_backends()
+
+
 def shared_backend(
     backend: str | ExecutionBackend | None = None,
     workers: int | None = None,

@@ -52,6 +52,22 @@ class RetryPolicy:
             raise ValueError(f"attempt must be >= 1: {attempt}")
         return self.backoff_base_cycles * self.backoff_factor ** (attempt - 1)
 
+    def backoff_seconds(self, attempt: int, seconds_per_cycle: float) -> float:
+        """The same backoff schedule as wall-clock seconds.
+
+        Hooks inside the simulator charge backoff in modelled cycles;
+        the serving layer (`repro.serve`) reuses the identical schedule
+        for *real* waits between execution reissues, scaled by the
+        caller's ``seconds_per_cycle`` (e.g. the chip's ``cycle_s`` for
+        simulated fidelity, or ~1e-6 for millisecond-scale service
+        backoff).
+        """
+        if seconds_per_cycle < 0:
+            raise ValueError(
+                f"seconds_per_cycle must be >= 0: {seconds_per_cycle}"
+            )
+        return self.backoff_cycles(attempt) * seconds_per_cycle
+
 
 #: The default policy used by every hook unless a run overrides it.
 DEFAULT_RETRY = RetryPolicy()

@@ -1,0 +1,95 @@
+"""repro.serve: the async simulation service (DESIGN.md §10).
+
+Turns the one-shot simulator into a long-lived multi-tenant service:
+a bounded priority job queue with reasoned admission control, a batcher
+that deduplicates identical requests and coalesces compatible ones onto
+shared `StepCache` executions, a deterministic fair-share scheduler, and
+an asyncio service speaking JSON lines over Unix/TCP sockets, executing
+over the host-parallel pool backend (DESIGN.md §9).
+
+Quickstart (in-process)::
+
+    import asyncio
+    from repro.serve import JobRequest, ServeConfig, SimulationService
+
+    async def main():
+        async with SimulationService(ServeConfig(max_depth=8)) as svc:
+            result = await svc.submit_and_wait(JobRequest(n_particles=300))
+            print(result.payload["energy"])
+
+    asyncio.run(main())
+
+Or as a daemon: ``repro serve --socket /tmp/repro.sock`` and
+``repro submit --socket /tmp/repro.sock -n 300``.
+"""
+
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeRequestError,
+)
+from repro.serve.jobs import (
+    JOB_KINDS,
+    KIND_KERNEL,
+    KIND_MD,
+    BatchOutcome,
+    InvalidRequestError,
+    JobError,
+    JobRequest,
+    JobResult,
+    execute_batch,
+    execute_request,
+)
+from repro.serve.queue import (
+    REASON_DEADLINE,
+    REASON_DRAINING,
+    REASON_EXECUTION,
+    REASON_INVALID,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_QUOTA,
+    REASON_TIMEOUT,
+    AdmissionDecision,
+    Job,
+    JobQueue,
+)
+from repro.serve.scheduler import FairShareScheduler
+from repro.serve.service import (
+    AdmissionRejected,
+    ServeConfig,
+    ServiceStats,
+    SimulationService,
+)
+
+__all__ = [
+    "Batch",
+    "Batcher",
+    "ServeClient",
+    "ServeConnectionError",
+    "ServeRequestError",
+    "JOB_KINDS",
+    "KIND_KERNEL",
+    "KIND_MD",
+    "BatchOutcome",
+    "InvalidRequestError",
+    "JobError",
+    "JobRequest",
+    "JobResult",
+    "execute_batch",
+    "execute_request",
+    "REASON_DEADLINE",
+    "REASON_DRAINING",
+    "REASON_EXECUTION",
+    "REASON_INVALID",
+    "REASON_QUEUE_FULL",
+    "REASON_TENANT_QUOTA",
+    "REASON_TIMEOUT",
+    "AdmissionDecision",
+    "Job",
+    "JobQueue",
+    "FairShareScheduler",
+    "AdmissionRejected",
+    "ServeConfig",
+    "ServiceStats",
+    "SimulationService",
+]

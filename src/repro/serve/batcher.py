@@ -1,0 +1,110 @@
+"""Request coalescing: dedup + compatible batching (DESIGN.md §10).
+
+Two throughput levers, both safe because execution is a pure function of
+the request (see :mod:`repro.serve.jobs`):
+
+* **Dedup** — jobs with the same :attr:`JobRequest.fingerprint` collapse
+  into one *unit*: one execution, the result fanned back out to every
+  waiter.  The second and later arrivals cost nothing but a dictionary
+  insert, the serving analogue of `StepCache`'s latest-fingerprint hit.
+* **Batching** — distinct units sharing a :attr:`JobRequest.system_key`
+  ride in one :class:`Batch` to one pool worker, where
+  :func:`repro.serve.jobs.execute_batch` serves them all off one shared
+  `StepCache` (one system build, one pair list, one short-range
+  evaluation per work list) — the sweep-style reuse of DESIGN.md §8
+  applied across *requests* instead of ladder rungs.
+
+The batcher pulls compatible jobs across tenant boundaries: identical
+work submitted by two tenants still executes once.  Fair-share
+accounting is unaffected — the scheduler charges every member job to
+its own tenant (:meth:`Batch.tenant_shares`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.serve.jobs import JobRequest
+from repro.serve.queue import Job, JobQueue
+
+
+@dataclass
+class Batch:
+    """One dispatch unit: distinct requests plus their waiter fan-out."""
+
+    #: Distinct requests, in first-arrival order; what the worker runs.
+    units: list[JobRequest] = field(default_factory=list)
+    #: fingerprint -> every Job waiting on that unit (first = executor).
+    waiters: dict[str, list[Job]] = field(default_factory=dict)
+
+    @property
+    def n_units(self) -> int:
+        return len(self.units)
+
+    @property
+    def n_jobs(self) -> int:
+        return sum(len(js) for js in self.waiters.values())
+
+    @property
+    def jobs(self) -> list[Job]:
+        return [j for js in self.waiters.values() for j in js]
+
+    @property
+    def dedup_hits(self) -> int:
+        """Jobs served without their own execution."""
+        return self.n_jobs - self.n_units
+
+    def tenant_shares(self) -> dict[str, int]:
+        """Job count per tenant (fair-share charging unit)."""
+        shares: dict[str, int] = {}
+        for job in self.jobs:
+            t = job.request.tenant
+            shares[t] = shares.get(t, 0) + 1
+        return shares
+
+    def add(self, job: Job) -> bool:
+        """Attach a job; True if it added a new execution unit."""
+        fp = job.request.fingerprint
+        if fp in self.waiters:
+            self.waiters[fp].append(job)
+            return False
+        self.units.append(job.request)
+        self.waiters[fp] = [job]
+        return True
+
+
+class Batcher:
+    """Builds batches from the queue around one seed job."""
+
+    def __init__(self, max_batch: int = 16, dedup: bool = True) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1: {max_batch}")
+        self.max_batch = max_batch
+        self.dedup = dedup
+
+    def collect(self, seed: Job, queue: JobQueue) -> Batch:
+        """One batch: the seed plus every queued job that can share its
+        dispatch (same fingerprint, or same system key up to
+        ``max_batch`` distinct units).  With ``dedup`` off, every job is
+        its own batch — the ablation baseline the throughput benchmark
+        measures against."""
+        batch = Batch()
+        batch.add(seed)
+        if not self.dedup:
+            return batch
+        key = seed.request.system_key
+
+        def compatible(job: Job) -> bool:
+            fp = job.request.fingerprint
+            if fp in batch.waiters:
+                return True  # pure dedup: no new unit
+            return (
+                job.request.system_key == key
+                and batch.n_units < self.max_batch
+            )
+
+        while True:
+            job = queue.pop_matching(compatible)
+            if job is None:
+                return batch
+            batch.add(job)

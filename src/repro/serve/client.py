@@ -1,0 +1,134 @@
+"""Synchronous JSON-lines client for the simulation service.
+
+One connection per request keeps the protocol trivial (a request line
+out, a response line back) and makes the client usable from plain
+scripts, the ``repro submit`` CLI, threads, and test harnesses without
+touching asyncio.  Errors come back structured: a rejected or failed
+operation raises :class:`ServeRequestError` carrying the wire reason
+code, so callers can branch on ``exc.code`` (``queue_full``,
+``draining``, ``timeout``, ...) instead of parsing messages.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.serve.jobs import JobRequest, JobResult
+
+
+class ServeConnectionError(ConnectionError):
+    """The service socket could not be reached."""
+
+
+class ServeRequestError(RuntimeError):
+    """The service answered with a structured error."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+        self.message = message
+
+
+class ServeClient:
+    """Talk to a running :class:`~repro.serve.service.SimulationService`.
+
+    Address: either ``socket_path`` (Unix domain socket) or
+    ``host``/``port`` (TCP).  ``timeout`` bounds each round trip
+    (None = wait forever — submit-and-wait legitimately blocks for the
+    whole job duration).
+    """
+
+    def __init__(
+        self,
+        socket_path: str | None = None,
+        host: str | None = None,
+        port: int | None = None,
+        timeout: float | None = None,
+    ) -> None:
+        if socket_path is None and (host is None or port is None):
+            raise ValueError("need socket_path or host+port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout)
+                sock.connect(self.socket_path)
+            else:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout
+                )
+            return sock
+        except OSError as exc:
+            raise ServeConnectionError(
+                f"cannot reach simulation service at "
+                f"{self.socket_path or f'{self.host}:{self.port}'}: {exc}"
+            ) from exc
+
+    def request(self, payload: dict) -> dict:
+        """One wire round trip; raises on structured errors."""
+        with self._connect() as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            chunks = []
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    break
+                chunks.append(data)
+                if data.endswith(b"\n"):
+                    break
+        raw = b"".join(chunks)
+        if not raw:
+            raise ServeConnectionError(
+                "service closed the connection without answering"
+            )
+        response = json.loads(raw)
+        if not response.get("ok"):
+            err = response.get("error") or {}
+            raise ServeRequestError(
+                err.get("code", "unknown"), err.get("message", "")
+            )
+        return response
+
+    # -- operations --------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("ok"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})
+
+    def pause(self) -> None:
+        self.request({"op": "pause"})
+
+    def resume(self) -> None:
+        self.request({"op": "resume"})
+
+    def drain(self) -> dict:
+        """Gracefully drain the service; returns its final stats."""
+        return self.request({"op": "drain"})["stats"]
+
+    def submit(
+        self, request: JobRequest | dict, wait: bool = True
+    ) -> JobResult | int:
+        """Submit a job.  ``wait=True`` blocks until the terminal
+        :class:`JobResult`; ``wait=False`` returns the job id for a later
+        :meth:`wait` call."""
+        job = (
+            request.to_dict()
+            if isinstance(request, JobRequest)
+            else dict(request)
+        )
+        response = self.request({"op": "submit", "job": job, "wait": wait})
+        if wait:
+            return JobResult.from_dict(response["result"])
+        return int(response["job_id"])
+
+    def wait(self, job_id: int) -> JobResult:
+        response = self.request({"op": "wait", "job_id": job_id})
+        return JobResult.from_dict(response["result"])

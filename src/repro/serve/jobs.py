@@ -1,0 +1,346 @@
+"""Job model for the simulation service (DESIGN.md §10).
+
+A :class:`JobRequest` is a *parametric* description of work — never raw
+arrays — so it travels as one JSON object over the wire and pickles
+cheaply to pool workers.  Two request kinds map onto the repo's two
+execution entry points:
+
+* ``kernel`` — one strategy-kernel evaluation (`repro.core.kernels.
+  run_kernel`) on a deterministically built water box;
+* ``md``     — a full engine run (`repro.core.engine.SWGromacsEngine`)
+  with minimisation + thermalisation, mirroring ``repro run``.
+
+Every execution path here is a pure function of the request: the same
+request always produces bit-identical results, which is what makes
+request-level deduplication (``batcher.py``) *safe* rather than merely
+plausible.  Two fingerprints capture that:
+
+* :meth:`JobRequest.fingerprint` — BLAKE2b over the canonical execution
+  parameters (tenant/priority/timeout excluded: they affect *when*, not
+  *what*).  Identical fingerprints ⇒ identical results ⇒ one execution
+  fans out to every waiter.
+* :meth:`JobRequest.system_key` — the subset that pins the particle
+  system and pair list.  Requests sharing a system key but differing in
+  strategy spec are *compatible*: :func:`execute_batch` runs them on one
+  worker with one shared :class:`~repro.core.stepcache.StepCache`, so
+  the functional force evaluation is shared through the cache's position
+  fingerprints exactly as a Fig. 8/9 sweep shares it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+import numpy as np
+
+from repro.core.stepcache import StepCache, position_fingerprint
+
+#: Request kinds.
+KIND_KERNEL = "kernel"
+KIND_MD = "md"
+JOB_KINDS = (KIND_KERNEL, KIND_MD)
+
+#: Strategy-spec names accepted for ``kernel`` requests (validated
+#: lazily against `repro.core.kernels.ALL_SPECS` on first use).
+_SPEC_NAMES: tuple[str, ...] | None = None
+
+
+def _spec_names() -> tuple[str, ...]:
+    global _SPEC_NAMES
+    if _SPEC_NAMES is None:
+        from repro.core.kernels import ALL_SPECS
+
+        _SPEC_NAMES = tuple(sorted(ALL_SPECS))
+    return _SPEC_NAMES
+
+
+class InvalidRequestError(ValueError):
+    """A request that can never execute (bad kind/spec/sizes)."""
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One unit of client-visible work.
+
+    Execution-relevant fields feed the fingerprint; scheduling fields
+    (``tenant``, ``priority``, ``timeout_s``) do not — a high-priority
+    request deduplicates against a low-priority identical one.
+    """
+
+    kind: str = KIND_KERNEL
+    n_particles: int = 900
+    spec: str = "MARK"  # kernel strategy (kernel kind only)
+    steps: int = 5  # md step count (md kind only)
+    level: int = 3  # md optimisation level (md kind only)
+    r_cut: float = 0.9
+    seed: int = 2019
+    tenant: str = "default"
+    priority: int = 0  # larger = served sooner within a tenant
+    timeout_s: float | None = None  # wall deadline from admission
+
+    def validate(self) -> None:
+        """Raise :class:`InvalidRequestError` on a request that can
+        never execute (checked at admission, not deep in a worker)."""
+        if self.kind not in JOB_KINDS:
+            raise InvalidRequestError(
+                f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
+            )
+        if self.kind == KIND_KERNEL and self.spec not in _spec_names():
+            raise InvalidRequestError(
+                f"unknown kernel spec {self.spec!r}; known: {_spec_names()}"
+            )
+        if self.n_particles < 3:
+            raise InvalidRequestError(
+                f"n_particles must be >= 3: {self.n_particles}"
+            )
+        if self.kind == KIND_MD and self.steps < 1:
+            raise InvalidRequestError(f"steps must be >= 1: {self.steps}")
+        if self.kind == KIND_MD and not 0 <= self.level <= 3:
+            raise InvalidRequestError(f"level must be 0..3: {self.level}")
+        if self.r_cut <= 0:
+            raise InvalidRequestError(f"r_cut must be > 0: {self.r_cut}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise InvalidRequestError(
+                f"timeout_s must be > 0 when set: {self.timeout_s}"
+            )
+
+    # -- identity ----------------------------------------------------------
+    def canonical(self) -> dict:
+        """Execution-relevant fields only, in a fixed order."""
+        out = {
+            "kind": self.kind,
+            "n_particles": int(self.n_particles),
+            "r_cut": float(self.r_cut),
+            "seed": int(self.seed),
+        }
+        if self.kind == KIND_KERNEL:
+            out["spec"] = self.spec
+        else:
+            out["steps"] = int(self.steps)
+            out["level"] = int(self.level)
+        return out
+
+    @property
+    def fingerprint(self) -> str:
+        """Dedup key: BLAKE2b over the canonical parameter JSON."""
+        blob = json.dumps(self.canonical(), sort_keys=True).encode()
+        return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+    @property
+    def system_key(self) -> tuple:
+        """Batching-compatibility key: requests sharing it run against
+        the same particle system and pair list, so one worker can serve
+        them all off one shared `StepCache`."""
+        return (
+            self.kind,
+            int(self.n_particles),
+            float(self.r_cut),
+            int(self.seed),
+        )
+
+    # -- wire format -------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRequest":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise InvalidRequestError(
+                f"unknown request field(s): {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class JobError:
+    """Structured failure/rejection reason (wire-stable)."""
+
+    code: str
+    message: str
+
+    def to_dict(self) -> dict:
+        return {"code": self.code, "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobError":
+        return cls(code=data["code"], message=data["message"])
+
+
+@dataclass
+class JobResult:
+    """Terminal outcome of one accepted job.
+
+    ``payload`` carries the kind-specific numbers (see the executors
+    below); ``executed`` is False when the result was fanned out from a
+    deduplicated sibling execution; ``attempts`` counts executions
+    including retries (0 for pure fan-out recipients).
+    """
+
+    job_id: int
+    fingerprint: str
+    kind: str
+    ok: bool
+    payload: dict | None = None
+    error: JobError | None = None
+    executed: bool = True
+    attempts: int = 1
+    queue_seconds: float = 0.0
+    execute_seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "fingerprint": self.fingerprint,
+            "kind": self.kind,
+            "ok": self.ok,
+            "payload": self.payload,
+            "error": self.error.to_dict() if self.error else None,
+            "executed": self.executed,
+            "attempts": self.attempts,
+            "queue_seconds": self.queue_seconds,
+            "execute_seconds": self.execute_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobResult":
+        err = data.get("error")
+        return cls(
+            job_id=data["job_id"],
+            fingerprint=data["fingerprint"],
+            kind=data["kind"],
+            ok=data["ok"],
+            payload=data.get("payload"),
+            error=JobError.from_dict(err) if err else None,
+            executed=data.get("executed", True),
+            attempts=data.get("attempts", 1),
+            queue_seconds=data.get("queue_seconds", 0.0),
+            execute_seconds=data.get("execute_seconds", 0.0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Execution (pure functions of the request; pool-worker safe)
+# ---------------------------------------------------------------------------
+
+
+def _build_request_system(request: JobRequest):
+    """Deterministic system + nonbonded params for a request."""
+    from repro.md.nonbonded import NonbondedParams
+    from repro.md.water import build_water_system
+
+    nb = NonbondedParams(
+        r_cut=request.r_cut, r_list=request.r_cut + 0.1, coulomb_mode="rf"
+    )
+    system = build_water_system(request.n_particles, seed=request.seed)
+    return system, nb
+
+
+def _kernel_payload(result, forces: np.ndarray) -> dict:
+    return {
+        "energy": float(result.energy),
+        "forces_fp": position_fingerprint(forces).hex(),
+        "modelled_seconds": float(result.elapsed_seconds),
+        "breakdown": {k: float(v) for k, v in result.breakdown.items()},
+    }
+
+
+def execute_kernel_request(
+    request: JobRequest, cache: StepCache | None = None
+) -> dict:
+    """Run one strategy kernel for ``request`` (the direct path the
+    served result is pinned against in ``tests/serve/``)."""
+    from repro.core.kernels import ALL_SPECS, run_kernel
+    from repro.md.pairlist import build_pair_list
+
+    system, nb = _build_request_system(request)
+    plist = build_pair_list(system, nb.r_list)
+    result = run_kernel(
+        system, plist, nb, ALL_SPECS[request.spec], cache=cache
+    )
+    return _kernel_payload(result, result.forces)
+
+
+def execute_md_request(request: JobRequest) -> dict:
+    """Run the full engine for ``request`` (mirrors ``repro run``)."""
+    import numpy as _np
+
+    from repro.core.engine import EngineConfig, SWGromacsEngine
+    from repro.md.mdloop import MdConfig
+    from repro.md.minimize import minimize
+
+    system, nb = _build_request_system(request)
+    minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+    system.thermalize(300.0, _np.random.default_rng(request.seed + 1))
+    engine = SWGromacsEngine(
+        system,
+        EngineConfig(
+            nonbonded=nb,
+            optimization_level=request.level,
+            report_interval=max(request.steps // 5, 1),
+            backend="serial",  # pool workers force nested-serial anyway
+        ),
+    )
+    result = engine.run(request.steps)
+    return result.summary()
+
+
+def execute_request(request: JobRequest) -> dict:
+    """Execute one request in the calling process (serial reference)."""
+    request.validate()
+    if request.kind == KIND_KERNEL:
+        return execute_kernel_request(request)
+    return execute_md_request(request)
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """What one worker hands back for one execution batch."""
+
+    payloads: list[dict]  # aligned with the batch's distinct requests
+    cache_stats: dict = field(default_factory=dict)
+
+
+def execute_batch(requests: tuple[JobRequest, ...]) -> BatchOutcome:
+    """Execute a batch of *distinct* requests on one worker.
+
+    Kernel requests sharing a :attr:`JobRequest.system_key` share one
+    system build, one pair list, and one :class:`StepCache`, so the
+    functional short-range evaluation runs once per (work list,
+    positions) — identical sharing, and therefore identical results, to
+    `run_strategy_sweep` (bit-identity is test-enforced there and
+    re-asserted against the direct path in ``tests/serve/``).  MD and
+    non-matching requests execute independently.
+    """
+    from repro.core.kernels import ALL_SPECS, run_kernel
+    from repro.md.pairlist import build_pair_list
+
+    payloads: list[dict | None] = [None] * len(requests)
+    cache_stats = {"sr_evals": 0, "sr_hits": 0}
+
+    # Group kernel requests by system key, preserving batch order.
+    groups: dict[tuple, list[int]] = {}
+    for idx, req in enumerate(requests):
+        if req.kind == KIND_KERNEL:
+            groups.setdefault(req.system_key, []).append(idx)
+        else:
+            payloads[idx] = execute_md_request(req)
+
+    for indices in groups.values():
+        first = requests[indices[0]]
+        system, nb = _build_request_system(first)
+        plist = build_pair_list(system, nb.r_list)
+        cache = StepCache()
+        for idx in indices:
+            req = requests[idx]
+            result = run_kernel(
+                system, plist, nb, ALL_SPECS[req.spec], cache=cache
+            )
+            payloads[idx] = _kernel_payload(result, result.forces)
+        cache_stats["sr_evals"] += cache.stats.sr_evals
+        cache_stats["sr_hits"] += cache.stats.sr_hits
+
+    return BatchOutcome(payloads=list(payloads), cache_stats=cache_stats)

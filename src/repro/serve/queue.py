@@ -1,0 +1,207 @@
+"""Bounded priority job queue with admission control (DESIGN.md §10).
+
+The queue is a plain synchronous data structure — all async signalling
+lives in :mod:`repro.serve.service`, which owns the event loop — so the
+admission semantics are unit-testable without a running service.
+
+Admission is *deterministic* and *reasoned*: :meth:`JobQueue.admit`
+returns an :class:`AdmissionDecision` naming exactly why a request was
+turned away (wire-stable reason codes below), never silently dropping
+it.  Once a job is accepted it is never lost: it either completes, fails
+with a structured error, or is drained to completion at shutdown
+(service-level guarantee, test-enforced).
+
+Ordering: within a tenant, higher ``priority`` first, FIFO within a
+priority level (a monotone sequence number breaks ties, so ordering is
+total and replayable).  Cross-tenant ordering is the fair-share
+scheduler's job (:mod:`repro.serve.scheduler`), which is why the queue
+keeps one heap per tenant instead of a single global one.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.jobs import InvalidRequestError, JobError, JobRequest
+
+#: Wire-stable rejection reason codes.
+REASON_QUEUE_FULL = "queue_full"
+REASON_TENANT_QUOTA = "tenant_quota"
+REASON_DRAINING = "draining"
+REASON_INVALID = "invalid_request"
+#: Terminal failure codes (post-admission).
+REASON_TIMEOUT = "timeout"
+REASON_DEADLINE = "deadline_expired"
+REASON_EXECUTION = "execution_failed"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    accepted: bool
+    error: JobError | None = None
+
+    @classmethod
+    def ok(cls) -> "AdmissionDecision":
+        return cls(accepted=True)
+
+    @classmethod
+    def reject(cls, code: str, message: str) -> "AdmissionDecision":
+        return cls(accepted=False, error=JobError(code=code, message=message))
+
+
+@dataclass
+class Job:
+    """One accepted request plus its service-side bookkeeping."""
+
+    request: JobRequest
+    job_id: int
+    #: Monotone admission sequence (FIFO tie-break within a priority).
+    seq: int
+    #: asyncio.Future resolved with a JobResult (created by the service).
+    future: object | None = None
+    submitted_at: float = 0.0
+    dispatched_at: float = 0.0
+    #: Absolute loop-time deadline (None = no timeout requested).
+    deadline: float | None = None
+    attempts: int = 0
+
+    @property
+    def sort_key(self) -> tuple:
+        return (-self.request.priority, self.seq)
+
+
+@dataclass
+class QueueStats:
+    accepted: int = 0
+    rejected: int = 0
+    rejected_by_reason: dict = field(default_factory=dict)
+
+    def record_reject(self, code: str) -> None:
+        self.rejected += 1
+        self.rejected_by_reason[code] = (
+            self.rejected_by_reason.get(code, 0) + 1
+        )
+
+
+class JobQueue:
+    """Bounded multi-tenant priority queue.
+
+    ``max_depth`` bounds the *total* queued job count; ``max_per_tenant``
+    (optional) additionally bounds any single tenant, so one chatty
+    client cannot occupy the whole admission window.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 64,
+        max_per_tenant: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1: {max_depth}")
+        if max_per_tenant is not None and max_per_tenant < 1:
+            raise ValueError(
+                f"max_per_tenant must be >= 1 when set: {max_per_tenant}"
+            )
+        self.max_depth = max_depth
+        self.max_per_tenant = max_per_tenant
+        self.stats = QueueStats()
+        self.draining = False
+        self._seq = itertools.count()
+        #: tenant -> heap of (sort_key, Job)
+        self._heaps: dict[str, list[tuple[tuple, Job]]] = {}
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def depth(self) -> int:
+        return sum(len(h) for h in self._heaps.values())
+
+    def tenant_depth(self, tenant: str) -> int:
+        return len(self._heaps.get(tenant, ()))
+
+    def tenants(self) -> list[str]:
+        """Tenants with at least one queued job (sorted for determinism)."""
+        return sorted(t for t, h in self._heaps.items() if h)
+
+    def __len__(self) -> int:
+        return self.depth
+
+    # -- admission ---------------------------------------------------------
+    def admit(self, request: JobRequest) -> AdmissionDecision:
+        """Check a request against validity, drain state, and capacity.
+
+        Does not enqueue — the service enqueues via :meth:`push` after a
+        positive decision (so it can attach the future first).
+        """
+        decision = self._check(request)
+        if not decision.accepted:
+            self.stats.record_reject(decision.error.code)
+        return decision
+
+    def _check(self, request: JobRequest) -> AdmissionDecision:
+        try:
+            request.validate()
+        except InvalidRequestError as exc:
+            return AdmissionDecision.reject(REASON_INVALID, str(exc))
+        if self.draining:
+            return AdmissionDecision.reject(
+                REASON_DRAINING,
+                "service is draining and no longer accepts jobs",
+            )
+        if self.depth >= self.max_depth:
+            return AdmissionDecision.reject(
+                REASON_QUEUE_FULL,
+                f"queue is full ({self.depth}/{self.max_depth} jobs queued)",
+            )
+        if (
+            self.max_per_tenant is not None
+            and self.tenant_depth(request.tenant) >= self.max_per_tenant
+        ):
+            return AdmissionDecision.reject(
+                REASON_TENANT_QUOTA,
+                f"tenant {request.tenant!r} already has "
+                f"{self.tenant_depth(request.tenant)} queued jobs "
+                f"(cap {self.max_per_tenant})",
+            )
+        return AdmissionDecision.ok()
+
+    # -- mutation ----------------------------------------------------------
+    def next_seq(self) -> int:
+        return next(self._seq)
+
+    def push(self, job: Job) -> None:
+        heap = self._heaps.setdefault(job.request.tenant, [])
+        heapq.heappush(heap, (job.sort_key, job))
+        self.stats.accepted += 1
+
+    def pop(self, tenant: str) -> Job:
+        """Highest-priority (then FIFO) job of one tenant."""
+        heap = self._heaps[tenant]
+        _, job = heapq.heappop(heap)
+        if not heap:
+            del self._heaps[tenant]
+        return job
+
+    def pop_matching(self, predicate) -> Optional[Job]:
+        """Remove and return the best queued job satisfying ``predicate``
+        (used by the batcher to pull compatible jobs from any tenant);
+        None when nothing matches.  Scans in tenant order then heap
+        order, so the choice is deterministic."""
+        for tenant in self.tenants():
+            heap = self._heaps[tenant]
+            for _, job in sorted(heap):
+                if predicate(job):
+                    # Rebuild the heap without this job (heaps are small:
+                    # bounded by max_depth).
+                    remaining = [entry for entry in heap if entry[1] is not job]
+                    heapq.heapify(remaining)
+                    if remaining:
+                        self._heaps[tenant] = remaining
+                    else:
+                        del self._heaps[tenant]
+                    return job
+        return None

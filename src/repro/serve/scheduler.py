@@ -1,0 +1,52 @@
+"""Fair-share tenant scheduling (DESIGN.md §10).
+
+Classic virtual-time fair queueing, sized for a job queue rather than a
+packet switch: every tenant carries a *virtual service time* — the job
+count it has been charged so far — and dispatch always picks the backlogged
+tenant with the smallest one (name order breaks ties, so the schedule is
+deterministic and replayable).
+
+Two details keep it honest over a long-lived service:
+
+* A tenant that goes idle and returns re-enters at
+  ``max(own_time, min over backlogged tenants)`` — it cannot bank idle
+  time and then starve everyone (the standard virtual-clock catch-up).
+* Batches may carry several tenants' jobs (cross-tenant dedup); each
+  tenant is charged exactly its own member count, so sharing an
+  execution never shifts cost between tenants.
+"""
+
+from __future__ import annotations
+
+
+class FairShareScheduler:
+    """Pick the next tenant to serve; charge service as it happens."""
+
+    def __init__(self) -> None:
+        self._vtime: dict[str, float] = {}
+
+    def pick(self, backlogged: list[str]) -> str:
+        """Tenant to serve next among those with queued work."""
+        if not backlogged:
+            raise ValueError("no backlogged tenants to pick from")
+        # The floor is taken over tenants with service history only: an
+        # unknown (new or long-idle) tenant must not drag it to zero,
+        # or it would never be caught up.
+        known = [self._vtime[t] for t in backlogged if t in self._vtime]
+        floor = min(known) if known else 0.0
+        for t in backlogged:
+            # Catch-up: a new or long-idle tenant starts at the current
+            # floor instead of zero.
+            self._vtime[t] = max(self._vtime.get(t, floor), floor)
+        return min(backlogged, key=lambda t: (self._vtime[t], t))
+
+    def charge(self, shares: dict[str, float]) -> None:
+        """Charge dispatched work (jobs per tenant) to virtual time."""
+        for tenant, cost in shares.items():
+            self._vtime[tenant] = self._vtime.get(tenant, 0.0) + cost
+
+    def virtual_time(self, tenant: str) -> float:
+        return self._vtime.get(tenant, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(sorted(self._vtime.items()))

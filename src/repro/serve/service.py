@@ -1,0 +1,611 @@
+"""The long-lived asyncio simulation service (DESIGN.md §10).
+
+Dataflow, request to result::
+
+    client ──admit──▶ JobQueue ──pick──▶ FairShareScheduler
+                                  │
+                            Batcher.collect          (dedup + batching)
+                                  │
+                        backend.map(execute_batch)   (one pool worker)
+                                  │
+                            fan-out to waiters ──▶ JobResult futures
+
+The service owns one asyncio event loop; every data structure above is
+touched only from that loop, so there is no locking — blocking work
+(the pool ``map`` call) runs in ``asyncio.to_thread`` and returns to the
+loop for fan-out.  Concurrency across batches is capped by a semaphore
+sized to the backend's worker count, which is how jobs "pack onto pool
+workers": each in-flight batch occupies exactly one worker.
+
+Guarantees (test-enforced in ``tests/serve/``):
+
+* **bit-identity** — a served payload equals the direct
+  `run_kernel`/engine call for the same request, including through dedup
+  and batching;
+* **no lost jobs** — an accepted job always resolves: payload,
+  structured error, or completion during graceful drain;
+* **deterministic admission** — over-capacity submissions are rejected
+  with a wire-stable reason code, never dropped;
+* **clean drain** — :meth:`SimulationService.drain` stops admission,
+  finishes every accepted job, closes the shared pool backend
+  (`repro.parallel.pool.close_shared_backend`), and wakes
+  :meth:`run_until_drained`.
+
+Failures and deadlines are charged through the resilience layer's
+:class:`~repro.resilience.retry.RetryPolicy`: a crashed worker or
+transient execution error is reissued with exponential backoff up to
+``max_attempts``; a job whose deadline lapses is failed with a
+structured ``timeout``/``deadline_expired`` error instead of silently
+running forever.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+from repro.parallel.pool import (
+    WorkerCrashError,
+    close_shared_backend,
+    shared_backend,
+)
+from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.jobs import (
+    BatchOutcome,
+    JobError,
+    JobRequest,
+    JobResult,
+    execute_batch,
+)
+from repro.serve.queue import (
+    REASON_DEADLINE,
+    REASON_EXECUTION,
+    REASON_TIMEOUT,
+    Job,
+    JobQueue,
+)
+from repro.serve.scheduler import FairShareScheduler
+from repro.trace.events import CAT_SERVE, NULL_TRACER, SERVE_TRACK, NullTracer
+
+
+class AdmissionRejected(RuntimeError):
+    """Raised by the in-process API when admission control says no."""
+
+    def __init__(self, error: JobError) -> None:
+        super().__init__(f"{error.code}: {error.message}")
+        self.error = error
+
+
+@dataclass
+class ServeConfig:
+    """Service knobs: capacity, batching, execution, and retry."""
+
+    #: Admission window (total queued jobs).
+    max_depth: int = 64
+    #: Optional per-tenant queued-job cap.
+    max_per_tenant: int | None = None
+    #: Max distinct execution units per dispatched batch.
+    max_batch: int = 16
+    #: Coalesce identical/compatible requests (False = ablation baseline).
+    dedup: bool = True
+    #: Concurrent in-flight batches (None = backend worker count).
+    max_inflight: int | None = None
+    #: Host execution backend selection (`repro.parallel.pool`).
+    backend: str | None = None
+    workers: int | None = None
+    #: Reissue policy for crashed/failed executions.
+    retry: RetryPolicy = field(default_factory=lambda: DEFAULT_RETRY)
+    #: Wall seconds per modelled backoff cycle (the service waits for
+    #: real time, not simulated time; 1 µs/cycle puts the default
+    #: policy's first backoff at 2 ms).
+    backoff_cycle_s: float = 1e-6
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight must be >= 1 when set: {self.max_inflight}"
+            )
+        if self.backoff_cycle_s < 0:
+            raise ValueError(
+                f"backoff_cycle_s must be >= 0: {self.backoff_cycle_s}"
+            )
+
+
+@dataclass
+class ServiceStats:
+    """Service-lifetime counters (wire-exported by the ``stats`` op)."""
+
+    accepted: int = 0
+    rejected: int = 0
+    rejected_by_reason: dict = field(default_factory=dict)
+    completed: int = 0
+    failed: int = 0
+    failed_by_reason: dict = field(default_factory=dict)
+    batches: int = 0
+    executed_units: int = 0
+    dedup_hits: int = 0
+    retries: int = 0
+    #: Worker-side StepCache sharing across batched units.
+    sr_evals: int = 0
+    sr_hits: int = 0
+    drained: bool = False
+
+    def record_failure(self, code: str, n: int = 1) -> None:
+        self.failed += n
+        self.failed_by_reason[code] = self.failed_by_reason.get(code, 0) + n
+
+    def as_dict(self) -> dict:
+        return {
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(self.rejected_by_reason),
+            "completed": self.completed,
+            "failed": self.failed,
+            "failed_by_reason": dict(self.failed_by_reason),
+            "batches": self.batches,
+            "executed_units": self.executed_units,
+            "dedup_hits": self.dedup_hits,
+            "retries": self.retries,
+            "sr_evals": self.sr_evals,
+            "sr_hits": self.sr_hits,
+            "drained": self.drained,
+        }
+
+
+class SimulationService:
+    """Queue → batcher → scheduler → pool, as one asyncio object.
+
+    Use as an async context manager (starts/drains the scheduler), or
+    call :meth:`start` / :meth:`drain` explicitly::
+
+        async with SimulationService(ServeConfig(max_depth=8)) as svc:
+            result = await svc.submit_and_wait(JobRequest(n_particles=300))
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.tracer = tracer
+        self.queue = JobQueue(
+            max_depth=self.config.max_depth,
+            max_per_tenant=self.config.max_per_tenant,
+        )
+        self.batcher = Batcher(
+            max_batch=self.config.max_batch, dedup=self.config.dedup
+        )
+        self.scheduler = FairShareScheduler()
+        self.stats = ServiceStats()
+        self.backend = None
+        self.paused = False
+        self._job_ids = iter(range(1, 1 << 62))
+        #: Pending accepted jobs by id (for the ``wait`` op).
+        self._jobs: dict[int, Job] = {}
+        #: Terminal results by id (kept for the service lifetime; the
+        #: queue bound keeps admission — and thus this dict — finite per
+        #: drain cycle, and a drained service is done).
+        self._results: dict[int, JobResult] = {}
+        #: fingerprint -> jobs waiting on an *executing* unit (late
+        #: arrivals join in-flight work instead of re-queueing it).
+        self._inflight: dict[str, list[Job]] = {}
+        self._cond: asyncio.Condition | None = None
+        self._sem: asyncio.Semaphore | None = None
+        self._scheduler_task: asyncio.Task | None = None
+        self._batch_tasks: set[asyncio.Task] = set()
+        self._servers: list[asyncio.AbstractServer] = []
+        self._drained_event: asyncio.Event | None = None
+        self._t0 = 0.0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "SimulationService":
+        loop = asyncio.get_running_loop()
+        self._t0 = loop.time()
+        self.backend = shared_backend(self.config.backend, self.config.workers)
+        inflight = self.config.max_inflight
+        if inflight is None:
+            inflight = max(int(getattr(self.backend, "n_workers", 1)), 1)
+        self._cond = asyncio.Condition()
+        self._sem = asyncio.Semaphore(inflight)
+        self._drained_event = asyncio.Event()
+        self._scheduler_task = asyncio.create_task(self._scheduler_loop())
+        return self
+
+    async def __aenter__(self) -> "SimulationService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.drain()
+
+    async def _notify(self) -> None:
+        async with self._cond:
+            self._cond.notify_all()
+
+    async def pause(self) -> None:
+        """Stop dispatching (admission continues; queue fills)."""
+        self.paused = True
+
+    async def resume(self) -> None:
+        self.paused = False
+        await self._notify()
+
+    async def drain(self) -> ServiceStats:
+        """Graceful shutdown: refuse new work, finish all accepted work,
+        release the pool backend.  Idempotent."""
+        if self._drained_event is None:
+            raise RuntimeError("service was never started")
+        self.queue.draining = True
+        self.paused = False  # a paused service still drains
+        await self._notify()
+        if self._scheduler_task is not None:
+            await self._scheduler_task
+            self._scheduler_task = None
+        while self._batch_tasks:
+            await asyncio.gather(*tuple(self._batch_tasks))
+        # close() stops accepting; in-flight connections (including the
+        # one that requested this drain) finish on their own transports —
+        # wait_closed() here would deadlock the drain op's own handler.
+        for server in self._servers:
+            server.close()
+        self._servers.clear()
+        close_shared_backend()
+        self.backend = None
+        self.stats.drained = True
+        self._drained_event.set()
+        return self.stats
+
+    async def run_until_drained(self) -> ServiceStats:
+        """Block until some client (or signal handler) triggers drain."""
+        await self._drained_event.wait()
+        return self.stats
+
+    # ------------------------------------------------------------------
+    # in-process API
+    # ------------------------------------------------------------------
+    async def submit(self, request: JobRequest) -> Job:
+        """Admit one request; returns the accepted :class:`Job` (await
+        ``job.future`` for its :class:`JobResult`) or raises
+        :class:`AdmissionRejected` with the structured reason."""
+        loop = asyncio.get_running_loop()
+        decision = self.queue.admit(request)
+        if not decision.accepted:
+            self.stats.rejected += 1
+            code = decision.error.code
+            self.stats.rejected_by_reason[code] = (
+                self.stats.rejected_by_reason.get(code, 0) + 1
+            )
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    f"reject:{code}", CAT_SERVE, SERVE_TRACK,
+                    tenant=request.tenant,
+                )
+            raise AdmissionRejected(decision.error)
+        now = loop.time()
+        job = Job(
+            request=request,
+            job_id=next(self._job_ids),
+            seq=self.queue.next_seq(),
+            future=loop.create_future(),
+            submitted_at=now,
+            deadline=(
+                now + request.timeout_s
+                if request.timeout_s is not None
+                else None
+            ),
+        )
+        self.stats.accepted += 1
+        self._jobs[job.job_id] = job
+        fp = request.fingerprint
+        if self.config.dedup and fp in self._inflight:
+            # Identical work is already executing: join it instead of
+            # queueing a second execution.
+            self._inflight[fp].append(job)
+            self.stats.dedup_hits += 1
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "dedup_join", CAT_SERVE, SERVE_TRACK,
+                    job_id=job.job_id, fingerprint=fp[:8],
+                )
+            return job
+        self.queue.push(job)
+        await self._notify()
+        return job
+
+    async def submit_and_wait(self, request: JobRequest) -> JobResult:
+        job = await self.submit(request)
+        return await job.future
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def _dispatchable(self) -> bool:
+        return bool(len(self.queue)) and not self.paused
+
+    def _drain_complete(self) -> bool:
+        return self.queue.draining and not len(self.queue)
+
+    async def _scheduler_loop(self) -> None:
+        while True:
+            async with self._cond:
+                await self._cond.wait_for(
+                    lambda: self._dispatchable() or self._drain_complete()
+                )
+            if not self._dispatchable():
+                if self._drain_complete():
+                    return
+                continue
+            tenant = self.scheduler.pick(self.queue.tenants())
+            seed = self.queue.pop(tenant)
+            batch = self.batcher.collect(seed, self.queue)
+            self.scheduler.charge(batch.tenant_shares())
+            self.stats.batches += 1
+            self.stats.dedup_hits += batch.dedup_hits
+            await self._sem.acquire()
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batch_tasks.add(task)
+            task.add_done_callback(self._batch_tasks.discard)
+
+    def _execute_blocking(self, units: tuple[JobRequest, ...]) -> BatchOutcome:
+        """One batch on one worker (or inline under the serial backend)."""
+        backend = self.backend
+        if backend is not None and getattr(backend, "parallel", False):
+            return backend.map(execute_batch, [units])[0]
+        return execute_batch(units)
+
+    def _fail_jobs(self, jobs: list[Job], error: JobError) -> None:
+        loop = asyncio.get_running_loop()
+        for job in jobs:
+            result = JobResult(
+                job_id=job.job_id,
+                fingerprint=job.request.fingerprint,
+                kind=job.request.kind,
+                ok=False,
+                error=error,
+                executed=False,
+                attempts=job.attempts,
+                queue_seconds=max(
+                    (job.dispatched_at or loop.time()) - job.submitted_at, 0.0
+                ),
+            )
+            self._finish(job, result)
+        self.stats.record_failure(error.code, len(jobs))
+
+    def _finish(self, job: Job, result: JobResult) -> None:
+        self._results[job.job_id] = result
+        self._jobs.pop(job.job_id, None)
+        if job.future is not None and not job.future.done():
+            job.future.set_result(result)
+
+    async def _run_batch(self, batch: Batch) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            now = loop.time()
+            for job in batch.jobs:
+                job.dispatched_at = now
+
+            # Deadline admission at dispatch: jobs already out of time
+            # fail fast (and drop units nobody is waiting on anymore).
+            live_waiters: dict[str, list[Job]] = {}
+            expired: list[Job] = []
+            for fp, jobs in batch.waiters.items():
+                alive = []
+                for job in jobs:
+                    if job.deadline is not None and job.deadline <= now:
+                        expired.append(job)
+                    else:
+                        alive.append(job)
+                if alive:
+                    live_waiters[fp] = alive
+            if expired:
+                self._fail_jobs(
+                    expired,
+                    JobError(
+                        REASON_DEADLINE,
+                        "deadline expired before the job was dispatched",
+                    ),
+                )
+            units = tuple(
+                u for u in batch.units if u.fingerprint in live_waiters
+            )
+            if not units:
+                return
+            for fp in live_waiters:
+                self._inflight.setdefault(fp, [])
+
+            deadlines = [
+                j.deadline for js in live_waiters.values() for j in js
+            ]
+            timeout = (
+                max(d - now for d in deadlines)
+                if all(d is not None for d in deadlines) and deadlines
+                else None
+            )
+
+            outcome: BatchOutcome | None = None
+            error: JobError | None = None
+            attempts = 0
+            policy = self.config.retry
+            while outcome is None and error is None:
+                attempts += 1
+                for job in batch.jobs:
+                    job.attempts = attempts
+                try:
+                    call = asyncio.to_thread(self._execute_blocking, units)
+                    outcome = await (
+                        asyncio.wait_for(call, timeout)
+                        if timeout is not None
+                        else call
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    # Out of time: a retry could not finish any sooner.
+                    error = JobError(
+                        REASON_TIMEOUT,
+                        f"execution exceeded the {timeout:.3f}s deadline "
+                        f"window after {attempts} attempt(s)",
+                    )
+                except WorkerCrashError as exc:
+                    # The transient failure class: reissue with backoff,
+                    # like a failed DMA transaction (DESIGN.md §7).
+                    if attempts >= policy.max_attempts:
+                        error = JobError(
+                            REASON_EXECUTION,
+                            f"{type(exc).__name__}: {exc} "
+                            f"(after {attempts} attempt(s))",
+                        )
+                    else:
+                        self.stats.retries += 1
+                        await asyncio.sleep(
+                            policy.backoff_seconds(
+                                attempts, self.config.backoff_cycle_s
+                            )
+                        )
+                except Exception as exc:
+                    # Deterministic task errors would fail identically on
+                    # every reissue — fail fast with the real cause.
+                    error = JobError(
+                        REASON_EXECUTION, f"{type(exc).__name__}: {exc}"
+                    )
+
+            done = loop.time()
+            self.stats.executed_units += len(units) if outcome else 0
+            if outcome is not None:
+                for key, val in outcome.cache_stats.items():
+                    setattr(
+                        self.stats, key, getattr(self.stats, key, 0) + val
+                    )
+
+            for i, unit in enumerate(units):
+                fp = unit.fingerprint
+                # Late joiners landed in _inflight while we executed.
+                waiters = live_waiters.get(fp, []) + self._inflight.pop(fp, [])
+                if error is not None:
+                    self._fail_jobs(waiters, error)
+                    continue
+                payload = outcome.payloads[i]
+                for k, job in enumerate(waiters):
+                    result = JobResult(
+                        job_id=job.job_id,
+                        fingerprint=fp,
+                        kind=unit.kind,
+                        ok=True,
+                        payload=payload,
+                        executed=(k == 0),
+                        attempts=attempts if k == 0 else 0,
+                        queue_seconds=max(
+                            job.dispatched_at - job.submitted_at, 0.0
+                        ),
+                        execute_seconds=done - now,
+                    )
+                    self._finish(job, result)
+                    self.stats.completed += 1
+                    if self.tracer.enabled:
+                        t0 = self._t0
+                        self.tracer.span_seconds(
+                            f"queue:{job.job_id}", CAT_SERVE, SERVE_TRACK,
+                            job.submitted_at - t0,
+                            job.dispatched_at - job.submitted_at,
+                            tenant=job.request.tenant,
+                        )
+                        self.tracer.span_seconds(
+                            f"exec:{job.job_id}", CAT_SERVE, SERVE_TRACK,
+                            now - t0, done - now,
+                            fingerprint=fp[:8], executed=(k == 0),
+                            batch_units=len(units),
+                        )
+        finally:
+            self._sem.release()
+            await self._notify()
+
+    # ------------------------------------------------------------------
+    # wire protocol (JSON lines, one request per connection)
+    # ------------------------------------------------------------------
+    async def serve_unix(self, path: str) -> None:
+        self._servers.append(
+            await asyncio.start_unix_server(self._handle_connection, path=path)
+        )
+
+    async def serve_tcp(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        server = await asyncio.start_server(
+            self._handle_connection, host=host, port=port
+        )
+        self._servers.append(server)
+        return server.sockets[0].getsockname()[1]
+
+    async def _handle_connection(self, reader, writer) -> None:
+        try:
+            line = await reader.readline()
+            if not line:
+                return
+            try:
+                msg = json.loads(line)
+                response = await self._dispatch_op(msg)
+            except AdmissionRejected as exc:
+                response = {"ok": False, "error": exc.error.to_dict()}
+            except Exception as exc:  # malformed input must not kill the loop
+                response = {
+                    "ok": False,
+                    "error": {
+                        "code": "bad_request",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    },
+                }
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _dispatch_op(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "ping":
+            return {"ok": True, "op": "ping"}
+        if op == "stats":
+            return {
+                "ok": True,
+                "stats": self.stats.as_dict(),
+                "queue_depth": len(self.queue),
+                "tenants": self.scheduler.as_dict(),
+            }
+        if op == "pause":
+            await self.pause()
+            return {"ok": True, "paused": True}
+        if op == "resume":
+            await self.resume()
+            return {"ok": True, "paused": False}
+        if op == "drain":
+            stats = await self.drain()
+            return {"ok": True, "stats": stats.as_dict()}
+        if op == "submit":
+            request = JobRequest.from_dict(msg.get("job") or {})
+            job = await self.submit(request)
+            if msg.get("wait", True):
+                result = await job.future
+                return {"ok": True, "result": result.to_dict()}
+            return {"ok": True, "job_id": job.job_id}
+        if op == "wait":
+            job_id = int(msg["job_id"])
+            if job_id in self._results:
+                return {"ok": True, "result": self._results[job_id].to_dict()}
+            job = self._jobs.get(job_id)
+            if job is None:
+                return {
+                    "ok": False,
+                    "error": {
+                        "code": "unknown_job",
+                        "message": f"no job with id {job_id}",
+                    },
+                }
+            result = await job.future
+            return {"ok": True, "result": result.to_dict()}
+        return {
+            "ok": False,
+            "error": {"code": "unknown_op", "message": f"unknown op {op!r}"},
+        }

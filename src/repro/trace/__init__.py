@@ -38,9 +38,11 @@ from repro.trace.events import (
     CAT_KERNEL,
     CAT_PIPELINE,
     CAT_REDUCTION,
+    CAT_SERVE,
     CAT_STEP,
     DMA_TRACK,
     MPE_TRACK,
+    SERVE_TRACK,
     NULL_TRACER,
     NullTracer,
     TraceEvent,
@@ -64,8 +66,10 @@ __all__ = [
     "CAT_KERNEL",
     "CAT_PIPELINE",
     "CAT_REDUCTION",
+    "CAT_SERVE",
     "CAT_STEP",
     "DMA_TRACK",
+    "SERVE_TRACK",
     "DmaBucket",
     "FaultReport",
     "MPE_TRACK",

@@ -36,6 +36,10 @@ from repro.hw.params import ChipParams, DEFAULT_PARAMS
 #: Pseudo-track ids (real CPEs are 0..n_cpes-1).
 MPE_TRACK = -1
 DMA_TRACK = -2
+#: The serving layer's timeline (queue waits, batch executions,
+#: admission rejects) — wall time mapped through the chip clock so
+#: service spans land on the same axis as simulated work.
+SERVE_TRACK = -3
 
 #: Event categories used by the built-in instrumentation.
 CAT_COMPUTE = "compute"
@@ -49,6 +53,7 @@ CAT_STEP = "step_phase"
 CAT_PIPELINE = "pipeline"
 CAT_FAULT = "fault"
 CAT_CHECKPOINT = "checkpoint"
+CAT_SERVE = "serve"
 
 
 @dataclass
@@ -269,6 +274,8 @@ def track_label(cpe_id: int, params: ChipParams = DEFAULT_PARAMS) -> str:
         return "MPE"
     if cpe_id == DMA_TRACK:
         return "DMA"
+    if cpe_id == SERVE_TRACK:
+        return "SERVE"
     if 0 <= cpe_id < params.n_cpes:
         return f"CPE {cpe_id:02d}"
     return f"track {cpe_id}"

@@ -24,6 +24,7 @@ from repro.hw.params import DEFAULT_PARAMS
 from repro.md.pairlist import build_pair_list
 from repro.md.water import build_water_system
 from repro.parallel.multirank import derive_rank_faults, run_mpi_ranks
+from repro.parallel import pool as pool_mod
 from repro.parallel.pool import (
     BACKEND_ENV,
     WORKERS_ENV,
@@ -32,6 +33,7 @@ from repro.parallel.pool import (
     SharedArray,
     WorkerCrashError,
     as_input,
+    close_shared_backend,
     host_cpu_count,
     resolve_backend,
     shared_backend,
@@ -163,6 +165,39 @@ class TestBackendSelection:
 
     def test_host_cpu_count_positive(self):
         assert host_cpu_count() >= 1
+
+
+class TestCloseSharedBackend:
+    """Explicit release of the process-wide backend registry (used by the
+    serve layer's graceful drain instead of waiting for atexit)."""
+
+    def test_close_empties_registry_and_respawns(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        monkeypatch.delenv(WORKERS_ENV, raising=False)
+        first = shared_backend()
+        assert pool_mod._SHARED_BACKENDS
+        close_shared_backend()
+        assert pool_mod._SHARED_BACKENDS == {}
+        second = shared_backend()
+        assert second is not first
+        assert second.map(_square, [3]) == [9]
+        close_shared_backend()
+
+    def test_close_is_idempotent(self):
+        close_shared_backend()
+        close_shared_backend()
+        assert pool_mod._SHARED_BACKENDS == {}
+
+    def test_closed_pool_backend_recovers_lazily(self, monkeypatch):
+        # A component still holding the closed instance keeps working:
+        # the executor respawns on the next map().
+        monkeypatch.setenv(BACKEND_ENV, "pool")
+        monkeypatch.setenv(WORKERS_ENV, "2")
+        backend = shared_backend()
+        assert backend.map(_square, [2]) == [4]
+        close_shared_backend()
+        assert backend.map(_square, [5]) == [25]
+        backend.close()
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,177 @@
+"""Batcher coalescing and fair-share scheduling, as pure data-structure
+tests (no event loop, no execution).
+
+The batcher's contract: identical fingerprints always collapse into one
+unit (even past ``max_batch`` — dedup is free); distinct-but-compatible
+requests batch up to ``max_batch`` units; incompatible jobs stay queued.
+The scheduler's contract: deterministic min-virtual-time dispatch with
+idle-tenant catch-up, charged per member job.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.serve.batcher import Batch, Batcher
+from repro.serve.jobs import JobRequest
+from repro.serve.queue import Job, JobQueue
+from repro.serve.scheduler import FairShareScheduler
+
+FAST = dict(n_particles=300, r_cut=0.45)
+_ids = itertools.count(1)
+
+
+def make_job(**kw) -> Job:
+    seq = next(_ids)
+    return Job(request=JobRequest(**{**FAST, **kw}), job_id=seq, seq=seq)
+
+
+class TestBatch:
+    def test_add_dedups_by_fingerprint(self):
+        batch = Batch()
+        assert batch.add(make_job(seed=1)) is True
+        assert batch.add(make_job(seed=1)) is False
+        assert batch.add(make_job(seed=2)) is True
+        assert batch.n_units == 2
+        assert batch.n_jobs == 3
+        assert batch.dedup_hits == 1
+
+    def test_tenant_shares_count_jobs_not_units(self):
+        batch = Batch()
+        batch.add(make_job(tenant="a"))
+        batch.add(make_job(tenant="b"))  # same fingerprint, other tenant
+        batch.add(make_job(tenant="b", seed=2))
+        assert batch.tenant_shares() == {"a": 1, "b": 2}
+
+
+class TestBatcher:
+    def test_identical_jobs_collapse_to_one_unit(self):
+        q = JobQueue(max_depth=16)
+        jobs = [make_job() for _ in range(4)]
+        for job in jobs[1:]:
+            q.push(job)
+        batch = Batcher(max_batch=4).collect(jobs[0], q)
+        assert batch.n_units == 1
+        assert batch.n_jobs == 4
+        assert batch.dedup_hits == 3
+        assert len(q) == 0
+
+    def test_compatible_specs_batch_together(self):
+        q = JobQueue(max_depth=16)
+        seed = make_job(spec="MARK")
+        q.push(make_job(spec="CACHE"))
+        q.push(make_job(spec="VEC"))
+        batch = Batcher(max_batch=8).collect(seed, q)
+        assert [u.spec for u in batch.units] == ["MARK", "CACHE", "VEC"]
+        assert batch.dedup_hits == 0
+
+    def test_incompatible_system_key_stays_queued(self):
+        q = JobQueue(max_depth=16)
+        seed = make_job(seed=1)
+        other = make_job(seed=2)  # different system key
+        q.push(other)
+        batch = Batcher(max_batch=8).collect(seed, q)
+        assert batch.n_units == 1
+        assert len(q) == 1
+
+    def test_max_batch_bounds_distinct_units(self):
+        q = JobQueue(max_depth=16)
+        seed = make_job(spec="MARK")
+        for spec in ("CACHE", "VEC", "PKG", "ORI"):
+            q.push(make_job(spec=spec))
+        batch = Batcher(max_batch=3).collect(seed, q)
+        assert batch.n_units == 3
+        assert len(q) == 2
+
+    def test_dedup_exceeds_max_batch_for_free(self):
+        # max_batch bounds *units*; pure-dedup joins are always taken.
+        q = JobQueue(max_depth=16)
+        seed = make_job(spec="MARK")
+        for _ in range(3):
+            q.push(make_job(spec="MARK"))
+        batch = Batcher(max_batch=1).collect(seed, q)
+        assert batch.n_units == 1
+        assert batch.n_jobs == 4
+        assert len(q) == 0
+
+    def test_cross_tenant_dedup(self):
+        q = JobQueue(max_depth=16)
+        seed = make_job(tenant="a")
+        q.push(make_job(tenant="b"))
+        batch = Batcher(max_batch=4).collect(seed, q)
+        assert batch.n_units == 1
+        assert batch.tenant_shares() == {"a": 1, "b": 1}
+
+    def test_dedup_off_gives_singleton_batches(self):
+        q = JobQueue(max_depth=16)
+        seed = make_job()
+        q.push(make_job())
+        batch = Batcher(max_batch=8, dedup=False).collect(seed, q)
+        assert batch.n_units == 1
+        assert batch.n_jobs == 1
+        assert len(q) == 1
+
+    def test_bad_max_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batcher(max_batch=0)
+
+
+class TestFairShareScheduler:
+    def test_round_robin_between_equal_tenants(self):
+        sched = FairShareScheduler()
+        order = []
+        for _ in range(4):
+            tenant = sched.pick(["a", "b"])
+            order.append(tenant)
+            sched.charge({tenant: 1})
+        assert order == ["a", "b", "a", "b"]
+
+    def test_lighter_tenant_served_first(self):
+        sched = FairShareScheduler()
+        sched.charge({"a": 5, "b": 1})
+        assert sched.pick(["a", "b"]) == "b"
+
+    def test_new_tenant_enters_at_floor_not_zero(self):
+        # A tenant with no history ties with the floor (then loses the
+        # name tie-break) instead of jumping the whole line.
+        sched = FairShareScheduler()
+        sched.charge({"a": 5})
+        assert sched.pick(["a", "b"]) == "a"
+        assert sched.virtual_time("b") == 5.0
+
+    def test_name_breaks_ties_deterministically(self):
+        sched = FairShareScheduler()
+        assert sched.pick(["zeta", "alpha"]) == "alpha"
+
+    def test_idle_tenant_catches_up_to_floor(self):
+        # Tenant "late" was idle while "busy" accumulated service; on
+        # return it starts at the floor instead of banking idle credit.
+        sched = FairShareScheduler()
+        sched.charge({"busy": 10})
+        sched.pick(["busy", "late"])
+        assert sched.virtual_time("late") == 10.0
+
+    def test_charge_is_per_tenant(self):
+        sched = FairShareScheduler()
+        sched.charge({"a": 2, "b": 1})
+        assert sched.virtual_time("a") == 2.0
+        assert sched.virtual_time("b") == 1.0
+        assert sched.as_dict() == {"a": 2.0, "b": 1.0}
+
+    def test_empty_backlog_rejected(self):
+        with pytest.raises(ValueError):
+            FairShareScheduler().pick([])
+
+    def test_weighted_service_ratio(self):
+        # A tenant submitting 3x the work gets picked 1/(1+1) of the
+        # time, not 3/4 — fair share is per tenant, not per job.
+        sched = FairShareScheduler()
+        picks = {"a": 0, "b": 0}
+        for _ in range(12):
+            tenant = sched.pick(["a", "b"])
+            picks[tenant] += 1
+            # "a" batches carry 3 jobs, "b" batches carry 1.
+            sched.charge({tenant: 3 if tenant == "a" else 1})
+        assert picks["b"] == 3 * picks["a"]

@@ -1,0 +1,137 @@
+"""Admission control and ordering semantics of the bounded job queue.
+
+Every rejection must carry a wire-stable reason code; ordering within a
+tenant must be priority-then-FIFO and fully deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.jobs import JobRequest
+from repro.serve.queue import (
+    REASON_DRAINING,
+    REASON_INVALID,
+    REASON_QUEUE_FULL,
+    REASON_TENANT_QUOTA,
+    AdmissionDecision,
+    Job,
+    JobQueue,
+)
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def make_job(queue: JobQueue, **kw) -> Job:
+    req = JobRequest(**{**FAST, **kw})
+    return Job(request=req, job_id=queue.next_seq() + 1, seq=queue.next_seq())
+
+
+class TestAdmission:
+    def test_valid_request_admitted(self):
+        q = JobQueue(max_depth=2)
+        assert q.admit(JobRequest(**FAST)) == AdmissionDecision.ok()
+
+    def test_invalid_request_rejected_with_reason(self):
+        q = JobQueue(max_depth=2)
+        decision = q.admit(JobRequest(**FAST, spec="NOPE"))
+        assert not decision.accepted
+        assert decision.error.code == REASON_INVALID
+        assert "NOPE" in decision.error.message
+
+    def test_full_queue_rejected_with_reason(self):
+        q = JobQueue(max_depth=2)
+        q.push(make_job(q, seed=1))
+        q.push(make_job(q, seed=2))
+        decision = q.admit(JobRequest(**FAST, seed=3))
+        assert not decision.accepted
+        assert decision.error.code == REASON_QUEUE_FULL
+        assert "2/2" in decision.error.message
+
+    def test_tenant_quota_rejected_with_reason(self):
+        q = JobQueue(max_depth=8, max_per_tenant=1)
+        q.push(make_job(q, tenant="a"))
+        decision = q.admit(JobRequest(**FAST, tenant="a", seed=2))
+        assert not decision.accepted
+        assert decision.error.code == REASON_TENANT_QUOTA
+        # Another tenant still fits.
+        assert q.admit(JobRequest(**FAST, tenant="b")).accepted
+
+    def test_draining_rejected_with_reason(self):
+        q = JobQueue(max_depth=8)
+        q.draining = True
+        decision = q.admit(JobRequest(**FAST))
+        assert not decision.accepted
+        assert decision.error.code == REASON_DRAINING
+
+    def test_invalid_beats_capacity(self):
+        # A bad request is named as bad even when the queue is also full.
+        q = JobQueue(max_depth=1)
+        q.push(make_job(q))
+        decision = q.admit(JobRequest(**FAST, spec="NOPE"))
+        assert decision.error.code == REASON_INVALID
+
+    def test_constructor_bounds_validated(self):
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            JobQueue(max_depth=4, max_per_tenant=0)
+
+
+class TestOrdering:
+    def test_priority_then_fifo(self):
+        q = JobQueue(max_depth=8)
+        low1 = make_job(q, seed=1, priority=0)
+        high = make_job(q, seed=2, priority=5)
+        low2 = make_job(q, seed=3, priority=0)
+        for job in (low1, high, low2):
+            q.push(job)
+        order = [q.pop("default") for _ in range(3)]
+        assert order == [high, low1, low2]
+
+    def test_pop_empties_tenant_bucket(self):
+        q = JobQueue(max_depth=8)
+        q.push(make_job(q, tenant="a"))
+        assert q.tenants() == ["a"]
+        q.pop("a")
+        assert q.tenants() == []
+        assert len(q) == 0
+
+    def test_tenants_sorted(self):
+        q = JobQueue(max_depth=8)
+        for tenant in ("zeta", "alpha", "mid"):
+            q.push(make_job(q, tenant=tenant))
+        assert q.tenants() == ["alpha", "mid", "zeta"]
+
+    def test_pop_matching_respects_priority_order(self):
+        q = JobQueue(max_depth=8)
+        low = make_job(q, seed=1, priority=0)
+        high = make_job(q, seed=2, priority=3)
+        q.push(low)
+        q.push(high)
+        got = q.pop_matching(lambda job: True)
+        assert got is high
+        assert len(q) == 1
+
+    def test_pop_matching_filters(self):
+        q = JobQueue(max_depth=8)
+        kernel = make_job(q, seed=1)
+        md = make_job(q, seed=2, kind="md")
+        q.push(kernel)
+        q.push(md)
+        got = q.pop_matching(lambda job: job.request.kind == "md")
+        assert got is md
+        assert q.pop_matching(lambda job: job.request.kind == "md") is None
+        assert len(q) == 1
+
+    def test_stats_track_accepts_and_rejects(self):
+        q = JobQueue(max_depth=1)
+        q.push(make_job(q))
+        assert q.stats.accepted == 1
+        q.admit(JobRequest(**FAST, seed=9))
+        q.admit(JobRequest(**FAST, spec="NOPE"))
+        assert q.stats.rejected == 2
+        assert q.stats.rejected_by_reason == {
+            REASON_QUEUE_FULL: 1,
+            REASON_INVALID: 1,
+        }
