@@ -168,9 +168,13 @@ def measure_oracle_speedup() -> dict:
 
 
 def collect(pool_workers: tuple[int, ...] = (2, GATE_WORKERS)) -> dict:
+    from hoststamp import host_stamp
+
     cpus = host_cpu_count()
     return {
-        "host_cpus": cpus,
+        # Uniform degraded-host stamp: a pool measurement needs
+        # GATE_WORKERS real cores to mean anything.
+        **host_stamp(required_cpus=GATE_WORKERS),
         "gate": {
             "workers": GATE_WORKERS,
             "min_speedup": MIN_POOL_SPEEDUP,
@@ -187,7 +191,10 @@ def collect(pool_workers: tuple[int, ...] = (2, GATE_WORKERS)) -> dict:
 def main() -> None:
     data = collect()
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
-    print(f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']})")
+    print(
+        f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']}, "
+        f"degraded={data['degraded']})"
+    )
     for w, row in data["pool"].items():
         print(
             f"  pool x{w}: {row['speedup']:.2f}x over serial "
@@ -227,6 +234,18 @@ def test_pool_results_identical_even_on_small_hosts():
 def test_oracle_vectorization_meets_floor():
     row = measure_oracle_speedup()
     assert row["speedup"] >= MIN_ORACLE_SPEEDUP, row
+
+
+def test_committed_baseline_meets_floor():
+    """Judge the committed snapshot itself.  A baseline recorded on a
+    degraded host (fewer CPUs than the pool it measures) skips with the
+    recorded host shape in the reason instead of silently passing a
+    sub-1x number."""
+    from hoststamp import require_fresh_baseline
+
+    data = require_fresh_baseline(SNAPSHOT_PATH, "pool speedup baseline")
+    row = data["pool"][str(GATE_WORKERS)]
+    assert row["speedup"] >= MIN_POOL_SPEEDUP, row
 
 
 if __name__ == "__main__":

@@ -30,7 +30,6 @@ from pathlib import Path
 
 import pytest
 
-from repro.parallel.pool import host_cpu_count
 from repro.serve.jobs import JobRequest
 from repro.serve.service import ServeConfig, SimulationService
 
@@ -46,6 +45,10 @@ CLIENT_COUNTS = (1, 4, 16)
 #: batching pushes the measured ratio well past the floor.
 MIN_DEDUP_SPEEDUP = 2.0
 GATE_CLIENTS = 16
+#: A meaningful concurrency measurement needs the service loop and its
+#: executing backend to not time-slice one core; ratios stay valid on
+#: one CPU but absolute jobs/sec are degraded.
+REQUIRED_CPUS = 2
 
 
 def build_workload() -> list[JobRequest]:
@@ -112,8 +115,10 @@ def measure_pair(clients: int) -> dict:
 
 
 def collect() -> dict:
+    from hoststamp import host_stamp
+
     return {
-        "host_cpus": host_cpu_count(),
+        **host_stamp(required_cpus=REQUIRED_CPUS),
         "workload": {
             "jobs": len(build_workload()),
             "distinct_requests": len(SYSTEM_SEEDS) * len(SPECS),
@@ -132,7 +137,10 @@ def collect() -> dict:
 def main() -> None:
     data = collect()
     SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
-    print(f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']})")
+    print(
+        f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']}, "
+        f"degraded={data['degraded']})"
+    )
     for c, row in data["throughput"].items():
         on, off = row["coalescing_on"], row["coalescing_off"]
         print(
@@ -170,6 +178,21 @@ def test_throughput_rows_complete(clients):
     row = measure(clients, dedup=True)
     assert row["executed_units"] <= row["jobs"]
     assert row["jobs_per_second"] > 0
+
+
+def test_committed_baseline_meets_floor():
+    """Judge the committed snapshot itself; a baseline recorded on a
+    degraded host skips with its host shape in the reason instead of
+    silently passing stale or doomed numbers."""
+    from hoststamp import require_fresh_baseline
+
+    data = require_fresh_baseline(
+        SNAPSHOT_PATH, "serve throughput baseline"
+    )
+    row = data["throughput"][str(GATE_CLIENTS)]
+    assert row["speedup"] >= MIN_DEDUP_SPEEDUP, row
+    on = row["coalescing_on"]
+    assert on["dedup_hits"] == on["jobs"] // 2, on
 
 
 if __name__ == "__main__":

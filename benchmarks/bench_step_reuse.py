@@ -93,7 +93,12 @@ def measure_engine_steps_per_sec(n_particles: int) -> dict:
 
 
 def collect() -> dict:
+    from hoststamp import host_stamp
+
     return {
+        # The sweep is serial by design: one core is the measured
+        # configuration, so this baseline is never degraded.
+        **host_stamp(required_cpus=1),
         "sweep_specs": SWEEP_SPECS,
         "n_md_steps": N_MD_STEPS,
         "sweep": {str(n): measure_sweep_speedup(n) for n in SIZES},
@@ -132,7 +137,11 @@ def test_no_regression_against_committed_baseline():
     """Speedup *ratios* are machine-portable: the current tree must stay
     within 20 % of the committed ``BENCH_step.json`` baseline.  Absolute
     steps/sec are informational only and never gated."""
-    baseline = json.loads(BASELINE_PATH.read_text())
+    from hoststamp import require_fresh_baseline
+
+    baseline = require_fresh_baseline(
+        BASELINE_PATH, "step-reuse baseline"
+    )
     for n in SIZES:
         base = baseline["sweep"][str(n)]["speedup"]
         now = measure_sweep_speedup(n)["speedup"]

@@ -1,0 +1,57 @@
+"""Host-capability stamping for committed benchmark snapshots.
+
+Committed ``BENCH_*.json`` files travel between machines; the host that
+regenerates one may be weaker than the configuration the benchmark
+means to measure (a 1-CPU container cannot give a 4-worker pool four
+cores, or a 3-worker fleet any parallelism).  Every snapshot therefore
+carries a uniform stamp:
+
+* ``host_cpus`` — usable CPUs on the recording host;
+* ``required_cpus`` — what the measured configuration actually needs;
+* ``degraded`` — ``host_cpus < required_cpus``: the numbers document
+  the hardware, not the implementation.
+
+CI gates that judge the *committed* snapshot go through
+:func:`require_fresh_baseline`, which turns a degraded baseline into a
+loud ``pytest.skip`` with the recorded host shape in the reason —
+never a silent pass against numbers that were doomed from the start.
+Gates that measure *live* keep their own ``skipif`` on the current
+host's CPU count; this module only guards the committed artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.parallel.pool import host_cpu_count
+
+
+def host_stamp(required_cpus: int) -> dict:
+    """The uniform snapshot header: host shape vs required shape."""
+    if required_cpus < 1:
+        raise ValueError(f"required_cpus must be >= 1: {required_cpus}")
+    cpus = host_cpu_count()
+    return {
+        "host_cpus": cpus,
+        "required_cpus": required_cpus,
+        "degraded": cpus < required_cpus,
+    }
+
+
+def require_fresh_baseline(path: Path, what: str) -> dict:
+    """Load a committed snapshot for gating, skipping loudly when it
+    cannot support the comparison (missing, or recorded degraded)."""
+    import pytest
+
+    if not path.exists():
+        pytest.skip(f"{what}: no committed baseline at {path.name}")
+    data = json.loads(path.read_text())
+    if data.get("degraded"):
+        pytest.skip(
+            f"{what}: committed baseline {path.name} was recorded on a "
+            f"degraded host (host_cpus={data.get('host_cpus')} < "
+            f"required_cpus={data.get('required_cpus')}); regenerate it "
+            f"on a capable host to arm this gate"
+        )
+    return data

@@ -55,6 +55,12 @@ _EXPORTS = {
     "JobRequest": ("repro.serve.jobs", "JobRequest"),
     "JobResult": ("repro.serve.jobs", "JobResult"),
     "ServeClient": ("repro.serve.client", "ServeClient"),
+    "FleetRouter": ("repro.fleet.router", "FleetRouter"),
+    "RouterConfig": ("repro.fleet.router", "RouterConfig"),
+    "FleetWorker": ("repro.fleet.worker", "FleetWorker"),
+    "WorkerConfig": ("repro.fleet.worker", "WorkerConfig"),
+    "HashRing": ("repro.fleet.ring", "HashRing"),
+    "LocalFleet": ("repro.fleet.launch", "LocalFleet"),
 }
 
 

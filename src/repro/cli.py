@@ -13,7 +13,12 @@ Commands mirror the paper's experiments:
 * ``ttf``      — the Eq. 3/4 platform ratios;
 * ``serve``    — run the long-lived simulation service (queue, batcher,
   fair-share scheduler over the pool backend; DESIGN.md §10);
-* ``submit``   — submit a job (or control op) to a running service.
+* ``submit``   — submit a job (or control op) to a running service or
+  fleet router (``--router`` addresses a router directly);
+* ``fleet``    — run the consistent-hash fleet router, optionally
+  spawning N local workers (DESIGN.md §11);
+* ``fleet-worker`` — run one fleet worker: a simulation service that
+  registers and heartbeats with a router.
 
 Every command accepts ``--backend serial|pool`` and ``--workers N``
 (before the subcommand) to pick the host execution backend; the
@@ -153,11 +158,91 @@ def _build_parser() -> argparse.ArgumentParser:
         help="write a Chrome-trace service timeline to FILE on drain",
     )
 
+    fleet = sub.add_parser(
+        "fleet",
+        help="run the fleet router (consistent-hash front-end over workers)",
+    )
+    _add_address_args(fleet)
+    fleet.add_argument(
+        "--spawn-workers", type=int, default=0, metavar="N",
+        help="also spawn N local fleet-worker subprocesses (needs --socket)",
+    )
+    fleet.add_argument(
+        "--heartbeat-timeout", type=float, default=5.0, metavar="SECONDS",
+        help="declare a worker dead after this heartbeat silence (default: 5)",
+    )
+    fleet.add_argument(
+        "--check-interval", type=float, default=0.5, metavar="SECONDS",
+        help="heartbeat-deadline check period (default: 0.5)",
+    )
+    fleet.add_argument(
+        "--route-wait", type=float, default=10.0, metavar="SECONDS",
+        help="max wait for a routable worker before no_workers (default: 10)",
+    )
+    fleet.add_argument(
+        "--vnodes", type=int, default=64, metavar="N",
+        help="virtual nodes per worker on the hash ring (default: 64)",
+    )
+    fleet.add_argument(
+        "--trace", metavar="FILE", default=None,
+        help="write a Chrome-trace fleet timeline to FILE on drain",
+    )
+
+    worker = sub.add_parser(
+        "fleet-worker",
+        help="run one fleet worker (a serve instance that phones home)",
+    )
+    _add_address_args(worker)
+    worker.add_argument(
+        "--router", required=True, metavar="ADDR",
+        help="router address: a socket path or host:port",
+    )
+    worker.add_argument(
+        "--name", required=True, help="unique worker name within the fleet"
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="SECONDS",
+        help="heartbeat period (default: 1)",
+    )
+    worker.add_argument(
+        "--max-depth", type=int, default=64, metavar="N",
+        help="admission window: total queued jobs (default: 64)",
+    )
+    worker.add_argument(
+        "--max-per-tenant", type=int, default=None, metavar="N",
+        help="per-tenant queued-job cap (default: none)",
+    )
+    worker.add_argument(
+        "--max-batch", type=int, default=16, metavar="N",
+        help="max distinct requests coalesced per dispatch (default: 16)",
+    )
+    worker.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent batches (default: backend worker count)",
+    )
+    worker.add_argument(
+        "--no-dedup", action="store_true",
+        help="disable request dedup/batching (ablation baseline)",
+    )
+
     submit = sub.add_parser(
         "submit",
         help="submit a job (or control op) to a running service",
     )
     _add_address_args(submit)
+    submit.add_argument(
+        "--router", metavar="ADDR", default=None,
+        help="address a fleet router (socket path or host:port) instead "
+        "of --socket/--port; same wire protocol, extra ops (fleet)",
+    )
+    submit.add_argument(
+        "--connect-retries", type=int, default=0, metavar="N",
+        help="retry a refused/unbound initial connect N times (default: 0)",
+    )
+    submit.add_argument(
+        "--connect-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="initial connect-retry backoff, doubling per attempt",
+    )
     submit.add_argument("-n", "--particles", type=int, default=900)
     submit.add_argument(
         "--kind", choices=("kernel", "md"), default="kernel",
@@ -186,9 +271,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wait for a previously submitted job instead of submitting",
     )
     submit.add_argument(
-        "--op", choices=("ping", "stats", "pause", "resume", "drain"),
+        "--op",
+        choices=("ping", "stats", "pause", "resume", "drain", "fleet"),
         default=None,
-        help="send a control op instead of submitting a job",
+        help="send a control op instead of submitting a job "
+        "(fleet: router-only membership/ring dump)",
     )
     return parser
 
@@ -515,6 +602,140 @@ def _cmd_serve(args) -> int:
     return asyncio.run(_main())
 
 
+def _cmd_fleet(args) -> int:
+    import asyncio
+
+    from repro.fleet import FleetRouter, RouterConfig
+    from repro.trace import Tracer, write_chrome_trace
+    from repro.trace.events import NULL_TRACER
+
+    if args.socket is None and args.port is None:
+        print("fleet: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    if args.spawn_workers and args.socket is None:
+        print(
+            "fleet: --spawn-workers needs --socket (workers join over it)",
+            file=sys.stderr,
+        )
+        return 2
+    config = RouterConfig(
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        check_interval_s=args.check_interval,
+        route_wait_s=args.route_wait,
+        vnodes=args.vnodes,
+    )
+    tracer = Tracer() if args.trace else NULL_TRACER
+
+    workers = []
+    if args.spawn_workers:
+        import subprocess
+        from pathlib import Path
+
+        root = Path(args.socket).resolve().parent
+        for i in range(args.spawn_workers):
+            workers.append(
+                subprocess.Popen(
+                    [
+                        sys.executable, "-m", "repro", "fleet-worker",
+                        "--router", args.socket,
+                        "--socket", str(root / f"fleet-w{i}.sock"),
+                        "--name", f"w{i}",
+                    ]
+                )
+            )
+
+    async def _main() -> int:
+        router = FleetRouter(config, tracer=tracer)
+        await router.start()
+        if args.socket is not None:
+            await router.serve_unix(args.socket)
+            where = args.socket
+        else:
+            port = await router.serve_tcp(args.host, args.port)
+            where = f"{args.host}:{port}"
+        print(
+            f"repro fleet: router listening on {where} "
+            f"(vnodes={config.vnodes}, heartbeat timeout "
+            f"{config.heartbeat_timeout_s:.1f}s"
+            + (f", {args.spawn_workers} spawned workers" if workers else "")
+            + ")",
+            flush=True,
+        )
+        stats = await router.run_until_drained()
+        if args.trace:
+            doc = write_chrome_trace(tracer, args.trace)
+            print(f"wrote {len(doc['traceEvents'])} events to {args.trace}")
+        print(
+            f"drained: {stats['completed']} completed, "
+            f"{stats['failed']} failed, {stats['rejected']} rejected, "
+            f"{stats['reassignments']} reassignment(s) across "
+            f"{stats['workers_registered']} worker registration(s)"
+        )
+        return 0
+
+    try:
+        return asyncio.run(_main())
+    finally:
+        for proc in workers:
+            try:
+                proc.wait(timeout=15.0)
+            except Exception:
+                proc.terminate()
+
+
+def _cmd_fleet_worker(args) -> int:
+    import asyncio
+
+    from repro.fleet import FleetWorker, WorkerConfig
+    from repro.fleet.wire import Address, parse_address
+    from repro.serve import ServeConfig
+
+    if args.socket is None and args.port is None:
+        print("fleet-worker: need --socket PATH or --port N", file=sys.stderr)
+        return 2
+    address = (
+        Address(socket_path=args.socket)
+        if args.socket is not None
+        else Address(host=args.host, port=args.port)
+    )
+    config = WorkerConfig(
+        name=args.name,
+        router=parse_address(args.router),
+        address=address,
+        serve=ServeConfig(
+            max_depth=args.max_depth,
+            max_per_tenant=args.max_per_tenant,
+            max_batch=args.max_batch,
+            max_inflight=args.max_inflight,
+            dedup=not args.no_dedup,
+            backend=args.backend,
+            workers=args.workers,
+        ),
+        heartbeat_interval_s=args.heartbeat_interval,
+    )
+
+    async def _main() -> int:
+        worker = FleetWorker(config)
+        await worker.start()
+        print(
+            f"repro fleet-worker {args.name!r}: serving on "
+            f"{worker.advertised} "
+            f"(backend={worker.service.backend.name}), registered with "
+            f"router {args.router}",
+            flush=True,
+        )
+        stats = await worker.run_until_drained()
+        s = stats.as_dict()
+        print(
+            f"drained: {s['completed']} completed, {s['failed']} failed, "
+            f"{s['rejected']} rejected ({s['dedup_hits']} dedup hits, "
+            f"{s['batches']} batches)"
+        )
+        return 0
+
+    return asyncio.run(_main())
+
+
 def _cmd_submit(args) -> int:
     from repro.serve import (
         JobRequest,
@@ -523,13 +744,28 @@ def _cmd_submit(args) -> int:
         ServeRequestError,
     )
 
-    if args.socket is None and args.port is None:
-        print("submit: need --socket PATH or --port N", file=sys.stderr)
+    if args.router is not None:
+        from repro.fleet.wire import parse_address
+
+        where = parse_address(args.router)
+        socket_path = where.socket_path
+        host, port = where.host, where.port
+    elif args.socket is not None or args.port is not None:
+        socket_path = args.socket
+        host = args.host if args.socket is None else None
+        port = args.port if args.socket is None else None
+    else:
+        print(
+            "submit: need --socket PATH, --port N, or --router ADDR",
+            file=sys.stderr,
+        )
         return 2
     client = ServeClient(
-        socket_path=args.socket,
-        host=args.host if args.socket is None else None,
-        port=args.port if args.socket is None else None,
+        socket_path=socket_path,
+        host=host,
+        port=port,
+        connect_retries=args.connect_retries,
+        connect_backoff=args.connect_backoff,
     )
     try:
         if args.op is not None:
@@ -538,6 +774,15 @@ def _cmd_submit(args) -> int:
                 import json
 
                 print(json.dumps(response["stats"], indent=2, sort_keys=True))
+            elif args.op == "fleet":
+                import json
+
+                dump = {
+                    key: response[key]
+                    for key in ("router", "ring", "workers", "jobs")
+                    if key in response
+                }
+                print(json.dumps(dump, indent=2, sort_keys=True))
             elif args.op == "drain":
                 s = response["stats"]
                 print(
@@ -603,6 +848,8 @@ _COMMANDS = {
     "ttf": _cmd_ttf,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "fleet": _cmd_fleet,
+    "fleet-worker": _cmd_fleet_worker,
 }
 
 

@@ -1,0 +1,66 @@
+"""repro.fleet: the distributed serve tier (DESIGN.md §11).
+
+Shards :mod:`repro.serve` across N workers behind one router socket that
+speaks the same JSON-lines protocol as a single service:
+
+* :mod:`repro.fleet.ring` — deterministic consistent-hash ring (virtual
+  nodes) routing ``JobRequest.system_key`` so dedup, in-flight joins,
+  and `StepCache` batching survive sharding;
+* :mod:`repro.fleet.registry` — worker registration, heartbeat
+  health-checking, drain/decommission lifecycle;
+* :mod:`repro.fleet.router` — the asyncio front-end: proxies
+  submit/wait/stats, queues across ring changes, reassigns jobs off
+  dead workers with `repro.resilience` retry/backoff;
+* :mod:`repro.fleet.worker` — a `SimulationService` that registers and
+  heartbeats;
+* :mod:`repro.fleet.launch` — a local N-worker fleet in subprocesses.
+
+Quickstart: ``repro fleet --socket router.sock --spawn-workers 3`` then
+``repro submit --router router.sock -n 300``.
+"""
+
+from repro.fleet.launch import LocalFleet, WorkerHandle
+from repro.fleet.registry import (
+    STATE_DEAD,
+    STATE_DRAINING,
+    STATE_GONE,
+    STATE_UP,
+    UnknownWorkerError,
+    WorkerInfo,
+    WorkerRegistry,
+)
+from repro.fleet.ring import DEFAULT_VNODES, HashRing, stable_key
+from repro.fleet.router import (
+    REASON_NO_WORKERS,
+    REASON_WORKER_LOST,
+    FleetRouter,
+    RouterConfig,
+    RouterStats,
+)
+from repro.fleet.wire import Address, parse_address, send_request
+from repro.fleet.worker import FleetWorker, WorkerConfig
+
+__all__ = [
+    "Address",
+    "parse_address",
+    "send_request",
+    "DEFAULT_VNODES",
+    "HashRing",
+    "stable_key",
+    "STATE_DEAD",
+    "STATE_DRAINING",
+    "STATE_GONE",
+    "STATE_UP",
+    "UnknownWorkerError",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "REASON_NO_WORKERS",
+    "REASON_WORKER_LOST",
+    "FleetRouter",
+    "RouterConfig",
+    "RouterStats",
+    "FleetWorker",
+    "WorkerConfig",
+    "LocalFleet",
+    "WorkerHandle",
+]

@@ -1,0 +1,230 @@
+"""Spawn and manage a local N-worker fleet in subprocesses.
+
+The deployment story for one host: a router process plus N worker
+processes, each a real ``repro fleet-worker`` (its own CPython, its own
+pool backend), talking over Unix sockets in one directory.  Used by the
+``repro fleet --spawn-workers N`` quickstart, the scaling benchmark, the
+CI ``fleet-smoke`` job, and the failover tests — which is the point:
+the thing tests SIGKILL is the same thing users run.
+
+The launcher is deliberately dumb about lifecycle: readiness is polled
+through the router's own wire (``ping`` + ``fleet`` ops), not inferred
+from process state, and shutdown is a client-driven ``drain`` with
+process reaping as the backstop.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.serve.client import ServeClient, ServeConnectionError
+
+
+@dataclass
+class WorkerHandle:
+    """One spawned worker process."""
+
+    name: str
+    socket_path: str
+    process: subprocess.Popen
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+
+def _repro_env(extra: dict | None = None) -> dict:
+    """Child environment with ``src`` importable, plus overrides."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2])
+    parts = [src] + [
+        p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p
+    ]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    if extra:
+        env.update(extra)
+    return env
+
+
+class LocalFleet:
+    """A router + N workers as local subprocesses over Unix sockets.
+
+    Use as a context manager::
+
+        with LocalFleet(3, root=tmp_dir) as fleet:
+            result = fleet.client().submit(JobRequest(n_particles=300))
+
+    ``router_args`` / ``worker_args`` append raw CLI flags (heartbeat
+    cadence, serve capacity, ...); ``env`` adds child-only environment
+    overrides (``REPRO_BACKEND=pool`` being the usual one).
+    """
+
+    def __init__(
+        self,
+        n_workers: int,
+        root: str | Path,
+        router_args: tuple[str, ...] = (),
+        worker_args: tuple[str, ...] = (),
+        env: dict | None = None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1: {n_workers}")
+        self.n_workers = n_workers
+        self.root = Path(root)
+        self.router_args = tuple(router_args)
+        self.worker_args = tuple(worker_args)
+        self.env = _repro_env(env)
+        self.router_socket = str(self.root / "router.sock")
+        self.router_process: subprocess.Popen | None = None
+        self.workers: list[WorkerHandle] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeout: float = 60.0) -> "LocalFleet":
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.router_process = self._spawn(
+            ["fleet", "--socket", self.router_socket, *self.router_args],
+            self.root / "router.log",
+        )
+        for i in range(self.n_workers):
+            self.workers.append(self._spawn_worker(f"w{i}"))
+        self.wait_ready(timeout=timeout)
+        return self
+
+    def _spawn(self, argv: list[str], log_path: Path) -> subprocess.Popen:
+        log = open(log_path, "ab")
+        try:
+            return subprocess.Popen(
+                [sys.executable, "-m", "repro", *argv],
+                env=self.env,
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                start_new_session=True,
+            )
+        finally:
+            log.close()  # the child owns its inherited descriptor
+
+    def _spawn_worker(self, name: str) -> WorkerHandle:
+        socket_path = str(self.root / f"{name}.sock")
+        process = self._spawn(
+            [
+                "fleet-worker",
+                "--router", self.router_socket,
+                "--socket", socket_path,
+                "--name", name,
+                *self.worker_args,
+            ],
+            self.root / f"{name}.log",
+        )
+        return WorkerHandle(name=name, socket_path=socket_path, process=process)
+
+    def wait_ready(
+        self, n_workers: int | None = None, timeout: float = 60.0
+    ) -> dict:
+        """Block until the router answers and ``n_workers`` are UP."""
+        want = self.n_workers if n_workers is None else n_workers
+        deadline = time.monotonic() + timeout
+        client = self.client(
+            timeout=10.0, connect_retries=int(timeout / 0.25),
+        )
+        client.ping()
+        while True:
+            status = client.request({"op": "fleet"})
+            up = [
+                name
+                for name, info in status["workers"].items()
+                if info["state"] == "up"
+            ]
+            if len(up) >= want:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"fleet not ready: {len(up)}/{want} workers up "
+                    f"after {timeout:.0f}s ({status['workers']})"
+                )
+            time.sleep(0.1)
+
+    def __enter__(self) -> "LocalFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def client(
+        self,
+        timeout: float | None = None,
+        connect_retries: int = 40,
+        connect_backoff: float = 0.25,
+    ) -> ServeClient:
+        """A client bound to the router socket, retrying startup races."""
+        return ServeClient(
+            socket_path=self.router_socket,
+            timeout=timeout,
+            connect_retries=connect_retries,
+            connect_backoff=connect_backoff,
+        )
+
+    def fleet_status(self) -> dict:
+        return self.client(timeout=30.0).request({"op": "fleet"})
+
+    def worker(self, name: str) -> WorkerHandle:
+        for handle in self.workers:
+            if handle.name == name:
+                return handle
+        raise KeyError(f"no worker named {name!r}")
+
+    def kill_worker(self, name: str, sig: int = signal.SIGKILL) -> None:
+        """Hard-kill one worker process (the failure the router must eat)."""
+        self.worker(name).process.send_signal(sig)
+
+    def drain(self, timeout: float = 120.0) -> dict:
+        """Client-driven graceful shutdown; returns final fleet stats."""
+        stats = self.client(timeout=timeout).request({"op": "drain"})["stats"]
+        self._reap(timeout=30.0)
+        return stats
+
+    def stop(self) -> None:
+        """Terminate whatever is still running (cleanup backstop)."""
+        for handle in self.workers:
+            if handle.alive:
+                handle.process.terminate()
+        if (
+            self.router_process is not None
+            and self.router_process.poll() is None
+        ):
+            self.router_process.terminate()
+        self._reap(timeout=10.0, kill_after=True)
+
+    def _reap(self, timeout: float, kill_after: bool = False) -> None:
+        deadline = time.monotonic() + timeout
+        procs = [h.process for h in self.workers]
+        if self.router_process is not None:
+            procs.append(self.router_process)
+        for proc in procs:
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                if kill_after:
+                    proc.kill()
+                    proc.wait(timeout=10.0)
+
+    def logs(self) -> str:
+        """Concatenated child logs (debugging aid for failed tests)."""
+        chunks = []
+        for path in sorted(self.root.glob("*.log")):
+            chunks.append(f"----- {path.name} -----\n{path.read_text()}")
+        return "\n".join(chunks)
+
+
+__all__ = ["LocalFleet", "WorkerHandle", "ServeConnectionError"]

@@ -1,0 +1,115 @@
+"""Consistent-hash ring with virtual nodes (DESIGN.md §11).
+
+Placement is the property everything downstream of the router leans on:
+jobs sharing a :attr:`~repro.serve.jobs.JobRequest.system_key` must land
+on the *same* worker, or sharding would silently destroy the three
+single-host wins — fingerprint dedup, in-flight join, and `StepCache`
+batching all happen inside one ``SimulationService`` and cannot see
+across workers.  Routing on the system key (a superset of nothing and a
+subset of the fingerprint) preserves all three: identical fingerprints
+imply identical system keys imply the same worker.
+
+The ring is *deterministic*: a member's points depend only on its name
+(BLAKE2b of ``"name#i"`` for ``i < vnodes``), never on insertion order
+or ring history.  Two routers built over the same member set — e.g. a
+restarted router re-learning its workers — therefore route every key
+identically, which is what makes router restarts invisible to cache
+locality (test-enforced in ``tests/fleet/test_ring.py``).
+
+Virtual nodes smooth the load split: with ``vnodes`` points per member,
+the largest member's share of key space concentrates toward 1/N, and
+removing a member redistributes *only* that member's arcs (minimal
+disruption — the reason to prefer a ring over ``hash(key) % N``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+
+DEFAULT_VNODES = 64
+
+
+def stable_key(obj) -> str:
+    """Canonical string form of a routing key.
+
+    JSON with sorted keys, so tuples/dicts/scalars of JSON-compatible
+    values (``JobRequest.system_key`` is one) map to one stable text
+    across processes and Python versions — ``hash()`` is neither.
+    """
+    if isinstance(obj, str):
+        return obj
+    if isinstance(obj, tuple):
+        obj = list(obj)
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _point(text: str) -> int:
+    """Position of ``text`` on the 64-bit ring circle."""
+    digest = hashlib.blake2b(text.encode(), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named members."""
+
+    def __init__(self, vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1: {vnodes}")
+        self.vnodes = vnodes
+        self._members: set[str] = set()
+        #: Sorted ring points, kept aligned: _points[i] is owned by _owners[i].
+        self._points: list[int] = []
+        self._owners: list[str] = []
+
+    # -- membership --------------------------------------------------------
+    @property
+    def members(self) -> list[str]:
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def add(self, name: str) -> None:
+        """Idempotent: re-adding a member changes nothing."""
+        if name in self._members:
+            return
+        self._members.add(name)
+        for i in range(self.vnodes):
+            point = _point(f"{name}#{i}")
+            idx = bisect.bisect_left(self._points, point)
+            self._points.insert(idx, point)
+            self._owners.insert(idx, name)
+
+    def remove(self, name: str) -> None:
+        """Idempotent: removing an absent member changes nothing."""
+        if name not in self._members:
+            return
+        self._members.discard(name)
+        keep = [i for i, owner in enumerate(self._owners) if owner != name]
+        self._points = [self._points[i] for i in keep]
+        self._owners = [self._owners[i] for i in keep]
+
+    # -- routing -----------------------------------------------------------
+    def route(self, key) -> str:
+        """Owner of ``key``: the first ring point at or after its hash
+        (wrapping past the top).  Raises :class:`LookupError` on an
+        empty ring — the router queues instead of guessing."""
+        if not self._points:
+            raise LookupError("hash ring has no members")
+        point = _point(stable_key(key))
+        idx = bisect.bisect_left(self._points, point)
+        if idx == len(self._points):
+            idx = 0
+        return self._owners[idx]
+
+    def assignments(self, keys) -> dict:
+        """key -> owner for a batch of keys (debug/test helper)."""
+        return {key: self.route(key) for key in keys}
+
+    def as_dict(self) -> dict:
+        return {"vnodes": self.vnodes, "members": self.members}

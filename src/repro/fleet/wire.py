@@ -1,0 +1,118 @@
+"""Addressing and the async JSON-lines round trip (DESIGN.md §11).
+
+The fleet speaks the *same* one-line-request / one-line-response
+protocol as a single :class:`~repro.serve.service.SimulationService`
+socket — a router is indistinguishable from a service to any existing
+client, which is what lets ``repro submit`` target either.  This module
+owns the two pieces every fleet role shares:
+
+* :class:`Address` — one worker/router endpoint, either a Unix-domain
+  socket path or a TCP ``host:port`` pair, round-trippable through a
+  plain string (``parse_address``) so addresses travel inside JSON
+  registration messages;
+* :func:`send_request` — one asyncio round trip.  Transport failures
+  (refused, reset, EOF before a response line) normalise to
+  :class:`ConnectionError`, the signal the router's reassignment loop
+  keys on: a broken round trip to a worker is indistinguishable from a
+  dead worker and is treated as one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+
+#: readline bound for one response line; aggregated fleet stats are the
+#: largest payload and stay far under this.
+_LINE_LIMIT = 1 << 22
+
+
+@dataclass(frozen=True)
+class Address:
+    """One endpoint: a Unix socket path or a TCP host/port pair."""
+
+    socket_path: str | None = None
+    host: str | None = None
+    port: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.socket_path is None and (self.host is None or self.port is None):
+            raise ValueError("Address needs socket_path or host+port")
+
+    @property
+    def is_unix(self) -> bool:
+        return self.socket_path is not None
+
+    def __str__(self) -> str:
+        if self.is_unix:
+            return self.socket_path
+        return f"{self.host}:{self.port}"
+
+
+def parse_address(text: str) -> Address:
+    """Parse ``"/path/to.sock"`` or ``"host:port"`` into an :class:`Address`.
+
+    Anything containing a path separator (or without a ``host:int-port``
+    shape) is a Unix socket path; Unix paths therefore need no escaping.
+    """
+    if "/" not in text and ":" in text:
+        host, _, port = text.rpartition(":")
+        if host:
+            try:
+                return Address(host=host, port=int(port))
+            except ValueError:
+                pass  # non-numeric "port": treat as a relative path
+    return Address(socket_path=text)
+
+
+async def open_stream(
+    address: Address,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    if address.is_unix:
+        return await asyncio.open_unix_connection(
+            address.socket_path, limit=_LINE_LIMIT
+        )
+    return await asyncio.open_connection(
+        address.host, address.port, limit=_LINE_LIMIT
+    )
+
+
+async def send_request(
+    address: Address, payload: dict, timeout: float | None = None
+) -> dict:
+    """One JSON-lines round trip to ``address``.
+
+    Returns the decoded response object (the ``ok``/``error`` envelope
+    is the caller's to interpret).  Raises :class:`ConnectionError` on
+    any transport failure — including the peer closing the connection
+    without answering, which is how a SIGKILLed worker looks from here —
+    and :class:`asyncio.TimeoutError` when ``timeout`` lapses.
+    """
+
+    async def round_trip() -> dict:
+        reader, writer = await open_stream(address)
+        try:
+            writer.write(json.dumps(payload).encode() + b"\n")
+            await writer.drain()
+            line = await reader.readline()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if not line:
+            raise ConnectionError(
+                f"{address} closed the connection without answering"
+            )
+        return json.loads(line)
+
+    try:
+        if timeout is not None:
+            return await asyncio.wait_for(round_trip(), timeout)
+        return await round_trip()
+    except (ConnectionError, FileNotFoundError) as exc:
+        # FileNotFoundError: a Unix socket path that is not (yet/anymore)
+        # bound — the same "peer unreachable" class as a refused connect.
+        raise ConnectionError(f"cannot reach {address}: {exc}") from exc

@@ -1,0 +1,160 @@
+"""One fleet worker: a ``SimulationService`` that phones home.
+
+A worker is deliberately thin — all serving semantics (queue, batcher,
+fair-share scheduler, pool execution, drain guarantees) live unchanged
+in :class:`~repro.serve.service.SimulationService`.  The wrapper adds
+exactly the fleet contract:
+
+* bind the service socket *first*, then register with the router (so a
+  routed job can never race an unbound socket);
+* heartbeat on a fixed interval; an ``unknown_worker`` answer triggers
+  re-registration, which is how workers survive a router restart — the
+  restarted router re-learns its fleet from the heartbeat stream and,
+  because ring placement is deterministic in worker names, routes every
+  key exactly as its predecessor did;
+* a router that is temporarily unreachable is ignored, not fatal: the
+  worker keeps serving whatever reaches its socket and keeps trying.
+
+Drain arrives over the worker's own wire (the router proxies its
+``drain`` op), so shutdown is the ordinary service drain: finish every
+accepted job, release the pool backend, wake ``run_until_drained``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.fleet.wire import Address, send_request
+from repro.serve.service import ServeConfig, ServiceStats, SimulationService
+from repro.trace.events import NULL_TRACER, NullTracer
+
+
+@dataclass
+class WorkerConfig:
+    """One worker's identity, endpoints, and serving knobs."""
+
+    name: str
+    #: The router's endpoint (where to register and heartbeat).
+    router: Address
+    #: This worker's own serve endpoint (TCP port 0 = ephemeral, the
+    #: advertised address carries the real bound port).
+    address: Address
+    serve: ServeConfig = field(default_factory=ServeConfig)
+    heartbeat_interval_s: float = 1.0
+    #: Registration patience: the router may start after its workers
+    #: (fleet launch is a race by construction).
+    register_retries: int = 120
+    register_backoff_s: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("worker name must be non-empty")
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError(
+                f"heartbeat_interval_s must be > 0: {self.heartbeat_interval_s}"
+            )
+
+
+class FleetWorker:
+    """Run a :class:`SimulationService` as one member of a fleet."""
+
+    def __init__(
+        self,
+        config: WorkerConfig,
+        tracer: NullTracer = NULL_TRACER,
+    ) -> None:
+        self.config = config
+        self.service = SimulationService(config.serve, tracer=tracer)
+        self.advertised: str | None = None
+        self._heartbeat_task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "FleetWorker":
+        await self.service.start()
+        address = self.config.address
+        if address.is_unix:
+            await self.service.serve_unix(address.socket_path)
+            self.advertised = address.socket_path
+        else:
+            port = await self.service.serve_tcp(address.host, address.port)
+            self.advertised = f"{address.host}:{port}"
+        await self._register()
+        self._heartbeat_task = asyncio.create_task(self._heartbeat_loop())
+        return self
+
+    async def __aenter__(self) -> "FleetWorker":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.drain()
+
+    async def run_until_drained(self) -> ServiceStats:
+        stats = await self.service.run_until_drained()
+        self._stop_heartbeat()
+        return stats
+
+    async def drain(self) -> ServiceStats:
+        stats = await self.service.drain()
+        self._stop_heartbeat()
+        return stats
+
+    def _stop_heartbeat(self) -> None:
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+
+    # ------------------------------------------------------------------
+    # router liaison
+    # ------------------------------------------------------------------
+    async def _register(self) -> None:
+        payload = {
+            "op": "worker_register",
+            "worker": {"name": self.config.name, "address": self.advertised},
+        }
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                response = await send_request(
+                    self.config.router, payload, timeout=10.0
+                )
+            except (ConnectionError, asyncio.TimeoutError) as exc:
+                if attempts > self.config.register_retries:
+                    raise ConnectionError(
+                        f"worker {self.config.name!r} could not register "
+                        f"with router {self.config.router} after "
+                        f"{attempts} attempt(s): {exc}"
+                    ) from exc
+                await asyncio.sleep(self.config.register_backoff_s)
+                continue
+            if not response.get("ok"):
+                err = response.get("error") or {}
+                raise RuntimeError(
+                    f"router refused registration of "
+                    f"{self.config.name!r}: {err.get('code')}: "
+                    f"{err.get('message')}"
+                )
+            return
+
+    async def _heartbeat_loop(self) -> None:
+        payload = {"op": "worker_heartbeat", "name": self.config.name}
+        while True:
+            await asyncio.sleep(self.config.heartbeat_interval_s)
+            try:
+                response = await send_request(
+                    self.config.router, payload, timeout=10.0
+                )
+            except (ConnectionError, asyncio.TimeoutError):
+                # Router down or restarting: keep serving, keep trying.
+                continue
+            if not response.get("ok"):
+                err = response.get("error") or {}
+                if err.get("code") == "unknown_worker":
+                    # Router restart (or we were declared dead): rejoin.
+                    try:
+                        await self._register()
+                    except (ConnectionError, RuntimeError):
+                        continue

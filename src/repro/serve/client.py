@@ -7,14 +7,29 @@ touching asyncio.  Errors come back structured: a rejected or failed
 operation raises :class:`ServeRequestError` carrying the wire reason
 code, so callers can branch on ``exc.code`` (``queue_full``,
 ``draining``, ``timeout``, ...) instead of parsing messages.
+
+Startup races are first-class: a fleet or CI harness routinely connects
+before the service has bound its socket.  ``connect_retries`` /
+``connect_backoff`` retry the *initial connect* (refused or not-yet-
+bound socket — never an in-flight request) with bounded exponential
+backoff; exhaustion surfaces as :class:`ServeRequestError` with the
+structured code ``connect_failed``.
 """
 
 from __future__ import annotations
 
 import json
 import socket
+import time
 
 from repro.serve.jobs import JobRequest, JobResult
+
+#: Retried connect errors: the service is not (yet) listening.  A
+#: FileNotFoundError is the Unix-socket flavour of "refused" — the path
+#: is not bound yet.
+_RETRYABLE_CONNECT = (ConnectionRefusedError, FileNotFoundError)
+#: Cap on one backoff sleep, so long retry budgets stay responsive.
+_MAX_BACKOFF_S = 1.0
 
 
 class ServeConnectionError(ConnectionError):
@@ -36,7 +51,10 @@ class ServeClient:
     Address: either ``socket_path`` (Unix domain socket) or
     ``host``/``port`` (TCP).  ``timeout`` bounds each round trip
     (None = wait forever — submit-and-wait legitimately blocks for the
-    whole job duration).
+    whole job duration).  ``connect_retries`` retries a refused/unbound
+    initial connect that many times with exponential backoff starting at
+    ``connect_backoff`` seconds (capped at 1 s per sleep); 0 preserves
+    fail-fast behaviour.
     """
 
     def __init__(
@@ -45,31 +63,69 @@ class ServeClient:
         host: str | None = None,
         port: int | None = None,
         timeout: float | None = None,
+        connect_retries: int = 0,
+        connect_backoff: float = 0.05,
     ) -> None:
         if socket_path is None and (host is None or port is None):
             raise ValueError("need socket_path or host+port")
+        if connect_retries < 0:
+            raise ValueError(f"connect_retries must be >= 0: {connect_retries}")
+        if connect_backoff < 0:
+            raise ValueError(f"connect_backoff must be >= 0: {connect_backoff}")
         self.socket_path = socket_path
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
 
     # -- transport ---------------------------------------------------------
-    def _connect(self) -> socket.socket:
-        try:
-            if self.socket_path is not None:
-                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
-                sock.settimeout(self.timeout)
-                sock.connect(self.socket_path)
-            else:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout
-                )
+    def _where(self) -> str:
+        return self.socket_path or f"{self.host}:{self.port}"
+
+    def _connect_once(self) -> socket.socket:
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
             return sock
-        except OSError as exc:
-            raise ServeConnectionError(
-                f"cannot reach simulation service at "
-                f"{self.socket_path or f'{self.host}:{self.port}'}: {exc}"
-            ) from exc
+        return socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        )
+
+    def _connect(self) -> socket.socket:
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                return self._connect_once()
+            except _RETRYABLE_CONNECT as exc:
+                if attempts <= self.connect_retries:
+                    time.sleep(
+                        min(
+                            self.connect_backoff * 2 ** (attempts - 1),
+                            _MAX_BACKOFF_S,
+                        )
+                    )
+                    continue
+                if self.connect_retries:
+                    # A retry budget was configured and spent: that is a
+                    # structured outcome, not a transport surprise.
+                    raise ServeRequestError(
+                        "connect_failed",
+                        f"cannot reach simulation service at "
+                        f"{self._where()} after {attempts} connect "
+                        f"attempt(s): {exc}",
+                    ) from exc
+                raise ServeConnectionError(
+                    f"cannot reach simulation service at "
+                    f"{self._where()}: {exc}"
+                ) from exc
+            except OSError as exc:
+                raise ServeConnectionError(
+                    f"cannot reach simulation service at "
+                    f"{self._where()}: {exc}"
+                ) from exc
 
     def request(self, payload: dict) -> dict:
         """One wire round trip; raises on structured errors."""

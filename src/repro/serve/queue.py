@@ -127,6 +127,21 @@ class JobQueue:
         """Tenants with at least one queued job (sorted for determinism)."""
         return sorted(t for t, h in self._heaps.items() if h)
 
+    def tenant_queues(self, now: float) -> dict:
+        """Per-tenant backlog snapshot for the ``stats`` op: queued-job
+        depth and the age of the oldest queued job (seconds since its
+        admission, on the caller's clock — the service passes loop
+        time, matching ``Job.submitted_at``)."""
+        out: dict[str, dict] = {}
+        for tenant in self.tenants():
+            jobs = [job for _, job in self._heaps[tenant]]
+            oldest = min(job.submitted_at for job in jobs)
+            out[tenant] = {
+                "depth": len(jobs),
+                "oldest_age_seconds": max(now - oldest, 0.0),
+            }
+        return out
+
     def __len__(self) -> int:
         return self.depth
 

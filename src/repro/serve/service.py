@@ -568,11 +568,13 @@ class SimulationService:
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
+            loop = asyncio.get_running_loop()
             return {
                 "ok": True,
                 "stats": self.stats.as_dict(),
                 "queue_depth": len(self.queue),
                 "tenants": self.scheduler.as_dict(),
+                "tenant_queues": self.queue.tenant_queues(loop.time()),
             }
         if op == "pause":
             await self.pause()

@@ -40,6 +40,10 @@ DMA_TRACK = -2
 #: admission rejects) — wall time mapped through the chip clock so
 #: service spans land on the same axis as simulated work.
 SERVE_TRACK = -3
+#: The fleet tier's timeline (routing decisions, worker registration,
+#: death/drain transitions, job reassignments) — same wall-to-cycle
+#: mapping as SERVE_TRACK, one level further out.
+FLEET_TRACK = -4
 
 #: Event categories used by the built-in instrumentation.
 CAT_COMPUTE = "compute"
@@ -54,6 +58,7 @@ CAT_PIPELINE = "pipeline"
 CAT_FAULT = "fault"
 CAT_CHECKPOINT = "checkpoint"
 CAT_SERVE = "serve"
+CAT_FLEET = "fleet"
 
 
 @dataclass
@@ -276,6 +281,8 @@ def track_label(cpe_id: int, params: ChipParams = DEFAULT_PARAMS) -> str:
         return "DMA"
     if cpe_id == SERVE_TRACK:
         return "SERVE"
+    if cpe_id == FLEET_TRACK:
+        return "FLEET"
     if 0 <= cpe_id < params.n_cpes:
         return f"CPE {cpe_id:02d}"
     return f"track {cpe_id}"

@@ -1,0 +1,117 @@
+"""Process-level fleet guarantees: SIGKILL a worker, lose nothing.
+
+These tests spawn the real deployment shape — a ``repro fleet`` router
+process plus N ``repro fleet-worker`` processes over Unix sockets
+(:class:`~repro.fleet.launch.LocalFleet`) — and then do to it what the
+design promises to survive:
+
+* **kill -9 mid-load** — every job accepted by the router completes
+  bit-identically to a direct in-process execution, including the jobs
+  stranded on the killed worker (reassigned to the key's new owner; the
+  purity of requests makes the re-run identical);
+* **cross-client dedup through the router** — identical fingerprints
+  from different client connections land on one worker and collapse to
+  one execution, exactly as on a single unsharded service.
+
+Placement is deterministic (BLAKE2b ring), so the seeds below are known
+to spread across all three workers — killing ``w1`` is guaranteed to
+strand jobs (seeds 2, 3, 6, 7 with the FAST request shape).
+"""
+
+from __future__ import annotations
+
+from repro.fleet.launch import LocalFleet
+from repro.fleet.ring import HashRing, stable_key
+from repro.serve.jobs import JobRequest, execute_request
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def req(**kw) -> JobRequest:
+    return JobRequest(**{**FAST, **kw})
+
+
+def fleet_args() -> dict:
+    # Fast failure detection so the test is not dominated by the
+    # (deliberately conservative) default heartbeat deadline.
+    return dict(
+        router_args=(
+            "--heartbeat-timeout", "2.0",
+            "--check-interval", "0.2",
+            "--route-wait", "30",
+        ),
+        worker_args=("--heartbeat-interval", "0.25"),
+    )
+
+
+class TestKillNineMidLoad:
+    def test_every_accepted_job_completes_bit_identically(self, tmp_path):
+        seeds = list(range(12))
+        requests = [req(seed=seed) for seed in seeds]
+        direct = {seed: execute_request(r) for seed, r in zip(seeds, requests)}
+
+        # Sanity: the worker we kill really owns part of the key space.
+        ring = HashRing()
+        for name in ("w0", "w1", "w2"):
+            ring.add(name)
+        doomed = [
+            seed for seed, r in zip(seeds, requests)
+            if ring.route(stable_key(r.system_key)) == "w1"
+        ]
+        assert doomed, "test workload must place keys on the doomed worker"
+
+        with LocalFleet(3, root=tmp_path, **fleet_args()) as fleet:
+            client = fleet.client(timeout=240.0)
+            # Pause the whole fleet so every job is accepted (queued on
+            # its owner) before the kill: the router's forwards are
+            # in-flight round trips to w1 when it dies.
+            client.pause()
+            job_ids = {
+                seed: client.submit(r, wait=False)
+                for seed, r in zip(seeds, requests)
+            }
+            fleet.kill_worker("w1")
+            client.resume()
+            results = {seed: client.wait(jid) for seed, jid in job_ids.items()}
+            stats = fleet.drain()
+
+        assert all(r.ok for r in results.values()), fleet.logs()
+        for seed, result in results.items():
+            assert result.payload == direct[seed], f"seed {seed} diverged"
+        assert stats["completed"] == len(seeds)
+        assert stats["failed"] == 0
+        assert stats["reassignments"] >= len(doomed)
+        assert stats["workers_lost"] == 1
+
+
+class TestDedupThroughRouter:
+    def test_cross_client_duplicates_execute_once(self, tmp_path):
+        seeds = list(range(6))
+        requests = [req(seed=seed) for seed in seeds]
+        direct = {seed: execute_request(r) for seed, r in zip(seeds, requests)}
+
+        with LocalFleet(2, root=tmp_path, **fleet_args()) as fleet:
+            alice = fleet.client(timeout=240.0)
+            bob = fleet.client(timeout=240.0)
+            alice.pause()
+            ids = [
+                (client, client.submit(r, wait=False))
+                for r in requests
+                for client in (alice, bob)
+            ]
+            alice.resume()
+            results = [client.wait(jid) for client, jid in ids]
+            stats = fleet.drain()
+
+        assert all(r.ok for r in results), fleet.logs()
+        # ids interleave (alice, bob) per seed: results[2i] and
+        # results[2i+1] both answer requests[i].
+        for i, seed in enumerate(seeds):
+            assert results[2 * i].payload == direct[seed]
+            assert results[2 * i + 1].payload == direct[seed]
+        executed = sum(1 for r in results if r.executed)
+        assert executed == len(seeds)  # one execution per distinct key
+        totals = stats["workers_total"]
+        assert totals["executed_units"] == len(seeds)
+        assert totals["dedup_hits"] == len(seeds)
+        assert stats["completed"] == 2 * len(seeds)

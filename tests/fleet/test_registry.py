@@ -1,0 +1,130 @@
+"""Worker-registry lifecycle: UP / DRAINING / DEAD / GONE, incarnations.
+
+Pure clock-parameterised unit tests — the registry never touches the
+event loop, so every transition (including the heartbeat deadline) is
+driven with explicit timestamps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.registry import (
+    STATE_DEAD,
+    STATE_DRAINING,
+    STATE_GONE,
+    STATE_UP,
+    UnknownWorkerError,
+    WorkerRegistry,
+)
+
+
+def registry(timeout: float = 5.0) -> WorkerRegistry:
+    return WorkerRegistry(heartbeat_timeout_s=timeout)
+
+
+class TestRegistration:
+    def test_register_starts_up(self):
+        reg = registry()
+        info = reg.register("w0", "/tmp/w0.sock", now=10.0)
+        assert info.state == STATE_UP
+        assert info.incarnation == 1
+        assert info.last_heartbeat == 10.0
+        assert reg.routable() == ["w0"]
+        assert "w0" in reg and len(reg) == 1
+
+    def test_reregister_bumps_incarnation(self):
+        reg = registry()
+        reg.register("w0", "/tmp/w0.sock", now=0.0)
+        reg.mark_dead("w0")
+        info = reg.register("w0", "/tmp/w0-new.sock", now=5.0)
+        assert info.incarnation == 2
+        assert info.state == STATE_UP
+        assert info.address == "/tmp/w0-new.sock"
+
+    def test_unknown_worker_raises(self):
+        with pytest.raises(UnknownWorkerError):
+            registry().get("ghost")
+
+    def test_timeout_validated(self):
+        with pytest.raises(ValueError):
+            WorkerRegistry(heartbeat_timeout_s=0.0)
+
+
+class TestHeartbeats:
+    def test_heartbeat_refreshes_deadline(self):
+        reg = registry(timeout=5.0)
+        reg.register("w0", "a", now=0.0)
+        reg.heartbeat("w0", now=4.0)
+        assert reg.expired(now=8.0) == []
+        assert [i.name for i in reg.expired(now=9.5)] == ["w0"]
+
+    def test_heartbeat_from_unknown_name_raises(self):
+        # This is the router-restart recovery path: the worker sees the
+        # structured unknown_worker answer and re-registers.
+        with pytest.raises(UnknownWorkerError):
+            registry().heartbeat("w0", now=1.0)
+
+    def test_heartbeat_from_dead_worker_raises(self):
+        # Its jobs were already reassigned — it must rejoin as a fresh
+        # incarnation, not silently resume.
+        reg = registry()
+        reg.register("w0", "a", now=0.0)
+        reg.mark_dead("w0")
+        with pytest.raises(UnknownWorkerError):
+            reg.heartbeat("w0", now=1.0)
+
+    def test_expired_is_sorted_and_alive_only(self):
+        reg = registry(timeout=1.0)
+        for name in ("w2", "w0", "w1"):
+            reg.register(name, name, now=0.0)
+        reg.mark_dead("w1")
+        assert [i.name for i in reg.expired(now=10.0)] == ["w0", "w2"]
+
+
+class TestTransitions:
+    def test_mark_dead(self):
+        reg = registry()
+        reg.register("w0", "a", now=0.0)
+        assert reg.mark_dead("w0") is True
+        assert reg.get("w0").state == STATE_DEAD
+        assert reg.routable() == []
+        assert reg.mark_dead("w0") is False  # already dead
+
+    def test_mark_dead_guards_on_incarnation(self):
+        # A stale failure observation (round trip to incarnation 1 broke
+        # *after* the worker re-registered as incarnation 2) must not
+        # kill the new process.
+        reg = registry()
+        reg.register("w0", "a", now=0.0)
+        reg.mark_dead("w0")
+        reg.register("w0", "a", now=1.0)
+        assert reg.mark_dead("w0", incarnation=1) is False
+        assert reg.get("w0").state == STATE_UP
+        assert reg.mark_dead("w0", incarnation=2) is True
+
+    def test_drain_leaves_routable_but_stays_alive(self):
+        reg = registry()
+        reg.register("w0", "a", now=0.0)
+        info = reg.start_drain("w0")
+        assert info.state == STATE_DRAINING
+        assert reg.routable() == []
+        assert reg.alive() == ["w0"]  # still heartbeat-monitored
+        reg.decommission("w0")
+        assert reg.get("w0").state == STATE_GONE
+        assert reg.alive() == []
+
+    def test_as_dict_is_sorted_and_wire_shaped(self):
+        reg = registry()
+        reg.register("w1", "b", now=0.0)
+        reg.register("w0", "a", now=0.0)
+        snapshot = reg.as_dict()
+        assert list(snapshot) == ["w0", "w1"]
+        assert snapshot["w0"] == {
+            "name": "w0",
+            "address": "a",
+            "state": STATE_UP,
+            "incarnation": 1,
+            "jobs_routed": 0,
+            "jobs_reassigned_away": 0,
+        }

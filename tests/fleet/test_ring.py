@@ -1,0 +1,100 @@
+"""Consistent-hash ring invariants (DESIGN.md §11).
+
+The property the fleet leans on is *placement determinism*: where a key
+lands depends only on the member set and the key — never on insertion
+order, ring history, or process identity.  That is what makes a router
+restart invisible (same workers => same routes => worker-side caches
+stay warm) and what keeps duplicate fingerprints co-located so dedup
+survives sharding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet.ring import DEFAULT_VNODES, HashRing, stable_key
+
+KEYS = [stable_key(("water", n, 0.45, seed)) for n in range(100, 1100, 10)
+        for seed in (7, 2019)]
+
+
+def ring_of(names, vnodes: int = 16) -> HashRing:
+    ring = HashRing(vnodes=vnodes)
+    for name in names:
+        ring.add(name)
+    return ring
+
+
+class TestDeterminism:
+    def test_placement_independent_of_insertion_order(self):
+        a = ring_of(["w0", "w1", "w2"])
+        b = ring_of(["w2", "w0", "w1"])
+        assert [a.route(k) for k in KEYS] == [b.route(k) for k in KEYS]
+
+    def test_placement_survives_rebuild(self):
+        # A restarted router re-learns the same member names from worker
+        # heartbeats; the rebuilt ring must route every key identically.
+        before = ring_of(["alpha", "beta", "gamma"]).assignments(KEYS)
+        after = ring_of(["alpha", "beta", "gamma"]).assignments(KEYS)
+        assert before == after
+
+    def test_same_system_key_same_owner(self):
+        ring = ring_of(["w0", "w1", "w2"])
+        key = ("water", 300, 0.45, 7)
+        assert ring.route(key) == ring.route(("water", 300, 0.45, 7))
+
+    def test_stable_key_canonical(self):
+        assert stable_key("already-a-string") == "already-a-string"
+        assert stable_key(("a", 1)) == stable_key(["a", 1])
+        assert stable_key({"b": 2, "a": 1}) == stable_key({"a": 1, "b": 2})
+
+
+class TestMembership:
+    def test_add_remove_idempotent(self):
+        ring = ring_of(["w0", "w1"])
+        ring.add("w0")
+        assert len(ring) == 2
+        routes = [ring.route(k) for k in KEYS]
+        ring.remove("w9")
+        assert [ring.route(k) for k in KEYS] == routes
+        ring.remove("w1")
+        ring.remove("w1")
+        assert ring.members == ["w0"]
+
+    def test_contains_and_members_sorted(self):
+        ring = ring_of(["b", "a", "c"])
+        assert "a" in ring and "z" not in ring
+        assert ring.members == ["a", "b", "c"]
+
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().route("anything")
+
+    def test_vnodes_validated(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+
+class TestRedistribution:
+    def test_removal_moves_only_the_removed_members_keys(self):
+        # The reason to use a ring at all: losing one worker must not
+        # reshuffle keys between the survivors (that would cold-start
+        # every surviving worker's caches).
+        full = ring_of(["w0", "w1", "w2"], vnodes=DEFAULT_VNODES)
+        owners = full.assignments(KEYS)
+        full.remove("w1")
+        for key, owner in full.assignments(KEYS).items():
+            if owners[key] != "w1":
+                assert owner == owners[key]
+            else:
+                assert owner in ("w0", "w2")
+
+    def test_every_member_owns_a_share(self):
+        ring = ring_of(["w0", "w1", "w2"], vnodes=DEFAULT_VNODES)
+        counts = {name: 0 for name in ring.members}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        assert all(count > 0 for count in counts.values())
+        # Virtual nodes keep the split loosely balanced — no member may
+        # dominate the key space.
+        assert max(counts.values()) < 0.7 * len(KEYS)

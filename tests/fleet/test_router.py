@@ -1,0 +1,376 @@
+"""In-process fleet semantics: routing, proxying, dedup, reassignment.
+
+One event loop hosts the router *and* its workers (real
+``SimulationService`` instances behind real Unix sockets), so every
+cross-process guarantee is exercised over the actual wire protocol while
+staying fast and deterministic.  Process-level failure (SIGKILL) lives
+in ``test_failover.py``; here worker loss is simulated with registered
+addresses nothing listens on.
+
+Each test drives a fresh fleet on its own loop via ``asyncio.run`` (no
+pytest-asyncio dependency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.fleet.registry import STATE_DEAD
+from repro.fleet.ring import stable_key
+from repro.fleet.router import (
+    REASON_NO_WORKERS,
+    REASON_WORKER_LOST,
+    FleetRouter,
+    RouterConfig,
+)
+from repro.fleet.wire import Address, send_request
+from repro.fleet.worker import FleetWorker, WorkerConfig
+from repro.resilience.retry import RetryPolicy
+from repro.serve.jobs import JobRequest, execute_request
+from repro.serve.queue import REASON_DRAINING, REASON_INVALID
+from repro.serve.service import ServeConfig
+from repro.trace.events import CAT_FLEET, FLEET_TRACK, Tracer
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def req(**kw) -> JobRequest:
+    return JobRequest(**{**FAST, **kw})
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class Fleet:
+    """An in-process router plus N in-process workers over Unix sockets."""
+
+    def __init__(self, tmp_path, n_workers: int = 2, **router_kw):
+        self.tmp_path = tmp_path
+        self.n_workers = n_workers
+        self.router_kw = router_kw
+        self.router_socket = str(tmp_path / "router.sock")
+        self.router: FleetRouter | None = None
+        self.workers: list[FleetWorker] = []
+
+    async def __aenter__(self) -> "Fleet":
+        self.router = FleetRouter(RouterConfig(**self.router_kw))
+        await self.router.start()
+        await self.router.serve_unix(self.router_socket)
+        for i in range(self.n_workers):
+            worker = FleetWorker(
+                WorkerConfig(
+                    name=f"w{i}",
+                    router=Address(socket_path=self.router_socket),
+                    address=Address(
+                        socket_path=str(self.tmp_path / f"w{i}.sock")
+                    ),
+                    serve=ServeConfig(max_depth=32),
+                    heartbeat_interval_s=0.2,
+                )
+            )
+            await worker.start()
+            self.workers.append(worker)
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.router.drain()
+        for worker in self.workers:
+            await worker.drain()
+
+    async def request(self, payload: dict) -> dict:
+        return await send_request(
+            Address(socket_path=self.router_socket), payload
+        )
+
+    async def submit(self, request: JobRequest, wait: bool = True) -> dict:
+        return await self.request(
+            {"op": "submit", "job": request.to_dict(), "wait": wait}
+        )
+
+
+# ---------------------------------------------------------------------------
+# Routing and proxying
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_routed_job_is_bit_identical_to_direct_call(self, tmp_path):
+        request = req()
+        direct = execute_request(request)
+
+        async def scenario():
+            async with Fleet(tmp_path) as fleet:
+                return await fleet.submit(request)
+
+        response = run(scenario())
+        assert response["ok"]
+        result = response["result"]
+        assert result["ok"] and result["executed"]
+        assert result["payload"] == direct
+        assert result["job_id"] == 1  # router scope, not the worker's id
+
+    def test_same_system_key_routes_to_same_worker(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=3) as fleet:
+                for seed in range(20):
+                    await fleet.submit(req(seed=seed))
+                status = await fleet.request({"op": "fleet"})
+                ring = fleet.router.ring
+                return status, {
+                    seed: ring.route(stable_key(req(seed=seed).system_key))
+                    for seed in range(20)
+                }
+
+        status, expected = run(scenario())
+        routed = sum(
+            info["jobs_routed"] for info in status["workers"].values()
+        )
+        assert routed == 20
+        # The router's observed placement matches the ring's promise.
+        for seed, owner in expected.items():
+            assert owner in status["workers"]
+
+    def test_router_restart_routes_identically(self, tmp_path):
+        # A restarted router that re-learns the same worker names (via
+        # heartbeat-triggered re-registration) must route every key to
+        # the same worker its predecessor did — placement is a pure
+        # function of the member set.
+        keys = [stable_key(req(seed=s).system_key) for s in range(40)]
+
+        async def scenario():
+            first = FleetRouter(RouterConfig())
+            await first.start()
+            second = FleetRouter(RouterConfig())
+            await second.start()
+            for name in ("w0", "w1", "w2"):
+                first._register_worker(name, f"/nowhere/{name}.sock")
+            for name in ("w2", "w1", "w0"):  # any re-learn order
+                second._register_worker(name, f"/nowhere/{name}.sock")
+            routes = (
+                [first.ring.route(k) for k in keys],
+                [second.ring.route(k) for k in keys],
+            )
+            await first.drain()
+            await second.drain()
+            return routes
+
+        before, after = run(scenario())
+        assert before == after
+
+    def test_wait_op_and_result_caching(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path) as fleet:
+                accepted = await fleet.submit(req(), wait=False)
+                job_id = accepted["job_id"]
+                first = await fleet.request({"op": "wait", "job_id": job_id})
+                again = await fleet.request({"op": "wait", "job_id": job_id})
+                missing = await fleet.request({"op": "wait", "job_id": 999})
+                return first, again, missing
+
+        first, again, missing = run(scenario())
+        assert first["result"]["ok"]
+        assert again["result"] == first["result"]
+        assert not missing["ok"]
+        assert missing["error"]["code"] == "unknown_job"
+
+    def test_dedup_survives_sharding(self, tmp_path):
+        # Identical requests land on one worker (same system key =>
+        # same ring owner), where the existing batcher collapses them:
+        # one execution, N results, bit-identical payloads.
+        request = req()
+        direct = execute_request(request)
+
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=3) as fleet:
+                await fleet.request({"op": "pause"})
+                accepted = [
+                    await fleet.submit(request, wait=False) for _ in range(4)
+                ]
+                # Let the router's forwards reach the paused workers'
+                # queues before resuming (forwards run as tasks).
+                await asyncio.sleep(0.3)
+                await fleet.request({"op": "resume"})
+                results = []
+                for response in accepted:
+                    answer = await fleet.request(
+                        {"op": "wait", "job_id": response["job_id"]}
+                    )
+                    results.append(answer["result"])
+                stats = await fleet.request({"op": "stats"})
+                return results, stats
+
+        results, stats = run(scenario())
+        assert all(r["ok"] for r in results)
+        assert all(r["payload"] == direct for r in results)
+        assert sum(1 for r in results if r["executed"]) == 1
+        totals = stats["stats"]["workers_total"]
+        assert totals["executed_units"] == 1
+        assert totals["dedup_hits"] == 3
+
+
+# ---------------------------------------------------------------------------
+# Rejections
+# ---------------------------------------------------------------------------
+
+
+class TestRejections:
+    def test_no_workers_is_structured(self, tmp_path):
+        async def scenario():
+            router = FleetRouter(RouterConfig(route_wait_s=0.2))
+            await router.start()
+            path = str(tmp_path / "router.sock")
+            await router.serve_unix(path)
+            response = await send_request(
+                Address(socket_path=path),
+                {"op": "submit", "job": req().to_dict(), "wait": True},
+            )
+            await router.drain()
+            return response
+
+        response = run(scenario())
+        assert not response["ok"] or not response["result"]["ok"]
+        result = response["result"]
+        assert result["error"]["code"] == REASON_NO_WORKERS
+
+    def test_invalid_request_rejected_without_routing(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=1) as fleet:
+                bad = await fleet.request(
+                    {"op": "submit", "job": {"n_particles": -5}, "wait": True}
+                )
+                return bad, dict(fleet.router.stats.rejected_by_reason)
+
+        bad, reasons = run(scenario())
+        assert not bad["ok"]
+        assert bad["error"]["code"] == REASON_INVALID
+        assert reasons == {REASON_INVALID: 1}
+
+    def test_draining_router_rejects_new_work(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=1) as fleet:
+                fleet.router.draining = True
+                response = await fleet.submit(req())
+                fleet.router.draining = False
+                return response
+
+        response = run(scenario())
+        assert not response["ok"]
+        assert response["error"]["code"] == REASON_DRAINING
+
+    def test_unknown_op_and_bad_json(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=1) as fleet:
+                unknown = await fleet.request({"op": "frobnicate"})
+                ping = await fleet.request({"op": "ping"})
+                return unknown, ping
+
+        unknown, ping = run(scenario())
+        assert unknown["error"]["code"] == "unknown_op"
+        assert ping["ok"] and ping["role"] == "router"
+
+
+# ---------------------------------------------------------------------------
+# Failure handling
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerLoss:
+    def test_job_reassigned_from_unreachable_worker(self, tmp_path):
+        # A registered worker nothing listens on is indistinguishable
+        # from a SIGKILLed one: the forward's round trip breaks, the
+        # router declares it dead, pulls it off the ring, and reissues
+        # the job to the key's new owner.
+        async def scenario():
+            tracer = Tracer()
+            async with Fleet(tmp_path, n_workers=1) as fleet:
+                fleet.router.tracer = tracer
+                fleet.router._register_worker(
+                    "ghost", str(tmp_path / "nobody-home.sock")
+                )
+                responses = []
+                for seed in range(12):
+                    responses.append(await fleet.submit(req(seed=seed)))
+                info = fleet.router.registry.get("ghost")
+                stats = fleet.router.stats
+                return responses, info, stats, tracer
+
+        responses, ghost, stats, tracer = run(scenario())
+        assert all(r["result"]["ok"] for r in responses)
+        assert ghost.state == STATE_DEAD
+        assert stats.reassignments >= 1
+        assert stats.workers_lost == 1
+        assert stats.completed == 12
+        reassigns = [
+            e for e in tracer.select(CAT_FLEET, FLEET_TRACK)
+            if e.name.startswith("reassign:")
+        ]
+        assert len(reassigns) == stats.reassignments
+
+    def test_retries_exhausted_fails_structured(self, tmp_path):
+        # Every worker is a black hole: the job must fail with the
+        # wire-stable worker_lost code, not hang or crash the router.
+        async def scenario():
+            router = FleetRouter(
+                RouterConfig(
+                    route_wait_s=0.2,
+                    retry=RetryPolicy(max_attempts=2, backoff_base_cycles=1),
+                )
+            )
+            await router.start()
+            path = str(tmp_path / "router.sock")
+            await router.serve_unix(path)
+            for name in ("g0", "g1", "g2"):
+                router._register_worker(
+                    name, str(tmp_path / f"{name}-nobody.sock")
+                )
+            response = await send_request(
+                Address(socket_path=path),
+                {"op": "submit", "job": req().to_dict(), "wait": True},
+            )
+            stats = router.stats
+            await router.drain()
+            return response, stats
+
+        response, stats = run(scenario())
+        result = response["result"]
+        assert not result["ok"]
+        assert result["error"]["code"] in (
+            REASON_WORKER_LOST, REASON_NO_WORKERS,
+        )
+        assert stats.failed == 1
+
+    def test_heartbeat_deadline_marks_worker_dead(self, tmp_path):
+        # A registered worker that never heartbeats is reaped by the
+        # monitor without any job traffic.
+        async def scenario():
+            router = FleetRouter(
+                RouterConfig(heartbeat_timeout_s=0.3, check_interval_s=0.05)
+            )
+            await router.start()
+            router._register_worker("mute", str(tmp_path / "mute.sock"))
+            await asyncio.sleep(0.6)
+            info = router.registry.get("mute")
+            members = list(router.ring.members)
+            await router.drain()
+            return info, members
+
+        info, members = run(scenario())
+        assert info.state == STATE_DEAD
+        assert members == []
+
+    def test_drain_worker_op_removes_from_ring(self, tmp_path):
+        async def scenario():
+            async with Fleet(tmp_path, n_workers=2) as fleet:
+                await fleet.submit(req())
+                response = await fleet.request(
+                    {"op": "drain_worker", "name": "w0"}
+                )
+                status = await fleet.request({"op": "fleet"})
+                return response, status
+
+        response, status = run(scenario())
+        assert response["ok"]
+        assert status["workers"]["w0"]["state"] in ("gone", "dead")
+        assert status["ring"]["members"] == ["w1"]
+        assert status["workers"]["w1"]["state"] == "up"

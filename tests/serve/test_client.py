@@ -1,0 +1,112 @@
+"""Client-side transport semantics: connect retries and stats shape.
+
+The initial-connect retry loop exists for exactly one scenario — a
+client racing a service (or fleet) that is still binding its socket —
+so the tests stage that race for real: a listener that appears late,
+and one that never appears.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import (
+    ServeClient,
+    ServeConnectionError,
+    ServeRequestError,
+)
+from repro.serve.jobs import JobRequest
+from repro.serve.service import ServeConfig, SimulationService
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def late_ping_server(path: str, delay_s: float) -> threading.Thread:
+    """Bind ``path`` after ``delay_s`` and answer one ping request."""
+
+    def serve() -> None:
+        time.sleep(delay_s)
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as listener:
+            listener.bind(path)
+            listener.listen(1)
+            listener.settimeout(30.0)
+            conn, _ = listener.accept()
+            with conn:
+                conn.recv(65536)
+                conn.sendall(
+                    json.dumps({"ok": True, "op": "ping"}).encode() + b"\n"
+                )
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestConnectRetries:
+    def test_retry_wins_the_startup_race(self, tmp_path):
+        path = str(tmp_path / "late.sock")
+        thread = late_ping_server(path, delay_s=0.3)
+        client = ServeClient(
+            socket_path=path, connect_retries=50, connect_backoff=0.02
+        )
+        assert client.ping()
+        thread.join(timeout=10)
+
+    def test_exhausted_retries_raise_structured_code(self, tmp_path):
+        client = ServeClient(
+            socket_path=str(tmp_path / "never.sock"),
+            connect_retries=2,
+            connect_backoff=0.01,
+        )
+        with pytest.raises(ServeRequestError) as err:
+            client.ping()
+        assert err.value.code == "connect_failed"
+        assert "3 connect attempt(s)" in err.value.message
+
+    def test_zero_retries_keeps_fail_fast_transport_error(self, tmp_path):
+        client = ServeClient(socket_path=str(tmp_path / "never.sock"))
+        with pytest.raises(ServeConnectionError):
+            client.ping()
+
+    def test_retry_args_validated(self):
+        with pytest.raises(ValueError):
+            ServeClient(socket_path="x", connect_retries=-1)
+        with pytest.raises(ValueError):
+            ServeClient(socket_path="x", connect_backoff=-0.1)
+
+
+class TestTenantQueueStats:
+    def test_stats_op_reports_depth_and_oldest_age(self):
+        async def scenario():
+            async with SimulationService(ServeConfig(max_depth=16)) as svc:
+                await svc.pause()
+                jobs = []
+                for tenant, count in (("alice", 2), ("bob", 1)):
+                    for seed in range(count):
+                        jobs.append(
+                            await svc.submit(
+                                JobRequest(**FAST, tenant=tenant, seed=seed)
+                            )
+                        )
+                await asyncio.sleep(0.05)  # let the backlog age measurably
+                queued = await svc._dispatch_op({"op": "stats"})
+                await svc.resume()
+                await asyncio.gather(*(j.future for j in jobs))
+                idle = await svc._dispatch_op({"op": "stats"})
+                return queued, idle
+
+        queued, idle = asyncio.run(scenario())
+        tq = queued["tenant_queues"]
+        assert set(tq) == {"alice", "bob"}
+        assert tq["alice"]["depth"] == 2
+        assert tq["bob"]["depth"] == 1
+        assert tq["alice"]["oldest_age_seconds"] >= 0.05
+        assert tq["bob"]["oldest_age_seconds"] >= 0.05
+        # Once the backlog drains the snapshot empties with it.
+        assert idle["tenant_queues"] == {}

@@ -146,3 +146,49 @@ class TestServeCommands:
         assert "listening on" in out
         assert "job 1 ok" in out
         assert "drained: 1 completed" in out
+
+
+class TestFleetCommands:
+    def test_fleet_requires_address(self, capsys):
+        assert main(["fleet"]) == 2
+        assert "need --socket" in capsys.readouterr().err
+
+    def test_fleet_worker_requires_address(self, capsys):
+        assert main(
+            ["fleet-worker", "--router", "r.sock", "--name", "w0"]
+        ) == 2
+        assert "need --socket" in capsys.readouterr().err
+
+    def test_fleet_round_trip_with_spawned_workers(self, capsys, tmp_path):
+        # Full fleet session through the CLI alone: `repro fleet
+        # --spawn-workers 2` in a thread (workers are real
+        # `repro fleet-worker` subprocesses), `repro submit --router`
+        # against it, then a client-driven drain.
+        sock = str(tmp_path / "router.sock")
+        rc = {}
+
+        def router():
+            rc["fleet"] = main(
+                ["fleet", "--socket", sock, "--spawn-workers", "2"]
+            )
+
+        thread = threading.Thread(target=router)
+        thread.start()
+        try:
+            retry = ["--connect-retries", "100", "--connect-backoff", "0.1"]
+            assert main(
+                ["submit", "--router", sock, *retry, "--op", "ping"]
+            ) == 0
+            assert main(["submit", "--router", sock, *TINY]) == 0
+            assert main(["submit", "--router", sock, "--op", "fleet"]) == 0
+            assert main(["submit", "--router", sock, "--op", "stats"]) == 0
+            assert main(["submit", "--router", sock, "--op", "drain"]) == 0
+        finally:
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert rc["fleet"] == 0
+        out = capsys.readouterr().out
+        assert "router listening on" in out
+        assert "job 1 ok" in out
+        assert '"ring"' in out  # the --op fleet membership dump
+        assert "drained: 1 completed" in out
