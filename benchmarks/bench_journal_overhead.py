@@ -1,0 +1,211 @@
+"""Journal overhead on serve throughput (DESIGN.md §12).
+
+The durability pitch only holds if the journal is close to free: every
+accepted job costs one flushed append on admission and one on
+resolution, plus a result-store write per executed unit.  This bench
+measures end-to-end jobs/second through a live `SimulationService` on
+an all-distinct kernel workload (no twins — dedup and the result store
+must not short-circuit the thing being measured) with the journal off
+and on, and reports the overhead fraction
+
+    overhead = 1 - (journaled jobs/sec / bare jobs/sec)
+
+CI gates the committed snapshot at < 5% (ISSUE 7).  Each mode takes
+the best of ``REPEATS`` runs so a scheduler hiccup in either mode
+can't manufacture (or hide) overhead.  An ``fsync_each`` row rides
+along as an informational measurement of the power-loss-strict mode —
+it is expected to be expensive and is not gated.
+
+Run as a script to (re)generate the committed snapshot:
+
+    PYTHONPATH=src python benchmarks/bench_journal_overhead.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from repro.serve.jobs import JobRequest
+from repro.serve.service import ServeConfig, SimulationService
+
+SNAPSHOT_PATH = Path(__file__).parent / "BENCH_durable.json"
+#: 8 system keys x 4 specs = 32 distinct units, no duplicates.
+SYSTEM_SEEDS = tuple(range(8))
+SPECS = ("MARK", "CACHE", "VEC", "PKG")
+N_PARTICLES = 300
+R_CUT = 0.45
+CLIENTS = 8
+#: Best-of repeats per mode (noise suppression, both directions).
+REPEATS = 3
+#: CI acceptance ceiling (ISSUE 7): journaling every acceptance and
+#: resolution must cost < 5% of serve throughput.  The appends are
+#: flushed (not fsynced) per record, so the cost is two small writes
+#: into page cache per job against a multi-ms kernel execution.
+MAX_OVERHEAD = 0.05
+#: Same host-shape requirement as the throughput bench: the service
+#: loop and its backend must not time-slice one core.
+REQUIRED_CPUS = 2
+
+
+def build_workload() -> list[JobRequest]:
+    """32 kernel jobs, all distinct (overhead must not hide in dedup)."""
+    return [
+        JobRequest(n_particles=N_PARTICLES, r_cut=R_CUT, seed=s, spec=sp)
+        for s in SYSTEM_SEEDS
+        for sp in SPECS
+    ]
+
+
+def measure_once(journal_dir: str | None, fsync_each: bool = False) -> dict:
+    """One timed pass of the workload through a fresh service."""
+    jobs = build_workload()
+    slices = [jobs[c::CLIENTS] for c in range(CLIENTS)]
+
+    async def scenario():
+        config = ServeConfig(
+            max_depth=len(jobs) + 4,
+            journal_dir=journal_dir,
+            journal_fsync=fsync_each,
+        )
+        async with SimulationService(config) as svc:
+
+            async def client_task(requests):
+                accepted = [await svc.submit(r) for r in requests]
+                return await asyncio.gather(*(j.future for j in accepted))
+
+            t0 = time.perf_counter()
+            per_client = await asyncio.gather(
+                *(client_task(s) for s in slices)
+            )
+            elapsed = time.perf_counter() - t0
+            results = [r for batch in per_client for r in batch]
+            assert all(r.ok for r in results), "benchmark job failed"
+            journal_records = svc.journal.appended if svc.journal else 0
+            return elapsed, journal_records
+
+    elapsed, journal_records = asyncio.run(scenario())
+    return {
+        "jobs": len(jobs),
+        "seconds": elapsed,
+        "jobs_per_second": len(jobs) / elapsed,
+        "journal_records": journal_records,
+    }
+
+
+def measure_mode(tmp_root: Path, mode: str) -> dict:
+    """Best-of-``REPEATS`` for one journaling mode.
+
+    ``mode``: "off" (no journal), "on" (flush-per-record, the default),
+    or "fsync" (fsync-per-record, informational only).
+    """
+    runs = []
+    for i in range(REPEATS):
+        if mode == "off":
+            run = measure_once(None)
+        else:
+            # Fresh directory per run: replay/compaction work from a
+            # prior pass must not pollute the timed window.
+            run = measure_once(
+                str(tmp_root / f"{mode}-{i}"), fsync_each=(mode == "fsync")
+            )
+        runs.append(run)
+    best = max(runs, key=lambda r: r["jobs_per_second"])
+    return {**best, "repeats": REPEATS}
+
+
+def collect() -> dict:
+    import tempfile
+
+    from hoststamp import host_stamp
+
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp_root = Path(tmp)
+        off = measure_mode(tmp_root, "off")
+        on = measure_mode(tmp_root, "on")
+        fsync = measure_mode(tmp_root, "fsync")
+    overhead = 1.0 - on["jobs_per_second"] / off["jobs_per_second"]
+    fsync_overhead = (
+        1.0 - fsync["jobs_per_second"] / off["jobs_per_second"]
+    )
+    return {
+        **host_stamp(required_cpus=REQUIRED_CPUS),
+        "workload": {
+            "jobs": len(build_workload()),
+            "distinct_requests": len(SYSTEM_SEEDS) * len(SPECS),
+            "clients": CLIENTS,
+            "n_particles": N_PARTICLES,
+            "r_cut": R_CUT,
+        },
+        "gate": {"max_overhead": MAX_OVERHEAD},
+        "journal_off": off,
+        "journal_on": on,
+        "journal_fsync_each": fsync,
+        "overhead": overhead,
+        "fsync_overhead": fsync_overhead,
+    }
+
+
+def main() -> None:
+    data = collect()
+    SNAPSHOT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(
+        f"wrote {SNAPSHOT_PATH} (host_cpus={data['host_cpus']}, "
+        f"degraded={data['degraded']})"
+    )
+    print(
+        f"  journal off: {data['journal_off']['jobs_per_second']:6.1f} "
+        f"jobs/s"
+    )
+    print(
+        f"  journal on:  {data['journal_on']['jobs_per_second']:6.1f} "
+        f"jobs/s ({data['overhead'] * 100:+.1f}% overhead, gate "
+        f"< {MAX_OVERHEAD * 100:.0f}%)"
+    )
+    print(
+        f"  fsync each:  "
+        f"{data['journal_fsync_each']['jobs_per_second']:6.1f} jobs/s "
+        f"({data['fsync_overhead'] * 100:+.1f}%, informational)"
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (the CI durable-smoke job)
+# ---------------------------------------------------------------------------
+
+
+def test_journal_records_every_job(tmp_path):
+    """Structural half of the claim, independent of wall clock: a
+    journaled pass appends exactly acceptance + resolution per job."""
+    run = measure_once(str(tmp_path / "journal"))
+    assert run["journal_records"] == 2 * run["jobs"], run
+
+
+def test_live_overhead_within_loose_bound(tmp_path):
+    """One live on/off pair must stay under a generous bound; the
+    tight 5% gate belongs to the best-of-N committed snapshot, where
+    scheduler noise is suppressed."""
+    off = measure_once(None)
+    on = measure_once(str(tmp_path / "journal"))
+    overhead = 1.0 - on["jobs_per_second"] / off["jobs_per_second"]
+    assert overhead < 0.25, (off, on, overhead)
+
+
+def test_committed_baseline_meets_gate():
+    """Judge the committed snapshot itself; a baseline recorded on a
+    degraded host skips with its host shape in the reason instead of
+    silently passing stale or doomed numbers."""
+    from hoststamp import require_fresh_baseline
+
+    data = require_fresh_baseline(
+        SNAPSHOT_PATH, "journal overhead baseline"
+    )
+    assert data["overhead"] < data["gate"]["max_overhead"], data
+    on = data["journal_on"]
+    assert on["journal_records"] == 2 * on["jobs"], on
+
+
+if __name__ == "__main__":
+    main()

@@ -157,6 +157,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="write a Chrome-trace service timeline to FILE on drain",
     )
+    _add_durable_args(serve)
 
     fleet = sub.add_parser(
         "fleet",
@@ -224,6 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-dedup", action="store_true",
         help="disable request dedup/batching (ablation baseline)",
     )
+    _add_durable_args(worker)
 
     submit = sub.add_parser(
         "submit",
@@ -271,13 +273,38 @@ def _build_parser() -> argparse.ArgumentParser:
         help="wait for a previously submitted job instead of submitting",
     )
     submit.add_argument(
+        "--progress-id", type=int, default=None, metavar="JOB_ID",
+        help="stream progress for a previously submitted job (long MD "
+        "jobs report partial step counts) until its terminal result",
+    )
+    submit.add_argument(
         "--op",
-        choices=("ping", "stats", "pause", "resume", "drain", "fleet"),
+        choices=("ping", "stats", "metrics", "pause", "resume", "drain",
+                 "fleet"),
         default=None,
         help="send a control op instead of submitting a job "
-        "(fleet: router-only membership/ring dump)",
+        "(metrics: per-tenant SLO metrics; fleet: router-only "
+        "membership/ring dump)",
     )
     return parser
+
+
+def _add_durable_args(parser) -> None:
+    parser.add_argument(
+        "--journal-dir", metavar="DIR", default=None,
+        help="enable the durable layer: journal accepted jobs and keep "
+        "a cross-restart result store under DIR (restart with the same "
+        "DIR to replay unfinished jobs bit-identically; DESIGN.md §12)",
+    )
+    parser.add_argument(
+        "--result-store-max", type=int, default=512, metavar="N",
+        help="durable result-store bound, LRU-evicted (default: 512)",
+    )
+    parser.add_argument(
+        "--journal-fsync", action="store_true",
+        help="fsync every journal record (power-loss strictness; the "
+        "default flush-per-record already survives kill -9)",
+    )
 
 
 def _add_address_args(parser) -> None:
@@ -568,6 +595,9 @@ def _cmd_serve(args) -> int:
         dedup=not args.no_dedup,
         backend=args.backend,
         workers=args.workers,
+        journal_dir=args.journal_dir,
+        result_store_max=args.result_store_max,
+        journal_fsync=args.journal_fsync,
     )
     tracer = Tracer() if args.trace else NULL_TRACER
 
@@ -580,10 +610,16 @@ def _cmd_serve(args) -> int:
         else:
             port = await service.serve_tcp(args.host, args.port)
             where = f"{args.host}:{port}"
+        durable = ""
+        if config.journal_dir is not None:
+            durable = (
+                f", journal={config.journal_dir} "
+                f"({service.stats.journal_replays} replayed)"
+            )
         print(
             f"repro serve: listening on {where} "
             f"(backend={service.backend.name}, depth<={config.max_depth}, "
-            f"dedup={'on' if config.dedup else 'off'})",
+            f"dedup={'on' if config.dedup else 'off'}{durable})",
             flush=True,
         )
         stats = await service.run_until_drained()
@@ -595,7 +631,9 @@ def _cmd_serve(args) -> int:
             f"drained: {s['completed']} completed, {s['failed']} failed, "
             f"{s['rejected']} rejected, {s['executed_units']} executions "
             f"for {s['accepted']} accepted jobs "
-            f"({s['dedup_hits']} dedup hits, {s['batches']} batches)"
+            f"({s['dedup_hits']} dedup hits, {s['batches']} batches, "
+            f"{s['journal_replays']} journal replays, "
+            f"{s['store_hits']} store hits)"
         )
         return 0
 
@@ -710,6 +748,9 @@ def _cmd_fleet_worker(args) -> int:
             dedup=not args.no_dedup,
             backend=args.backend,
             workers=args.workers,
+            journal_dir=args.journal_dir,
+            result_store_max=args.result_store_max,
+            journal_fsync=args.journal_fsync,
         ),
         heartbeat_interval_s=args.heartbeat_interval,
     )
@@ -773,7 +814,16 @@ def _cmd_submit(args) -> int:
             if args.op == "stats":
                 import json
 
-                print(json.dumps(response["stats"], indent=2, sort_keys=True))
+                dump = dict(response["stats"])
+                if "durable" in response:
+                    dump["durable"] = response["durable"]
+                print(json.dumps(dump, indent=2, sort_keys=True))
+            elif args.op == "metrics":
+                import json
+
+                print(
+                    json.dumps(response["metrics"], indent=2, sort_keys=True)
+                )
             elif args.op == "fleet":
                 import json
 
@@ -792,7 +842,24 @@ def _cmd_submit(args) -> int:
             else:
                 print(f"{args.op}: ok")
             return 0
-        if args.wait_id is not None:
+        if args.progress_id is not None:
+            result = None
+            for update in client.progress(args.progress_id):
+                if update["done"]:
+                    result = update["result"]
+                    break
+                p = update["progress"]
+                steps = (
+                    f", step {p['steps_done']}/{p['steps_total']}"
+                    if p.get("steps_done") is not None
+                    else ""
+                )
+                print(f"job {p['job_id']}: {p['state']}{steps}", flush=True)
+            if result is None:
+                print("submit: progress stream ended without a result",
+                      file=sys.stderr)
+                return 3
+        elif args.wait_id is not None:
             result = client.wait(args.wait_id)
         else:
             request = JobRequest(
@@ -824,9 +891,14 @@ def _cmd_submit(args) -> int:
             file=sys.stderr,
         )
         return 1
+    if result.result_code is not None:
+        how = result.result_code  # e.g. duplicate_completed (store hit)
+    elif result.executed:
+        how = "executed"
+    else:
+        how = "deduplicated"
     print(
-        f"job {result.job_id} ok ({result.kind}, "
-        f"{'executed' if result.executed else 'deduplicated'}, "
+        f"job {result.job_id} ok ({result.kind}, {how}, "
         f"queue {result.queue_seconds * 1e3:.1f} ms, "
         f"exec {result.execute_seconds * 1e3:.1f} ms)"
     )

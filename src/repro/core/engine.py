@@ -535,12 +535,17 @@ class SWGromacsEngine:
     # ------------------------------------------------------------------
     # driving
     # ------------------------------------------------------------------
-    def run(self, n_steps: int) -> EngineResult:
+    def run(self, n_steps: int, progress=None) -> EngineResult:
         """Run ``n_steps`` of real dynamics, accumulating modelled time.
 
         After :meth:`restore` the loop continues from the checkpointed
         step, so ``n_steps`` is always the *total* step count of the
         trajectory, matching an uninterrupted run.
+
+        ``progress`` is an optional observer with an
+        ``update(steps_done, steps_total)`` method (see
+        :class:`repro.durable.progress.ProgressWriter`), called once per
+        completed step; it cannot affect results.
         """
         if n_steps < 0:
             raise ValueError(f"n_steps must be non-negative: {n_steps}")
@@ -598,6 +603,8 @@ class SWGromacsEngine:
                 and (step + 1) % policy.checkpoint_every == 0
             ):
                 self._write_checkpoint(timing, step + 1)
+            if progress is not None:
+                progress.update(step + 1, n_steps)
 
         return EngineResult(
             system=self.system,

@@ -1,0 +1,65 @@
+"""repro.durable: crash-safe state for the serve/fleet tier (DESIGN.md §12).
+
+Production hardening of the service layer, in the checkpoint/restart
+discipline the exascale-GROMACS line of work applies to runs (Páll et
+al.), applied to *jobs*:
+
+* :mod:`repro.durable.journal` — an append-only, checksummed JSON-lines
+  job journal with atomic segment rotation and corruption-tolerant tail
+  recovery, so a ``kill -9``'d service replays every accepted job on
+  restart and completes it bit-identically;
+* :mod:`repro.durable.results` — a bounded, restartable
+  fingerprint→result store (atomic writes, integrity-checked loads, LRU
+  eviction) acting as serve-level memoization above ``StepCache``:
+  duplicate submissions across restarts answer from disk with the
+  structured ``duplicate_completed`` result code;
+* :mod:`repro.durable.slo` — per-tenant SLO metrics (p50/p99 latency,
+  queue age, rejection/retry rates, journal replay counts), fed live by
+  the service or rebuilt offline from CAT_SERVE trace spans, exported
+  via the ``metrics`` wire op;
+* :mod:`repro.durable.progress` — file-published step counts from the
+  engine's step loop, streamed to clients by the ``progress`` wire op.
+
+Enable it all with one knob: ``repro serve --journal-dir DIR`` (or
+``ServeConfig(journal_dir=...)``).
+"""
+
+from repro.durable.journal import (
+    JobJournal,
+    JournalError,
+    JournalRecovery,
+    PendingJob,
+    TYPE_ACCEPTED,
+    TYPE_COMPLETED,
+    TYPE_FAILED,
+)
+from repro.durable.progress import (
+    ProgressWriter,
+    progress_interval,
+    read_progress,
+)
+from repro.durable.results import (
+    CODE_DUPLICATE_COMPLETED,
+    ResultStore,
+    ResultStoreError,
+)
+from repro.durable.slo import SloTracker, TenantSlo, nearest_rank
+
+__all__ = [
+    "JobJournal",
+    "JournalError",
+    "JournalRecovery",
+    "PendingJob",
+    "TYPE_ACCEPTED",
+    "TYPE_COMPLETED",
+    "TYPE_FAILED",
+    "ProgressWriter",
+    "progress_interval",
+    "read_progress",
+    "CODE_DUPLICATE_COMPLETED",
+    "ResultStore",
+    "ResultStoreError",
+    "SloTracker",
+    "TenantSlo",
+    "nearest_rank",
+]

@@ -1,0 +1,358 @@
+"""Crash-safe job journal: append-only, checksummed, replayable.
+
+The serve tier's "no lost jobs" guarantee (DESIGN.md §10) held only
+while the process lived — a ``kill -9`` forgot every accepted job.  The
+journal extends the guarantee across process death, the same way the
+REPROCKPT checkpoint format (DESIGN.md §7) extends a *run* across it:
+every accepted job is recorded durably before the service acknowledges
+it, every terminal outcome is recorded when it resolves, and a
+restarted service replays the difference.  Because every request is a
+pure function of its parameters (DESIGN.md §10), a replayed execution
+is bit-identical to the one the dead process would have produced — the
+journal only has to remember *what* was accepted, never partial state.
+
+Format (``journal-NNNNNN.jsonl`` segments inside one directory): one
+JSON object per line, each carrying a ``check`` field — BLAKE2b over
+the record's canonical JSON with ``check`` removed — so every record is
+independently verifiable.  Record types:
+
+* ``accepted``  — job id, tenant, fingerprint, and the full request
+  dict (everything replay needs to re-execute);
+* ``completed`` — job id, fingerprint, and how it completed;
+* ``failed``    — job id plus the structured error code/message.
+
+Appends are flushed to the OS per record, so they survive ``kill -9``
+(page cache outlives the process); ``fsync`` runs on segment rotation
+and close, and per-record when ``fsync_each`` is set (power-loss
+strictness at a measured throughput cost — see
+``benchmarks/bench_journal_overhead.py``).
+
+Recovery (:meth:`JobJournal.recover`) reads segments in order and is
+corruption-tolerant by construction: a record that fails to parse or
+checksum ends *that segment's* replay (counted, never raised), which
+handles both the torn final append of a crashed writer and a
+bit-flipped middle segment.  Jobs accepted without a terminal record
+are the pending set.  Recovery then *compacts*: pending records are
+rewritten into a fresh segment (fsynced before the old segments are
+deleted), so journal size is bounded by the live backlog, not history.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Segment filename shape (zero-padded so lexical order == age order).
+SEGMENT_PREFIX = "journal-"
+SEGMENT_SUFFIX = ".jsonl"
+#: Journal format version stamped into every record.
+JOURNAL_VERSION = 1
+
+TYPE_ACCEPTED = "accepted"
+TYPE_COMPLETED = "completed"
+TYPE_FAILED = "failed"
+
+
+class JournalError(RuntimeError):
+    """The journal directory cannot be used (not corruption — that is
+    tolerated and counted, never raised)."""
+
+
+def _checksum(record: dict) -> str:
+    """BLAKE2b over the canonical JSON of ``record`` sans ``check``."""
+    body = {k: v for k, v in record.items() if k != "check"}
+    blob = json.dumps(body, sort_keys=True).encode()
+    return hashlib.blake2b(blob, digest_size=8).hexdigest()
+
+
+def _seal(record: dict) -> bytes:
+    record["check"] = _checksum(record)
+    return json.dumps(record, sort_keys=True).encode() + b"\n"
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """One accepted-but-unresolved job recovered from the journal."""
+
+    jid: int
+    fingerprint: str
+    tenant: str
+    request: dict
+
+
+@dataclass
+class JournalRecovery:
+    """What :meth:`JobJournal.recover` found on disk."""
+
+    #: Accepted jobs with no terminal record, in acceptance order.
+    pending: list[PendingJob] = field(default_factory=list)
+    #: Valid records read across all segments.
+    records: int = 0
+    #: Terminal records matched to an acceptance.
+    completed: int = 0
+    failed: int = 0
+    #: Records dropped to corruption (torn tail or bad checksum); each
+    #: drop also discards the remainder of its segment.
+    corrupt_records: int = 0
+    #: Segments that contained at least one corrupt/torn record.
+    corrupt_segments: int = 0
+    #: Highest job id seen (a restarted service must allocate above it).
+    max_jid: int = 0
+
+    @property
+    def replayable(self) -> int:
+        return len(self.pending)
+
+
+class JobJournal:
+    """Append-only journal of job acceptance and resolution.
+
+    One writer per directory (the owning service); readers only exist
+    at recovery time, before the writer starts appending.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        segment_records: int = 1024,
+        fsync_each: bool = False,
+    ) -> None:
+        if segment_records < 1:
+            raise JournalError(
+                f"segment_records must be >= 1: {segment_records}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_records = segment_records
+        self.fsync_each = fsync_each
+        self._fh = None
+        self._segment_index = self._max_segment_index()
+        self._records_in_segment = 0
+        #: Appends over the journal lifetime (observability).
+        self.appended = 0
+
+    # ------------------------------------------------------------------
+    # segment bookkeeping
+    # ------------------------------------------------------------------
+    def _segments(self) -> list[Path]:
+        return sorted(
+            p
+            for p in self.directory.iterdir()
+            if p.name.startswith(SEGMENT_PREFIX)
+            and p.name.endswith(SEGMENT_SUFFIX)
+        )
+
+    def _max_segment_index(self) -> int:
+        best = 0
+        for path in self._segments():
+            stem = path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+            try:
+                best = max(best, int(stem))
+            except ValueError:
+                continue
+        return best
+
+    def _segment_path(self, index: int) -> Path:
+        return self.directory / f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
+
+    def _open_next_segment(self) -> None:
+        self._close_segment()
+        self._segment_index += 1
+        self._records_in_segment = 0
+        # Append mode: a crashed writer's segment is never reopened (the
+        # index always advances), so a torn tail stays where recovery
+        # can isolate it.
+        self._fh = open(self._segment_path(self._segment_index), "ab")
+
+    def _close_segment(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+
+    # ------------------------------------------------------------------
+    # appending
+    # ------------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        if self._fh is None or self._records_in_segment >= self.segment_records:
+            self._open_next_segment()
+        self._fh.write(_seal(record))
+        # Flush to the OS so the record survives kill -9 of this
+        # process; fsync (power-loss durability) is per-record only on
+        # request, otherwise at rotation/close.
+        self._fh.flush()
+        if self.fsync_each:
+            os.fsync(self._fh.fileno())
+        self._records_in_segment += 1
+        self.appended += 1
+
+    def accepted(
+        self, jid: int, fingerprint: str, tenant: str, request: dict
+    ) -> None:
+        """Record an admitted job (call before acknowledging the client)."""
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "type": TYPE_ACCEPTED,
+                "jid": int(jid),
+                "fingerprint": fingerprint,
+                "tenant": tenant,
+                "request": request,
+            }
+        )
+
+    def completed(self, jid: int, fingerprint: str, code: str | None = None) -> None:
+        """Record a successful terminal outcome."""
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "type": TYPE_COMPLETED,
+                "jid": int(jid),
+                "fingerprint": fingerprint,
+                "code": code,
+            }
+        )
+
+    def failed(self, jid: int, fingerprint: str, code: str, message: str) -> None:
+        """Record a structured terminal failure."""
+        self._append(
+            {
+                "v": JOURNAL_VERSION,
+                "type": TYPE_FAILED,
+                "jid": int(jid),
+                "fingerprint": fingerprint,
+                "code": code,
+                "message": message,
+            }
+        )
+
+    def flush(self) -> None:
+        """Flush and fsync the open segment (drain-path barrier)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Flush, fsync, and close the open segment.  Idempotent."""
+        self._close_segment()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> JournalRecovery:
+        """Read every segment, compute the pending set, compact.
+
+        Must run before the first append of this journal instance (the
+        writer always opens a fresh segment, so recovery never races its
+        own appends).  After recovery the directory holds exactly one
+        segment: the pending records, rewritten and fsynced before the
+        historical segments are unlinked — a crash mid-compaction leaves
+        either the old segments or old + new (replay is idempotent on
+        duplicate acceptance records: last record per jid wins).
+        """
+        recovery = JournalRecovery()
+        accepted: dict[int, PendingJob] = {}
+        resolved: set[int] = set()
+        old_segments = self._segments()
+        for path in old_segments:
+            if not self._read_segment(path, accepted, resolved, recovery):
+                recovery.corrupt_segments += 1
+        recovery.pending = [
+            job for jid, job in sorted(accepted.items()) if jid not in resolved
+        ]
+        self._compact(recovery.pending, old_segments)
+        return recovery
+
+    def _read_segment(
+        self,
+        path: Path,
+        accepted: dict[int, PendingJob],
+        resolved: set[int],
+        recovery: JournalRecovery,
+    ) -> bool:
+        """Replay one segment; False when a torn/corrupt record ended it
+        early (the remainder of the segment is dropped and counted)."""
+        try:
+            raw_lines = path.read_bytes().split(b"\n")
+        except OSError:
+            recovery.corrupt_records += 1
+            return False
+        for i, raw in enumerate(raw_lines):
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                # Torn tail (crashed mid-append) or garbage: stop here.
+                # ValueError covers JSONDecodeError and the
+                # UnicodeDecodeError binary garbage raises first.
+                recovery.corrupt_records += 1 + sum(
+                    1 for r in raw_lines[i + 1 :] if r
+                )
+                return False
+            if (
+                not isinstance(record, dict)
+                or record.get("check") != _checksum(record)
+            ):
+                recovery.corrupt_records += 1 + sum(
+                    1 for r in raw_lines[i + 1 :] if r
+                )
+                return False
+            recovery.records += 1
+            jid = int(record.get("jid", 0))
+            recovery.max_jid = max(recovery.max_jid, jid)
+            rtype = record.get("type")
+            if rtype == TYPE_ACCEPTED:
+                accepted[jid] = PendingJob(
+                    jid=jid,
+                    fingerprint=str(record.get("fingerprint", "")),
+                    tenant=str(record.get("tenant", "default")),
+                    request=dict(record.get("request") or {}),
+                )
+            elif rtype == TYPE_COMPLETED:
+                resolved.add(jid)
+                recovery.completed += 1
+            elif rtype == TYPE_FAILED:
+                resolved.add(jid)
+                recovery.failed += 1
+            # Unknown types: forward-compatible skip (already counted).
+        return True
+
+    def _compact(
+        self, pending: list[PendingJob], old_segments: list[Path]
+    ) -> None:
+        """Rewrite the pending set into a fresh fsynced segment, then
+        drop history.  The new segment lands before anything is deleted,
+        so no crash window loses an acceptance record."""
+        if pending:
+            self._open_next_segment()
+            for job in pending:
+                self._append(
+                    {
+                        "v": JOURNAL_VERSION,
+                        "type": TYPE_ACCEPTED,
+                        "jid": job.jid,
+                        "fingerprint": job.fingerprint,
+                        "tenant": job.tenant,
+                        "request": job.request,
+                    }
+                )
+            # The rewrite does not re-count as new traffic.
+            self.appended -= len(pending)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        for path in old_segments:
+            try:
+                path.unlink()
+            except OSError:
+                pass

@@ -1,0 +1,84 @@
+"""Streaming progress for long MD jobs: step counts across processes.
+
+A long ``md`` job is opaque between dispatch and completion; the
+``progress`` wire op fixes that.  The plumbing has to cross a process
+boundary — execution runs on a pool worker under the host-parallel
+backend (DESIGN.md §9) — so progress travels the same way results are
+made durable: through the filesystem.
+
+* :class:`ProgressWriter` rides into the worker (picklable: a path and
+  an interval).  The engine's step loop calls :meth:`ProgressWriter.
+  update` every step; the writer rate-limits to every ``interval``
+  steps (plus the final step) and publishes with the atomic
+  write-temp-then-``os.replace`` idiom, so a concurrent reader sees a
+  complete JSON document or nothing, never a torn one.
+* :func:`read_progress` is the service-side poll: the current
+  ``{"steps_done", "steps_total"}`` snapshot, or None before the first
+  publish.
+
+The report cadence deliberately reuses the engine's reporting rhythm
+(a handful of publishes per run, not one per step), so the overhead is
+unmeasurable next to a force evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+
+class ProgressWriter:
+    """Publish step progress to one file, every ``interval`` steps."""
+
+    def __init__(self, path: str | Path, interval: int = 1) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1: {interval}")
+        self.path = Path(path)
+        self.interval = interval
+        self._published = -1
+
+    def update(self, steps_done: int, steps_total: int) -> None:
+        """Record ``steps_done`` of ``steps_total``; cheap no-op between
+        publish points."""
+        final = steps_done >= steps_total
+        if steps_done % self.interval and not final:
+            return
+        if steps_done <= self._published:
+            return
+        self._publish(steps_done, steps_total)
+
+    def _publish(self, steps_done: int, steps_total: int) -> None:
+        tmp = self.path.with_name(f".{self.path.name}.tmp")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "steps_done": int(steps_done),
+                    "steps_total": int(steps_total),
+                }
+            )
+        )
+        os.replace(tmp, self.path)
+        self._published = steps_done
+
+
+def read_progress(path: str | Path) -> dict | None:
+    """Latest published snapshot, or None (not started, or torn away by
+    a concurrent delete — both render as "no progress yet")."""
+    try:
+        raw = Path(path).read_text()
+    except OSError:
+        return None
+    try:
+        data = json.loads(raw)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(data, dict):
+        return None
+    return data
+
+
+def progress_interval(steps_total: int, publishes: int = 20) -> int:
+    """An update cadence giving roughly ``publishes`` publishes per run
+    (always >= 1)."""
+    return max(steps_total // max(publishes, 1), 1)

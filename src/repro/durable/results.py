@@ -1,0 +1,192 @@
+"""Cross-restart fingerprint→result store (serve-level memoization).
+
+`StepCache` (DESIGN.md §8) memoizes *within* one worker process; the
+batcher's dedup memoizes *within* one service lifetime.  This store is
+the layer above both: a completed job's payload, keyed by its request
+fingerprint, survives process death — a duplicate submission against a
+restarted service answers from disk with the structured
+``duplicate_completed`` result code instead of re-executing.  Safe for
+exactly the reason dedup is safe: every request is a pure function of
+its fingerprinted parameters, so the stored payload *is* the payload a
+fresh execution would produce, bit for bit.
+
+One file per fingerprint (``<fp>.res``), in the REPROCKPT idiom
+(DESIGN.md §7): a magic line, a SHA-256 line over the body, then the
+JSON body.  Writes go to a temp file in the store directory, fsync,
+``os.replace`` — a crash mid-write leaves the previous entry (or no
+entry), never a torn one.  Loads verify the checksum and treat any
+corruption as a miss (the entry is quarantined by deletion): a damaged
+cache can cost a re-execution, never a wrong answer.
+
+The store is bounded: ``max_entries`` with least-recently-*used*
+eviction.  Access order is tracked in memory and mirrored to file
+mtimes (``os.utime`` on hit), so the LRU order itself survives
+restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+MAGIC = b"REPRORES1"
+SUFFIX = ".res"
+#: Result-record schema version inside the body.
+FORMAT_VERSION = 1
+
+#: Result codes surfaced through :class:`~repro.serve.jobs.JobResult`.
+CODE_DUPLICATE_COMPLETED = "duplicate_completed"
+
+
+class ResultStoreError(RuntimeError):
+    """The store directory cannot be used (corrupt *entries* are
+    tolerated as misses, never raised)."""
+
+
+class ResultStore:
+    """Bounded, restartable fingerprint → result-payload store."""
+
+    def __init__(self, directory: str | Path, max_entries: int = 512) -> None:
+        if max_entries < 1:
+            raise ResultStoreError(f"max_entries must be >= 1: {max_entries}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.corrupt_dropped = 0
+        #: fingerprint -> path, in least-recently-used-first order.
+        self._order: dict[str, Path] = {}
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    # index
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        entries = [
+            p for p in self.directory.iterdir() if p.name.endswith(SUFFIX)
+        ]
+        # mtime carries the pre-restart LRU order (ties broken by name
+        # for determinism).
+        entries.sort(key=lambda p: (p.stat().st_mtime, p.name))
+        for path in entries:
+            self._order[path.name[: -len(SUFFIX)]] = path
+        while len(self._order) > self.max_entries:
+            self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        fingerprint = next(iter(self._order))
+        path = self._order.pop(fingerprint)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        self.evictions += 1
+
+    def _touch(self, fingerprint: str) -> None:
+        path = self._order.pop(fingerprint)
+        self._order[fingerprint] = path
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._order
+
+    # ------------------------------------------------------------------
+    # read/write
+    # ------------------------------------------------------------------
+    def _path(self, fingerprint: str) -> Path:
+        return self.directory / f"{fingerprint}{SUFFIX}"
+
+    def put(self, fingerprint: str, record: dict) -> None:
+        """Store one result record atomically; evicts LRU past the bound.
+
+        ``record`` is the JSON-serialisable result body (payload plus
+        whatever identity fields the caller wants back on a hit).
+        """
+        body = json.dumps(
+            {"version": FORMAT_VERSION, "record": record}, sort_keys=True
+        ).encode()
+        digest = hashlib.sha256(body).hexdigest().encode("ascii")
+        path = self._path(fingerprint)
+        tmp = self.directory / f".{path.name}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(MAGIC + b"\n")
+            fh.write(digest + b"\n")
+            fh.write(body)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        if fingerprint in self._order:
+            self._order.pop(fingerprint)
+        self._order[fingerprint] = path
+        while len(self._order) > self.max_entries:
+            self._evict_oldest()
+
+    def get(self, fingerprint: str) -> dict | None:
+        """The stored record, or None.  Any corruption (bad magic, bad
+        checksum, malformed body) drops the entry and reports a miss."""
+        path = self._order.get(fingerprint)
+        if path is None:
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as fh:
+                magic = fh.readline().rstrip(b"\n")
+                digest_line = fh.readline().rstrip(b"\n")
+                body = fh.read()
+        except OSError:
+            self._drop_corrupt(fingerprint)
+            return None
+        if (
+            magic != MAGIC
+            or hashlib.sha256(body).hexdigest().encode("ascii") != digest_line
+        ):
+            self._drop_corrupt(fingerprint)
+            return None
+        try:
+            data = json.loads(body)
+            record = data["record"]
+        except (json.JSONDecodeError, KeyError, TypeError):
+            self._drop_corrupt(fingerprint)
+            return None
+        self.hits += 1
+        self._touch(fingerprint)
+        return record
+
+    def _drop_corrupt(self, fingerprint: str) -> None:
+        path = self._order.pop(fingerprint, None)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.corrupt_dropped += 1
+        self.misses += 1
+
+    def sync(self) -> None:
+        """fsync the store directory (drain-path barrier: makes the
+        renames themselves durable)."""
+        fd = os.open(self.directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._order),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "corrupt_dropped": self.corrupt_dropped,
+        }

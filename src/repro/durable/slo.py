@@ -1,0 +1,215 @@
+"""Per-tenant SLO metrics for the serve/fleet tier.
+
+The exascale-GROMACS line of work treats run-level telemetry as a
+production requirement, not an afterthought; the serving layer gets the
+same discipline.  A :class:`SloTracker` accumulates, per tenant:
+
+* **latency** — end-to-end seconds per completed job (queue wait plus
+  execution, the same numbers the CAT_SERVE ``queue:``/``exec:`` trace
+  spans carry), summarised as p50/p99 over a bounded sample window;
+* **outcome rates** — completion, failure, rejection, and retry rates
+  over everything the tenant submitted;
+* **durability counters** — journal replays and result-store hits,
+  so a restart's recovery work is attributable per tenant.
+
+Two feeding paths produce identical numbers:
+
+* the live service calls the ``observe_*`` hooks as jobs resolve
+  (always on — a few dict updates per job);
+* :meth:`SloTracker.from_trace` rebuilds a tracker offline from the
+  recorded CAT_SERVE spans of a traced run (``queue:<id>`` spans carry
+  the tenant and the queue wait; ``exec:<id>`` spans carry the
+  execution window), for post-hoc analysis of a trace file.
+
+Percentiles use the deterministic nearest-rank definition over the
+retained window (the most recent ``window`` samples per tenant), so two
+services that saw the same jobs report the same numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+#: Retained latency samples per tenant (oldest evicted first).
+DEFAULT_WINDOW = 2048
+
+
+def nearest_rank(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of an unsorted sample set;
+    0.0 on an empty set so idle tenants render cleanly."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1]: {q}")
+    ordered = sorted(samples)
+    rank = max(math.ceil(q * len(ordered)), 1)
+    return ordered[rank - 1]
+
+
+@dataclass
+class TenantSlo:
+    """One tenant's accumulators."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    rejected_by_reason: dict = field(default_factory=dict)
+    retried: int = 0
+    journal_replays: int = 0
+    store_hits: int = 0
+    #: Bounded most-recent latency window (seconds, queue + execute).
+    latencies: list[float] = field(default_factory=list)
+    queue_waits: list[float] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        total = self.submitted + self.rejected
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "rejected_by_reason": dict(self.rejected_by_reason),
+            "retried": self.retried,
+            "journal_replays": self.journal_replays,
+            "store_hits": self.store_hits,
+            "rejection_rate": self.rejected / total if total else 0.0,
+            "retry_rate": (
+                self.retried / self.submitted if self.submitted else 0.0
+            ),
+            "p50_latency_s": nearest_rank(self.latencies, 0.50),
+            "p99_latency_s": nearest_rank(self.latencies, 0.99),
+            "p50_queue_s": nearest_rank(self.queue_waits, 0.50),
+            "p99_queue_s": nearest_rank(self.queue_waits, 0.99),
+            "samples": len(self.latencies),
+        }
+
+
+class SloTracker:
+    """Per-tenant SLO accumulation (live hooks or trace replay)."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1: {window}")
+        self.window = window
+        self._tenants: dict[str, TenantSlo] = {}
+
+    def tenant(self, name: str) -> TenantSlo:
+        slo = self._tenants.get(name)
+        if slo is None:
+            slo = self._tenants[name] = TenantSlo()
+        return slo
+
+    # ------------------------------------------------------------------
+    # live observation hooks
+    # ------------------------------------------------------------------
+    def observe_submitted(self, tenant: str) -> None:
+        self.tenant(tenant).submitted += 1
+
+    def observe_rejected(self, tenant: str, code: str) -> None:
+        slo = self.tenant(tenant)
+        slo.rejected += 1
+        slo.rejected_by_reason[code] = (
+            slo.rejected_by_reason.get(code, 0) + 1
+        )
+
+    def observe_result(
+        self,
+        tenant: str,
+        ok: bool,
+        queue_seconds: float,
+        execute_seconds: float,
+        attempts: int = 1,
+        replayed: bool = False,
+        store_hit: bool = False,
+    ) -> None:
+        slo = self.tenant(tenant)
+        if ok:
+            slo.completed += 1
+        else:
+            slo.failed += 1
+        if attempts > 1:
+            slo.retried += 1
+        if replayed:
+            slo.journal_replays += 1
+        if store_hit:
+            slo.store_hits += 1
+        self._sample(slo.latencies, queue_seconds + execute_seconds)
+        self._sample(slo.queue_waits, queue_seconds)
+
+    def _sample(self, window: list[float], value: float) -> None:
+        window.append(max(float(value), 0.0))
+        if len(window) > self.window:
+            del window[: len(window) - self.window]
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def as_dict(self, tenant_queues: dict | None = None) -> dict:
+        """Per-tenant metrics; ``tenant_queues`` (the live queue's
+        depth/oldest-age snapshot) is merged in so one call answers the
+        whole ``metrics`` op."""
+        out: dict[str, dict] = {}
+        names = set(self._tenants) | set(tenant_queues or {})
+        for name in sorted(names):
+            row = (
+                self._tenants[name].as_dict()
+                if name in self._tenants
+                else TenantSlo().as_dict()
+            )
+            queues = (tenant_queues or {}).get(name)
+            row["queue_depth"] = queues["depth"] if queues else 0
+            row["oldest_age_seconds"] = (
+                queues["oldest_age_seconds"] if queues else 0.0
+            )
+            out[name] = row
+        return out
+
+    # ------------------------------------------------------------------
+    # trace aggregation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(cls, events, window: int = DEFAULT_WINDOW) -> "SloTracker":
+        """Rebuild a tracker from recorded CAT_SERVE spans.
+
+        ``queue:<job_id>`` spans carry ``tenant`` and the queue wait;
+        ``exec:<job_id>`` spans carry the execution window.  Reject
+        instants (``reject:<code>``) carry the tenant.  Works on a
+        :class:`~repro.trace.events.Tracer` or a plain event list.
+        """
+        from repro.trace.events import CAT_SERVE
+
+        event_list = getattr(events, "events", events)
+        tracker = cls(window=window)
+        params = getattr(events, "params", None)
+        per_cycle = params.cycle_s if params is not None else 1.0
+
+        def seconds(ev) -> float:
+            return ev.duration_cycles * per_cycle
+
+        queue_spans: dict[str, object] = {}
+        exec_spans: dict[str, object] = {}
+        for ev in event_list:
+            if ev.category != CAT_SERVE:
+                continue
+            kind, _, rest = ev.name.partition(":")
+            if kind == "queue" and ev.duration_cycles >= 0:
+                queue_spans[rest] = ev
+            elif kind == "exec":
+                exec_spans[rest] = ev
+            elif kind == "reject":
+                tracker.observe_rejected(
+                    str(ev.args.get("tenant", "default")), rest
+                )
+        for job_id, qev in sorted(queue_spans.items()):
+            tenant = str(qev.args.get("tenant", "default"))
+            eev = exec_spans.get(job_id)
+            tracker.observe_submitted(tenant)
+            tracker.observe_result(
+                tenant,
+                ok=True,
+                queue_seconds=seconds(qev),
+                execute_seconds=seconds(eev) if eev is not None else 0.0,
+            )
+        return tracker

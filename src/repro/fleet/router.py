@@ -43,7 +43,7 @@ from repro.fleet.registry import (
     WorkerRegistry,
 )
 from repro.fleet.ring import DEFAULT_VNODES, HashRing, stable_key
-from repro.fleet.wire import Address, parse_address, send_request
+from repro.fleet.wire import parse_address, send_request
 from repro.resilience.retry import RetryPolicy
 from repro.serve.jobs import (
     InvalidRequestError,
@@ -167,7 +167,64 @@ _WORKER_SUM_KEYS = (
     "retries",
     "sr_evals",
     "sr_hits",
+    "journal_replays",
+    "store_hits",
 )
+
+#: Per-tenant SLO counters summed across workers by the ``metrics`` op.
+_METRIC_SUM_KEYS = (
+    "submitted",
+    "completed",
+    "failed",
+    "rejected",
+    "retried",
+    "journal_replays",
+    "store_hits",
+    "samples",
+    "queue_depth",
+)
+#: Per-tenant values where the fleet reports the *worst* worker — a
+#: conservative fleet percentile (exact merge would need raw samples).
+_METRIC_MAX_KEYS = (
+    "p50_latency_s",
+    "p99_latency_s",
+    "p50_queue_s",
+    "p99_queue_s",
+    "oldest_age_seconds",
+)
+
+
+def _merge_metrics(worker_metrics: dict[str, dict | None]) -> dict:
+    """Fleet-level per-tenant SLO rollup: counts sum, percentiles take
+    the worst worker, rates recompute from the merged counts."""
+    fleet: dict[str, dict] = {}
+    for metrics in worker_metrics.values():
+        if not metrics:
+            continue
+        for tenant, row in metrics.items():
+            agg = fleet.setdefault(
+                tenant,
+                {
+                    **{k: 0 for k in _METRIC_SUM_KEYS},
+                    **{k: 0.0 for k in _METRIC_MAX_KEYS},
+                    "rejected_by_reason": {},
+                },
+            )
+            for key in _METRIC_SUM_KEYS:
+                agg[key] += int(row.get(key, 0))
+            for key in _METRIC_MAX_KEYS:
+                agg[key] = max(agg[key], float(row.get(key, 0.0)))
+            for code, n in (row.get("rejected_by_reason") or {}).items():
+                agg["rejected_by_reason"][code] = (
+                    agg["rejected_by_reason"].get(code, 0) + int(n)
+                )
+    for agg in fleet.values():
+        total = agg["submitted"] + agg["rejected"]
+        agg["rejection_rate"] = agg["rejected"] / total if total else 0.0
+        agg["retry_rate"] = (
+            agg["retried"] / agg["submitted"] if agg["submitted"] else 0.0
+        )
+    return fleet
 
 
 class FleetRouter:
@@ -186,6 +243,10 @@ class FleetRouter:
         self.ring = HashRing(vnodes=self.config.vnodes)
         self.stats = RouterStats()
         self.draining = False
+        #: name -> the worker registered with a journal behind it, so
+        #: failover decisions and fleet stats can tell which members
+        #: recover their own accepted jobs after a crash.
+        self.worker_durable: dict[str, bool] = {}
         self._job_ids = iter(range(1, 1 << 62))
         self._jobs: dict[int, RoutedJob] = {}
         self._results: dict[int, dict] = {}
@@ -275,17 +336,20 @@ class FleetRouter:
     # ------------------------------------------------------------------
     # membership
     # ------------------------------------------------------------------
-    def _register_worker(self, name: str, address: str) -> dict:
+    def _register_worker(
+        self, name: str, address: str, durable: bool = False
+    ) -> dict:
         loop = asyncio.get_running_loop()
         parse_address(address)  # validate early: a bad address is a bad op
         self.registry.register(name, address, loop.time())
         self.ring.add(name)
+        self.worker_durable[name] = bool(durable)
         self.stats.workers_registered += 1
         self._membership.set()
         if self.tracer.enabled:
             self.tracer.instant(
                 f"worker_register:{name}", CAT_FLEET, FLEET_TRACK,
-                address=address,
+                address=address, durable=bool(durable),
             )
         return {
             "ok": True,
@@ -502,6 +566,25 @@ class FleetRouter:
         results = await asyncio.gather(*(fetch(n) for n in names))
         return dict(zip(names, results))
 
+    async def _fetch_worker_metrics(self) -> dict[str, dict | None]:
+        """Best-effort per-tenant SLO metrics from every alive worker."""
+        names = self.registry.alive()
+
+        async def fetch(name: str) -> dict | None:
+            info = self.registry.get(name)
+            try:
+                response = await send_request(
+                    parse_address(info.address),
+                    {"op": "metrics"},
+                    timeout=self.config.worker_op_timeout_s,
+                )
+                return response.get("metrics")
+            except (ConnectionError, asyncio.TimeoutError):
+                return None
+
+        results = await asyncio.gather(*(fetch(n) for n in names))
+        return dict(zip(names, results))
+
     def _aggregate_stats(self, worker_stats: dict[str, dict | None]) -> dict:
         totals = {key: 0 for key in _WORKER_SUM_KEYS}
         for stats in worker_stats.values():
@@ -553,7 +636,9 @@ class FleetRouter:
                 return _error_response(
                     "bad_request", "worker_register needs name and address"
                 )
-            return self._register_worker(name, address)
+            return self._register_worker(
+                name, address, durable=bool(worker.get("durable", False))
+            )
         if op == "worker_heartbeat":
             name = str(msg.get("name", ""))
             try:
@@ -594,11 +679,19 @@ class FleetRouter:
                     for name, stats in worker_stats.items()
                 },
             }
+        if op == "metrics":
+            worker_metrics = await self._fetch_worker_metrics()
+            return {
+                "ok": True,
+                "metrics": _merge_metrics(worker_metrics),
+                "workers": worker_metrics,
+            }
         if op == "fleet":
             worker_stats = await self._fetch_worker_stats()
             workers = self.registry.as_dict()
             for name, stats in worker_stats.items():
                 workers[name]["stats"] = stats
+                workers[name]["durable"] = self.worker_durable.get(name, False)
             return {
                 "ok": True,
                 "router": self.stats.as_dict(),

@@ -112,7 +112,13 @@ class FleetWorker:
     async def _register(self) -> None:
         payload = {
             "op": "worker_register",
-            "worker": {"name": self.config.name, "address": self.advertised},
+            "worker": {
+                "name": self.config.name,
+                "address": self.advertised,
+                # Journal-backed workers recover their own accepted jobs
+                # after a crash; the router records this for fleet stats.
+                "durable": self.service.journal is not None,
+            },
         }
         attempts = 0
         while True:

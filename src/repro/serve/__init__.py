@@ -20,9 +20,15 @@ Quickstart (in-process)::
     asyncio.run(main())
 
 Or as a daemon: ``repro serve --socket /tmp/repro.sock`` and
-``repro submit --socket /tmp/repro.sock -n 300``.
+``repro submit --socket /tmp/repro.sock -n 300``.  Add
+``--journal-dir DIR`` for crash-safe restarts (`repro.durable`,
+DESIGN.md §12): accepted jobs are journaled and replayed bit-identically
+after a kill, completed payloads answer duplicates across restarts with
+the ``duplicate_completed`` result code, and per-tenant SLO metrics are
+served by ``repro submit --op metrics``.
 """
 
+from repro.durable.results import CODE_DUPLICATE_COMPLETED
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.client import (
     ServeClient,
@@ -64,6 +70,7 @@ from repro.serve.service import (
 __all__ = [
     "Batch",
     "Batcher",
+    "CODE_DUPLICATE_COMPLETED",
     "ServeClient",
     "ServeConnectionError",
     "ServeRequestError",

@@ -188,3 +188,47 @@ class ServeClient:
     def wait(self, job_id: int) -> JobResult:
         response = self.request({"op": "wait", "job_id": job_id})
         return JobResult.from_dict(response["result"])
+
+    def metrics(self) -> dict:
+        """Per-tenant SLO metrics (p50/p99 latency, queue age, rejection
+        and retry rates, journal replay counts — DESIGN.md §12)."""
+        return self.request({"op": "metrics"})["metrics"]
+
+    def progress(self, job_id: int, interval_s: float = 0.05):
+        """Stream progress snapshots for one job.
+
+        A generator over the service's streaming ``progress`` op: yields
+        ``{"done": False, "progress": {...}}`` dicts (long MD jobs carry
+        ``steps_done``/``steps_total`` published from the engine's step
+        loop) and finally ``{"done": True, "result": JobResult}`` with
+        the decoded terminal result.  One connection, many lines — the
+        only multi-line op in the protocol."""
+        payload = {"op": "progress", "job_id": job_id,
+                   "interval_s": interval_s}
+        with self._connect() as sock:
+            sock.sendall(json.dumps(payload).encode() + b"\n")
+            buffer = b""
+            while True:
+                data = sock.recv(65536)
+                if not data:
+                    if buffer:
+                        raise ServeConnectionError(
+                            "service closed mid-line during progress stream"
+                        )
+                    return
+                buffer += data
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    response = json.loads(line)
+                    if not response.get("ok"):
+                        err = response.get("error") or {}
+                        raise ServeRequestError(
+                            err.get("code", "unknown"), err.get("message", "")
+                        )
+                    if response.get("done"):
+                        yield {
+                            "done": True,
+                            "result": JobResult.from_dict(response["result"]),
+                        }
+                        return
+                    yield {"done": False, "progress": response["progress"]}

@@ -177,7 +177,11 @@ class JobResult:
     ``payload`` carries the kind-specific numbers (see the executors
     below); ``executed`` is False when the result was fanned out from a
     deduplicated sibling execution; ``attempts`` counts executions
-    including retries (0 for pure fan-out recipients).
+    including retries (0 for pure fan-out recipients).  ``result_code``
+    distinguishes non-execution completions — ``duplicate_completed``
+    when the durable result store answered a fingerprint it had already
+    seen (possibly in a previous service incarnation) — from fresh or
+    fanned-out executions (None).
     """
 
     job_id: int
@@ -190,6 +194,7 @@ class JobResult:
     attempts: int = 1
     queue_seconds: float = 0.0
     execute_seconds: float = 0.0
+    result_code: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -203,6 +208,7 @@ class JobResult:
             "attempts": self.attempts,
             "queue_seconds": self.queue_seconds,
             "execute_seconds": self.execute_seconds,
+            "result_code": self.result_code,
         }
 
     @classmethod
@@ -219,6 +225,7 @@ class JobResult:
             attempts=data.get("attempts", 1),
             queue_seconds=data.get("queue_seconds", 0.0),
             execute_seconds=data.get("execute_seconds", 0.0),
+            result_code=data.get("result_code"),
         )
 
 
@@ -264,8 +271,13 @@ def execute_kernel_request(
     return _kernel_payload(result, result.forces)
 
 
-def execute_md_request(request: JobRequest) -> dict:
-    """Run the full engine for ``request`` (mirrors ``repro run``)."""
+def execute_md_request(request: JobRequest, progress=None) -> dict:
+    """Run the full engine for ``request`` (mirrors ``repro run``).
+
+    ``progress`` is an optional :class:`~repro.durable.progress.
+    ProgressWriter`-shaped object; the engine's step loop publishes
+    partial step counts through it (functional no-op on results).
+    """
     import numpy as _np
 
     from repro.core.engine import EngineConfig, SWGromacsEngine
@@ -284,7 +296,7 @@ def execute_md_request(request: JobRequest) -> dict:
             backend="serial",  # pool workers force nested-serial anyway
         ),
     )
-    result = engine.run(request.steps)
+    result = engine.run(request.steps, progress=progress)
     return result.summary()
 
 
@@ -304,7 +316,10 @@ class BatchOutcome:
     cache_stats: dict = field(default_factory=dict)
 
 
-def execute_batch(requests: tuple[JobRequest, ...]) -> BatchOutcome:
+def execute_batch(
+    requests: tuple[JobRequest, ...],
+    progress_paths: dict[str, str] | None = None,
+) -> BatchOutcome:
     """Execute a batch of *distinct* requests on one worker.
 
     Kernel requests sharing a :attr:`JobRequest.system_key` share one
@@ -314,6 +329,9 @@ def execute_batch(requests: tuple[JobRequest, ...]) -> BatchOutcome:
     `run_strategy_sweep` (bit-identity is test-enforced there and
     re-asserted against the direct path in ``tests/serve/``).  MD and
     non-matching requests execute independently.
+
+    ``progress_paths`` (fingerprint → file path) threads per-unit
+    progress files into MD executions for the ``progress`` wire op.
     """
     from repro.core.kernels import ALL_SPECS, run_kernel
     from repro.md.pairlist import build_pair_list
@@ -327,7 +345,9 @@ def execute_batch(requests: tuple[JobRequest, ...]) -> BatchOutcome:
         if req.kind == KIND_KERNEL:
             groups.setdefault(req.system_key, []).append(idx)
         else:
-            payloads[idx] = execute_md_request(req)
+            payloads[idx] = execute_md_request(
+                req, progress=_progress_writer(req, progress_paths)
+            )
 
     for indices in groups.values():
         first = requests[indices[0]]
@@ -344,3 +364,22 @@ def execute_batch(requests: tuple[JobRequest, ...]) -> BatchOutcome:
         cache_stats["sr_hits"] += cache.stats.sr_hits
 
     return BatchOutcome(payloads=list(payloads), cache_stats=cache_stats)
+
+
+def _progress_writer(request: JobRequest, progress_paths: dict | None):
+    """A ProgressWriter for this unit's file, or None."""
+    if not progress_paths:
+        return None
+    path = progress_paths.get(request.fingerprint)
+    if path is None:
+        return None
+    from repro.durable.progress import ProgressWriter, progress_interval
+
+    return ProgressWriter(path, interval=progress_interval(request.steps))
+
+
+def execute_batch_task(task: tuple) -> BatchOutcome:
+    """Pool-mappable wrapper: ``(requests, progress_paths)`` in one
+    picklable item (``backend.map`` passes exactly one argument)."""
+    requests, progress_paths = task
+    return execute_batch(requests, progress_paths=progress_paths)

@@ -69,6 +69,10 @@ class Job:
     #: Absolute loop-time deadline (None = no timeout requested).
     deadline: float | None = None
     attempts: int = 0
+    #: Acceptance was journaled — resolution must be journaled too.
+    journaled: bool = False
+    #: Replayed from the journal after a restart (SLO attribution).
+    replayed: bool = False
 
     @property
     def sort_key(self) -> tuple:

@@ -37,14 +37,31 @@ transient execution error is reissued with exponential backoff up to
 ``max_attempts``; a job whose deadline lapses is failed with a
 structured ``timeout``/``deadline_expired`` error instead of silently
 running forever.
+
+With ``journal_dir`` set, the durable layer (DESIGN.md §12) extends
+"no lost jobs" across process death: acceptance and resolution are
+journaled (`repro.durable.journal`), a restarted service replays the
+difference bit-identically, completed payloads persist in the
+fingerprint→result store (`repro.durable.results`) and answer
+duplicate submissions — across restarts — with the structured
+``duplicate_completed`` result code.  Per-tenant SLO metrics
+(`repro.durable.slo`) and the streaming ``progress`` op are always on.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
+import shutil
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 
+from repro.durable.journal import JobJournal, JournalRecovery
+from repro.durable.progress import read_progress
+from repro.durable.results import CODE_DUPLICATE_COMPLETED, ResultStore
+from repro.durable.slo import SloTracker
 from repro.parallel.pool import (
     WorkerCrashError,
     close_shared_backend,
@@ -53,21 +70,31 @@ from repro.parallel.pool import (
 from repro.resilience.retry import DEFAULT_RETRY, RetryPolicy
 from repro.serve.batcher import Batch, Batcher
 from repro.serve.jobs import (
+    KIND_MD,
     BatchOutcome,
+    InvalidRequestError,
     JobError,
     JobRequest,
     JobResult,
     execute_batch,
+    execute_batch_task,
 )
 from repro.serve.queue import (
     REASON_DEADLINE,
     REASON_EXECUTION,
+    REASON_INVALID,
     REASON_TIMEOUT,
     Job,
     JobQueue,
 )
 from repro.serve.scheduler import FairShareScheduler
-from repro.trace.events import CAT_SERVE, NULL_TRACER, SERVE_TRACK, NullTracer
+from repro.trace.events import (
+    CAT_DURABLE,
+    CAT_SERVE,
+    NULL_TRACER,
+    SERVE_TRACK,
+    NullTracer,
+)
 
 
 class AdmissionRejected(RuntimeError):
@@ -101,6 +128,16 @@ class ServeConfig:
     #: real time, not simulated time; 1 µs/cycle puts the default
     #: policy's first backoff at 2 ms).
     backoff_cycle_s: float = 1e-6
+    #: Durable layer root (DESIGN.md §12).  None = in-memory only; set
+    #: to enable the job journal + result store and crash-safe restart.
+    journal_dir: str | None = None
+    #: Result-store bound (LRU-evicted fingerprint→result entries).
+    result_store_max: int = 512
+    #: Journal records per segment before atomic rotation.
+    journal_segment_records: int = 1024
+    #: fsync after every journal record (power-loss strictness; the
+    #: default flush-per-record already survives ``kill -9``).
+    journal_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.max_inflight is not None and self.max_inflight < 1:
@@ -110,6 +147,15 @@ class ServeConfig:
         if self.backoff_cycle_s < 0:
             raise ValueError(
                 f"backoff_cycle_s must be >= 0: {self.backoff_cycle_s}"
+            )
+        if self.result_store_max < 1:
+            raise ValueError(
+                f"result_store_max must be >= 1: {self.result_store_max}"
+            )
+        if self.journal_segment_records < 1:
+            raise ValueError(
+                "journal_segment_records must be >= 1: "
+                f"{self.journal_segment_records}"
             )
 
 
@@ -130,6 +176,10 @@ class ServiceStats:
     #: Worker-side StepCache sharing across batched units.
     sr_evals: int = 0
     sr_hits: int = 0
+    #: Durable layer: jobs replayed from the journal at restart, and
+    #: submissions answered from the cross-restart result store.
+    journal_replays: int = 0
+    store_hits: int = 0
     drained: bool = False
 
     def record_failure(self, code: str, n: int = 1) -> None:
@@ -150,6 +200,8 @@ class ServiceStats:
             "retries": self.retries,
             "sr_evals": self.sr_evals,
             "sr_hits": self.sr_hits,
+            "journal_replays": self.journal_replays,
+            "store_hits": self.store_hits,
             "drained": self.drained,
         }
 
@@ -199,6 +251,15 @@ class SimulationService:
         self._servers: list[asyncio.AbstractServer] = []
         self._drained_event: asyncio.Event | None = None
         self._t0 = 0.0
+        # Durable layer (None unless journal_dir is configured).
+        self.slo = SloTracker()
+        self.journal: JobJournal | None = None
+        self.store: ResultStore | None = None
+        self.recovery: JournalRecovery | None = None
+        #: fingerprint -> progress file of the executing MD unit.
+        self._progress_paths: dict[str, str] = {}
+        self._progress_dir: str | None = None
+        self._progress_tmp: str | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -213,8 +274,95 @@ class SimulationService:
         self._cond = asyncio.Condition()
         self._sem = asyncio.Semaphore(inflight)
         self._drained_event = asyncio.Event()
+        self._open_durable()
+        if self.recovery is not None:
+            self._replay_pending(self.recovery)
         self._scheduler_task = asyncio.create_task(self._scheduler_loop())
         return self
+
+    def _open_durable(self) -> None:
+        """Open (or create) the journal + result store and recover the
+        previous incarnation's state; set up the progress directory."""
+        if self.config.journal_dir is None:
+            # Progress streaming works without durability; publish into
+            # a service-owned tempdir removed at drain.
+            self._progress_tmp = tempfile.mkdtemp(prefix="repro-progress-")
+            self._progress_dir = self._progress_tmp
+            return
+        root = Path(self.config.journal_dir)
+        self.journal = JobJournal(
+            root / "journal",
+            segment_records=self.config.journal_segment_records,
+            fsync_each=self.config.journal_fsync,
+        )
+        self.store = ResultStore(
+            root / "results", max_entries=self.config.result_store_max
+        )
+        progress = root / "progress"
+        progress.mkdir(parents=True, exist_ok=True)
+        self._progress_dir = str(progress)
+        self.recovery = self.journal.recover()
+        # New job ids start above everything the journal has seen, so a
+        # client's pre-crash job id stays valid for ``wait``/``progress``.
+        self._job_ids = iter(range(self.recovery.max_jid + 1, 1 << 62))
+
+    def _replay_pending(self, recovery: JournalRecovery) -> None:
+        """Re-enqueue every accepted-but-unresolved journaled job.
+
+        Jobs are pure functions of their fingerprinted request, so
+        re-execution is bit-identical to the run the crash interrupted.
+        Replayed jobs keep their original ids, bypass admission capacity
+        (they were admitted once already), and answer from the result
+        store when an identical fingerprint completed before the crash.
+        """
+        loop = asyncio.get_running_loop()
+        for pending in recovery.pending:
+            try:
+                request = JobRequest.from_dict(pending.request)
+                request.validate()
+            except (InvalidRequestError, TypeError, KeyError) as exc:
+                # A journaled request that no longer parses cannot be
+                # completed; resolve it as failed instead of looping.
+                self.journal.failed(
+                    pending.jid,
+                    pending.fingerprint,
+                    REASON_INVALID,
+                    f"unreplayable journal record: {exc}",
+                )
+                continue
+            now = loop.time()
+            job = Job(
+                request=request,
+                job_id=pending.jid,
+                seq=self.queue.next_seq(),
+                future=loop.create_future(),
+                submitted_at=now,
+                journaled=True,
+                replayed=True,
+            )
+            self.stats.accepted += 1
+            self.stats.journal_replays += 1
+            self._jobs[job.job_id] = job
+            self.slo.observe_submitted(request.tenant)
+            if self.tracer.enabled:
+                self.tracer.instant(
+                    "journal_replay", CAT_DURABLE, SERVE_TRACK,
+                    job_id=job.job_id, tenant=request.tenant,
+                    fingerprint=request.fingerprint[:8],
+                )
+            record = (
+                self.store.get(request.fingerprint)
+                if self.store is not None
+                else None
+            )
+            if record is not None:
+                # The same work completed (under another job id) before
+                # the crash: answer from the store, bit-identically.
+                self.stats.store_hits += 1
+                self._finish(job, self._store_result(job, record))
+                self.stats.completed += 1
+                continue
+            self.queue.push(job)
 
     async def __aenter__(self) -> "SimulationService":
         return await self.start()
@@ -255,6 +403,16 @@ class SimulationService:
         self._servers.clear()
         close_shared_backend()
         self.backend = None
+        # Durable epilogue: every accepted job has resolved, so the
+        # journal can seal its open segment and the store fsync its
+        # directory — a restart after a clean drain replays nothing.
+        if self.journal is not None:
+            self.journal.close()
+        if self.store is not None:
+            self.store.sync()
+        if self._progress_tmp is not None:
+            shutil.rmtree(self._progress_tmp, ignore_errors=True)
+            self._progress_tmp = None
         self.stats.drained = True
         self._drained_event.set()
         return self.stats
@@ -272,6 +430,9 @@ class SimulationService:
         ``job.future`` for its :class:`JobResult`) or raises
         :class:`AdmissionRejected` with the structured reason."""
         loop = asyncio.get_running_loop()
+        hit = self._try_store_hit(request, loop)
+        if hit is not None:
+            return hit
         decision = self.queue.admit(request)
         if not decision.accepted:
             self.stats.rejected += 1
@@ -279,6 +440,7 @@ class SimulationService:
             self.stats.rejected_by_reason[code] = (
                 self.stats.rejected_by_reason.get(code, 0) + 1
             )
+            self.slo.observe_rejected(request.tenant, code)
             if self.tracer.enabled:
                 self.tracer.instant(
                     f"reject:{code}", CAT_SERVE, SERVE_TRACK,
@@ -300,6 +462,15 @@ class SimulationService:
         )
         self.stats.accepted += 1
         self._jobs[job.job_id] = job
+        self.slo.observe_submitted(request.tenant)
+        if self.journal is not None:
+            # Journal before acknowledging: once the caller holds the
+            # Job, a crash must not lose it.
+            self.journal.accepted(
+                job.job_id, request.fingerprint, request.tenant,
+                request.to_dict(),
+            )
+            job.journaled = True
         fp = request.fingerprint
         if self.config.dedup and fp in self._inflight:
             # Identical work is already executing: join it instead of
@@ -319,6 +490,58 @@ class SimulationService:
     async def submit_and_wait(self, request: JobRequest) -> JobResult:
         job = await self.submit(request)
         return await job.future
+
+    def _try_store_hit(self, request: JobRequest, loop) -> Job | None:
+        """Answer a submission from the durable result store, if it holds
+        this fingerprint (serve-level memoization above ``StepCache``).
+
+        Ordered after validity/drain checks but *before* capacity: a
+        duplicate of completed work never costs queue space and never
+        sees ``queue_full``.  Returns an already-resolved Job carrying
+        the structured ``duplicate_completed`` result code, or None.
+        """
+        if self.store is None or self.queue.draining:
+            return None
+        try:
+            request.validate()
+        except InvalidRequestError:
+            return None  # let queue.admit produce the structured reject
+        record = self.store.get(request.fingerprint)
+        if record is None:
+            return None
+        job = Job(
+            request=request,
+            job_id=next(self._job_ids),
+            seq=self.queue.next_seq(),
+            future=loop.create_future(),
+            submitted_at=loop.time(),
+        )
+        self.stats.accepted += 1
+        self.stats.store_hits += 1
+        self._jobs[job.job_id] = job
+        self.slo.observe_submitted(request.tenant)
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "store_hit", CAT_DURABLE, SERVE_TRACK,
+                job_id=job.job_id, tenant=request.tenant,
+                fingerprint=request.fingerprint[:8],
+            )
+        self._finish(job, self._store_result(job, record))
+        self.stats.completed += 1
+        return job
+
+    def _store_result(self, job: Job, record: dict) -> JobResult:
+        """A JobResult served from the durable store (not executed)."""
+        return JobResult(
+            job_id=job.job_id,
+            fingerprint=job.request.fingerprint,
+            kind=record.get("kind", job.request.kind),
+            ok=True,
+            payload=record["payload"],
+            executed=False,
+            attempts=0,
+            result_code=CODE_DUPLICATE_COMPLETED,
+        )
 
     # ------------------------------------------------------------------
     # scheduling
@@ -350,12 +573,42 @@ class SimulationService:
             self._batch_tasks.add(task)
             task.add_done_callback(self._batch_tasks.discard)
 
-    def _execute_blocking(self, units: tuple[JobRequest, ...]) -> BatchOutcome:
+    def _execute_blocking(
+        self,
+        units: tuple[JobRequest, ...],
+        progress_paths: dict[str, str] | None = None,
+    ) -> BatchOutcome:
         """One batch on one worker (or inline under the serial backend)."""
         backend = self.backend
         if backend is not None and getattr(backend, "parallel", False):
-            return backend.map(execute_batch, [units])[0]
-        return execute_batch(units)
+            # backend.map passes exactly one pickled argument per item,
+            # so units and progress paths ride together as a task tuple.
+            return backend.map(execute_batch_task, [(units, progress_paths)])[0]
+        return execute_batch(units, progress_paths=progress_paths)
+
+    def _progress_files(
+        self, units: tuple[JobRequest, ...]
+    ) -> dict[str, str]:
+        """Register a progress-publish file per MD unit in this batch."""
+        paths: dict[str, str] = {}
+        if self._progress_dir is None:
+            return paths
+        for unit in units:
+            if unit.kind == KIND_MD:
+                path = os.path.join(
+                    self._progress_dir, f"{unit.fingerprint}.progress"
+                )
+                paths[unit.fingerprint] = path
+                self._progress_paths[unit.fingerprint] = path
+        return paths
+
+    def _release_progress_files(self, paths: dict[str, str]) -> None:
+        for fp, path in paths.items():
+            self._progress_paths.pop(fp, None)
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
 
     def _fail_jobs(self, jobs: list[Job], error: JobError) -> None:
         loop = asyncio.get_running_loop()
@@ -378,6 +631,35 @@ class SimulationService:
     def _finish(self, job: Job, result: JobResult) -> None:
         self._results[job.job_id] = result
         self._jobs.pop(job.job_id, None)
+        if self.journal is not None and job.journaled:
+            if result.ok:
+                self.journal.completed(
+                    job.job_id, result.fingerprint, code=result.result_code
+                )
+            else:
+                self.journal.failed(
+                    job.job_id, result.fingerprint,
+                    result.error.code, result.error.message,
+                )
+        if (
+            self.store is not None
+            and result.ok
+            and result.executed
+            and result.payload is not None
+        ):
+            self.store.put(
+                result.fingerprint,
+                {"kind": result.kind, "payload": result.payload},
+            )
+        self.slo.observe_result(
+            job.request.tenant,
+            result.ok,
+            result.queue_seconds,
+            result.execute_seconds,
+            attempts=result.attempts,
+            replayed=job.replayed,
+            store_hit=result.result_code == CODE_DUPLICATE_COMPLETED,
+        )
         if job.future is not None and not job.future.done():
             job.future.set_result(result)
 
@@ -426,6 +708,7 @@ class SimulationService:
                 else None
             )
 
+            progress_paths = self._progress_files(units)
             outcome: BatchOutcome | None = None
             error: JobError | None = None
             attempts = 0
@@ -435,7 +718,9 @@ class SimulationService:
                 for job in batch.jobs:
                     job.attempts = attempts
                 try:
-                    call = asyncio.to_thread(self._execute_blocking, units)
+                    call = asyncio.to_thread(
+                        self._execute_blocking, units, progress_paths
+                    )
                     outcome = await (
                         asyncio.wait_for(call, timeout)
                         if timeout is not None
@@ -472,6 +757,7 @@ class SimulationService:
                     )
 
             done = loop.time()
+            self._release_progress_files(progress_paths)
             self.stats.executed_units += len(units) if outcome else 0
             if outcome is not None:
                 for key, val in outcome.cache_stats.items():
@@ -543,6 +829,11 @@ class SimulationService:
                 return
             try:
                 msg = json.loads(line)
+                if isinstance(msg, dict) and msg.get("op") == "progress":
+                    # The one streaming op: multiple JSON lines on a
+                    # single connection, terminated by the final result.
+                    await self._stream_progress(msg, writer)
+                    return
                 response = await self._dispatch_op(msg)
             except AdmissionRejected as exc:
                 response = {"ok": False, "error": exc.error.to_dict()}
@@ -563,18 +854,124 @@ class SimulationService:
             except (ConnectionError, OSError):
                 pass
 
+    async def _stream_progress(self, msg: dict, writer) -> None:
+        """Stream ``{"done": false, "progress": ...}`` lines for one job
+        until it resolves, then the final ``{"done": true, "result": ...}``
+        line.  Long MD jobs report partial step counts published by the
+        engine's step loop (`repro.durable.progress`)."""
+        try:
+            job_id = int(msg["job_id"])
+        except (KeyError, TypeError, ValueError):
+            writer.write(
+                json.dumps(
+                    {
+                        "ok": False,
+                        "error": {
+                            "code": "bad_request",
+                            "message": "progress op requires a job_id",
+                        },
+                    }
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            return
+        interval = max(float(msg.get("interval_s", 0.05)), 0.01)
+        try:
+            while True:
+                if job_id in self._results:
+                    result = self._results[job_id]
+                    writer.write(
+                        json.dumps(
+                            {"ok": True, "done": True,
+                             "result": result.to_dict()}
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    return
+                job = self._jobs.get(job_id)
+                if job is None:
+                    writer.write(
+                        json.dumps(
+                            {
+                                "ok": False,
+                                "error": {
+                                    "code": "unknown_job",
+                                    "message": f"no job with id {job_id}",
+                                },
+                            }
+                        ).encode()
+                        + b"\n"
+                    )
+                    await writer.drain()
+                    return
+                writer.write(
+                    json.dumps(
+                        {"ok": True, "done": False,
+                         "progress": self._progress_snapshot(job)}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                try:
+                    # Wake early when the job resolves (shield: the
+                    # timeout must not cancel the job's own future).
+                    await asyncio.wait_for(
+                        asyncio.shield(job.future), timeout=interval
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+        except (ConnectionError, OSError):
+            return  # client went away mid-stream
+
+    def _progress_snapshot(self, job: Job) -> dict:
+        snap = {
+            "job_id": job.job_id,
+            "kind": job.request.kind,
+            "state": "executing" if job.dispatched_at else "queued",
+            "attempts": job.attempts,
+        }
+        path = self._progress_paths.get(job.request.fingerprint)
+        if path is not None:
+            data = read_progress(path)
+            if data is not None:
+                snap["steps_done"] = data.get("steps_done")
+                snap["steps_total"] = data.get("steps_total")
+        return snap
+
     async def _dispatch_op(self, msg: dict) -> dict:
         op = msg.get("op")
         if op == "ping":
             return {"ok": True, "op": "ping"}
         if op == "stats":
             loop = asyncio.get_running_loop()
-            return {
+            response = {
                 "ok": True,
                 "stats": self.stats.as_dict(),
                 "queue_depth": len(self.queue),
                 "tenants": self.scheduler.as_dict(),
                 "tenant_queues": self.queue.tenant_queues(loop.time()),
+            }
+            if self.journal is not None:
+                response["durable"] = {
+                    "journal_replays": self.stats.journal_replays,
+                    "journal_records": self.journal.appended,
+                    "journal_corrupt_records": (
+                        self.recovery.corrupt_records
+                        if self.recovery is not None
+                        else 0
+                    ),
+                    "store": self.store.stats(),
+                }
+            return response
+        if op == "metrics":
+            loop = asyncio.get_running_loop()
+            return {
+                "ok": True,
+                "metrics": self.slo.as_dict(
+                    tenant_queues=self.queue.tenant_queues(loop.time())
+                ),
             }
         if op == "pause":
             await self.pause()

@@ -59,6 +59,9 @@ CAT_FAULT = "fault"
 CAT_CHECKPOINT = "checkpoint"
 CAT_SERVE = "serve"
 CAT_FLEET = "fleet"
+#: Durable-layer events on SERVE_TRACK: journal replays at restart,
+#: result-store hits, segment rotations (DESIGN.md §12).
+CAT_DURABLE = "durable"
 
 
 @dataclass

@@ -1,0 +1,176 @@
+"""Journal semantics: replayable pending sets, corruption-tolerant
+recovery, segment rotation, and compaction.
+
+The corruption tests stage the two real-world failure shapes by hand:
+the torn final append of a ``kill -9``'d writer (truncated JSON line)
+and a bit-flipped record inside an otherwise healthy segment (checksum
+mismatch).  Both must *end that segment's replay* — counted, never
+raised — while later segments keep replaying.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durable.journal import (
+    JobJournal,
+    JournalError,
+    SEGMENT_PREFIX,
+    SEGMENT_SUFFIX,
+)
+
+
+def segments(directory):
+    return sorted(
+        p
+        for p in directory.iterdir()
+        if p.name.startswith(SEGMENT_PREFIX)
+        and p.name.endswith(SEGMENT_SUFFIX)
+    )
+
+
+def accept(journal: JobJournal, jid: int, tenant: str = "default") -> None:
+    journal.accepted(jid, f"fp{jid}", tenant, {"n_particles": 300 + jid})
+
+
+class TestAppendRecover:
+    def test_unresolved_jobs_are_pending(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+            accept(j, 2)
+            accept(j, 3)
+            j.completed(2, "fp2")
+            j.failed(3, "fp3", "timeout", "too slow")
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [1]
+        assert recovery.pending[0].request == {"n_particles": 301}
+        assert recovery.pending[0].tenant == "default"
+        assert recovery.completed == 1
+        assert recovery.failed == 1
+        assert recovery.records == 5
+        assert recovery.corrupt_records == 0
+        assert recovery.max_jid == 3
+        assert recovery.replayable == 1
+
+    def test_clean_journal_recovers_empty(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+            j.completed(1, "fp1")
+        recovery = JobJournal(tmp_path).recover()
+        assert recovery.pending == []
+        # Compaction with an empty pending set leaves no segments.
+        assert segments(tmp_path) == []
+
+    def test_pending_order_is_jid_order(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            for jid in (5, 2, 9):
+                accept(j, jid)
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [2, 5, 9]
+        assert recovery.max_jid == 9
+
+    def test_duplicate_acceptance_is_idempotent(self, tmp_path):
+        # A crash mid-compaction can leave the same acceptance twice
+        # (old segment + rewritten segment); last record per jid wins.
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+            accept(j, 1)
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [1]
+
+
+class TestSegments:
+    def test_rotation_by_record_count(self, tmp_path):
+        with JobJournal(tmp_path, segment_records=2) as j:
+            for jid in range(1, 6):
+                accept(j, jid)
+        assert len(segments(tmp_path)) == 3
+
+    def test_recovery_spans_segments(self, tmp_path):
+        with JobJournal(tmp_path, segment_records=2) as j:
+            for jid in range(1, 6):
+                accept(j, jid)
+            j.completed(1, "fp1")
+            j.completed(4, "fp4")
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [2, 3, 5]
+
+    def test_compaction_rewrites_pending_into_one_segment(self, tmp_path):
+        with JobJournal(tmp_path, segment_records=2) as j:
+            for jid in range(1, 8):
+                accept(j, jid)
+            for jid in range(1, 6):
+                j.completed(jid, f"fp{jid}")
+        journal = JobJournal(tmp_path)
+        recovery = journal.recover()
+        assert [p.jid for p in recovery.pending] == [6, 7]
+        remaining = segments(tmp_path)
+        assert len(remaining) == 1
+        lines = remaining[0].read_bytes().splitlines()
+        assert len(lines) == 2
+        # The rewrite is not counted as journal traffic.
+        assert journal.appended == 0
+        # And the rewritten journal replays identically.
+        again = JobJournal(tmp_path).recover()
+        assert [p.jid for p in again.pending] == [6, 7]
+
+    def test_new_writer_never_reopens_old_segment(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+        first = segments(tmp_path)
+        with JobJournal(tmp_path) as j:
+            accept(j, 2)
+        assert len(segments(tmp_path)) == 2
+        assert first[0] in segments(tmp_path)
+
+    def test_invalid_segment_records_rejected(self, tmp_path):
+        with pytest.raises(JournalError):
+            JobJournal(tmp_path, segment_records=0)
+
+
+class TestCorruptionTolerance:
+    def test_truncated_last_record_is_dropped_not_raised(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+            accept(j, 2)
+        seg = segments(tmp_path)[0]
+        data = seg.read_bytes()
+        # Tear the final append mid-record, like a crashed writer.
+        seg.write_bytes(data[: len(data) - 20])
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [1]
+        assert recovery.corrupt_records == 1
+        assert recovery.corrupt_segments == 1
+
+    def test_bad_checksum_ends_that_segments_replay(self, tmp_path):
+        with JobJournal(tmp_path, segment_records=2) as j:
+            accept(j, 1)
+            accept(j, 2)  # segment 1: jids 1, 2
+            accept(j, 3)
+            accept(j, 4)  # segment 2: jids 3, 4
+        seg1, seg2 = segments(tmp_path)[:2]
+        lines = seg1.read_bytes().splitlines()
+        # Flip a content bit in the first record; its checksum no longer
+        # matches, so jid 1 AND jid 2 (rest of segment) are dropped...
+        record = json.loads(lines[0])
+        record["tenant"] = "tampered"
+        lines[0] = json.dumps(record, sort_keys=True).encode()
+        seg1.write_bytes(b"\n".join(lines) + b"\n")
+        recovery = JobJournal(tmp_path).recover()
+        # ...while segment 2 still replays.
+        assert [p.jid for p in recovery.pending] == [3, 4]
+        assert recovery.corrupt_records == 2
+        assert recovery.corrupt_segments == 1
+
+    def test_garbage_file_among_segments(self, tmp_path):
+        with JobJournal(tmp_path) as j:
+            accept(j, 1)
+        garbage = tmp_path / f"{SEGMENT_PREFIX}999999{SEGMENT_SUFFIX}"
+        garbage.write_bytes(b"\x00\x01not json at all\n")
+        recovery = JobJournal(tmp_path).recover()
+        assert [p.jid for p in recovery.pending] == [1]
+        assert recovery.corrupt_segments == 1
+        # max_jid ignores garbage; new ids continue from real records.
+        assert recovery.max_jid == 1

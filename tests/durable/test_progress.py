@@ -1,0 +1,77 @@
+"""Progress publication: rate limiting, atomic snapshots, and the
+engine-side hookup that feeds the ``progress`` wire op."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable.progress import (
+    ProgressWriter,
+    progress_interval,
+    read_progress,
+)
+
+
+class TestWriter:
+    def test_publishes_at_interval_and_final(self, tmp_path):
+        path = tmp_path / "p.json"
+        writer = ProgressWriter(path, interval=4)
+        writer.update(1, 10)
+        assert read_progress(path) is None  # rate-limited away
+        writer.update(4, 10)
+        assert read_progress(path) == {"steps_done": 4, "steps_total": 10}
+        writer.update(10, 10)  # final step always publishes
+        assert read_progress(path) == {"steps_done": 10, "steps_total": 10}
+
+    def test_monotone(self, tmp_path):
+        path = tmp_path / "p.json"
+        writer = ProgressWriter(path, interval=1)
+        writer.update(5, 10)
+        writer.update(5, 10)  # re-publish of the same step is a no-op
+        assert read_progress(path) == {"steps_done": 5, "steps_total": 10}
+
+    def test_interval_must_be_positive(self, tmp_path):
+        with pytest.raises(ValueError):
+            ProgressWriter(tmp_path / "p.json", interval=0)
+
+
+class TestReader:
+    def test_missing_file_is_none(self, tmp_path):
+        assert read_progress(tmp_path / "absent.json") is None
+
+    def test_garbage_is_none(self, tmp_path):
+        path = tmp_path / "p.json"
+        path.write_text("{not json")
+        assert read_progress(path) is None
+        path.write_text('"a string"')
+        assert read_progress(path) is None
+
+
+class TestInterval:
+    def test_roughly_n_publishes(self):
+        assert progress_interval(100, publishes=20) == 5
+        assert progress_interval(2000, publishes=20) == 100
+
+    def test_short_runs_publish_every_step(self):
+        assert progress_interval(3, publishes=20) == 1
+        assert progress_interval(0, publishes=20) == 1
+
+
+class TestEngineHookup:
+    def test_engine_step_loop_publishes(self, tmp_path):
+        from repro.core.engine import EngineConfig, SWGromacsEngine
+        from repro.md.nonbonded import NonbondedParams
+        from repro.md.water import build_water_system
+
+        path = tmp_path / "run.progress"
+        system = build_water_system(300)
+        engine = SWGromacsEngine(
+            system,
+            EngineConfig(
+                nonbonded=NonbondedParams(
+                    r_cut=0.45, r_list=0.55, coulomb_mode="rf"
+                )
+            ),
+        )
+        engine.run(3, progress=ProgressWriter(path, interval=1))
+        assert read_progress(path) == {"steps_done": 3, "steps_total": 3}

@@ -1,0 +1,121 @@
+"""Result-store semantics: atomic persistence, LRU bounds, integrity.
+
+The store's contract is "a damaged cache can cost a re-execution,
+never a wrong answer" — so every corruption shape (bad magic, flipped
+body bit, truncated file) must read as a miss and quarantine the entry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable.results import ResultStore, ResultStoreError
+
+
+def put(store: ResultStore, fp: str, value: int = 0) -> None:
+    store.put(fp, {"kind": "kernel", "payload": {"energy": value}})
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "abc", 42)
+        record = store.get("abc")
+        assert record == {"kind": "kernel", "payload": {"energy": 42}}
+        assert store.hits == 1 and store.misses == 0
+
+    def test_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("nope") is None
+        assert store.misses == 1
+
+    def test_overwrite_same_fingerprint(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "abc", 1)
+        put(store, "abc", 2)
+        assert len(store) == 1
+        assert store.get("abc")["payload"]["energy"] == 2
+
+    def test_survives_restart(self, tmp_path):
+        put(ResultStore(tmp_path), "abc", 7)
+        fresh = ResultStore(tmp_path)
+        assert "abc" in fresh
+        assert fresh.get("abc")["payload"]["energy"] == 7
+
+
+class TestLruBound:
+    def test_eviction_past_bound(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        put(store, "a")
+        put(store, "b")
+        put(store, "c")
+        assert len(store) == 2
+        assert store.evictions == 1
+        assert "a" not in store and "b" in store and "c" in store
+
+    def test_get_refreshes_lru_order(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=2)
+        put(store, "a")
+        put(store, "b")
+        store.get("a")  # a is now most recently used
+        put(store, "c")  # evicts b, not a
+        assert "a" in store and "b" not in store
+
+    def test_restart_enforces_bound(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=8)
+        for i in range(5):
+            put(store, f"fp{i}")
+        fresh = ResultStore(tmp_path, max_entries=2)
+        assert len(fresh) == 2
+        assert fresh.evictions == 3
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(ResultStoreError):
+            ResultStore(tmp_path, max_entries=0)
+
+
+class TestIntegrity:
+    def test_flipped_body_bit_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "abc", 42)
+        path = tmp_path / "abc.res"
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x40
+        path.write_bytes(bytes(data))
+        fresh = ResultStore(tmp_path)
+        assert fresh.get("abc") is None
+        assert fresh.corrupt_dropped == 1
+        assert not path.exists()  # quarantined by deletion
+
+    def test_bad_magic_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "abc")
+        path = tmp_path / "abc.res"
+        path.write_bytes(b"NOTMAGIC\n0\n{}")
+        assert ResultStore(tmp_path).get("abc") is None
+
+    def test_truncated_file_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "abc")
+        path = tmp_path / "abc.res"
+        path.write_bytes(path.read_bytes()[:12])
+        assert ResultStore(tmp_path).get("abc") is None
+
+    def test_stats_shape(self, tmp_path):
+        store = ResultStore(tmp_path, max_entries=4)
+        put(store, "a")
+        store.get("a")
+        store.get("zzz")
+        assert store.stats() == {
+            "entries": 1,
+            "max_entries": 4,
+            "hits": 1,
+            "misses": 1,
+            "evictions": 0,
+            "corrupt_dropped": 0,
+        }
+
+    def test_sync_is_callable(self, tmp_path):
+        store = ResultStore(tmp_path)
+        put(store, "a")
+        store.sync()  # drain-path barrier must not raise

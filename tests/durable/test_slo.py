@@ -1,0 +1,147 @@
+"""SLO metric semantics: deterministic percentiles, rate accounting,
+and the live-hooks == trace-replay equivalence.
+
+The trace test is the load-bearing one: the same numbers must come out
+of the live ``observe_*`` path and an offline rebuild from recorded
+CAT_SERVE spans, because DESIGN.md §12 sells them as two feeding paths
+of one metric definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durable.slo import SloTracker, nearest_rank
+from repro.trace.events import CAT_SERVE, SERVE_TRACK, Tracer
+
+
+class TestNearestRank:
+    def test_empty_is_zero(self):
+        assert nearest_rank([], 0.99) == 0.0
+
+    def test_single_sample(self):
+        assert nearest_rank([3.5], 0.50) == 3.5
+        assert nearest_rank([3.5], 0.99) == 3.5
+
+    def test_median_of_odd_set(self):
+        assert nearest_rank([5.0, 1.0, 3.0], 0.50) == 3.0
+
+    def test_p99_is_max_on_small_sets(self):
+        samples = list(range(10))
+        assert nearest_rank([float(s) for s in samples], 0.99) == 9.0
+
+    def test_deterministic_under_permutation(self):
+        a = [4.0, 2.0, 9.0, 1.0]
+        b = [9.0, 1.0, 4.0, 2.0]
+        assert nearest_rank(a, 0.5) == nearest_rank(b, 0.5)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], 1.5)
+
+
+class TestLiveHooks:
+    def test_rates(self):
+        slo = SloTracker()
+        for _ in range(3):
+            slo.observe_submitted("a")
+        slo.observe_rejected("a", "queue_full")
+        slo.observe_result("a", ok=True, queue_seconds=0.1,
+                           execute_seconds=0.4)
+        slo.observe_result("a", ok=True, queue_seconds=0.2,
+                           execute_seconds=0.3, attempts=3)
+        slo.observe_result("a", ok=False, queue_seconds=0.0,
+                           execute_seconds=0.0)
+        row = slo.as_dict()["a"]
+        assert row["submitted"] == 3
+        assert row["completed"] == 2
+        assert row["failed"] == 1
+        assert row["rejected"] == 1
+        assert row["rejected_by_reason"] == {"queue_full": 1}
+        assert row["retried"] == 1
+        assert row["rejection_rate"] == pytest.approx(0.25)  # 1 / (3+1)
+        assert row["retry_rate"] == pytest.approx(1 / 3)
+        assert row["p50_latency_s"] == pytest.approx(0.5)
+        assert row["samples"] == 3
+
+    def test_durability_counters(self):
+        slo = SloTracker()
+        slo.observe_submitted("a")
+        slo.observe_result("a", ok=True, queue_seconds=0.0,
+                           execute_seconds=0.0, replayed=True)
+        slo.observe_submitted("a")
+        slo.observe_result("a", ok=True, queue_seconds=0.0,
+                           execute_seconds=0.0, store_hit=True)
+        row = slo.as_dict()["a"]
+        assert row["journal_replays"] == 1
+        assert row["store_hits"] == 1
+
+    def test_window_bound(self):
+        slo = SloTracker(window=4)
+        for i in range(10):
+            slo.observe_submitted("a")
+            slo.observe_result("a", ok=True, queue_seconds=0.0,
+                               execute_seconds=float(i))
+        row = slo.as_dict()["a"]
+        assert row["samples"] == 4
+        # Only the most recent 4 samples (6..9) remain.
+        assert row["p50_latency_s"] == pytest.approx(7.0)
+
+    def test_tenants_isolated_and_sorted(self):
+        slo = SloTracker()
+        slo.observe_submitted("zeta")
+        slo.observe_submitted("alpha")
+        out = slo.as_dict()
+        assert list(out) == ["alpha", "zeta"]
+        assert out["alpha"]["submitted"] == 1
+
+    def test_queue_snapshot_merge(self):
+        slo = SloTracker()
+        slo.observe_submitted("a")
+        out = slo.as_dict(
+            tenant_queues={"a": {"depth": 3, "oldest_age_seconds": 1.5},
+                           "idle": {"depth": 1, "oldest_age_seconds": 0.2}}
+        )
+        assert out["a"]["queue_depth"] == 3
+        assert out["a"]["oldest_age_seconds"] == 1.5
+        # A tenant known only to the live queue still gets a row.
+        assert out["idle"]["queue_depth"] == 1
+        assert out["idle"]["submitted"] == 0
+
+
+class TestFromTrace:
+    def test_trace_replay_matches_live_hooks(self):
+        tracer = Tracer()
+        hz = tracer.params.clock_hz
+        live = SloTracker()
+        jobs = [("a", 0.10, 0.40), ("a", 0.20, 0.30), ("b", 0.05, 0.15)]
+        for i, (tenant, queue_s, exec_s) in enumerate(jobs, start=1):
+            live.observe_submitted(tenant)
+            live.observe_result(tenant, ok=True, queue_seconds=queue_s,
+                                execute_seconds=exec_s)
+            tracer.span(f"queue:{i}", CAT_SERVE, SERVE_TRACK,
+                        0.0, queue_s * hz, tenant=tenant)
+            tracer.span(f"exec:{i}", CAT_SERVE, SERVE_TRACK,
+                        queue_s * hz, exec_s * hz)
+        tracer.instant("reject:queue_full", CAT_SERVE, SERVE_TRACK,
+                       tenant="a")
+        live.observe_rejected("a", "queue_full")
+
+        replayed = SloTracker.from_trace(tracer)
+        live_out, replay_out = live.as_dict(), replayed.as_dict()
+        assert set(live_out) == set(replay_out)
+        for tenant in live_out:
+            for key in ("submitted", "completed", "rejected",
+                        "rejected_by_reason", "samples"):
+                assert live_out[tenant][key] == replay_out[tenant][key]
+            assert replay_out[tenant]["p50_latency_s"] == pytest.approx(
+                live_out[tenant]["p50_latency_s"]
+            )
+            assert replay_out[tenant]["p99_queue_s"] == pytest.approx(
+                live_out[tenant]["p99_queue_s"]
+            )
+
+    def test_non_serve_events_ignored(self):
+        tracer = Tracer()
+        tracer.emit("force_kernel", "compute", 0, 1000.0)
+        assert SloTracker.from_trace(tracer).as_dict() == {}

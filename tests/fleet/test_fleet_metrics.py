@@ -1,0 +1,123 @@
+"""Fleet-level SLO metrics: the router's ``metrics`` op and the
+per-tenant merge across workers (counts sum, percentiles take the
+worst worker, rates recompute)."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.fleet.router import FleetRouter, RouterConfig, _merge_metrics
+from repro.fleet.wire import Address, send_request
+from repro.fleet.worker import FleetWorker, WorkerConfig
+from repro.serve.jobs import JobRequest
+from repro.serve.service import ServeConfig
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def row(**kw) -> dict:
+    base = {
+        "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
+        "rejected_by_reason": {}, "retried": 0, "journal_replays": 0,
+        "store_hits": 0, "samples": 0, "queue_depth": 0,
+        "p50_latency_s": 0.0, "p99_latency_s": 0.0,
+        "p50_queue_s": 0.0, "p99_queue_s": 0.0,
+        "oldest_age_seconds": 0.0,
+    }
+    base.update(kw)
+    return base
+
+
+class TestMergeMetrics:
+    def test_counts_sum_percentiles_take_worst(self):
+        merged = _merge_metrics(
+            {
+                "w0": {"a": row(submitted=3, completed=2,
+                                p99_latency_s=0.5)},
+                "w1": {"a": row(submitted=1, completed=1,
+                                p99_latency_s=1.5)},
+            }
+        )
+        assert merged["a"]["submitted"] == 4
+        assert merged["a"]["completed"] == 3
+        assert merged["a"]["p99_latency_s"] == 1.5
+
+    def test_rates_recomputed_from_merged_counts(self):
+        merged = _merge_metrics(
+            {
+                "w0": {"a": row(submitted=3,
+                                rejected=1,
+                                rejected_by_reason={"queue_full": 1})},
+                "w1": {"a": row(submitted=4, retried=2)},
+            }
+        )
+        assert merged["a"]["rejection_rate"] == pytest.approx(1 / 8)
+        assert merged["a"]["retry_rate"] == pytest.approx(2 / 7)
+        assert merged["a"]["rejected_by_reason"] == {"queue_full": 1}
+
+    def test_dead_worker_rows_skipped(self):
+        merged = _merge_metrics({"w0": {"a": row(submitted=1)}, "w1": None})
+        assert merged["a"]["submitted"] == 1
+
+    def test_disjoint_tenants_union(self):
+        merged = _merge_metrics(
+            {"w0": {"a": row(submitted=1)}, "w1": {"b": row(submitted=2)}}
+        )
+        assert set(merged) == {"a", "b"}
+
+
+class TestWireMetricsOp:
+    def test_router_metrics_aggregates_workers(self, tmp_path):
+        async def main():
+            router_socket = str(tmp_path / "router.sock")
+            router = FleetRouter(RouterConfig(route_wait_s=15.0))
+            await router.start()
+            await router.serve_unix(router_socket)
+            workers = []
+            for i in range(2):
+                worker = FleetWorker(
+                    WorkerConfig(
+                        name=f"w{i}",
+                        router=Address(socket_path=router_socket),
+                        address=Address(
+                            socket_path=str(tmp_path / f"w{i}.sock")
+                        ),
+                        serve=ServeConfig(max_depth=16),
+                        heartbeat_interval_s=0.2,
+                    )
+                )
+                await worker.start()
+                workers.append(worker)
+            address = Address(socket_path=router_socket)
+            for seed in range(4):
+                response = await send_request(
+                    address,
+                    {
+                        "op": "submit",
+                        "job": JobRequest(**FAST, seed=seed,
+                                          tenant="team").to_dict(),
+                        "wait": True,
+                    },
+                )
+                assert response["ok"]
+            response = await send_request(address, {"op": "metrics"})
+            await router.drain()
+            for worker in workers:
+                await worker.drain()
+            return response
+
+        response = asyncio.run(main())
+        assert response["ok"]
+        merged = response["metrics"]["team"]
+        assert merged["submitted"] == 4
+        assert merged["completed"] == 4
+        # Per-worker breakdown rides alongside the merge.
+        assert set(response["workers"]) == {"w0", "w1"}
+        per_worker = sum(
+            m["team"]["submitted"]
+            for m in response["workers"].values()
+            if m and "team" in m
+        )
+        assert per_worker == 4

@@ -1,0 +1,369 @@
+"""Durable-service semantics: crash replay, store hits, drain sealing,
+and the metrics/progress wire ops (DESIGN.md §12).
+
+The crash tests don't kill a process (CI does that in durable-smoke);
+they stage the on-disk state a ``kill -9`` leaves behind — acceptance
+records with no terminal record — by writing the journal directly,
+then verify a fresh service replays it bit-identically.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.durable.journal import JobJournal
+from repro.serve.client import ServeClient
+from repro.serve.jobs import JobRequest, execute_request
+from repro.serve.service import ServeConfig, SimulationService
+
+FAST = dict(n_particles=300, r_cut=0.45)
+
+
+def req(**kw) -> JobRequest:
+    merged = {**FAST, **kw}
+    return JobRequest(**merged)
+
+
+def durable_config(tmp_path, **kw) -> ServeConfig:
+    return ServeConfig(max_depth=16, journal_dir=str(tmp_path / "dur"), **kw)
+
+
+class TestCrashReplay:
+    def test_abandoned_jobs_replay_bit_identically(self, tmp_path):
+        """Acceptance records without terminal records — the kill -9
+        residue — must re-execute on restart and match direct runs."""
+        requests = [req(spec="MARK"), req(spec="CACHE", seed=7)]
+        journal = JobJournal(tmp_path / "dur" / "journal")
+        for jid, r in enumerate(requests, start=10):
+            journal.accepted(jid, r.fingerprint, r.tenant, r.to_dict())
+        journal.close()
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                assert svc.stats.journal_replays == len(requests)
+                # Replayed jobs keep their pre-crash ids.
+                results = {}
+                for jid in (10, 11):
+                    response = await svc._dispatch_op(
+                        {"op": "wait", "job_id": jid}
+                    )
+                    assert response["ok"]
+                    results[jid] = response["result"]
+                return results
+
+        results = asyncio.run(main())
+        for jid, r in zip((10, 11), requests):
+            assert results[jid]["ok"]
+            assert results[jid]["payload"] == execute_request(r)
+
+    def test_replay_resolves_journal(self, tmp_path):
+        r = req()
+        journal = JobJournal(tmp_path / "dur" / "journal")
+        journal.accepted(5, r.fingerprint, r.tenant, r.to_dict())
+        journal.close()
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                while 5 not in svc._results:
+                    await asyncio.sleep(0.01)
+
+        asyncio.run(main())
+        # After drain, a fresh recovery finds nothing to replay.
+        recovery = JobJournal(tmp_path / "dur" / "journal").recover()
+        assert recovery.pending == []
+        assert recovery.completed >= 1
+
+    def test_new_job_ids_allocate_above_journal(self, tmp_path):
+        r = req()
+        journal = JobJournal(tmp_path / "dur" / "journal")
+        journal.accepted(40, r.fingerprint, r.tenant, r.to_dict())
+        journal.completed(40, r.fingerprint)
+        journal.close()
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                job = await svc.submit(req(seed=99))
+                assert job.job_id > 40
+                await job.future
+
+        asyncio.run(main())
+
+    def test_unreplayable_record_fails_structurally(self, tmp_path):
+        journal = JobJournal(tmp_path / "dur" / "journal")
+        journal.accepted(3, "fp3", "default", {"kind": "nope", "bogus": 1})
+        journal.close()
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                # The bad record neither crashes startup nor lingers.
+                assert svc.stats.journal_replays == 0
+                assert 3 not in svc._jobs
+
+        asyncio.run(main())
+        recovery = JobJournal(tmp_path / "dur" / "journal").recover()
+        assert recovery.pending == []
+        assert recovery.failed == 1
+
+
+class TestResultStoreHits:
+    def test_duplicate_across_restart_answers_from_store(self, tmp_path):
+        request = req(kind="md", steps=3)
+
+        async def run_once():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                return await svc.submit_and_wait(request)
+
+        first = asyncio.run(run_once())
+        assert first.ok and first.executed and first.result_code is None
+        second = asyncio.run(run_once())
+        assert second.ok and not second.executed
+        assert second.result_code == "duplicate_completed"
+        assert second.payload == first.payload  # bit-identical from disk
+
+    def test_client_sees_duplicate_completed(self, tmp_path):
+        """Satellite (b): the structured code crosses the wire."""
+        request = req(spec="VEC")
+        sock = str(tmp_path / "serve.sock")
+
+        async def serve_once():
+            svc = SimulationService(durable_config(tmp_path))
+            await svc.start()
+            await svc.serve_unix(sock)
+            done = asyncio.Event()
+
+            def call():
+                client = ServeClient(socket_path=sock, connect_retries=40)
+                result = client.submit(request)
+                client.drain()
+                return result
+
+            result = await asyncio.to_thread(call)
+            await svc.run_until_drained()
+            return result
+
+        first = asyncio.run(serve_once())
+        assert first.result_code is None
+        second = asyncio.run(serve_once())
+        assert second.result_code == "duplicate_completed"
+        assert not second.executed
+        assert second.payload == first.payload
+
+    def test_store_hit_skips_queue_capacity(self, tmp_path):
+        request = req(spec="PKG")
+
+        async def main():
+            config = durable_config(tmp_path)
+            async with SimulationService(config) as svc:
+                await svc.submit_and_wait(request)
+            # A 1-deep queue that is kept full: the duplicate must still
+            # answer (capacity checks never see a store hit).
+            config2 = ServeConfig(
+                max_depth=1, journal_dir=str(tmp_path / "dur")
+            )
+            async with SimulationService(config2) as svc:
+                await svc.pause()
+                blocker = await svc.submit(req(seed=1234))
+                result = await svc.submit_and_wait(request)
+                assert result.result_code == "duplicate_completed"
+                await svc.resume()
+                await blocker.future
+
+        asyncio.run(main())
+
+
+class TestDrainSealsDurableState:
+    def test_drain_flushes_journal_and_store(self, tmp_path):
+        """Satellite (a): a clean drain leaves zero pending records and
+        a synced store."""
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                await svc.submit_and_wait(req())
+                stats = await svc._dispatch_op({"op": "stats"})
+                assert stats["stats"]["journal_replays"] == 0
+                assert stats["durable"]["store"]["entries"] == 1
+                assert stats["durable"]["journal_records"] == 2
+
+        asyncio.run(main())
+        recovery = JobJournal(tmp_path / "dur" / "journal").recover()
+        assert recovery.pending == []
+
+    def test_stats_surface_replay_count(self, tmp_path):
+        r = req(seed=31)
+        journal = JobJournal(tmp_path / "dur" / "journal")
+        journal.accepted(2, r.fingerprint, r.tenant, r.to_dict())
+        journal.close()
+
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                while 2 not in svc._results:
+                    await asyncio.sleep(0.01)
+                stats = await svc._dispatch_op({"op": "stats"})
+                assert stats["stats"]["journal_replays"] == 1
+                assert stats["durable"]["journal_replays"] == 1
+
+        asyncio.run(main())
+
+    def test_non_durable_stats_still_carry_counters(self, tmp_path):
+        async def main():
+            async with SimulationService(ServeConfig(max_depth=4)) as svc:
+                await svc.submit_and_wait(req())
+                stats = await svc._dispatch_op({"op": "stats"})
+                assert stats["stats"]["journal_replays"] == 0
+                assert stats["stats"]["store_hits"] == 0
+                assert "durable" not in stats
+
+        asyncio.run(main())
+
+
+class TestMetricsOp:
+    def test_metrics_rows_per_tenant(self, tmp_path):
+        async def main():
+            async with SimulationService(durable_config(tmp_path)) as svc:
+                await svc.submit_and_wait(req(tenant="alice"))
+                await svc.submit_and_wait(req(tenant="bob", seed=5))
+                response = await svc._dispatch_op({"op": "metrics"})
+                return response["metrics"]
+
+        metrics = asyncio.run(main())
+        assert set(metrics) == {"alice", "bob"}
+        for row in metrics.values():
+            assert row["submitted"] == 1
+            assert row["completed"] == 1
+            assert row["samples"] == 1
+            assert row["p99_latency_s"] >= row["p50_queue_s"] >= 0.0
+            assert row["queue_depth"] == 0
+
+    def test_metrics_count_rejections(self, tmp_path):
+        async def main():
+            config = ServeConfig(max_depth=1)
+            async with SimulationService(config) as svc:
+                await svc.pause()
+                blocker = await svc.submit(req(seed=1))
+                from repro.serve.service import AdmissionRejected
+
+                with pytest.raises(AdmissionRejected):
+                    await svc.submit(req(seed=2))
+                response = await svc._dispatch_op({"op": "metrics"})
+                await svc.resume()
+                await blocker.future
+                return response["metrics"]
+
+        metrics = asyncio.run(main())
+        row = metrics["default"]
+        assert row["rejected"] == 1
+        assert row["rejected_by_reason"] == {"queue_full": 1}
+        assert 0.0 < row["rejection_rate"] < 1.0
+
+    def test_client_metrics_roundtrip(self, tmp_path):
+        sock = str(tmp_path / "serve.sock")
+
+        async def main():
+            svc = SimulationService(ServeConfig(max_depth=4))
+            await svc.start()
+            await svc.serve_unix(sock)
+
+            def call():
+                client = ServeClient(socket_path=sock, connect_retries=40)
+                client.submit(req())
+                metrics = client.metrics()
+                client.drain()
+                return metrics
+
+            metrics = await asyncio.to_thread(call)
+            await svc.run_until_drained()
+            return metrics
+
+        metrics = asyncio.run(main())
+        assert metrics["default"]["completed"] == 1
+
+
+class TestProgressOp:
+    def test_stream_ends_with_result(self, tmp_path):
+        sock = str(tmp_path / "serve.sock")
+        request = req(kind="md", steps=6)
+
+        async def main():
+            svc = SimulationService(ServeConfig(max_depth=4))
+            await svc.start()
+            await svc.serve_unix(sock)
+
+            def call():
+                client = ServeClient(socket_path=sock, connect_retries=40)
+                job_id = client.submit(request, wait=False)
+                updates = list(client.progress(job_id, interval_s=0.02))
+                client.drain()
+                return updates
+
+            updates = await asyncio.to_thread(call)
+            await svc.run_until_drained()
+            return updates
+
+        updates = asyncio.run(main())
+        assert updates, "stream yielded nothing"
+        *partial, final = updates
+        assert final["done"] and final["result"].ok
+        assert final["result"].kind == "md"
+        for update in partial:
+            assert not update["done"]
+            assert update["progress"]["state"] in ("queued", "executing")
+
+    def test_md_progress_reports_step_counts(self, tmp_path):
+        """The engine's step loop publishes through the progress file;
+        at least one streamed snapshot must carry partial step counts
+        when the stream outlives the first publish."""
+        sock = str(tmp_path / "serve.sock")
+        request = req(kind="md", steps=40, n_particles=600)
+
+        async def main():
+            svc = SimulationService(ServeConfig(max_depth=4))
+            await svc.start()
+            await svc.serve_unix(sock)
+
+            def call():
+                client = ServeClient(socket_path=sock, connect_retries=40)
+                job_id = client.submit(request, wait=False)
+                steps_seen = [
+                    u["progress"].get("steps_done")
+                    for u in client.progress(job_id, interval_s=0.01)
+                    if not u["done"]
+                ]
+                client.drain()
+                return steps_seen
+
+            steps_seen = await asyncio.to_thread(call)
+            await svc.run_until_drained()
+            return steps_seen
+
+        steps_seen = asyncio.run(main())
+        published = [s for s in steps_seen if s is not None]
+        assert published, f"no step counts in {len(steps_seen)} snapshots"
+        assert published == sorted(published)  # monotone
+        assert all(1 <= s <= 40 for s in published)
+
+    def test_unknown_job_is_structured(self, tmp_path):
+        sock = str(tmp_path / "serve.sock")
+
+        async def main():
+            svc = SimulationService(ServeConfig(max_depth=4))
+            await svc.start()
+            await svc.serve_unix(sock)
+
+            def call():
+                from repro.serve.client import ServeRequestError
+
+                client = ServeClient(socket_path=sock, connect_retries=40)
+                try:
+                    with pytest.raises(ServeRequestError) as err:
+                        list(client.progress(424242))
+                    return err.value.code
+                finally:
+                    client.drain()
+
+            code = await asyncio.to_thread(call)
+            await svc.run_until_drained()
+            return code
+
+        assert asyncio.run(main()) == "unknown_job"

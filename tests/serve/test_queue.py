@@ -135,3 +135,42 @@ class TestOrdering:
             REASON_QUEUE_FULL: 1,
             REASON_INVALID: 1,
         }
+
+
+class TestTenantQueues:
+    """The per-tenant backlog snapshot feeding the stats/metrics ops."""
+
+    def test_empty_queue_is_empty_dict(self):
+        q = JobQueue(max_depth=8)
+        assert q.tenant_queues(now=100.0) == {}
+
+    def test_depth_and_oldest_age_per_tenant(self):
+        q = JobQueue(max_depth=8)
+        a1 = make_job(q, tenant="a", seed=1)
+        a1.submitted_at = 10.0
+        a2 = make_job(q, tenant="a", seed=2)
+        a2.submitted_at = 14.0
+        b1 = make_job(q, tenant="b", seed=3)
+        b1.submitted_at = 12.0
+        for job in (a1, a2, b1):
+            q.push(job)
+        snap = q.tenant_queues(now=20.0)
+        assert snap == {
+            "a": {"depth": 2, "oldest_age_seconds": 10.0},
+            "b": {"depth": 1, "oldest_age_seconds": 8.0},
+        }
+
+    def test_age_clamped_non_negative(self):
+        q = JobQueue(max_depth=8)
+        job = make_job(q)
+        job.submitted_at = 50.0
+        q.push(job)
+        snap = q.tenant_queues(now=49.0)  # clock skew must not go negative
+        assert snap["default"]["oldest_age_seconds"] == 0.0
+
+    def test_popped_tenant_leaves_snapshot(self):
+        q = JobQueue(max_depth=8)
+        q.push(make_job(q, tenant="a"))
+        q.push(make_job(q, tenant="b", seed=2))
+        q.pop("a")
+        assert set(q.tenant_queues(now=1.0)) == {"b"}

@@ -121,10 +121,10 @@ class TestBitIdentity:
             release = threading.Event()
             orig = svc._execute_blocking
 
-            def gated(units):
+            def gated(units, progress_paths=None):
                 started.set()
                 release.wait(10)
-                return orig(units)
+                return orig(units, progress_paths)
 
             svc._execute_blocking = gated
             first = await svc.submit(request)
@@ -342,11 +342,11 @@ class TestFailures:
             orig = svc._execute_blocking
             calls = {"n": 0}
 
-            def flaky(units):
+            def flaky(units, progress_paths=None):
                 calls["n"] += 1
                 if calls["n"] < 3:
                     raise WorkerCrashError("worker process died")
-                return orig(units)
+                return orig(units, progress_paths)
 
             svc._execute_blocking = flaky
             result = await svc.submit_and_wait(request)
@@ -369,7 +369,7 @@ class TestFailures:
             svc = SimulationService(config)
             await svc.start()
 
-            def always_crash(units):
+            def always_crash(units, progress_paths=None):
                 raise WorkerCrashError("worker process died")
 
             svc._execute_blocking = always_crash
@@ -390,7 +390,7 @@ class TestFailures:
             svc = SimulationService(ServeConfig(max_depth=4))
             await svc.start()
 
-            def boom(units):
+            def boom(units, progress_paths=None):
                 raise ValueError("bad physics")
 
             svc._execute_blocking = boom
@@ -428,7 +428,7 @@ class TestFailures:
             svc = SimulationService(ServeConfig(max_depth=4))
             await svc.start()
 
-            def slow(units):
+            def slow(units, progress_paths=None):
                 time.sleep(0.4)
                 return BatchOutcome(payloads=[{"x": 1}])
 
