@@ -38,6 +38,27 @@ SWEEP_SPECS = list(ALL_SPECS)
 MIN_SWEEP_SPEEDUP = 1.5
 REGRESSION_TOLERANCE = 0.20
 N_MD_STEPS = 10
+#: Steady-state window: steps [2, 10) contain no nstlist rebuild
+#: (nstlist=10, rebuild fires at step 0) and exclude the cold pair-list
+#: and panel builds of steps 0-1.
+STEADY_WINDOW = (2, N_MD_STEPS)
+#: Repeats per engine measurement; the best run is reported (wall-clock
+#: minima are the standard noise-robust estimator for hot-loop timing).
+ENGINE_REPS = 3
+#: Live CI floor for the vectorized kernel over scalar, steady-state
+#: (ISSUE 8).  Deliberately below the ~4-5x typically measured so an
+#: oversubscribed CI host doesn't flake the gate.
+MIN_VECTORIZED_SPEEDUP = 3.0
+#: Engine steps/sec of the last scalar-only committed baseline (the
+#: whole-run rate recorded before the vectorized per-step path landed).
+#: Kept so regenerated snapshots still document the ISSUE 8 acceptance
+#: ratio against the pre-change numbers, not just against the live
+#: scalar rows (which the steady-state protocol also sped up).
+PRE_VECTORIZED_BASELINE = {
+    750: 15.951428334603778,
+    1500: 8.820428447461476,
+    3000: 3.595089153801718,
+}
 SEED = 2019
 
 
@@ -75,21 +96,91 @@ def measure_sweep_speedup(n_particles: int) -> dict:
     }
 
 
-def measure_engine_steps_per_sec(n_particles: int) -> dict:
-    """Engine throughput with reuse on (informational, machine-bound)."""
+class _StepStamps:
+    """Progress observer recording a wall-clock stamp per completed step."""
+
+    def __init__(self) -> None:
+        self.t: dict[int, float] = {}
+
+    def update(self, steps_done: int, steps_total: int) -> None:
+        self.t[steps_done] = time.perf_counter()
+
+
+def _engine_run_stamps(
+    n_particles: int, kernel_impl: str
+) -> tuple[float, dict[int, float]]:
+    """One fresh-engine run of ``N_MD_STEPS``; per-step time stamps.
+
+    The engine is freed (and the cycle collector run) before returning:
+    a live engine pins hundreds of MB of panel buffers, which measurably
+    distorts the next timed run on small-memory hosts.
+    """
+    import gc
+
     from repro.core.engine import EngineConfig, SWGromacsEngine
 
     system = build_water_system(n_particles, seed=SEED)
     engine = SWGromacsEngine(
-        system, EngineConfig(nonbonded=_nb(), step_reuse=True)
+        system,
+        EngineConfig(nonbonded=_nb(), step_reuse=True, kernel_impl=kernel_impl),
     )
+    stamps = _StepStamps()
     t0 = time.perf_counter()
-    engine.run(N_MD_STEPS)
-    elapsed = time.perf_counter() - t0
-    return {
-        "n_particles": int(system.n_particles),
-        "steps_per_sec": N_MD_STEPS / elapsed,
+    engine.run(N_MD_STEPS, progress=stamps)
+    del engine, system
+    gc.collect()
+    return t0, stamps.t
+
+
+def measure_engine_steps_per_sec(
+    n_particles: int, kernel_impl: str = "scalar", reps: int = ENGINE_REPS
+) -> dict:
+    """Steady-state engine throughput for one kernel implementation.
+
+    Protocol: time stamps are taken *inside* a single ``run()`` via the
+    progress observer and the headline rate is computed over
+    ``STEADY_WINDOW`` — steps that contain no pair-list rebuild and no
+    cold panel build.  Differencing two separate runs (the old protocol)
+    let cold-build variance between the runs dwarf the 8-step window;
+    in-run stamps remove that term entirely.  Cold and whole-run rates
+    are reported alongside as separate fields, and the best of ``reps``
+    runs is kept.
+    """
+    lo, hi = STEADY_WINDOW
+    best: dict | None = None
+    for _ in range(reps):
+        t0, t = _engine_run_stamps(n_particles, kernel_impl)
+        row = {
+            "n_particles": int(n_particles),
+            "kernel_impl": kernel_impl,
+            "steps_per_sec": (hi - lo) / (t[hi] - t[lo]),
+            "total_steps_per_sec": N_MD_STEPS / (t[N_MD_STEPS] - t0),
+            "first_step_seconds": t[1] - t0,
+            "steady_window": [lo, hi],
+        }
+        if best is None or row["steps_per_sec"] > best["steps_per_sec"]:
+            best = row
+    return best
+
+
+def measure_engine_impls(n_particles: int) -> dict:
+    """Scalar and vectorized steady-state rows plus their ratio."""
+    scalar = measure_engine_steps_per_sec(n_particles, "scalar")
+    vectorized = measure_engine_steps_per_sec(n_particles, "vectorized")
+    row = {
+        "n_particles": int(n_particles),
+        "scalar": scalar,
+        "vectorized": vectorized,
+        "vectorized_speedup": (
+            vectorized["steps_per_sec"] / scalar["steps_per_sec"]
+        ),
     }
+    base = PRE_VECTORIZED_BASELINE.get(int(n_particles))
+    if base:
+        row["speedup_vs_pre_vectorized_baseline"] = (
+            vectorized["steps_per_sec"] / base
+        )
+    return row
 
 
 def collect() -> dict:
@@ -101,10 +192,9 @@ def collect() -> dict:
         **host_stamp(required_cpus=1),
         "sweep_specs": SWEEP_SPECS,
         "n_md_steps": N_MD_STEPS,
+        "steady_window": list(STEADY_WINDOW),
         "sweep": {str(n): measure_sweep_speedup(n) for n in SIZES},
-        "engine": {
-            str(n): measure_engine_steps_per_sec(n) for n in SIZES
-        },
+        "engine": {str(n): measure_engine_impls(n) for n in SIZES},
     }
 
 
@@ -118,7 +208,12 @@ def main() -> None:
             f"({row['naive_seconds']:.3f}s -> {row['sweep_seconds']:.3f}s)"
         )
     for n, row in data["engine"].items():
-        print(f"  n={n}: engine {row['steps_per_sec']:.1f} steps/s")
+        print(
+            f"  n={n}: engine scalar {row['scalar']['steps_per_sec']:.1f} "
+            f"steps/s, vectorized "
+            f"{row['vectorized']['steps_per_sec']:.1f} steps/s "
+            f"({row['vectorized_speedup']:.2f}x)"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -131,6 +226,32 @@ def test_sweep_speedup_meets_floor():
     for n in SIZES:
         row = measure_sweep_speedup(n)
         assert row["speedup"] >= MIN_SWEEP_SPEEDUP, row
+
+
+def test_vectorized_engine_speedup():
+    """Live CI gate (ISSUE 8): at every benchmark size the vectorized
+    kernel must hold >= 3x the scalar kernel's steady-state engine
+    throughput, measured back-to-back on this host (ratios are
+    machine-portable; absolute steps/sec are not gated)."""
+    import pytest
+
+    from hoststamp import host_stamp
+
+    stamp = host_stamp(required_cpus=1)
+    if stamp["degraded"]:
+        pytest.skip(
+            f"degraded host (host_cpus={stamp['host_cpus']} < "
+            f"required_cpus={stamp['required_cpus']})"
+        )
+    for n in SIZES:
+        row = measure_engine_impls(n)
+        assert row["vectorized_speedup"] >= MIN_VECTORIZED_SPEEDUP, (
+            f"n={n}: vectorized/scalar steady-state ratio "
+            f"{row['vectorized_speedup']:.2f}x < "
+            f"{MIN_VECTORIZED_SPEEDUP}x floor "
+            f"(scalar {row['scalar']['steps_per_sec']:.2f}, "
+            f"vectorized {row['vectorized']['steps_per_sec']:.2f} steps/s)"
+        )
 
 
 def test_no_regression_against_committed_baseline():

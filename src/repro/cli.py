@@ -53,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="host execution backend (default: $REPRO_BACKEND or serial)",
     )
     parser.add_argument(
+        "--kernel", choices=("scalar", "vectorized"), default=None,
+        help="short-range kernel implementation: 'scalar' is the "
+        "bit-identity reference, 'vectorized' the batched fast path "
+        "(default: $REPRO_KERNEL or scalar)",
+    )
+    parser.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="pool worker count (default: $REPRO_WORKERS or host CPUs)",
     )
@@ -348,6 +354,7 @@ def _cmd_run(args) -> int:
             resilience=policy,
             backend=args.backend,
             workers=args.workers,
+            kernel_impl=args.kernel,
         ),
     )
     if args.restart:
@@ -400,6 +407,7 @@ def _cmd_trace(args) -> int:
         resilience=ResiliencePolicy(faults=args.faults),
         backend=args.backend,
         workers=args.workers,
+        kernel_impl=args.kernel,
     )
     tracer = Tracer(config.chip)
     engine = SWGromacsEngine(system, config, tracer=tracer)
@@ -530,6 +538,7 @@ def _cmd_ranks(args) -> int:
         resilience=ResiliencePolicy(faults=args.faults),
         backend=args.backend,
         workers=args.workers,
+        kernel_impl=args.kernel,
     )
     result = run_mpi_ranks(
         system,

@@ -168,6 +168,45 @@ class DeferredUpdateCache:
             self._lines[line] = 0.0
 
 
+def replay_write_trace(
+    package_trace: np.ndarray,
+    contributions: np.ndarray,
+    copy: np.ndarray,
+    params: ChipParams = DEFAULT_PARAMS,
+    use_mark: bool = True,
+) -> tuple[LineMarkBitmap, WriteTraceStats]:
+    """Reconstruct a :class:`DeferredUpdateCache` run from its write trace.
+
+    ``package_trace[k]`` is the k-th ``accumulate_package`` target and
+    ``contributions[k]`` its (4, 3) float32 argument; ``copy`` is filled
+    in place with what the sequential cache would leave behind after
+    ``flush()``, and the returned bitmap/stats match its ``mark`` and
+    counters exactly.
+
+    Bit-identity argument (DESIGN.md §13): every eviction adds the LDM
+    line into a copy range that was zeroed when the line was fetched (or
+    never touched), so the round trip through the cache preserves each
+    partial sum exactly — the final copy value of every element is the
+    strict left-to-right float32 sum of its contributions in trace
+    order.  ``np.add.at`` is unbuffered and applies updates in index
+    order, which is that same sequence; the counters come from
+    :func:`analyze_write_trace`, whose identities are property-tested
+    against the sequential class.
+    """
+    trace = np.asarray(package_trace, dtype=np.int64)
+    n_lines_global = copy.shape[0] // params.particles_per_line
+    mark = LineMarkBitmap(max(n_lines_global, 1))
+    if len(trace):
+        packages = copy.reshape(-1, CLUSTER_SIZE, 3)
+        np.add.at(packages, trace, contributions)
+        amap = AddressMap(params.index_bits, params.offset_bits)
+        if use_mark:
+            for line in np.unique(trace >> amap.offset_bits):
+                mark.mark(int(line))
+    stats = analyze_write_trace(trace, params, use_mark=use_mark)
+    return mark, stats
+
+
 def analyze_write_trace(
     package_trace: np.ndarray,
     params: ChipParams = DEFAULT_PARAMS,

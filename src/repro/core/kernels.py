@@ -192,9 +192,15 @@ def run_kernel(
     tracer: NullTracer = NULL_TRACER,
     cache: StepCache | NullStepCache | None = None,
     backend: ExecutionBackend | None = None,
+    impl: str | None = None,
 ) -> KernelResult:
     """Execute one strategy (fast path): vectorised functional forces +
     trace-driven cost model.
+
+    ``impl`` picks the functional force evaluation (scalar reference vs
+    the panel-fed batch in `repro.core.vectorized`; None resolves
+    ``REPRO_KERNEL``-or-scalar).  Results are bit-identical either way —
+    the cost model never sees the difference.
 
     ``backend`` (DESIGN.md §9) fans the per-CPE trace analyses across
     worker processes by priming ``cache`` before the serial accumulation
@@ -233,7 +239,9 @@ def run_kernel(
         system, plist, Layout.SOA if spec.simd else Layout.AOS, params
     )
 
-    sr = cache.short_range(system, work_list, nb_params, dtype=np.float32)
+    sr = cache.short_range(
+        system, work_list, nb_params, dtype=np.float32, impl=impl
+    )
     m_pairs = work_list.n_cluster_pairs
     tile_pairs = 16 * m_pairs
     breakdown: dict[str, float] = {}
@@ -517,6 +525,7 @@ def run_strategy_sweep(
     tracer: NullTracer = NULL_TRACER,
     cache: StepCache | NullStepCache | None = None,
     backend: str | ExecutionBackend | None = None,
+    impl: str | None = None,
 ) -> dict[str, KernelResult]:
     """Evaluate many strategy rungs against ONE ``(system state, pair
     list)`` — the one-pass ablation API used by bench_fig8/fig9, the
@@ -556,6 +565,7 @@ def run_strategy_sweep(
             tracer=tracer,
             cache=cache,
             backend=backend,
+            impl=impl,
         )
         for spec in resolved
     }
@@ -596,6 +606,7 @@ class _FidelityTask:
     params: ChipParams
     padded_slots: int
     traced: bool
+    impl: str = "scalar"
 
 
 @dataclass
@@ -707,6 +718,19 @@ def _walk_fidelity_partition(task: _FidelityTask) -> _FidelityResult:
     )
 
 
+def _walk_fidelity(task: _FidelityTask) -> _FidelityResult:
+    """Backend entry point: dispatch one partition to the selected impl.
+
+    Module-level (picklable) so pool workers can receive it; the impl
+    name travels inside the task, keeping the map call uniform.
+    """
+    if task.impl == "vectorized":
+        from repro.core.vectorized import walk_fidelity_partition_vectorized
+
+        return walk_fidelity_partition_vectorized(task)
+    return _walk_fidelity_partition(task)
+
+
 def run_kernel_sequential(
     system: ParticleSystem,
     plist: ClusterPairList,
@@ -716,6 +740,7 @@ def run_kernel_sequential(
     n_cpes: int | None = None,
     tracer: NullTracer = NULL_TRACER,
     backend: str | ExecutionBackend | None = None,
+    impl: str | None = None,
 ) -> KernelResult:
     """Walk the pair list cluster-by-cluster through the actual
     DeferredUpdateCache / bitmap / SIMD machinery.
@@ -732,12 +757,20 @@ def run_kernel_sequential(
     Only the cached strategies (CACHE/VEC/MARK/RMA) are meaningful here;
     others fall back to `run_kernel`.  Returns the same counters the fast
     path derives from trace analysis, letting tests pin the two together.
+
+    ``impl`` selects the walk implementation (``"scalar"`` — the
+    reference loop — or ``"vectorized"``, the batched replay in
+    `repro.core.vectorized`; None resolves ``REPRO_KERNEL``-or-scalar).
+    Both produce identical results; only speed differs.
     """
+    from repro.core.vectorized import resolve_kernel_impl
+
     backend = shared_backend(backend)
+    impl = resolve_kernel_impl(impl)
     if not (spec.write_cache and spec.use_cpes):
         return run_kernel(
             system, plist, nb_params, spec, params, tracer=tracer,
-            backend=backend,
+            backend=backend, impl=impl,
         )
     n_cpes = n_cpes or params.n_cpes
     work_list = plist.to_full() if spec.full_list else plist
@@ -778,10 +811,11 @@ def run_kernel_sequential(
                     params=params,
                     padded_slots=padded_slots,
                     traced=tracer.enabled,
+                    impl=impl,
                     **shared,
                 )
             )
-        walks = backend.map(_walk_fidelity_partition, tasks)
+        walks = backend.map(_walk_fidelity, tasks)
 
     # ---- deterministic CPE-id-ordered merge --------------------------------
     copies = [w.copy for w in walks]
@@ -807,8 +841,12 @@ def run_kernel_sequential(
         ),
         "simd_shuffles": float(sum(w.shuffles for w in walks)),
     }
+    # Borrow the fast path's modelled timing/breakdown WITHOUT its tracer
+    # instrumentation: passing the live tracer here used to re-emit every
+    # kernel span on top of the fidelity events above, so Chrome traces
+    # showed each kernel twice.
     fast = run_kernel(
-        system, plist, nb_params, spec, params, tracer=tracer, backend=backend
+        system, plist, nb_params, spec, params, backend=backend, impl=impl
     )
     return KernelResult(
         name=spec.name + "(seq)",

@@ -154,6 +154,31 @@ class PackedParticles:
         )
 
 
+def package_views(
+    positions: np.ndarray,
+    charges: np.ndarray,
+    types: np.ndarray,
+    mols: np.ndarray,
+    real: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-package struct-of-arrays views of slot-ordered field arrays.
+
+    Zero-copy reshapes: positions become ``(n_packages, 4, 3)`` and each
+    scalar field ``(n_packages, 4)``, so a batched kernel can gather
+    whole packages by cluster index (``pos[ci]``) instead of slicing
+    per-pair.  The inputs are the arrays `PackedParticles` carries (or
+    their shared-memory resolutions in a pool worker).
+    """
+    n = len(positions) // CLUSTER_SIZE
+    return (
+        positions.reshape(n, CLUSTER_SIZE, 3),
+        charges.reshape(n, CLUSTER_SIZE),
+        types.reshape(n, CLUSTER_SIZE),
+        mols.reshape(n, CLUSTER_SIZE),
+        real.reshape(n, CLUSTER_SIZE),
+    )
+
+
 def fine_grained_access_bytes() -> int:
     """Bytes per access before aggregation (one float: the paper's 4 B)."""
     return 4

@@ -208,20 +208,34 @@ class StepCache:
         plist: ClusterPairList,
         nb_params: NonbondedParams,
         dtype: type = np.float64,
+        impl: str | None = None,
     ) -> ShortRangeResult:
         """One functional force evaluation per (pair list, dtype, positions).
 
         The returned object is shared between callers; nothing in the
         kernel/driver paths mutates it (tests enforce bit-identity of a
-        shared vs. recomputed result).
+        shared vs. recomputed result).  ``impl`` picks the evaluation
+        implementation (`repro.core.vectorized.resolve_kernel_impl`);
+        both produce identical results, so the resolved name simply
+        joins the key — a scalar and a vectorized caller share entries
+        only when they resolve to the same impl, keeping cache hits
+        trivially impl-consistent.
         """
-        key = ("sr", self._pin(plist), np.dtype(dtype).str, nb_params)
+        from repro.core.vectorized import (
+            compute_short_range_impl,
+            resolve_kernel_impl,
+        )
+
+        impl = resolve_kernel_impl(impl)
+        key = ("sr", self._pin(plist), np.dtype(dtype).str, nb_params, impl)
         fp = position_fingerprint(system.positions)
         hit = self._state.get(key)
         if hit is not None and hit[0] == fp:
             self.stats.sr_hits += 1
             return hit[1]
-        sr = compute_short_range(system, plist, nb_params, dtype=dtype)
+        sr = compute_short_range_impl(
+            system, plist, nb_params, dtype=dtype, impl=impl
+        )
         self._state[key] = (fp, sr)
         self.stats.sr_evals += 1
         return sr
@@ -432,10 +446,13 @@ class NullStepCache:
     def invalidate(self) -> None:
         self.stats.invalidations += 1
 
-    def short_range(self, system, plist, nb_params, dtype=np.float64):
+    def short_range(self, system, plist, nb_params, dtype=np.float64, impl=None):
+        from repro.core.vectorized import compute_short_range_impl
+
         self.stats.sr_evals += 1
-        return compute_short_range(
-            system, plist, nb_params, dtype=dtype, reuse_gathers=False
+        return compute_short_range_impl(
+            system, plist, nb_params, dtype=dtype, reuse_gathers=False,
+            impl=impl,
         )
 
     def packed(self, system, plist, layout, params=DEFAULT_PARAMS):

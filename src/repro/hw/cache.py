@@ -207,6 +207,50 @@ def count_misses_direct_mapped(
     return int(np.count_nonzero(new_set | tag_change))
 
 
+def count_misses_two_way(
+    package_indices: np.ndarray, amap: AddressMap | None = None
+) -> int:
+    """Vectorised miss count for the two-way LRU cache over a full trace.
+
+    ``amap`` is the *base* (direct-mapped) geometry; like
+    :class:`TwoWaySetAssociativeCache` itself, the two-way layout halves
+    the set count at equal capacity.
+
+    The vectorisation rests on a run-collapse identity.  Collapse each
+    set's access sequence into runs of equal tags (every non-head access
+    of a run trivially hits).  After processing run ``p`` the set's two
+    ways always hold ``{tag[p] (MRU), tag[p-1] (LRU)}`` — by induction: a
+    hit promotes ``tag[p]`` and demotes ``tag[p-1]``; a miss evicts the
+    old LRU and installs ``tag[p]``, demoting ``tag[p-1]`` likewise.  So
+    the head of run ``p`` hits iff its tag equals the tag two runs back
+    in the same set, and the miss count is the number of run heads where
+    it does not (the first two runs of every set are cold misses).
+    Property tests assert agreement with the sequential class on
+    arbitrary traces.
+    """
+    base = amap or AddressMap()
+    two = AddressMap(base.index_bits - 1, base.offset_bits)
+    idx = np.asarray(package_indices, dtype=np.int64)
+    if idx.size == 0:
+        return 0
+    if (idx < 0).any():
+        raise ValueError("package indices must be non-negative")
+    sets = (idx >> two.offset_bits) & (two.n_lines - 1)
+    tags = idx >> (two.index_bits + two.offset_bits)
+    order = np.argsort(sets, kind="stable")
+    s = sets[order]
+    t = tags[order]
+    head = np.empty(idx.size, dtype=bool)
+    head[0] = True
+    head[1:] = (s[1:] != s[:-1]) | (t[1:] != t[:-1])
+    rs = s[head]
+    rt = t[head]
+    miss = np.ones(rs.size, dtype=bool)
+    if rs.size > 2:
+        miss[2:] = (rs[2:] != rs[:-2]) | (rt[2:] != rt[:-2])
+    return int(np.count_nonzero(miss))
+
+
 def simulate_trace(
     cache: DirectMappedReadCache | TwoWaySetAssociativeCache,
     package_indices: np.ndarray,

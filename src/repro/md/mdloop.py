@@ -19,7 +19,6 @@ from repro.hw.perf import KernelTiming
 from repro.trace.events import CAT_STEP, MPE_TRACK, NULL_TRACER, NullTracer
 from repro.md.bonded import compute_bonded
 from repro.md.constraints import build_constraint_solver
-from repro.md.forces import compute_short_range
 from repro.md.integrator import IntegratorConfig, LeapfrogIntegrator
 from repro.md.nonbonded import NonbondedParams
 from repro.md.pairlist import ClusterPairList, build_pair_list
@@ -72,6 +71,11 @@ class MdConfig:
     #: exact filter; the list is bit-identical either way.
     backend: str | None = None
     workers: int | None = None
+    #: Short-range kernel implementation: "scalar" (chunked reference)
+    #: or "vectorized" (panel-fed batch, `repro.core.vectorized`); None
+    #: resolves ``REPRO_KERNEL``-or-scalar.  Forces are bit-identical
+    #: either way.
+    kernel_impl: str | None = None
 
     def __post_init__(self) -> None:
         if self.use_pme and self.nonbonded.coulomb_mode != "ewald":
@@ -122,8 +126,15 @@ class MdLoop:
         self.pme = (
             PmeSolver(system.box, self.config.pme) if self.config.use_pme else None
         )
+        # Imported lazily: repro.core.engine imports this module, so a
+        # top-level import of repro.core.vectorized would be circular
+        # through the packages' __init__ re-exports.
+        from repro.core.vectorized import resolve_kernel_impl
+
+        #: Resolved once for the whole run; per-step dispatch is a string
+        #: compare, not an env lookup.
+        self.kernel_impl = resolve_kernel_impl(self.config.kernel_impl)
         self.pairlist: ClusterPairList | None = None
-        self._forces = np.zeros_like(system.positions)
         self._potential = 0.0
         self._start_step = 0
         self._next_step = 0
@@ -148,13 +159,16 @@ class MdLoop:
 
     def compute_forces(self, timing: KernelTiming | None = None) -> tuple[np.ndarray, float]:
         """All forces and the total potential at the current positions."""
+        from repro.core.vectorized import compute_short_range_impl
+
         timing = timing if timing is not None else KernelTiming()
         assert self.pairlist is not None, "neighbour list not built"
         t0 = time.perf_counter()
-        sr = compute_short_range(
+        sr = compute_short_range_impl(
             self.system, self.pairlist, self.config.nonbonded,
             dtype=self.config.precision,
             reuse_gathers=self.config.step_reuse,
+            impl=self.kernel_impl,
         )
         self._add(timing, KERNEL_FORCE, time.perf_counter() - t0)
         forces = sr.forces
@@ -305,12 +319,15 @@ class MdLoop:
                 self._add(timing, KERNEL_UPDATE, dt_update)
 
             t0 = time.perf_counter()
-            reporter.maybe_record(
-                step,
-                potential,
-                self.system.kinetic_energy(),
-                self.system.temperature(),
-            )
+            # Kinetic energy and temperature are only observable through
+            # the reporter, so off-interval steps skip both reductions.
+            if step % reporter.interval == 0:
+                reporter.maybe_record(
+                    step,
+                    potential,
+                    self.system.kinetic_energy(),
+                    self.system.temperature(),
+                )
             self._add(timing, KERNEL_COMM, time.perf_counter() - t0)
 
             if cfg.output_interval and step % cfg.output_interval == 0:

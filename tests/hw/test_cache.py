@@ -11,6 +11,7 @@ from repro.hw.cache import (
     DirectMappedReadCache,
     TwoWaySetAssociativeCache,
     count_misses_direct_mapped,
+    count_misses_two_way,
     simulate_trace,
 )
 
@@ -148,3 +149,38 @@ class TestTwoWay:
         simulate_trace(c, arr)
         unique_lines = len(np.unique(arr >> c.amap.offset_bits))
         assert unique_lines <= c.stats.misses <= len(arr)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=4095), min_size=0, max_size=400)
+)
+def test_two_way_vectorised_miss_count_matches_sequential(trace):
+    """The run-collapse identity must equal the exact LRU cache on
+    arbitrary traces (the promise in ``count_misses_two_way``'s docs)."""
+    arr = np.array(trace, dtype=np.int64)
+    cache = TwoWaySetAssociativeCache()
+    stats = simulate_trace(cache, arr)
+    assert count_misses_two_way(arr) == stats.misses
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    trace=st.lists(st.integers(min_value=0, max_value=4095), min_size=0, max_size=300)
+)
+def test_two_way_vectorised_custom_geometry(trace):
+    """Same agreement under a non-default base AddressMap."""
+    amap = AddressMap(5, 3)
+    arr = np.array(trace, dtype=np.int64)
+    cache = TwoWaySetAssociativeCache(amap)
+    stats = simulate_trace(cache, arr)
+    assert count_misses_two_way(arr, amap) == stats.misses
+
+
+def test_two_way_vectorised_empty():
+    assert count_misses_two_way(np.empty(0, dtype=np.int64)) == 0
+
+
+def test_two_way_vectorised_rejects_negative():
+    with pytest.raises(ValueError):
+        count_misses_two_way(np.array([-1]))
