@@ -163,6 +163,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="FILE", default=None,
         help="write a Chrome-trace service timeline to FILE on drain",
     )
+    _add_resident_args(serve)
     _add_durable_args(serve)
 
     fleet = sub.add_parser(
@@ -231,6 +232,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-dedup", action="store_true",
         help="disable request dedup/batching (ablation baseline)",
     )
+    _add_resident_args(worker)
     _add_durable_args(worker)
 
     submit = sub.add_parser(
@@ -286,13 +288,33 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument(
         "--op",
         choices=("ping", "stats", "metrics", "pause", "resume", "drain",
-                 "fleet"),
+                 "fleet", "warmup"),
         default=None,
         help="send a control op instead of submitting a job "
         "(metrics: per-tenant SLO metrics; fleet: router-only "
-        "membership/ring dump)",
+        "membership/ring dump; warmup: pre-build worker residency for "
+        "the job described by the other flags — DESIGN.md §14)",
     )
     return parser
+
+
+def _add_resident_args(parser) -> None:
+    parser.add_argument(
+        "--no-resident", action="store_true",
+        help="disable the resident-state layer (cold-dispatch ablation "
+        "baseline; DESIGN.md §14)",
+    )
+    parser.add_argument(
+        "--resident-capacity", type=int, default=4, metavar="N",
+        help="warm systems kept per worker process, LRU beyond this "
+        "(default: 4)",
+    )
+    parser.add_argument(
+        "--arena-bytes", type=int, default=1 << 20, metavar="BYTES",
+        help="shared-memory output arena per worker lane; force blocks "
+        "that fit travel zero-copy, larger ones fall back to pickled "
+        "results (default: 1 MiB)",
+    )
 
 
 def _add_durable_args(parser) -> None:
@@ -607,6 +629,9 @@ def _cmd_serve(args) -> int:
         journal_dir=args.journal_dir,
         result_store_max=args.result_store_max,
         journal_fsync=args.journal_fsync,
+        resident=not args.no_resident,
+        resident_capacity=args.resident_capacity,
+        arena_bytes=args.arena_bytes,
     )
     tracer = Tracer() if args.trace else NULL_TRACER
 
@@ -760,6 +785,9 @@ def _cmd_fleet_worker(args) -> int:
             journal_dir=args.journal_dir,
             result_store_max=args.result_store_max,
             journal_fsync=args.journal_fsync,
+            resident=not args.no_resident,
+            resident_capacity=args.resident_capacity,
+            arena_bytes=args.arena_bytes,
         ),
         heartbeat_interval_s=args.heartbeat_interval,
     )
@@ -818,6 +846,33 @@ def _cmd_submit(args) -> int:
         connect_backoff=args.connect_backoff,
     )
     try:
+        if args.op == "warmup":
+            # Warmup describes a job (it routes on the system key) but
+            # is a control op: nothing is queued or executed for a
+            # client, the owning worker just pre-builds residency.
+            request = JobRequest(
+                kind=args.kind,
+                n_particles=args.particles,
+                spec=args.spec,
+                steps=args.steps,
+                level=args.level,
+                r_cut=args.rcut,
+                seed=args.seed,
+                tenant=args.tenant,
+            )
+            info = client.warmup(request)
+            if not info.get("resident"):
+                print(f"warmup skipped: {info.get('reason', 'unknown')}")
+                return 0
+            how = "built" if info.get("built") else "already warm"
+            where = (
+                f" on worker {info['worker']!r}" if "worker" in info else ""
+            )
+            print(
+                f"warmup ok ({how}, lane {info.get('lane')}{where}, "
+                f"occupancy {info.get('occupancy')}/{info.get('capacity')})"
+            )
+            return 0
         if args.op is not None:
             response = client.request({"op": args.op})
             if args.op == "stats":
@@ -826,6 +881,8 @@ def _cmd_submit(args) -> int:
                 dump = dict(response["stats"])
                 if "durable" in response:
                     dump["durable"] = response["durable"]
+                if "resident" in response:
+                    dump["resident"] = response["resident"]
                 print(json.dumps(dump, indent=2, sort_keys=True))
             elif args.op == "metrics":
                 import json

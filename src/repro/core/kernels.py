@@ -815,7 +815,11 @@ def run_kernel_sequential(
                     **shared,
                 )
             )
-        walks = backend.map(_walk_fidelity, tasks)
+        # One fidelity walk per CPE is the canonical small-task fan:
+        # coalesce them into one submission per worker when the backend
+        # supports batched IPC (results stay in task order either way).
+        mapper = getattr(backend, "map_batched", backend.map)
+        walks = mapper(_walk_fidelity, tasks)
 
     # ---- deterministic CPE-id-ordered merge --------------------------------
     copies = [w.copy for w in walks]

@@ -412,8 +412,12 @@ class StepCache:
             )
         if not tasks:
             return
+        # Per-partition analyses are many small tasks: one coalesced
+        # submission per worker (map_batched) instead of one pickle
+        # round trip per partition.
+        mapper = getattr(backend, "map_batched", backend.map)
         for (rkey, wkey, tkey), (rstats, wstats, tlines) in zip(
-            keys, backend.map(_partition_stats_job, tasks)
+            keys, mapper(_partition_stats_job, tasks)
         ):
             for key, value in ((rkey, rstats), (wkey, wstats), (tkey, tlines)):
                 if key is not None:

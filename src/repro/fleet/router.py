@@ -167,6 +167,12 @@ _WORKER_SUM_KEYS = (
     "retries",
     "sr_evals",
     "sr_hits",
+    "resident_hits",
+    "resident_misses",
+    "resident_builds",
+    "resident_evictions",
+    "resident_invalidations",
+    "warmups",
     "journal_replays",
     "store_hits",
 )
@@ -247,6 +253,9 @@ class FleetRouter:
         #: failover decisions and fleet stats can tell which members
         #: recover their own accepted jobs after a crash.
         self.worker_durable: dict[str, bool] = {}
+        #: name -> worker registered with the resident-state layer on
+        #: (answers warmups, keeps warm systems across batches).
+        self.worker_resident: dict[str, bool] = {}
         self._job_ids = iter(range(1, 1 << 62))
         self._jobs: dict[int, RoutedJob] = {}
         self._results: dict[int, dict] = {}
@@ -337,19 +346,25 @@ class FleetRouter:
     # membership
     # ------------------------------------------------------------------
     def _register_worker(
-        self, name: str, address: str, durable: bool = False
+        self,
+        name: str,
+        address: str,
+        durable: bool = False,
+        resident: bool = False,
     ) -> dict:
         loop = asyncio.get_running_loop()
         parse_address(address)  # validate early: a bad address is a bad op
         self.registry.register(name, address, loop.time())
         self.ring.add(name)
         self.worker_durable[name] = bool(durable)
+        self.worker_resident[name] = bool(resident)
         self.stats.workers_registered += 1
         self._membership.set()
         if self.tracer.enabled:
             self.tracer.instant(
                 f"worker_register:{name}", CAT_FLEET, FLEET_TRACK,
                 address=address, durable=bool(durable),
+                resident=bool(resident),
             )
         return {
             "ok": True,
@@ -544,6 +559,50 @@ class FleetRouter:
         if not job.future.done():
             job.future.set_result(result)
 
+    async def _warmup(self, request_dict: dict) -> dict:
+        """Forward a warmup to the system key's owner (the worker whose
+        residency the subsequent burst will actually hit).  Best-effort:
+        a lost worker fails the warmup, never queues a reissue — the
+        burst itself still executes correctly (cold) wherever it lands.
+        """
+        try:
+            request = JobRequest.from_dict(request_dict)
+            request.validate()
+        except (InvalidRequestError, TypeError) as exc:
+            self.stats.record_reject(REASON_INVALID)
+            return _error_response(REASON_INVALID, str(exc))
+        if self.draining:
+            self.stats.record_reject(REASON_DRAINING)
+            return _error_response(
+                REASON_DRAINING, "fleet is draining and no longer accepts jobs"
+            )
+        try:
+            name = await self._pick_worker(stable_key(request.system_key))
+        except _NoWorkers as exc:
+            self.stats.record_reject(REASON_NO_WORKERS)
+            return _error_response(REASON_NO_WORKERS, str(exc))
+        info = self.registry.get(name)
+        incarnation = info.incarnation
+        try:
+            response = await send_request(
+                parse_address(info.address),
+                {"op": "warmup", "job": request.to_dict()},
+                timeout=self.config.worker_op_timeout_s,
+            )
+        except (ConnectionError, asyncio.TimeoutError) as exc:
+            self._worker_lost(
+                name, incarnation, f"warmup round trip failed: {exc}"
+            )
+            return _error_response(
+                REASON_WORKER_LOST,
+                f"worker {name!r} lost during warmup: {exc}",
+            )
+        if not response.get("ok"):
+            return response
+        out = dict(response)
+        out["worker"] = name
+        return out
+
     # ------------------------------------------------------------------
     # aggregation
     # ------------------------------------------------------------------
@@ -637,7 +696,10 @@ class FleetRouter:
                     "bad_request", "worker_register needs name and address"
                 )
             return self._register_worker(
-                name, address, durable=bool(worker.get("durable", False))
+                name,
+                address,
+                durable=bool(worker.get("durable", False)),
+                resident=bool(worker.get("resident", False)),
             )
         if op == "worker_heartbeat":
             name = str(msg.get("name", ""))
@@ -655,6 +717,8 @@ class FleetRouter:
             return await self._submit(
                 msg.get("job") or {}, bool(msg.get("wait", True))
             )
+        if op == "warmup":
+            return await self._warmup(msg.get("job") or {})
         if op == "wait":
             job_id = int(msg["job_id"])
             if job_id in self._results:
@@ -692,6 +756,9 @@ class FleetRouter:
             for name, stats in worker_stats.items():
                 workers[name]["stats"] = stats
                 workers[name]["durable"] = self.worker_durable.get(name, False)
+                workers[name]["resident"] = self.worker_resident.get(
+                    name, False
+                )
             return {
                 "ok": True,
                 "router": self.stats.as_dict(),

@@ -118,6 +118,9 @@ class FleetWorker:
                 # Journal-backed workers recover their own accepted jobs
                 # after a crash; the router records this for fleet stats.
                 "durable": self.service.journal is not None,
+                # Resident-state workers answer warmups and keep warm
+                # systems across batches (DESIGN.md §14).
+                "resident": self.service.config.resident,
             },
         }
         attempts = 0

@@ -17,22 +17,46 @@ Two interchangeable backends behind one tiny interface:
   memory (:class:`SharedArray`); per-task payloads (pair-list slices,
   partition bounds) are pickled per task.
 
+Three IPC refinements ride on the pool backend (DESIGN.md §14):
+
+* :meth:`PoolBackend.map_batched` coalesces many small tasks into one
+  pickled submission per worker, cutting per-task executor and pickle
+  overhead for wide fans (per-CPE trace analyses, fidelity partitions);
+* **affinity lanes** — :meth:`PoolBackend.run_on` dispatches one task to
+  a *specific* long-lived worker process (a "lane": a dedicated
+  single-process executor), which is what lets worker-resident state
+  (`repro.serve.residency`) actually get hit: the serving layer hashes a
+  system key to a lane and always lands work for that system on the
+  process that already holds it;
+* :class:`ArenaHandle` — preallocated per-lane shared-memory *output*
+  arenas: a worker writes large result blocks (force arrays) in place
+  and returns a tiny :class:`ArenaRef` descriptor instead of pickling
+  the payload back.
+
 Determinism contract (test-enforced in ``tests/parallel/test_pool.py``):
-``map`` returns results in task-submission order on both backends, and
-every job function in this repo is a pure function of its arguments —
-so forces, energies, cache counters, trace-event multisets, and fault
-replays are *bit-identical* between ``serial`` and ``pool``.
+``map``/``map_batched`` return results in task-submission order on both
+backends, and every job function in this repo is a pure function of its
+arguments — so forces, energies, cache counters, trace-event multisets,
+and fault replays are *bit-identical* between ``serial`` and ``pool``.
 
 Backend selection: explicit argument > ``REPRO_BACKEND`` env var >
 ``"serial"``; worker count: explicit > ``REPRO_WORKERS`` env var > host
 CPU count.  A worker process that dies mid-task surfaces as
-:class:`WorkerCrashError` instead of a hang.
+:class:`WorkerCrashError` instead of a hang; a crashed *lane* is
+discarded and lazily respawned (its resident state dies with it).
+
+Every shared-memory segment created by this process is tracked in a
+registry and unlinked by an ``atexit`` audit, so a ``WorkerCrashError``
+that aborts a caller mid-``map`` (or an arena orphaned by a crashed
+service) cannot strand segments in ``/dev/shm`` past process exit.
 """
 
 from __future__ import annotations
 
 import atexit
 import os
+import threading
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
@@ -74,6 +98,33 @@ def host_cpu_count() -> int:
 #: lifetime (closing the segment would invalidate live views).
 _ATTACHED: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
 
+#: Names of segments *created* (owned) by this process and not yet
+#: unlinked.  The atexit audit below unlinks whatever is left, so a
+#: caller aborted mid-``map`` by a WorkerCrashError — or an arena whose
+#: owner never reached its cleanup path — cannot strand ``/dev/shm``
+#: segments past process exit.
+_CREATED: set[str] = set()
+_AUDIT_REGISTERED = False
+
+
+def live_created_segments() -> tuple[str, ...]:
+    """Names of shared segments this process owns and has not unlinked
+    (regression hook for the crash-lifecycle tests)."""
+    return tuple(sorted(_CREATED))
+
+
+def audit_shared_segments() -> int:
+    """Unlink every segment this process still owns; returns the count.
+
+    Runs automatically at interpreter exit; callable earlier by services
+    that want a deterministic cleanup point after a crash recovery.
+    """
+    leaked = 0
+    for name in sorted(_CREATED):
+        SharedArray(name=name, shape=(0,), dtype="|u1").unlink()
+        leaked += 1
+    return leaked
+
 
 def _untrack(shm: shared_memory.SharedMemory) -> None:
     """Detach a segment from the resource tracker (attach-side only).
@@ -106,14 +157,24 @@ class SharedArray:
 
     @classmethod
     def create(cls, arr: np.ndarray) -> "SharedArray":
+        global _AUDIT_REGISTERED
         arr = np.ascontiguousarray(arr)
-        shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+        # Deterministic `repro-` prefix so a stranded segment is
+        # attributable at a glance (and CI can grep /dev/shm for strays).
+        name = f"repro-{os.getpid()}-{uuid.uuid4().hex[:12]}"
+        shm = shared_memory.SharedMemory(
+            create=True, name=name, size=max(arr.nbytes, 1)
+        )
         view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
         view[...] = arr
         handle = cls(name=shm.name, shape=tuple(arr.shape), dtype=arr.dtype.str)
         # The creator keeps its mapping alive through the same cache the
         # workers use, so `.array()` works uniformly everywhere.
         _ATTACHED[shm.name] = (shm, view)
+        _CREATED.add(shm.name)
+        if not _AUDIT_REGISTERED:
+            _AUDIT_REGISTERED = True
+            atexit.register(audit_shared_segments)
         return handle
 
     def array(self) -> np.ndarray:
@@ -129,9 +190,20 @@ class SharedArray:
         out.setflags(write=False)
         return out
 
+    def writable_array(self) -> np.ndarray:
+        """A *writable* view of the segment (arena use only).
+
+        Regular task inputs stay read-only through :meth:`array`; output
+        arenas are the one sanctioned writer-side use, and their access
+        is serialised by the owning backend's per-lane lock.
+        """
+        self.array()  # ensure attached
+        return _ATTACHED[self.name][1].view()
+
     def unlink(self) -> None:
         """Free the segment (creator only; views in live workers survive
         on Linux until the last mapping closes)."""
+        _CREATED.discard(self.name)
         entry = _ATTACHED.pop(self.name, None)
         if entry is not None:
             shm = entry[0]
@@ -148,6 +220,102 @@ class SharedArray:
 
 
 # ---------------------------------------------------------------------------
+# Output arenas (zero-copy result blocks)
+# ---------------------------------------------------------------------------
+
+#: Offsets inside an arena are aligned to cache-line granularity.
+ARENA_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArenaRef:
+    """Tiny picklable descriptor of one array written into an arena."""
+
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        n = int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+        return n * np.dtype(self.dtype).itemsize
+
+    def to_dict(self) -> dict:
+        return {
+            "offset": self.offset,
+            "shape": list(self.shape),
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ArenaRef":
+        return cls(
+            offset=int(data["offset"]),
+            shape=tuple(int(s) for s in data["shape"]),
+            dtype=str(data["dtype"]),
+        )
+
+
+@dataclass(frozen=True)
+class ArenaHandle:
+    """Preallocated shared-memory block for worker *outputs*.
+
+    The parent allocates one arena per affinity lane; the lane's worker
+    :meth:`pack`\\ s large result arrays (force blocks) into it and ships
+    only :class:`ArenaRef` descriptors back — the parent then
+    :meth:`read`\\ s the data in place instead of unpickling a copy.
+
+    Concurrency contract: an arena is valid until the *next* task runs
+    on its lane, so the owner must consume (or copy) refs while holding
+    the lane's :meth:`PoolBackend.lane_lock` around the dispatch that
+    produced them.  ``pack`` returns ``None`` when the blocks do not fit
+    (the caller falls back to pickled results — a capacity miss degrades
+    to the old path, never to corruption).
+    """
+
+    data: SharedArray
+
+    @classmethod
+    def allocate(cls, nbytes: int) -> "ArenaHandle":
+        if nbytes < 1:
+            raise ValueError(f"arena capacity must be >= 1 byte: {nbytes}")
+        return cls(
+            data=SharedArray.create(np.zeros(int(nbytes), dtype=np.uint8))
+        )
+
+    @property
+    def capacity(self) -> int:
+        return int(self.data.shape[0])
+
+    def pack(self, arrays) -> list[ArenaRef] | None:
+        buf = self.data.writable_array()
+        offset = 0
+        refs: list[ArenaRef] = []
+        for arr in arrays:
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // ARENA_ALIGN) * ARENA_ALIGN
+            end = offset + arr.nbytes
+            if end > self.capacity:
+                return None
+            buf[offset:end] = arr.view(np.uint8).reshape(-1)
+            refs.append(
+                ArenaRef(offset=offset, shape=tuple(arr.shape),
+                         dtype=arr.dtype.str)
+            )
+            offset = end
+        return refs
+
+    def read(self, ref: ArenaRef) -> np.ndarray:
+        """Read-only in-place view of one packed block (valid only under
+        the producing lane's lock — copy to retain past it)."""
+        flat = self.data.array()[ref.offset : ref.offset + ref.nbytes]
+        return flat.view(np.dtype(ref.dtype)).reshape(ref.shape)
+
+    def unlink(self) -> None:
+        self.data.unlink()
+
+
+# ---------------------------------------------------------------------------
 # Backends
 # ---------------------------------------------------------------------------
 
@@ -158,12 +326,32 @@ class SerialBackend:
     name = "serial"
     n_workers = 1
 
+    def __init__(self) -> None:
+        self._lane_lock = threading.Lock()
+
     @property
     def parallel(self) -> bool:
         return False
 
+    @property
+    def lane_count(self) -> int:
+        return 1
+
     def map(self, fn, items) -> list:
         return [fn(item) for item in items]
+
+    def map_batched(self, fn, items, chunks: int | None = None) -> list:
+        """Serial: batching is a no-op (same ordered loop)."""
+        return self.map(fn, items)
+
+    def run_on(self, lane: int, fn, item):
+        """One lane, inline execution (affinity is trivially perfect)."""
+        if lane != 0:
+            raise ValueError(f"serial backend has one lane, got {lane}")
+        return fn(item)
+
+    def lane_lock(self, lane: int) -> threading.Lock:
+        return self._lane_lock
 
     def share(self, arr: np.ndarray) -> np.ndarray:
         """Serial tasks read the array directly; no copy, no segment."""
@@ -194,6 +382,13 @@ def _worker_init() -> None:
     os.environ[BACKEND_ENV] = "serial"
 
 
+def _run_task_chunk(chunk: tuple) -> list:
+    """One ``map_batched`` submission: ``(fn, items)`` executed as an
+    ordered loop inside a single worker (pure; order-preserving)."""
+    fn, items = chunk
+    return [fn(item) for item in items]
+
+
 class PoolBackend:
     """Process-pool backend over ``n_workers`` real host cores.
 
@@ -211,20 +406,31 @@ class PoolBackend:
         self.n_workers = n_workers or max(host_cpu_count(), 2)
         self._executor: ProcessPoolExecutor | None = None
         self._shared: list[SharedArray] = []
+        #: Affinity lanes: dedicated single-process executors, created
+        #: lazily per lane id (see run_on).
+        self._lanes: dict[int, ProcessPoolExecutor] = {}
+        self._lane_locks: dict[int, threading.Lock] = {}
 
     @property
     def parallel(self) -> bool:
         return self.n_workers > 1
 
+    @property
+    def lane_count(self) -> int:
+        """Addressable affinity lanes (== worker count)."""
+        return self.n_workers
+
+    def _mp_context(self):
+        try:
+            return get_context("fork")  # cheap on Linux; inherits pages
+        except ValueError:
+            return get_context()
+
     def _ensure_executor(self) -> ProcessPoolExecutor:
         if self._executor is None:
-            try:
-                ctx = get_context("fork")  # cheap on Linux; inherits pages
-            except ValueError:
-                ctx = get_context()
             self._executor = ProcessPoolExecutor(
                 max_workers=self.n_workers,
-                mp_context=ctx,
+                mp_context=self._mp_context(),
                 initializer=_worker_init,
             )
         return self._executor
@@ -249,6 +455,79 @@ class PoolBackend:
                 "os._exit in task code, a native-extension crash)"
             ) from exc
 
+    def map_batched(self, fn, items, chunks: int | None = None) -> list:
+        """Ordered parallel map with *one submission per worker*.
+
+        Items are split into ``chunks`` contiguous groups (default: one
+        per worker) and each group travels as a single pickled task, so
+        a 64-way fan costs ``n_workers`` executor round trips instead of
+        64.  Results come back flattened in submission order — the same
+        ordering (and therefore bit-identity) contract as :meth:`map`.
+        """
+        items = list(items)
+        if not items:
+            return []
+        n = max(min(chunks or self.n_workers, len(items)), 1)
+        bounds = [len(items) * k // n for k in range(n + 1)]
+        payload = [
+            (fn, items[bounds[k] : bounds[k + 1]]) for k in range(n)
+        ]
+        executor = self._ensure_executor()
+        try:
+            nested = list(executor.map(_run_task_chunk, payload))
+        except BrokenProcessPool as exc:
+            self._executor = None
+            raise WorkerCrashError(
+                f"a {self.name} backend worker process died while running "
+                f"a batched submission of "
+                f"{getattr(fn, '__name__', fn)!r} over {len(items)} "
+                f"task(s) in {n} chunk(s); the pool has been discarded"
+            ) from exc
+        return [result for chunk in nested for result in chunk]
+
+    # -- affinity lanes ----------------------------------------------------
+    def _ensure_lane(self, lane: int) -> ProcessPoolExecutor:
+        if not 0 <= lane < self.n_workers:
+            raise ValueError(
+                f"lane must be in 0..{self.n_workers - 1}: {lane}"
+            )
+        executor = self._lanes.get(lane)
+        if executor is None:
+            executor = ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=self._mp_context(),
+                initializer=_worker_init,
+            )
+            self._lanes[lane] = executor
+        return executor
+
+    def lane_lock(self, lane: int) -> threading.Lock:
+        """Per-lane mutex: hold it around a :meth:`run_on` whose result
+        references that lane's arena (see :class:`ArenaHandle`)."""
+        return self._lane_locks.setdefault(lane, threading.Lock())
+
+    def run_on(self, lane: int, fn, item):
+        """Run one task on a *specific* long-lived worker process.
+
+        The lane's process persists across calls, so module-global state
+        built by earlier tasks (resident simulations, warmed caches) is
+        visible to later ones — the whole point of affinity dispatch.
+        A crashed lane raises :class:`WorkerCrashError` and is discarded;
+        the next ``run_on`` respawns it fresh (resident state is gone,
+        which callers observe as a cold rebuild, never a wrong answer).
+        """
+        executor = self._ensure_lane(lane)
+        try:
+            return executor.submit(fn, item).result()
+        except BrokenProcessPool as exc:
+            self._lanes.pop(lane, None)
+            executor.shutdown(wait=True, cancel_futures=True)
+            raise WorkerCrashError(
+                f"affinity lane {lane} of the {self.name} backend died "
+                f"while running {getattr(fn, '__name__', fn)!r}; the lane "
+                "has been discarded and will respawn (cold) on next use"
+            ) from exc
+
     def share(self, arr: np.ndarray) -> SharedArray:
         """Publish a read-only array to workers via shared memory."""
         handle = SharedArray.create(arr)
@@ -266,6 +545,9 @@ class PoolBackend:
         if self._executor is not None:
             self._executor.shutdown(wait=True, cancel_futures=True)
             self._executor = None
+        for executor in self._lanes.values():
+            executor.shutdown(wait=True, cancel_futures=True)
+        self._lanes.clear()
 
     def __enter__(self) -> "PoolBackend":
         return self

@@ -189,6 +189,17 @@ class ServeClient:
         response = self.request({"op": "wait", "job_id": job_id})
         return JobResult.from_dict(response["result"])
 
+    def warmup(self, request: JobRequest | dict) -> dict:
+        """Pre-build worker residency for the request's system before a
+        burst (DESIGN.md §14); returns the worker's warmup report
+        (``resident``/``built``/``occupancy``/``lane``)."""
+        job = (
+            request.to_dict()
+            if isinstance(request, JobRequest)
+            else dict(request)
+        )
+        return self.request({"op": "warmup", "job": job})["warmup"]
+
     def metrics(self) -> dict:
         """Per-tenant SLO metrics (p50/p99 latency, queue age, rejection
         and retry rates, journal replay counts — DESIGN.md §12)."""

@@ -79,6 +79,11 @@ class JobRequest:
     tenant: str = "default"
     priority: int = 0  # larger = served sooner within a tenant
     timeout_s: float | None = None  # wall deadline from admission
+    #: Return the per-particle force block in the payload (kernel kind
+    #: only).  Execution-relevant — it changes the payload shape — so it
+    #: joins the fingerprint, but only when True: default requests keep
+    #: their historical fingerprints (and durable result-store keys).
+    return_forces: bool = False
 
     def validate(self) -> None:
         """Raise :class:`InvalidRequestError` on a request that can
@@ -105,6 +110,10 @@ class JobRequest:
             raise InvalidRequestError(
                 f"timeout_s must be > 0 when set: {self.timeout_s}"
             )
+        if self.return_forces and self.kind != KIND_KERNEL:
+            raise InvalidRequestError(
+                "return_forces is only meaningful for kernel requests"
+            )
 
     # -- identity ----------------------------------------------------------
     def canonical(self) -> dict:
@@ -120,6 +129,8 @@ class JobRequest:
         else:
             out["steps"] = int(self.steps)
             out["level"] = int(self.level)
+        if self.return_forces:
+            out["return_forces"] = True
         return out
 
     @property
@@ -202,7 +213,7 @@ class JobResult:
             "fingerprint": self.fingerprint,
             "kind": self.kind,
             "ok": self.ok,
-            "payload": self.payload,
+            "payload": json_safe_payload(self.payload),
             "error": self.error.to_dict() if self.error else None,
             "executed": self.executed,
             "attempts": self.attempts,
@@ -255,6 +266,27 @@ def _kernel_payload(result, forces: np.ndarray) -> dict:
     }
 
 
+def json_safe_payload(payload: dict | None) -> dict | None:
+    """Payload with array/handle values reduced to JSON types.
+
+    In-process consumers see force blocks as ndarrays (zero extra
+    copies); the wire (`JobResult.to_dict`) and the durable result store
+    serialise to JSON, where arrays become nested lists and any
+    unresolved arena descriptor becomes its dict form.
+    """
+    if payload is None:
+        return None
+    out: dict = {}
+    for key, val in payload.items():
+        if isinstance(val, np.ndarray):
+            out[key] = val.tolist()
+        elif hasattr(val, "to_dict"):
+            out[key] = val.to_dict()
+        else:
+            out[key] = val
+    return out
+
+
 def execute_kernel_request(
     request: JobRequest, cache: StepCache | None = None
 ) -> dict:
@@ -268,7 +300,10 @@ def execute_kernel_request(
     result = run_kernel(
         system, plist, nb, ALL_SPECS[request.spec], cache=cache
     )
-    return _kernel_payload(result, result.forces)
+    payload = _kernel_payload(result, result.forces)
+    if request.return_forces:
+        payload["forces"] = np.ascontiguousarray(result.forces)
+    return payload
 
 
 def execute_md_request(request: JobRequest, progress=None) -> dict:
@@ -314,6 +349,9 @@ class BatchOutcome:
 
     payloads: list[dict]  # aligned with the batch's distinct requests
     cache_stats: dict = field(default_factory=dict)
+    #: Resident-cache snapshot of the executing worker (occupancy,
+    #: capacity); empty on the cold path (DESIGN.md §14).
+    resident: dict = field(default_factory=dict)
 
 
 def execute_batch(
@@ -360,6 +398,8 @@ def execute_batch(
                 system, plist, nb, ALL_SPECS[req.spec], cache=cache
             )
             payloads[idx] = _kernel_payload(result, result.forces)
+            if req.return_forces:
+                payloads[idx]["forces"] = np.ascontiguousarray(result.forces)
         cache_stats["sr_evals"] += cache.stats.sr_evals
         cache_stats["sr_hits"] += cache.stats.sr_hits
 

@@ -63,6 +63,7 @@ from repro.durable.progress import read_progress
 from repro.durable.results import CODE_DUPLICATE_COMPLETED, ResultStore
 from repro.durable.slo import SloTracker
 from repro.parallel.pool import (
+    ArenaHandle,
     WorkerCrashError,
     close_shared_backend,
     shared_backend,
@@ -78,6 +79,18 @@ from repro.serve.jobs import (
     JobResult,
     execute_batch,
     execute_batch_task,
+    json_safe_payload,
+)
+from repro.serve.residency import (
+    DEFAULT_RESIDENT_CAPACITY,
+    ResidentBatchTask,
+    ResidentCache,
+    WarmupTask,
+    execute_batch_resident,
+    execute_batch_with,
+    lane_for_system,
+    warmup_job,
+    warmup_with,
 )
 from repro.serve.queue import (
     REASON_DEADLINE,
@@ -138,6 +151,15 @@ class ServeConfig:
     #: fsync after every journal record (power-loss strictness; the
     #: default flush-per-record already survives ``kill -9``).
     journal_fsync: bool = False
+    #: Resident-state layer (DESIGN.md §14): workers keep warm systems
+    #: across batches and the service routes batches to the lane that
+    #: already holds them.  False = cold-dispatch ablation baseline.
+    resident: bool = True
+    #: Warm systems kept per worker process (LRU beyond this).
+    resident_capacity: int = DEFAULT_RESIDENT_CAPACITY
+    #: Per-lane shared-memory output arena for zero-copy force blocks
+    #: (0 disables arenas; oversize blocks fall back to pickled arrays).
+    arena_bytes: int = 1 << 20
 
     def __post_init__(self) -> None:
         if self.max_inflight is not None and self.max_inflight < 1:
@@ -156,6 +178,14 @@ class ServeConfig:
             raise ValueError(
                 "journal_segment_records must be >= 1: "
                 f"{self.journal_segment_records}"
+            )
+        if self.resident_capacity < 1:
+            raise ValueError(
+                f"resident_capacity must be >= 1: {self.resident_capacity}"
+            )
+        if self.arena_bytes < 0:
+            raise ValueError(
+                f"arena_bytes must be >= 0: {self.arena_bytes}"
             )
 
 
@@ -176,6 +206,14 @@ class ServiceStats:
     #: Worker-side StepCache sharing across batched units.
     sr_evals: int = 0
     sr_hits: int = 0
+    #: Resident-state layer (DESIGN.md §14): warm-system reuse across
+    #: batches, summed from per-batch worker deltas (fleet-mergeable).
+    resident_hits: int = 0
+    resident_misses: int = 0
+    resident_builds: int = 0
+    resident_evictions: int = 0
+    resident_invalidations: int = 0
+    warmups: int = 0
     #: Durable layer: jobs replayed from the journal at restart, and
     #: submissions answered from the cross-restart result store.
     journal_replays: int = 0
@@ -200,6 +238,12 @@ class ServiceStats:
             "retries": self.retries,
             "sr_evals": self.sr_evals,
             "sr_hits": self.sr_hits,
+            "resident_hits": self.resident_hits,
+            "resident_misses": self.resident_misses,
+            "resident_builds": self.resident_builds,
+            "resident_evictions": self.resident_evictions,
+            "resident_invalidations": self.resident_invalidations,
+            "warmups": self.warmups,
             "journal_replays": self.journal_replays,
             "store_hits": self.store_hits,
             "drained": self.drained,
@@ -260,6 +304,14 @@ class SimulationService:
         self._progress_paths: dict[str, str] = {}
         self._progress_dir: str | None = None
         self._progress_tmp: str | None = None
+        # Resident-state layer (DESIGN.md §14).
+        #: lane -> shared-memory output arena (created lazily, parent-
+        #: owned, unlinked at drain).
+        self._arenas: dict[int, ArenaHandle] = {}
+        #: lane -> latest worker-reported resident snapshot.
+        self._lane_resident: dict[int, dict] = {}
+        #: Service-owned cache for the serial (inline) execution path.
+        self._serial_resident: ResidentCache | None = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -403,6 +455,14 @@ class SimulationService:
         self._servers.clear()
         close_shared_backend()
         self.backend = None
+        # Arenas are parent-owned precisely so this unlink runs even
+        # when lanes crashed mid-batch (no stranded /dev/shm segments).
+        for arena in self._arenas.values():
+            arena.unlink()
+        self._arenas.clear()
+        if self._serial_resident is not None:
+            self._serial_resident.invalidate()
+            self._serial_resident = None
         # Durable epilogue: every accepted job has resolved, so the
         # journal can seal its open segment and the store fsync its
         # directory — a restart after a clean drain replays nothing.
@@ -491,6 +551,69 @@ class SimulationService:
         job = await self.submit(request)
         return await job.future
 
+    async def warmup(self, request: JobRequest) -> dict:
+        """Pre-build residency for ``request``'s system (the ``warmup``
+        wire op): after this, the first job of a burst is a warm hit
+        instead of paying the 5-7x cold build.  Returns the worker's
+        report (``resident``/``built``/``occupancy``/``lane``)."""
+        request.validate()
+        if not self.config.resident:
+            return {"resident": False, "reason": "residency disabled"}
+        if self.queue.draining:
+            return {"resident": False, "reason": "service is draining"}
+        info = await asyncio.to_thread(self._warmup_blocking, request)
+        self.stats.warmups += 1
+        return info
+
+    def _warmup_blocking(self, request: JobRequest) -> dict:
+        backend = self.backend
+        if backend is None or not getattr(backend, "parallel", False):
+            info = warmup_with(self._serial_cache(), request)
+            info["lane"] = 0
+            return info
+        lane = lane_for_system(request.system_key, backend.lane_count)
+        task = WarmupTask(
+            request=request, capacity=self.config.resident_capacity
+        )
+        with backend.lane_lock(lane):
+            info = backend.run_on(lane, warmup_job, task)
+        info["lane"] = lane
+        if info.get("resident"):
+            self._lane_resident[lane] = {
+                "occupancy": info.get("occupancy"),
+                "capacity": info.get("capacity"),
+            }
+        return info
+
+    def resident_summary(self) -> dict:
+        """Occupancy/hit-rate snapshot for the ``stats`` op."""
+        s = self.stats
+        lookups = s.resident_hits + s.resident_misses
+        lanes = {
+            str(lane): dict(info)
+            for lane, info in sorted(self._lane_resident.items())
+        }
+        if self._serial_resident is not None:
+            lanes["serial"] = {
+                "occupancy": len(self._serial_resident),
+                "capacity": self._serial_resident.capacity,
+            }
+        return {
+            "enabled": self.config.resident,
+            "capacity": self.config.resident_capacity,
+            "hits": s.resident_hits,
+            "misses": s.resident_misses,
+            "hit_rate": (s.resident_hits / lookups) if lookups else 0.0,
+            "builds": s.resident_builds,
+            "evictions": s.resident_evictions,
+            "invalidations": s.resident_invalidations,
+            "warmups": s.warmups,
+            "occupancy": sum(
+                int(info.get("occupancy") or 0) for info in lanes.values()
+            ),
+            "lanes": lanes,
+        }
+
     def _try_store_hit(self, request: JobRequest, loop) -> Job | None:
         """Answer a submission from the durable result store, if it holds
         this fingerprint (serve-level memoization above ``StepCache``).
@@ -578,13 +701,74 @@ class SimulationService:
         units: tuple[JobRequest, ...],
         progress_paths: dict[str, str] | None = None,
     ) -> BatchOutcome:
-        """One batch on one worker (or inline under the serial backend)."""
+        """One batch on one worker (or inline under the serial backend).
+
+        With residency on, the batch is routed to the *lane* owning its
+        system key (`lane_for_system` — every unit in a batch shares one
+        key by `Batcher` construction), so consecutive batches for one
+        system land in the process already holding it warm.  The lane
+        lock spans execution *and* arena decode: the lane's output arena
+        is only valid until its next task.
+        """
         backend = self.backend
-        if backend is not None and getattr(backend, "parallel", False):
+        if backend is None or not getattr(backend, "parallel", False):
+            if self.config.resident:
+                return execute_batch_with(
+                    self._serial_cache(), units, progress_paths
+                )
+            return execute_batch(units, progress_paths=progress_paths)
+        if not self.config.resident:
             # backend.map passes exactly one pickled argument per item,
             # so units and progress paths ride together as a task tuple.
             return backend.map(execute_batch_task, [(units, progress_paths)])[0]
-        return execute_batch(units, progress_paths=progress_paths)
+        lane = lane_for_system(units[0].system_key, backend.lane_count)
+        task = ResidentBatchTask(
+            requests=tuple(units),
+            progress_paths=progress_paths,
+            capacity=self.config.resident_capacity,
+            arena=self._lane_arena(lane),
+        )
+        with backend.lane_lock(lane):
+            outcome = backend.run_on(lane, execute_batch_resident, task)
+            self._resolve_arena_refs(outcome, lane)
+        if outcome.resident:
+            self._lane_resident[lane] = dict(outcome.resident)
+        return outcome
+
+    def _serial_cache(self) -> ResidentCache:
+        """The serial path's resident cache (service-owned, not process-
+        global: two services in one process must not share residency)."""
+        if self._serial_resident is None:
+            self._serial_resident = ResidentCache(
+                self.config.resident_capacity
+            )
+        return self._serial_resident
+
+    def _lane_arena(self, lane: int) -> ArenaHandle | None:
+        """This lane's output arena, created on first use (parent-owned
+        so a crashed lane cannot strand the segment)."""
+        if self.config.arena_bytes <= 0:
+            return None
+        arena = self._arenas.get(lane)
+        if arena is None:
+            arena = ArenaHandle.allocate(self.config.arena_bytes)
+            self._arenas[lane] = arena
+        return arena
+
+    def _resolve_arena_refs(self, outcome: BatchOutcome, lane: int) -> None:
+        """Materialise arena-resident force blocks while the lane lock
+        still protects the arena (one memcpy replaces pickle+IPC)."""
+        arena = self._arenas.get(lane)
+        if arena is None:
+            return
+        import numpy as _np
+
+        for payload in outcome.payloads:
+            if payload is None:
+                continue
+            ref = payload.pop("forces_ref", None)
+            if ref is not None:
+                payload["forces"] = _np.array(arena.read(ref))
 
     def _progress_files(
         self, units: tuple[JobRequest, ...]
@@ -649,7 +833,10 @@ class SimulationService:
         ):
             self.store.put(
                 result.fingerprint,
-                {"kind": result.kind, "payload": result.payload},
+                {
+                    "kind": result.kind,
+                    "payload": json_safe_payload(result.payload),
+                },
             )
         self.slo.observe_result(
             job.request.tenant,
@@ -952,6 +1139,7 @@ class SimulationService:
                 "queue_depth": len(self.queue),
                 "tenants": self.scheduler.as_dict(),
                 "tenant_queues": self.queue.tenant_queues(loop.time()),
+                "resident": self.resident_summary(),
             }
             if self.journal is not None:
                 response["durable"] = {
@@ -982,6 +1170,10 @@ class SimulationService:
         if op == "drain":
             stats = await self.drain()
             return {"ok": True, "stats": stats.as_dict()}
+        if op == "warmup":
+            request = JobRequest.from_dict(msg.get("job") or {})
+            info = await self.warmup(request)
+            return {"ok": True, "warmup": info}
         if op == "submit":
             request = JobRequest.from_dict(msg.get("job") or {})
             job = await self.submit(request)

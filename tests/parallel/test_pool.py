@@ -389,3 +389,188 @@ class TestRankFaultDerivation:
         assert len(seeds) == 8
         assert all(s != 5 for s in seeds)
         assert derive_rank_faults(base, 2).dma_error_rate == 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Batched IPC: map_batched coalesces small tasks, same results as map
+# ---------------------------------------------------------------------------
+
+
+def _pid(_):
+    return os.getpid()
+
+
+class TestMapBatched:
+    def test_serial_matches_map(self):
+        assert SerialBackend().map_batched(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_pool_ordered(self, pool2):
+        items = list(range(33))
+        assert pool2.map_batched(_square, items) == [x * x for x in items]
+
+    def test_empty(self, pool2):
+        assert pool2.map_batched(_square, []) == []
+
+    def test_more_chunks_than_items(self, pool2):
+        assert pool2.map_batched(_square, [1, 2], chunks=8) == [1, 4]
+
+    def test_task_exception_propagates(self, pool2):
+        with pytest.raises(ValueError, match="task 1 failed"):
+            pool2.map_batched(_raise_value_error, [1, 5])
+
+    def test_crash_raises_and_recovers(self):
+        with PoolBackend(2) as backend:
+            with pytest.raises(WorkerCrashError):
+                backend.map_batched(_exit_hard, [1, 2, 3, 4])
+            assert backend.map_batched(_square, [4]) == [16]
+
+    def test_coalesces_submissions(self, pool2):
+        # 32 items on 2 workers: at most 2 distinct worker pids, i.e.
+        # one chunk per worker, not one submission per item.
+        pids = set(pool2.map_batched(_pid, list(range(32))))
+        assert len(pids) <= 2
+
+
+# ---------------------------------------------------------------------------
+# Affinity lanes: run_on pins work to one long-lived process
+# ---------------------------------------------------------------------------
+
+
+class TestAffinityLanes:
+    def test_run_on_pins_process(self):
+        with PoolBackend(2) as backend:
+            assert backend.lane_count == 2
+            first = {lane: backend.run_on(lane, _pid, None) for lane in (0, 1)}
+            again = {lane: backend.run_on(lane, _pid, None) for lane in (0, 1)}
+            assert first == again  # residency-capable: same pid per lane
+            assert first[0] != first[1]  # lanes are distinct processes
+
+    def test_lane_out_of_range(self, pool2):
+        with pytest.raises(ValueError):
+            pool2.run_on(99, _square, 2)
+
+    def test_lane_crash_respawns_cold(self):
+        with PoolBackend(2) as backend:
+            before = backend.run_on(0, _pid, None)
+            with pytest.raises(WorkerCrashError):
+                backend.run_on(0, _exit_hard, None)
+            after = backend.run_on(0, _pid, None)
+            assert after != before  # fresh process: residency is gone
+
+    def test_lane_crash_does_not_poison_other_lanes(self):
+        with PoolBackend(2) as backend:
+            keep = backend.run_on(1, _pid, None)
+            with pytest.raises(WorkerCrashError):
+                backend.run_on(0, _exit_hard, None)
+            assert backend.run_on(1, _pid, None) == keep
+
+    def test_serial_lane_api(self):
+        backend = SerialBackend()
+        assert backend.lane_count == 1
+        assert backend.run_on(0, _square, 3) == 9
+        with pytest.raises(ValueError):
+            backend.run_on(1, _square, 3)
+        with backend.lane_lock(0):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Zero-copy output arenas
+# ---------------------------------------------------------------------------
+
+
+def _pack_arange(arena):
+    arr = np.arange(32, dtype=np.float64).reshape(8, 4)
+    return arena.pack([arr])[0]
+
+
+class TestArena:
+    def test_pack_read_roundtrip(self):
+        from repro.parallel.pool import ARENA_ALIGN, ArenaHandle
+
+        arena = ArenaHandle.allocate(4096)
+        try:
+            a = np.arange(12, dtype=np.float64).reshape(3, 4)
+            b = np.arange(7, dtype=np.int32)
+            refs = arena.pack([a, b])
+            assert all(ref.offset % ARENA_ALIGN == 0 for ref in refs)
+            np.testing.assert_array_equal(arena.read(refs[0]), a)
+            np.testing.assert_array_equal(arena.read(refs[1]), b)
+            assert arena.read(refs[0]).dtype == a.dtype
+        finally:
+            arena.unlink()
+
+    def test_overflow_returns_none(self):
+        from repro.parallel.pool import ArenaHandle
+
+        arena = ArenaHandle.allocate(128)
+        try:
+            assert arena.pack([np.zeros(1024, dtype=np.float64)]) is None
+        finally:
+            arena.unlink()
+
+    def test_worker_packs_parent_reads(self):
+        from repro.parallel.pool import ArenaHandle
+
+        arena = ArenaHandle.allocate(4096)
+        try:
+            with PoolBackend(1) as backend:
+                with backend.lane_lock(0):
+                    ref = backend.run_on(0, _pack_arange, arena)
+                    out = np.array(arena.read(ref))
+            np.testing.assert_array_equal(
+                out, np.arange(32, dtype=np.float64).reshape(8, 4)
+            )
+        finally:
+            arena.unlink()
+
+
+# ---------------------------------------------------------------------------
+# Shared-segment lifecycle: nothing strands /dev/shm, even across crashes
+# ---------------------------------------------------------------------------
+
+
+class TestSegmentAudit:
+    def test_create_and_unlink_tracked(self):
+        from repro.parallel.pool import live_created_segments
+
+        handle = SharedArray.create(np.ones(8))
+        assert handle.name in live_created_segments()
+        handle.unlink()
+        assert handle.name not in live_created_segments()
+
+    def test_audit_unlinks_stranded_segments(self):
+        from repro.parallel.pool import (
+            audit_shared_segments,
+            live_created_segments,
+        )
+
+        SharedArray.create(np.ones(16))  # deliberately not unlinked
+        assert audit_shared_segments() >= 1
+        assert live_created_segments() == ()
+        # Idempotent once clean.
+        assert audit_shared_segments() == 0
+
+    def test_worker_crash_strands_nothing(self, water_600):
+        """Regression (ISSUE 9): a WorkerCrashError mid-map must not
+        strand the shared input segments the parent published."""
+        from repro.parallel.pool import live_created_segments, shared_inputs
+
+        before = set(live_created_segments())
+        with PoolBackend(2) as backend:
+            with pytest.raises(WorkerCrashError):
+                with shared_inputs(
+                    backend, positions=water_600.positions
+                ) as handles:
+                    assert set(live_created_segments()) > before
+                    backend.map(_exit_hard, [1, 2])
+        assert set(live_created_segments()) == before
+
+    def test_arena_unlink_clears_registry(self):
+        from repro.parallel.pool import ArenaHandle, live_created_segments
+
+        arena = ArenaHandle.allocate(256)
+        name = arena.data.name
+        assert name in live_created_segments()
+        arena.unlink()
+        assert name not in live_created_segments()
