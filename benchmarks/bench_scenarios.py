@@ -1,0 +1,143 @@
+"""Scenario-layer overhead (DESIGN.md §15).
+
+Three informational measurements, plus one structural gate:
+
+* **Concretization throughput** — specs/sec over the full one-factor
+  variant matrix, first pass (cold: parse + defaults + rules) vs the
+  ``concretize_text`` LRU path the serve tier rides on every
+  fingerprint/system-key access.
+* **Campaign planning** — cells/sec for expand + concretize + dedup on
+  a few-hundred-cell matrix; this is pure-python bookkeeping and must
+  stay negligible next to a single kernel execution.
+* **Admission overhead** (the gate) — a spec-bearing `JobRequest`'s
+  validate + fingerprint + system_key must cost no more than 5x the
+  legacy field-form request's, because concretization is cached on the
+  spec text.  An uncached concretizer in the admission path would blow
+  this immediately.
+
+Run as a script for the table:
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.scenarios.campaign import plan_campaign
+from repro.scenarios.registry import variant_matrix
+from repro.scenarios.spec import concretize_text, parse_spec
+from repro.serve.jobs import JobRequest
+
+PLAN_MATRIX = (
+    "water@spc,water@spce,water@tip3p,ionic "
+    "n=900,1500,3000 elec=rf,pme ensemble=nve,nvt rung=cache,vec,fused "
+    "seed=2019,7"
+)
+ADMIT_REPS = 2000
+
+
+def _time(fn, reps: int = 1) -> float:
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return time.perf_counter() - t0
+
+
+def measure_concretization() -> dict:
+    cells = [text for text, _ in variant_matrix()]
+
+    def cold():
+        for text in cells:
+            try:
+                parse_spec(text).concretize()
+            except Exception:
+                pass
+
+    def cached():
+        for text in cells:
+            try:
+                concretize_text(text)
+            except Exception:
+                pass
+
+    cached()  # prime the LRU
+    t_cold = _time(cold)
+    t_cached = _time(cached)
+    return {
+        "cells": len(cells),
+        "cold_per_sec": len(cells) / t_cold,
+        "cached_per_sec": len(cells) / t_cached,
+    }
+
+
+def measure_planning() -> dict:
+    t0 = time.perf_counter()
+    plan = plan_campaign(PLAN_MATRIX)
+    elapsed = time.perf_counter() - t0
+    return {
+        "cells": len(plan.cells),
+        "runnable": len(plan.runnable),
+        "cells_per_sec": len(plan.cells) / elapsed,
+        "seconds": elapsed,
+    }
+
+
+def measure_admission() -> dict:
+    legacy = JobRequest(kind="kernel", n_particles=900, spec="MARK")
+    spec = JobRequest(
+        kind="kernel", scenario="water@spce n=1500 ensemble=nvt elec=rf"
+    )
+
+    def admit(req):
+        req.validate()
+        req.fingerprint
+        req.system_key
+
+    admit(spec)  # prime the concretize_text LRU
+    t_legacy = _time(lambda: admit(legacy), ADMIT_REPS)
+    t_spec = _time(lambda: admit(spec), ADMIT_REPS)
+    return {
+        "legacy_us": t_legacy / ADMIT_REPS * 1e6,
+        "scenario_us": t_spec / ADMIT_REPS * 1e6,
+        "ratio": t_spec / t_legacy,
+    }
+
+
+def test_cached_admission_overhead_bounded():
+    """Spec-bearing admission rides the concretization cache: it must
+    stay within 5x of the legacy request's bookkeeping cost."""
+    result = measure_admission()
+    assert result["ratio"] < 5.0, (
+        f"scenario admission {result['ratio']:.1f}x legacy "
+        f"({result['scenario_us']:.1f}us vs {result['legacy_us']:.1f}us) "
+        "— is concretization being re-run per access?"
+    )
+
+
+def test_planning_is_fast():
+    """Planning a few hundred cells must take well under a second."""
+    result = measure_planning()
+    assert result["cells"] >= 250
+    assert result["seconds"] < 1.0, result
+
+
+def main() -> None:
+    conc = measure_concretization()
+    print(f"concretization over {conc['cells']} matrix cells:")
+    print(f"  cold    {conc['cold_per_sec']:10.0f} specs/sec")
+    print(f"  cached  {conc['cached_per_sec']:10.0f} specs/sec")
+    plan = measure_planning()
+    print(f"campaign planning ({plan['cells']} cells, "
+          f"{plan['runnable']} runnable):")
+    print(f"  {plan['cells_per_sec']:10.0f} cells/sec "
+          f"({plan['seconds'] * 1e3:.1f} ms total)")
+    admit = measure_admission()
+    print("admission (validate + fingerprint + system_key):")
+    print(f"  legacy    {admit['legacy_us']:8.1f} us")
+    print(f"  scenario  {admit['scenario_us']:8.1f} us "
+          f"({admit['ratio']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

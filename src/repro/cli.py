@@ -71,6 +71,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rcut", type=float, default=0.9)
     run.add_argument("--seed", type=int, default=2019)
     run.add_argument(
+        "--spec", metavar="SPEC", default=None,
+        help="scenario spec, e.g. 'water@spce n=1500 ensemble=nvt "
+        "elec=rf' — overrides -n/--level/--rcut/--seed (DESIGN.md §15)",
+    )
+    run.add_argument(
         "--checkpoint-every", type=int, default=0, metavar="N",
         help="write a checkpoint every N completed steps (0 = never)",
     )
@@ -260,7 +265,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument(
         "--spec", default="MARK",
-        help="kernel strategy name (kernel kind; default: MARK)",
+        help="kernel strategy name (kernel kind; default: MARK) OR a "
+        "scenario spec like 'water@spce n=1500 ensemble=nvt elec=rf' — "
+        "anything that is not a known strategy name is concretized as "
+        "a scenario (DESIGN.md §15)",
     )
     submit.add_argument("-s", "--steps", type=int, default=5)
     submit.add_argument("--level", type=int, default=3, choices=range(4))
@@ -294,6 +302,72 @@ def _build_parser() -> argparse.ArgumentParser:
         "(metrics: per-tenant SLO metrics; fleet: router-only "
         "membership/ring dump; warmup: pre-build worker residency for "
         "the job described by the other flags — DESIGN.md §14)",
+    )
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="expand a scenario matrix and fan it over a serve tier",
+    )
+    campaign.add_argument(
+        "matrix",
+        help="spec matrix, e.g. 'water@spc,water@spce n=750,1500 "
+        "elec=rf,pme' (cross product; invalid corners are reported "
+        "skips, not errors)",
+    )
+    _add_address_args(campaign)
+    campaign.add_argument(
+        "--router", metavar="ADDR", default=None,
+        help="address a fleet router instead of --socket/--port",
+    )
+    campaign.add_argument(
+        "--self-serve", action="store_true",
+        help="run an in-process serve tier for the campaign (no "
+        "address flags needed; drains itself afterwards)",
+    )
+    campaign.add_argument(
+        "--kind", choices=("kernel", "md"), default="kernel",
+        help="job kind for every cell (default: kernel)",
+    )
+    campaign.add_argument("-s", "--steps", type=int, default=5)
+    campaign.add_argument("--tenant", default="campaign")
+    campaign.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall deadline from admission",
+    )
+    campaign.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON campaign report to FILE",
+    )
+    campaign.add_argument(
+        "--dry-run", action="store_true",
+        help="plan only: print the per-cell table (concrete spec / "
+        "skip reason / duplicate) without submitting anything",
+    )
+    campaign.add_argument(
+        "--connect-retries", type=int, default=0, metavar="N",
+        help="retry a refused/unbound initial connect N times",
+    )
+    campaign.add_argument(
+        "--connect-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="initial connect-retry backoff, doubling per attempt",
+    )
+
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list/audit the scenario registry (DESIGN.md §15)",
+    )
+    scenarios.add_argument(
+        "--audit", action="store_true",
+        help="concretize the full one-factor variant matrix; exit 1 on "
+        "drift (a cell failing outside the declared rules)",
+    )
+    scenarios.add_argument(
+        "--smoke", action="store_true",
+        help="run a tiny MD through every family on the serial backend",
+    )
+    scenarios.add_argument(
+        "--smoke-steps", type=int, default=2, metavar="N",
+        help="MD steps per family in --smoke (default: 2)",
     )
     return parser
 
@@ -356,20 +430,45 @@ def _cmd_run(args) -> int:
     from repro.md.water import build_water_system
     from repro.resilience import ResiliencePolicy, load_checkpoint
 
-    nb = NonbondedParams(
-        r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
-    )
     policy = ResiliencePolicy(
         checkpoint_every=args.checkpoint_every,
         checkpoint_path=args.checkpoint_path,
         faults=args.faults,
     )
-    system = build_water_system(args.particles, seed=args.seed)
-    minimize(system, MdConfig(nonbonded=nb), n_steps=60)
-    system.thermalize(300.0, np.random.default_rng(args.seed + 1))
-    engine = SWGromacsEngine(
-        system,
-        EngineConfig(
+    if args.spec is not None:
+        from repro.scenarios import (
+            SpecError,
+            build_scenario,
+            concretize_text,
+            engine_config_for,
+        )
+
+        try:
+            spec = concretize_text(args.spec)
+        except SpecError as exc:
+            print(f"run: invalid spec: {exc}", file=sys.stderr)
+            return 2
+        print(f"scenario: {spec.to_string()}")
+        system, nb = build_scenario(spec)
+        minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+        system.thermalize(spec.temp, np.random.default_rng(spec.seed + 1))
+        overrides = dict(
+            report_interval=max(args.steps // 10, 1),
+            resilience=policy,
+            backend=args.backend,
+            workers=args.workers,
+        )
+        if args.kernel is not None:
+            overrides["kernel_impl"] = args.kernel
+        config = engine_config_for(spec, **overrides)
+    else:
+        nb = NonbondedParams(
+            r_cut=args.rcut, r_list=args.rcut + 0.1, coulomb_mode="rf"
+        )
+        system = build_water_system(args.particles, seed=args.seed)
+        minimize(system, MdConfig(nonbonded=nb), n_steps=60)
+        system.thermalize(300.0, np.random.default_rng(args.seed + 1))
+        config = EngineConfig(
             nonbonded=nb,
             optimization_level=args.level,
             report_interval=max(args.steps // 10, 1),
@@ -377,8 +476,8 @@ def _cmd_run(args) -> int:
             backend=args.backend,
             workers=args.workers,
             kernel_impl=args.kernel,
-        ),
-    )
+        )
+    engine = SWGromacsEngine(system, config)
     if args.restart:
         ckpt = load_checkpoint(args.restart)
         engine.restore(ckpt)
@@ -814,9 +913,34 @@ def _cmd_fleet_worker(args) -> int:
     return asyncio.run(_main())
 
 
+def _job_request_from_args(args):
+    """Build the submit/warmup `JobRequest`, treating ``--spec`` as
+    dual-use: a known strategy name stays the legacy kernel field, any
+    other text is a scenario spec (concretized at admission)."""
+    from repro.core.kernels import ALL_SPECS
+    from repro.serve import JobRequest
+
+    common = dict(
+        kind=args.kind,
+        steps=args.steps,
+        tenant=args.tenant,
+        priority=getattr(args, "priority", 0),
+        timeout_s=getattr(args, "timeout", None),
+    )
+    if args.spec in ALL_SPECS:
+        return JobRequest(
+            n_particles=args.particles,
+            spec=args.spec,
+            level=args.level,
+            r_cut=args.rcut,
+            seed=args.seed,
+            **common,
+        )
+    return JobRequest(scenario=args.spec, **common)
+
+
 def _cmd_submit(args) -> int:
     from repro.serve import (
-        JobRequest,
         ServeClient,
         ServeConnectionError,
         ServeRequestError,
@@ -850,17 +974,7 @@ def _cmd_submit(args) -> int:
             # Warmup describes a job (it routes on the system key) but
             # is a control op: nothing is queued or executed for a
             # client, the owning worker just pre-builds residency.
-            request = JobRequest(
-                kind=args.kind,
-                n_particles=args.particles,
-                spec=args.spec,
-                steps=args.steps,
-                level=args.level,
-                r_cut=args.rcut,
-                seed=args.seed,
-                tenant=args.tenant,
-            )
-            info = client.warmup(request)
+            info = client.warmup(_job_request_from_args(args))
             if not info.get("resident"):
                 print(f"warmup skipped: {info.get('reason', 'unknown')}")
                 return 0
@@ -928,18 +1042,7 @@ def _cmd_submit(args) -> int:
         elif args.wait_id is not None:
             result = client.wait(args.wait_id)
         else:
-            request = JobRequest(
-                kind=args.kind,
-                n_particles=args.particles,
-                spec=args.spec,
-                steps=args.steps,
-                level=args.level,
-                r_cut=args.rcut,
-                seed=args.seed,
-                tenant=args.tenant,
-                priority=args.priority,
-                timeout_s=args.timeout,
-            )
+            request = _job_request_from_args(args)
             if args.no_wait:
                 job_id = client.submit(request, wait=False)
                 print(f"accepted: job {job_id}")
@@ -975,6 +1078,213 @@ def _cmd_submit(args) -> int:
     return 0
 
 
+def _print_campaign_report(report: dict) -> None:
+    print(f"campaign: {report['n_cells']} cells, "
+          f"{report['n_submitted']} submitted, "
+          f"{report['elapsed_seconds'] * 1e3:.1f} ms")
+    for label, count in sorted(report["counts"].items()):
+        print(f"  {label:18s} {count}")
+    for idx, cell in enumerate(report["cells"]):
+        status = cell["status"]
+        tail = ""
+        if status == "ok" and cell["result"]:
+            payload = cell["result"].get("payload") or {}
+            if "energy" in payload:
+                tail = f"  E={payload['energy']:.4f}"
+            elif "potential" in payload:
+                tail = f"  U={payload['potential']:.4f}"
+        elif cell["reason"]:
+            tail = f"  {cell['reason']}"
+        print(f"  [{idx:3d}] {status:16s} {cell['spec']}{tail}")
+
+
+def _cmd_campaign(args) -> int:
+    import json
+
+    from repro.scenarios import MatrixError, plan_campaign, run_campaign
+    from repro.serve import ServeClient, ServeConnectionError
+
+    if args.dry_run:
+        try:
+            plan = plan_campaign(args.matrix)
+        except MatrixError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        print(f"campaign plan: {len(plan.cells)} cells "
+              f"({len(plan.runnable)} runnable)")
+        for idx, cell in enumerate(plan.cells):
+            concrete = cell.spec.to_string() if cell.spec else cell.text
+            reason = f"  {cell.reason}" if cell.reason else ""
+            print(f"  [{idx:3d}] {cell.status:16s} {concrete}{reason}")
+        return 0
+
+    if args.self_serve:
+        report = _run_self_serve_campaign(args)
+        if report is None:
+            return 2
+    else:
+        if args.router is not None:
+            from repro.fleet.wire import parse_address
+
+            where = parse_address(args.router)
+            socket_path, host, port = where.socket_path, where.host, where.port
+        elif args.socket is not None or args.port is not None:
+            socket_path = args.socket
+            host = args.host if args.socket is None else None
+            port = args.port if args.socket is None else None
+        else:
+            print("campaign: need --socket PATH, --port N, --router ADDR, "
+                  "or --self-serve", file=sys.stderr)
+            return 2
+        client = ServeClient(
+            socket_path=socket_path, host=host, port=port,
+            connect_retries=args.connect_retries,
+            connect_backoff=args.connect_backoff,
+        )
+        try:
+            report = run_campaign(
+                client, args.matrix, kind=args.kind, steps=args.steps,
+                tenant=args.tenant, timeout_s=args.timeout,
+            )
+        except MatrixError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+        except ServeConnectionError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 3
+
+    _print_campaign_report(report)
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+        print(f"wrote report to {args.out}")
+    failed = report["counts"].get("failed", 0)
+    failed += report["counts"].get("rejected", 0)
+    return 1 if failed else 0
+
+
+def _run_self_serve_campaign(args) -> dict | None:
+    """Run the matrix against an in-process serve tier: start the
+    service in a worker thread on a temp socket, campaign against it,
+    drain.  One command = one self-contained scenario sweep (the CI
+    scenario-smoke job runs exactly this)."""
+    import asyncio
+    import tempfile
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.scenarios import MatrixError, run_campaign
+    from repro.serve import ServeClient, ServeConfig, SimulationService
+
+    with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+        sock = str(Path(tmp) / "campaign.sock")
+
+        async def _serve() -> None:
+            service = SimulationService(
+                ServeConfig(backend=args.backend, workers=args.workers)
+            )
+            await service.start()
+            await service.serve_unix(sock)
+            await service.run_until_drained()
+
+        thread = threading.Thread(target=lambda: asyncio.run(_serve()))
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30
+            while not Path(sock).exists():
+                if time.monotonic() > deadline:
+                    print("campaign: self-serve never came up",
+                          file=sys.stderr)
+                    return None
+                time.sleep(0.02)
+            client = ServeClient(socket_path=sock, connect_retries=20)
+            try:
+                return run_campaign(
+                    client, args.matrix, kind=args.kind, steps=args.steps,
+                    tenant=args.tenant, timeout_s=args.timeout,
+                )
+            except MatrixError as exc:
+                print(f"campaign: {exc}", file=sys.stderr)
+                return None
+            finally:
+                ServeClient(socket_path=sock).request({"op": "drain"})
+        finally:
+            thread.join(timeout=30)
+
+
+def _cmd_scenarios(args) -> int:
+    import json
+
+    from repro.scenarios import FAMILIES, VARIANTS, audit
+
+    if args.audit:
+        report = audit()
+        print(json.dumps(
+            {k: v for k, v in report.items() if k != "rejections"},
+            indent=2, sort_keys=True,
+        ))
+        for reason in report["rejections"][:8]:
+            print(f"  rejected: {reason}")
+        if report["drift"]:
+            for entry in report["drift"]:
+                print(f"DRIFT: {entry}", file=sys.stderr)
+            return 1
+        print(f"audit ok: {report['concretized']} concretized, "
+              f"{report['rejected']} rejected by declared rules, 0 drift")
+        return 0
+
+    if args.smoke:
+        return _scenarios_smoke(args)
+
+    print("scenario families:")
+    for family in FAMILIES.values():
+        versions = ", ".join(family.versions)
+        print(f"  {family.name:8s} @{family.default_version:6s} "
+              f"[{versions}] — {family.description}")
+    print("\nvariants:")
+    for variant in VARIANTS.values():
+        domain = (
+            "|".join(str(v) for v in variant.values)
+            if variant.values else variant.kind.__name__
+        )
+        scope = (
+            f" (families: {', '.join(variant.families)})"
+            if variant.families else ""
+        )
+        print(f"  {variant.name:12s} {domain:28s} {variant.doc}{scope}")
+    return 0
+
+
+def _scenarios_smoke(args) -> int:
+    """Tiny MD per family×version through the serial executor — the
+    CI gate that every registered builder actually integrates."""
+    from repro.scenarios import FAMILIES, concretize_text
+    from repro.serve.jobs import JobRequest, execute_md_request
+
+    failures = 0
+    for family in FAMILIES.values():
+        for version in family.versions:
+            text = f"{family.name}@{version} n=300 rcut=0.45 rung=fused"
+            spec = concretize_text(text)
+            request = JobRequest(
+                kind="md", scenario=text, steps=args.smoke_steps
+            )
+            request.validate()
+            summary = execute_md_request(request)
+            temp = summary.get("temperature")
+            ok = temp is not None and 0.0 < temp < 2000.0
+            status = "ok" if ok else "FAIL"
+            failures += 0 if ok else 1
+            print(f"  {status:4s} {spec.to_string()}  "
+                  f"T={temp:.1f}K U={summary.get('potential', 0.0):.2f}")
+    if failures:
+        print(f"smoke: {failures} families failed", file=sys.stderr)
+        return 1
+    print("smoke ok: every family/version integrated")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "trace": _cmd_trace,
@@ -986,6 +1296,8 @@ _COMMANDS = {
     "ttf": _cmd_ttf,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "campaign": _cmd_campaign,
+    "scenarios": _cmd_scenarios,
     "fleet": _cmd_fleet,
     "fleet-worker": _cmd_fleet_worker,
 }

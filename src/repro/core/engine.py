@@ -131,6 +131,10 @@ class EngineConfig:
     #: resolves ``REPRO_KERNEL``-or-scalar.  Bit-identical results —
     #: only speed differs.
     kernel_impl: str | None = None
+    #: Constraint solver (GROMACS' ``constraint-algorithm``): "auto"
+    #: (SETTLE for pure water, SHAKE otherwise), "settle", "lincs", or
+    #: "shake".  Scenario specs (DESIGN.md §15) select this per run.
+    constraint_algorithm: str = "auto"
 
     def __post_init__(self) -> None:
         if not 0 <= self.optimization_level <= 3:
@@ -221,7 +225,9 @@ class SWGromacsEngine:
         #: its per-CPE compute and DMA phases whenever the pair list is
         #: rebuilt (see `repro.core.kernels.run_kernel`).
         self.tracer = tracer
-        self.shake = build_constraint_solver(system, "auto")
+        self.shake = build_constraint_solver(
+            system, self.config.constraint_algorithm
+        )
         self.integrator = LeapfrogIntegrator(self.config.integrator, self.shake)
         #: Execution backend for fan-out work (process-wide shared
         #: instance when selected by name/env; never closed here).

@@ -52,7 +52,13 @@ from repro.md.settle import SettleParameters, SettleSolver
 from repro.md.velocity_verlet import VelocityVerletIntegrator
 from repro.md.system import ParticleSystem
 from repro.md.topology import Angle, Bond, Constraint, Dihedral, Topology
-from repro.md.water import build_lj_fluid, build_water_system
+from repro.md.water import (
+    build_embedded_solute,
+    build_ionic_solution,
+    build_lj_fluid,
+    build_lj_mixture,
+    build_water_system,
+)
 
 __all__ = [
     "Angle",
@@ -97,7 +103,10 @@ __all__ = [
     "Topology",
     "brute_force_pairs",
     "brute_force_short_range",
+    "build_embedded_solute",
+    "build_ionic_solution",
     "build_lj_fluid",
+    "build_lj_mixture",
     "build_pair_list",
     "build_water_system",
     "compute_bonded",

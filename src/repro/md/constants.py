@@ -85,6 +85,22 @@ LJ_FLUID = AtomType.from_sigma_epsilon("AR", 39.948, 0.3405, 0.996)
 #: Reduced density 0.8 for liquid argon, particles / nm^3.
 LJ_FLUID_DENSITY = 0.8 / 0.3405**3
 
+# --- monatomic ions (aqueous NaCl, Joung-Cheatham-like SPC set) -------------
+#: Na+ LJ site; charge (+1) is carried per particle by the topology.
+NA_ION = AtomType.from_sigma_epsilon("NA", 22.98977, 0.2160, 1.4754)
+#: Cl- LJ site; charge (-1) is carried per particle by the topology.
+CL_ION = AtomType.from_sigma_epsilon("CL", 35.45300, 0.4830, 0.0535)
+ION_CHARGE_NA = 1.0
+ION_CHARGE_CL = -1.0
+
+# --- second LJ species (krypton-like) for the binary mixture ----------------
+LJ_FLUID_B = AtomType.from_sigma_epsilon("KR", 83.798, 0.3633, 1.389)
+
+# --- one big uncharged LJ sphere embedded in water --------------------------
+#: A coarse solute bead (~2x water oxygen sigma), massive enough to sit
+#: nearly still over short test trajectories.
+SOLUTE_LJ = AtomType.from_sigma_epsilon("SOL", 120.0, 0.60, 1.20)
+
 
 @dataclass(frozen=True)
 class WaterGeometry:

@@ -1,0 +1,87 @@
+"""repro.scenarios — Spack-style scenario specs + campaign runner.
+
+Public surface (DESIGN.md §15):
+
+* spec language — :func:`parse_spec`, :func:`spec_from_dict`,
+  :class:`ScenarioSpec` (abstract until ``.concretize()``), the
+  :class:`SpecError` hierarchy;
+* registry — :data:`FAMILIES`, :func:`register_family`,
+  :func:`build_scenario`, :func:`engine_config_for`,
+  :func:`md_config_for`, :func:`scenario_fingerprint`, :func:`audit`;
+* campaign — :func:`expand_matrix`, :func:`plan_campaign`,
+  :func:`run_campaign`.
+"""
+
+from repro.scenarios.spec import (
+    RUNGS,
+    SYSTEM_VARIANTS,
+    VARIANTS,
+    ScenarioSpec,
+    SpecConflictError,
+    SpecDependencyError,
+    SpecError,
+    SpecParseError,
+    UnknownVariantError,
+    concretize_text,
+    parse_spec,
+    spec_from_dict,
+)
+from repro.scenarios.registry import (
+    FAMILIES,
+    RUNG_TO_KERNEL_SPEC,
+    RUNG_TO_LEVEL,
+    ScenarioFamily,
+    audit,
+    build_scenario,
+    engine_config_for,
+    get_family,
+    kernel_spec_name_for,
+    md_config_for,
+    nonbonded_for,
+    register_family,
+    scenario_fingerprint,
+    variant_matrix,
+)
+from repro.scenarios.campaign import (
+    CampaignCell,
+    CampaignPlan,
+    MatrixError,
+    expand_matrix,
+    plan_campaign,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignCell",
+    "CampaignPlan",
+    "FAMILIES",
+    "MatrixError",
+    "RUNGS",
+    "RUNG_TO_KERNEL_SPEC",
+    "RUNG_TO_LEVEL",
+    "SYSTEM_VARIANTS",
+    "ScenarioFamily",
+    "ScenarioSpec",
+    "SpecConflictError",
+    "SpecDependencyError",
+    "SpecError",
+    "SpecParseError",
+    "UnknownVariantError",
+    "VARIANTS",
+    "audit",
+    "build_scenario",
+    "concretize_text",
+    "engine_config_for",
+    "expand_matrix",
+    "get_family",
+    "kernel_spec_name_for",
+    "md_config_for",
+    "nonbonded_for",
+    "parse_spec",
+    "plan_campaign",
+    "register_family",
+    "run_campaign",
+    "scenario_fingerprint",
+    "spec_from_dict",
+    "variant_matrix",
+]

@@ -1,0 +1,245 @@
+"""Campaign runner: expand a spec matrix, fan it out over serve.
+
+A *matrix* is spec text where the head and any variant may carry a
+comma-separated value list::
+
+    water@spc,water@spce n=750,1500 elec=rf,pme ensemble=nve,nvt
+
+:func:`expand_matrix` takes the cross product (here 2x2x2x2 = 16
+cells); :func:`plan_campaign` concretizes every cell, separating
+runnable cells from declared-rule rejections (**skip-on-conflict**: a
+matrix is allowed to sweep through invalid corners — ``elec=pme`` on the
+uncharged mixture simply reports the violated dependency).  Duplicate
+cells (two texts concretizing identically) collapse to one submission
+and are reported as such.
+
+:func:`run_campaign` submits every runnable cell through a
+:class:`~repro.serve.client.ServeClient` (plain serve or fleet router —
+same wire protocol), waits for per-cell results, and assembles a
+JSON-able report: per-cell status/payload digest, dedup/conflict
+counts, and wall time.  The CLI (`repro campaign`) prints the table and
+writes the report.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    SpecConflictError,
+    SpecDependencyError,
+    SpecError,
+    parse_spec,
+)
+
+#: Cell states in the campaign report (wire/JSON stable).
+CELL_OK = "ok"
+CELL_SKIPPED = "skipped_conflict"
+CELL_DUPLICATE = "duplicate_cell"
+CELL_REJECTED = "rejected"
+CELL_FAILED = "failed"
+
+
+class MatrixError(ValueError):
+    """Malformed matrix text (distinct from per-cell spec errors)."""
+
+
+def expand_matrix(text: str) -> list[str]:
+    """Expand matrix text into one spec text per cell (cross product).
+
+    The head is a comma-separated list of ``family[@version]`` atoms;
+    each ``name=v1,v2,...`` token contributes one axis.  Expansion is
+    purely textual — per-cell validation happens at concretization, so
+    invalid corners of the matrix surface as *reported skips*, not
+    expansion failures.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise MatrixError("empty campaign matrix")
+    tokens = text.split()
+    head = tokens[0]
+    if "=" in head:
+        raise MatrixError(
+            f"matrix must start with family head(s), got {head!r}"
+        )
+    heads = [h for h in head.split(",") if h]
+    if not heads:
+        raise MatrixError(f"no family in matrix head {head!r}")
+    axes: list[list[str]] = []
+    for token in tokens[1:]:
+        name, sep, raw = token.partition("=")
+        if not sep or not name or not raw:
+            raise MatrixError(
+                f"bad matrix token {token!r} (expected name=v1,v2,...)"
+            )
+        values = [v for v in raw.split(",") if v]
+        if not values:
+            raise MatrixError(f"no values in matrix token {token!r}")
+        axes.append([f"{name}={v}" for v in values])
+    cells = []
+    for h in heads:
+        for combo in itertools.product(*axes):
+            cells.append(" ".join([h, *combo]))
+    return cells
+
+
+@dataclass
+class CampaignCell:
+    """One matrix cell through its lifecycle."""
+
+    text: str
+    spec: ScenarioSpec | None = None  # concrete, when status allows
+    status: str = CELL_OK
+    reason: str | None = None
+    job_id: int | None = None
+    #: For duplicate cells: index of the cell that carries the job.
+    duplicate_of: int | None = None
+    result: dict | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.text,
+            "concrete": self.spec.to_string() if self.spec else None,
+            "status": self.status,
+            "reason": self.reason,
+            "job_id": self.job_id,
+            "duplicate_of": self.duplicate_of,
+            "result": self.result,
+        }
+
+
+@dataclass
+class CampaignPlan:
+    """Concretized matrix: runnable cells + registered skips."""
+
+    matrix: str
+    cells: list[CampaignCell] = field(default_factory=list)
+
+    @property
+    def runnable(self) -> list[CampaignCell]:
+        return [c for c in self.cells if c.status == CELL_OK]
+
+    def counts(self) -> dict:
+        counts: dict[str, int] = {}
+        for cell in self.cells:
+            counts[cell.status] = counts.get(cell.status, 0) + 1
+        return counts
+
+
+def plan_campaign(matrix: str) -> CampaignPlan:
+    """Expand + concretize ``matrix``; never raises on per-cell rule
+    violations (they become ``skipped_conflict`` cells whose reason
+    names the violated dependency/conflict)."""
+    plan = CampaignPlan(matrix=matrix)
+    seen: dict[str, int] = {}
+    for text in expand_matrix(matrix):
+        cell = CampaignCell(text=text)
+        plan.cells.append(cell)
+        try:
+            cell.spec = parse_spec(text).concretize()
+        except (SpecConflictError, SpecDependencyError) as exc:
+            cell.status = CELL_SKIPPED
+            cell.reason = str(exc)
+            continue
+        except SpecError as exc:
+            # Parse/unknown-variant errors are *matrix* bugs, not swept
+            # corners: fail loudly rather than skipping silently.
+            raise MatrixError(f"bad matrix cell {text!r}: {exc}") from exc
+        canonical = cell.spec.to_string()
+        if canonical in seen:
+            cell.status = CELL_DUPLICATE
+            cell.duplicate_of = seen[canonical]
+            cell.reason = (
+                f"concretizes identically to cell {seen[canonical]}"
+            )
+        else:
+            seen[canonical] = len(plan.cells) - 1
+    return plan
+
+
+def _payload_digest(payload: dict | None) -> dict | None:
+    """Small, JSON-safe per-cell result summary for the report."""
+    if payload is None:
+        return None
+    keep = (
+        "energy", "forces_fp", "modelled_seconds", "potential", "kinetic",
+        "temperature", "positions_fp", "n_particles", "n_steps", "level",
+    )
+    return {k: payload[k] for k in keep if k in payload}
+
+
+def run_campaign(
+    client,
+    matrix: str,
+    kind: str = "kernel",
+    steps: int = 5,
+    tenant: str = "campaign",
+    timeout_s: float | None = None,
+) -> dict:
+    """Run ``matrix`` over ``client`` (a `ServeClient`); returns the
+    JSON-able campaign report.
+
+    All runnable cells are enqueued first (``wait=False``) so the serve
+    tier's batcher/dedup/residency machinery sees the whole campaign at
+    once — cells sharing a system key coalesce exactly like any other
+    burst — then results are collected per cell.
+    """
+    from repro.serve.client import ServeRequestError
+    from repro.serve.jobs import JobRequest
+
+    plan = plan_campaign(matrix)
+    t0 = time.monotonic()
+
+    for idx, cell in enumerate(plan.cells):
+        if cell.status != CELL_OK:
+            continue
+        request = JobRequest(
+            kind=kind,
+            steps=steps,
+            scenario=cell.spec.to_string(),
+            tenant=tenant,
+            timeout_s=timeout_s,
+        )
+        try:
+            cell.job_id = client.submit(request, wait=False)
+        except ServeRequestError as exc:
+            cell.status = CELL_REJECTED
+            cell.reason = f"[{exc.code}] {exc.message}"
+
+    for cell in plan.cells:
+        if cell.status != CELL_OK or cell.job_id is None:
+            continue
+        result = client.wait(cell.job_id)
+        if result.ok:
+            cell.result = {
+                "executed": result.executed,
+                "result_code": result.result_code,
+                "queue_seconds": result.queue_seconds,
+                "execute_seconds": result.execute_seconds,
+                "payload": _payload_digest(result.payload),
+            }
+        else:
+            cell.status = CELL_FAILED
+            cell.reason = f"[{result.error.code}] {result.error.message}"
+
+    # Duplicate cells inherit their twin's terminal state for the report.
+    for cell in plan.cells:
+        if cell.status == CELL_DUPLICATE and cell.duplicate_of is not None:
+            twin = plan.cells[cell.duplicate_of]
+            cell.result = twin.result
+
+    counts = plan.counts()
+    return {
+        "matrix": matrix,
+        "kind": kind,
+        "steps": steps if kind == "md" else None,
+        "cells": [c.to_dict() for c in plan.cells],
+        "counts": counts,
+        "n_cells": len(plan.cells),
+        "n_submitted": sum(
+            1 for c in plan.cells if c.job_id is not None
+        ),
+        "elapsed_seconds": time.monotonic() - t0,
+    }

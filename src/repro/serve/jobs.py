@@ -84,6 +84,13 @@ class JobRequest:
     #: joins the fingerprint, but only when True: default requests keep
     #: their historical fingerprints (and durable result-store keys).
     return_forces: bool = False
+    #: Scenario spec text (DESIGN.md §15), e.g. ``"water@spce n=1500
+    #: ensemble=nvt elec=rf"``.  When set, the *concretized* spec
+    #: replaces ``n_particles``/``spec``/``level``/``r_cut``/``seed`` as
+    #: the system/strategy description: the fingerprint and system key
+    #: derive from the concrete canonical form, so two textually
+    #: different spellings that concretize identically deduplicate.
+    scenario: str | None = None
 
     def validate(self) -> None:
         """Raise :class:`InvalidRequestError` on a request that can
@@ -92,11 +99,27 @@ class JobRequest:
             raise InvalidRequestError(
                 f"unknown job kind {self.kind!r}; expected one of {JOB_KINDS}"
             )
-        if self.kind == KIND_KERNEL and self.spec not in _spec_names():
+        if self.scenario is not None:
+            # Concretization IS the validation: dependency/conflict
+            # violations surface here, at admission, with the violated
+            # rule named — never as a runtime build failure.
+            from repro.scenarios.spec import SpecError
+
+            try:
+                self.resolved_scenario()
+            except SpecError as exc:
+                raise InvalidRequestError(
+                    f"invalid scenario spec: {exc}"
+                ) from exc
+        if (
+            self.scenario is None
+            and self.kind == KIND_KERNEL
+            and self.spec not in _spec_names()
+        ):
             raise InvalidRequestError(
                 f"unknown kernel spec {self.spec!r}; known: {_spec_names()}"
             )
-        if self.n_particles < 3:
+        if self.scenario is None and self.n_particles < 3:
             raise InvalidRequestError(
                 f"n_particles must be >= 3: {self.n_particles}"
             )
@@ -116,8 +139,44 @@ class JobRequest:
             )
 
     # -- identity ----------------------------------------------------------
+    def resolved_scenario(self):
+        """The concretized :class:`~repro.scenarios.spec.ScenarioSpec`
+        for :attr:`scenario`, or None.  Cached on the spec text, so
+        fingerprint/system-key access stays cheap."""
+        if self.scenario is None:
+            return None
+        from repro.scenarios.spec import concretize_text
+
+        return concretize_text(self.scenario)
+
+    @property
+    def kernel_spec_name(self) -> str:
+        """Strategy-kernel name to execute: the scenario rung's rung->
+        strategy mapping when a spec is set, else :attr:`spec`."""
+        if self.scenario is not None:
+            from repro.scenarios.registry import kernel_spec_name_for
+
+            return kernel_spec_name_for(self.resolved_scenario())
+        return self.spec
+
     def canonical(self) -> dict:
-        """Execution-relevant fields only, in a fixed order."""
+        """Execution-relevant fields only, in a fixed order.
+
+        Spec-bearing requests canonicalize through the *concrete* spec
+        string: ``"water elec=rf"`` and ``"water@spc"`` share one
+        fingerprint because they concretize identically (the satellite
+        dedup fix — the batcher and durable store key on this).
+        """
+        if self.scenario is not None:
+            out = {
+                "kind": self.kind,
+                "scenario": self.resolved_scenario().to_string(),
+            }
+            if self.kind == KIND_MD:
+                out["steps"] = int(self.steps)
+            if self.return_forces:
+                out["return_forces"] = True
+            return out
         out = {
             "kind": self.kind,
             "n_particles": int(self.n_particles),
@@ -142,8 +201,20 @@ class JobRequest:
     @property
     def system_key(self) -> tuple:
         """Batching-compatibility key: requests sharing it run against
-        the same particle system and pair list, so one worker can serve
-        them all off one shared `StepCache`."""
+        the same particle system, pair list, *and* nonbonded parameters,
+        so one worker can serve them all off one shared `StepCache`.
+
+        Spec-bearing requests key on the concrete spec's system-defining
+        subset (family/version/n/seed/rcut/temp/elec/...), which is also
+        what the fleet ring routes on — residency affinity and sharded
+        dedup locality hold for scenarios exactly as for legacy keys.
+        """
+        if self.scenario is not None:
+            return (
+                self.kind,
+                "scenario",
+                self.resolved_scenario().system_canonical(),
+            )
         return (
             self.kind,
             int(self.n_particles),
@@ -246,7 +317,17 @@ class JobResult:
 
 
 def _build_request_system(request: JobRequest):
-    """Deterministic system + nonbonded params for a request."""
+    """Deterministic system + nonbonded params for a request.
+
+    Spec-bearing requests build through the scenario registry; legacy
+    requests keep the historical water path bit-for-bit (a water spec
+    with matching n/seed/rcut produces the identical system — the
+    registry calls the same builder with the same arguments).
+    """
+    if request.scenario is not None:
+        from repro.scenarios.registry import build_scenario
+
+        return build_scenario(request.resolved_scenario())
     from repro.md.nonbonded import NonbondedParams
     from repro.md.water import build_water_system
 
@@ -298,7 +379,7 @@ def execute_kernel_request(
     system, nb = _build_request_system(request)
     plist = build_pair_list(system, nb.r_list)
     result = run_kernel(
-        system, plist, nb, ALL_SPECS[request.spec], cache=cache
+        system, plist, nb, ALL_SPECS[request.kernel_spec_name], cache=cache
     )
     payload = _kernel_payload(result, result.forces)
     if request.return_forces:
@@ -321,16 +402,25 @@ def execute_md_request(request: JobRequest, progress=None) -> dict:
 
     system, nb = _build_request_system(request)
     minimize(system, MdConfig(nonbonded=nb), n_steps=60)
-    system.thermalize(300.0, _np.random.default_rng(request.seed + 1))
-    engine = SWGromacsEngine(
-        system,
-        EngineConfig(
+    if request.scenario is not None:
+        from repro.scenarios.registry import engine_config_for
+
+        spec = request.resolved_scenario()
+        system.thermalize(spec.temp, _np.random.default_rng(spec.seed + 1))
+        config = engine_config_for(
+            spec,
+            report_interval=max(request.steps // 5, 1),
+            backend="serial",  # pool workers force nested-serial anyway
+        )
+    else:
+        system.thermalize(300.0, _np.random.default_rng(request.seed + 1))
+        config = EngineConfig(
             nonbonded=nb,
             optimization_level=request.level,
             report_interval=max(request.steps // 5, 1),
             backend="serial",  # pool workers force nested-serial anyway
-        ),
-    )
+        )
+    engine = SWGromacsEngine(system, config)
     result = engine.run(request.steps, progress=progress)
     return result.summary()
 
@@ -395,7 +485,7 @@ def execute_batch(
         for idx in indices:
             req = requests[idx]
             result = run_kernel(
-                system, plist, nb, ALL_SPECS[req.spec], cache=cache
+                system, plist, nb, ALL_SPECS[req.kernel_spec_name], cache=cache
             )
             payloads[idx] = _kernel_payload(result, result.forces)
             if req.return_forces:

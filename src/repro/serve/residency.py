@@ -339,7 +339,7 @@ def execute_batch_with(
                 entry.system,
                 entry.plist,
                 entry.nb,
-                ALL_SPECS[req.spec],
+                ALL_SPECS[req.kernel_spec_name],
                 cache=entry.cache,
             )
             payloads[idx] = _kernel_payload(result, result.forces)
@@ -417,7 +417,8 @@ def warmup_with(cache: ResidentCache, request: JobRequest) -> dict:
     builds0 = cache.stats.builds
     entry = cache.get_or_build(request)
     run_kernel(
-        entry.system, entry.plist, entry.nb, ALL_SPECS[request.spec],
+        entry.system, entry.plist, entry.nb,
+        ALL_SPECS[request.kernel_spec_name],
         cache=entry.cache,
     )
     return {

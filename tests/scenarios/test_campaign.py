@@ -1,0 +1,159 @@
+"""Campaign mechanics: matrix expansion, skip-on-conflict planning,
+duplicate collapse, and the report shape (client faked; the live
+serve round-trip lives in tests/serve/test_scenario_jobs.py and the
+CLI test)."""
+
+import json
+
+import pytest
+
+from repro.scenarios.campaign import (
+    CELL_DUPLICATE,
+    CELL_FAILED,
+    CELL_OK,
+    CELL_SKIPPED,
+    CampaignPlan,
+    MatrixError,
+    expand_matrix,
+    plan_campaign,
+    run_campaign,
+)
+
+
+class TestExpandMatrix:
+    def test_single_cell(self):
+        assert expand_matrix("water") == ["water"]
+
+    def test_cross_product(self):
+        cells = expand_matrix("water@spc,water@spce n=600,900 elec=rf,pme")
+        assert len(cells) == 8
+        assert "water@spc n=600 elec=rf" in cells
+        assert "water@spce n=900 elec=pme" in cells
+
+    def test_head_axis_order_preserved(self):
+        cells = expand_matrix("ljmix,water n=300")
+        assert cells[0].startswith("ljmix")
+        assert cells[-1].startswith("water")
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "n=300", "water n=", "water =300", "water n",
+    ])
+    def test_malformed_matrix(self, bad):
+        with pytest.raises(MatrixError):
+            expand_matrix(bad)
+
+
+class TestPlan:
+    def test_skip_on_conflict(self):
+        plan = plan_campaign("ljmix,water elec=rf,pme n=600 rcut=0.45")
+        by_status = {}
+        for cell in plan.cells:
+            by_status.setdefault(cell.status, []).append(cell)
+        # ljmix+pme violates the charged-system dependency: reported
+        # skip, not an expansion error.
+        assert len(by_status[CELL_SKIPPED]) == 1
+        skipped = by_status[CELL_SKIPPED][0]
+        assert "charged system" in skipped.reason
+        assert len(plan.runnable) == 3
+
+    def test_bad_cell_is_matrix_error(self):
+        # Unknown names/values are matrix bugs, not swept corners.
+        with pytest.raises(MatrixError, match="bad matrix cell"):
+            plan_campaign("water ensemble=npt,nve")
+
+    def test_duplicates_collapse(self):
+        # Distinct cells stay distinct...
+        plan = plan_campaign("water seed=2019,7")
+        assert all(c.status == CELL_OK for c in plan.cells)
+        # ...but explicit default == omitted default collapses.
+        plan = plan_campaign("water elec=rf rung=fused,fused")
+        dup = [c for c in plan.cells if c.status == CELL_DUPLICATE]
+        assert len(dup) == 1
+        assert dup[0].duplicate_of == 0
+        assert len(plan.runnable) == 1
+
+    def test_counts(self):
+        plan = plan_campaign("ljmix,water elec=rf,pme n=600 rcut=0.45")
+        counts = plan.counts()
+        assert counts[CELL_OK] == 3
+        assert counts[CELL_SKIPPED] == 1
+
+
+class _FakeResult:
+    def __init__(self, ok=True, payload=None):
+        self.ok = ok
+        self.executed = True
+        self.result_code = None
+        self.queue_seconds = 0.0
+        self.execute_seconds = 0.0
+        self.payload = payload or {"energy": 1.0, "extra": object()}
+        if not ok:
+            self.error = type(
+                "E", (), {"code": "execution_failed", "message": "boom"}
+            )()
+
+
+class _FakeClient:
+    """Duck-typed ServeClient: records requests, serves canned results."""
+
+    def __init__(self, fail_jobs=()):
+        self.submitted = []
+        self.fail_jobs = set(fail_jobs)
+
+    def submit(self, request, wait=True):
+        request.validate()
+        self.submitted.append(request)
+        return len(self.submitted)
+
+    def wait(self, job_id):
+        return _FakeResult(ok=job_id not in self.fail_jobs)
+
+
+class TestRunCampaign:
+    def test_report_shape_and_submission(self):
+        client = _FakeClient()
+        report = run_campaign(
+            client, "water elec=rf,pme n=600 rcut=0.45", kind="kernel"
+        )
+        assert report["n_cells"] == 2
+        assert report["n_submitted"] == 2
+        assert report["counts"] == {CELL_OK: 2}
+        assert all(r.scenario for r in client.submitted)
+        assert all(r.kind == "kernel" for r in client.submitted)
+        # Payload digest keeps known keys only and stays JSON-able.
+        json.dumps(report)
+        payload = report["cells"][0]["result"]["payload"]
+        assert payload == {"energy": 1.0}
+
+    def test_failed_cell_reported(self):
+        client = _FakeClient(fail_jobs={1})
+        report = run_campaign(
+            client, "water elec=rf,pme n=600 rcut=0.45"
+        )
+        statuses = [c["status"] for c in report["cells"]]
+        assert statuses.count(CELL_FAILED) == 1
+        failed = next(
+            c for c in report["cells"] if c["status"] == CELL_FAILED
+        )
+        assert "execution_failed" in failed["reason"]
+
+    def test_duplicates_submit_once_share_result(self):
+        client = _FakeClient()
+        report = run_campaign(client, "water rung=fused,fused")
+        assert report["n_submitted"] == 1
+        assert len(client.submitted) == 1
+        cells = report["cells"]
+        assert cells[1]["status"] == CELL_DUPLICATE
+        assert cells[1]["result"] == cells[0]["result"]
+
+    def test_md_kind_carries_steps(self):
+        client = _FakeClient()
+        report = run_campaign(client, "water n=600 rcut=0.45",
+                              kind="md", steps=3)
+        assert client.submitted[0].kind == "md"
+        assert client.submitted[0].steps == 3
+        assert report["steps"] == 3
+
+    def test_runnable_property(self):
+        plan = CampaignPlan(matrix="x")
+        assert plan.runnable == []

@@ -1,0 +1,207 @@
+"""Concretizer semantics: defaults-fill, dependency propagation,
+conflict messages, and spec -> string -> spec round-trips."""
+
+import pytest
+
+from repro.scenarios.spec import (
+    SYSTEM_VARIANTS,
+    VARIANTS,
+    SpecConflictError,
+    SpecDependencyError,
+    SpecError,
+    SpecParseError,
+    UnknownVariantError,
+    concretize_text,
+    parse_spec,
+    spec_from_dict,
+)
+
+
+class TestParse:
+    def test_head_only(self):
+        spec = parse_spec("water")
+        assert spec.family == "water"
+        assert spec.version is None
+        assert not spec.concrete
+
+    def test_head_with_version_and_variants(self):
+        spec = parse_spec("water@spce n=1500 ensemble=nvt elec=rf")
+        assert spec.family == "water"
+        assert spec.version == "spce"
+        assert spec["n"] == 1500
+        assert spec["ensemble"] == "nvt"
+
+    def test_attribute_access(self):
+        spec = parse_spec("water n=1500")
+        assert spec.n == 1500
+
+    def test_unknown_variant_name(self):
+        with pytest.raises(UnknownVariantError, match="unknown variant"):
+            parse_spec("water nparticles=1500")
+
+    def test_out_of_domain_value(self):
+        with pytest.raises(UnknownVariantError, match="ensemble"):
+            parse_spec("water ensemble=npt")
+
+    def test_bad_typed_value(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("water n=many")
+
+    def test_duplicate_variant(self):
+        with pytest.raises(SpecParseError, match="duplicate"):
+            parse_spec("water n=100 n=200")
+
+    def test_empty_text(self):
+        with pytest.raises(SpecParseError):
+            parse_spec("   ")
+
+    def test_unknown_family_surfaces_at_concretize(self):
+        with pytest.raises(SpecParseError, match="unknown scenario family"):
+            parse_spec("plasma n=100").concretize()
+
+    def test_unknown_version(self):
+        with pytest.raises(SpecParseError, match="version"):
+            parse_spec("water@tip4p").concretize()
+
+
+class TestDefaultsFill:
+    def test_every_variant_filled(self):
+        spec = concretize_text("water")
+        for name, variant in VARIANTS.items():
+            if variant.families and spec.family not in variant.families:
+                continue
+            assert spec.get(name) is not None
+
+    def test_water_defaults_match_legacy_request(self):
+        # The serve tier's historical water workload: these defaults are
+        # load-bearing (bit-identity of water-as-spec vs JobRequest).
+        spec = concretize_text("water")
+        assert spec.version == "spc"
+        assert spec["n"] == 900
+        assert spec["seed"] == 2019
+        assert spec["rcut"] == pytest.approx(0.9)
+        assert spec["temp"] == pytest.approx(300.0)
+        assert spec["elec"] == "rf"
+
+    def test_elec_default_tracks_charges(self):
+        assert concretize_text("water")["elec"] == "rf"
+        assert concretize_text("ionic")["elec"] == "rf"
+        assert concretize_text("ljmix")["elec"] == "none"
+
+    def test_temp_default_tracks_family(self):
+        assert concretize_text("water")["temp"] == pytest.approx(300.0)
+        assert concretize_text("ljmix")["temp"] == pytest.approx(120.0)
+
+    def test_family_scoped_variant_not_filled_elsewhere(self):
+        spec = concretize_text("water")
+        assert spec.get("ion_frac") is None
+        assert concretize_text("ionic")["ion_frac"] == pytest.approx(0.05)
+
+    def test_family_scoped_variant_rejected_elsewhere(self):
+        with pytest.raises(SpecError, match="ion_frac"):
+            concretize_text("water ion_frac=0.1")
+
+
+class TestRules:
+    def test_pme_needs_charges(self):
+        with pytest.raises(SpecDependencyError, match="charged system"):
+            concretize_text("ljmix elec=pme")
+
+    def test_pme_needs_capable_rung(self):
+        with pytest.raises(SpecDependencyError, match="rung"):
+            concretize_text("water elec=pme rung=ori")
+
+    def test_pme_on_capable_rung_ok(self):
+        spec = concretize_text("water elec=pme rung=cache")
+        assert spec["elec"] == "pme"
+
+    def test_settle_needs_pure_water(self):
+        with pytest.raises(SpecConflictError, match="pure 3-site water"):
+            concretize_text("ionic constraints=settle")
+
+    def test_settle_on_water_ok(self):
+        spec = concretize_text("water constraints=settle")
+        assert spec["constraints"] == "settle"
+
+    def test_constraints_need_constrained_topology(self):
+        with pytest.raises(SpecError, match="constraint"):
+            concretize_text("ljmix constraints=shake")
+
+    def test_cross_platform_needs_ori_rung(self):
+        with pytest.raises(SpecConflictError, match="sw26010"):
+            concretize_text("water platform=knl")
+        spec = concretize_text("water platform=knl rung=ori")
+        assert spec["platform"] == "knl"
+
+    def test_error_names_the_rule(self):
+        with pytest.raises(SpecDependencyError, match=r"depends_on\("):
+            concretize_text("ljmix elec=pme")
+        with pytest.raises(SpecConflictError, match=r"conflicts\("):
+            concretize_text("ionic constraints=settle")
+
+    def test_box_edge_check(self):
+        with pytest.raises(SpecConflictError, match="box"):
+            concretize_text("water n=300")  # rcut=0.9 box too small
+        concretize_text("water n=300 rcut=0.45")  # fits
+
+    def test_value_range_checks(self):
+        with pytest.raises(SpecError):
+            concretize_text("water rcut=-1")
+        with pytest.raises(SpecError):
+            concretize_text("water temp=0")
+        with pytest.raises(SpecError):
+            concretize_text("ionic ion_frac=0.9")
+        with pytest.raises(SpecError):
+            concretize_text("water n=1")
+
+
+class TestRoundTrip:
+    def test_concrete_round_trip_is_identity(self):
+        spec = concretize_text("water@spce n=1500 ensemble=nvt elec=rf")
+        again = parse_spec(spec.to_string()).concretize()
+        assert again == spec
+        assert again.to_string() == spec.to_string()
+
+    def test_order_insensitive(self):
+        a = concretize_text("water@spce n=1500 ensemble=nvt elec=rf")
+        b = concretize_text("water@spce elec=rf ensemble=nvt n=1500")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_explicit_defaults_collapse(self):
+        a = concretize_text("water")
+        b = concretize_text("water@spc n=900 elec=rf seed=2019")
+        assert a.to_string() == b.to_string()
+
+    def test_abstract_vs_concrete_not_equal(self):
+        abstract = parse_spec("water")
+        assert abstract != abstract.concretize()
+
+    def test_system_canonical_subsets_variants(self):
+        spec = concretize_text("water n=600 rcut=0.45 rung=cache")
+        canon = spec.system_canonical()
+        assert canon.startswith("water@spc")
+        assert "n=600" in canon
+        assert "rung" not in canon  # strategy is not system identity
+        for name in SYSTEM_VARIANTS:
+            if VARIANTS[name].families:
+                continue
+            assert f"{name}=" in canon
+
+    def test_rung_changes_string_not_system(self):
+        a = concretize_text("water n=600 rcut=0.45 rung=cache")
+        b = concretize_text("water n=600 rcut=0.45 rung=vec")
+        assert a.to_string() != b.to_string()
+        assert a.system_canonical() == b.system_canonical()
+
+    def test_spec_from_dict_forms(self):
+        text = "water@spce n=1500 ensemble=nvt elec=rf"
+        from_text = spec_from_dict({"spec": text})
+        exploded = spec_from_dict(
+            {"family": "water", "version": "spce",
+             "n": 1500, "ensemble": "nvt", "elec": "rf"}
+        )
+        assert from_text.concretize() == exploded.concretize()
+
+    def test_concretize_text_is_cached(self):
+        assert concretize_text("water") is concretize_text("water")

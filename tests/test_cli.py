@@ -192,3 +192,95 @@ class TestFleetCommands:
         assert "job 1 ok" in out
         assert '"ring"' in out  # the --op fleet membership dump
         assert "drained: 1 completed" in out
+
+
+class TestScenarioCommands:
+    def test_scenarios_list(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "water" in out and "ionic" in out
+        assert "rung" in out and "elec" in out
+
+    def test_scenarios_audit_clean(self, capsys):
+        assert main(["scenarios", "--audit"]) == 0
+        out = capsys.readouterr().out
+        assert '"drift": []' in out
+        assert "audit ok" in out
+
+    def test_run_with_spec(self, capsys):
+        assert main(
+            ["run", "--spec", "water n=300 rcut=0.45 ensemble=nvt",
+             "-s", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario: water@spc n=300 ensemble=nvt" in out
+        assert "modelled chip time" in out
+
+    def test_run_with_invalid_spec(self, capsys):
+        assert main(["run", "--spec", "ljmix elec=pme", "-s", "1"]) == 2
+        assert "charged system" in capsys.readouterr().err
+
+    def test_campaign_dry_run(self, capsys):
+        assert main(
+            ["campaign", "ljmix,water elec=rf,pme n=600 rcut=0.45",
+             "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4 cells (3 runnable)" in out
+        assert "skipped_conflict" in out
+
+    def test_campaign_bad_matrix(self, capsys):
+        assert main(["campaign", "n=300", "--dry-run"]) == 2
+        assert "campaign:" in capsys.readouterr().err
+
+    def test_campaign_needs_address(self, capsys):
+        assert main(["campaign", "water"]) == 2
+        assert "need --socket" in capsys.readouterr().err
+
+    def test_campaign_self_serve_writes_report(self, capsys, tmp_path):
+        # Acceptance path: a >= 12-cell matrix end-to-end through the
+        # serve tier (in-process), with a JSON report on disk.
+        report_path = tmp_path / "report.json"
+        matrix = ("water@spc,water@spce n=600,900 elec=rf,pme "
+                  "rcut=0.45 seed=2019,7")
+        assert main(
+            ["campaign", matrix, "--self-serve",
+             "--out", str(report_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "16 cells" in out
+        report = json.loads(report_path.read_text())
+        assert report["n_cells"] == 16
+        assert report["counts"] == {"ok": 16}
+        concrete = [c["concrete"] for c in report["cells"]]
+        assert len(set(concrete)) == 16
+
+    def test_submit_scenario_spec_round_trip(self, capsys, tmp_path):
+        sock = str(tmp_path / "scen.sock")
+        rc = {}
+
+        def server():
+            rc["serve"] = main(["serve", "--socket", sock])
+
+        thread = threading.Thread(target=server)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30
+            while not Path(sock).exists():
+                assert time.monotonic() < deadline
+                time.sleep(0.02)
+            assert main(
+                ["submit", "--socket", sock,
+                 "--spec", "water n=600 rcut=0.45 ensemble=nvt"]
+            ) == 0
+            # Invalid spec: rejected at admission, names the rule.
+            assert main(
+                ["submit", "--socket", sock, "--spec", "ljmix elec=pme"]
+            ) == 2
+            assert main(["submit", "--socket", sock, "--op", "drain"]) == 0
+        finally:
+            thread.join(timeout=30)
+        assert rc["serve"] == 0
+        captured = capsys.readouterr()
+        assert "job 1 ok" in captured.out
+        assert "depends_on" in captured.err
